@@ -1,0 +1,31 @@
+//! Microbenchmarks of the water-filling allocator — the innermost loop of
+//! every experiment (rates are recomputed on each event).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowcon_sim::alloc::{waterfill, AllocRequest};
+use flowcon_sim::rng::SimRng;
+
+fn requests(n: usize, seed: u64) -> Vec<AllocRequest> {
+    let mut rng = SimRng::new(seed);
+    (0..n)
+        .map(|_| AllocRequest {
+            limit: rng.range_f64(0.05, 1.0),
+            demand: rng.range_f64(0.2, 1.0),
+            weight: 1.0,
+        })
+        .collect()
+}
+
+fn bench_waterfill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("waterfill");
+    for n in [2usize, 5, 10, 15, 50, 200] {
+        let reqs = requests(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &reqs, |b, reqs| {
+            b.iter(|| waterfill(std::hint::black_box(1.0), std::hint::black_box(reqs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_waterfill);
+criterion_main!(benches);

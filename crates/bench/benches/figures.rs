@@ -1,0 +1,51 @@
+//! End-to-end benchmarks: time to regenerate each figure's simulation.
+//!
+//! These double as the "one bench per table/figure" requirement: each bench
+//! target runs exactly the experiment that regenerates the corresponding
+//! figure (Criterion measures the harness; the repro binary prints the
+//! values).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowcon_bench::experiments::{ablation, default_node, fig1, fixed, random, scale, DEFAULT_SEED};
+
+fn bench_figures(c: &mut Criterion) {
+    let node = default_node();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_function("fig1_progress_curves", |b| b.iter(|| fig1::run(node)));
+    group.bench_function("fig3_itval_sweep_alpha5", |b| b.iter(|| fixed::fig3(node)));
+    group.bench_function("fig4_itval_sweep_alpha10", |b| b.iter(|| fixed::fig4(node)));
+    group.bench_function("fig5_alpha_sweep_itval20", |b| b.iter(|| fixed::fig5(node)));
+    group.bench_function("fig6_alpha_sweep_itval30", |b| b.iter(|| fixed::fig6(node)));
+    group.bench_function("table2_reductions", |b| b.iter(|| fixed::table2(node)));
+    group.bench_function("fig7_fig8_cpu_traces", |b| b.iter(|| fixed::fig7_fig8(node)));
+    group.bench_function("fig9_random_five", |b| {
+        b.iter(|| random::fig9(node, DEFAULT_SEED))
+    });
+    group.bench_function("fig10_fig11_cpu_traces", |b| {
+        b.iter(|| random::fig10_fig11(node, DEFAULT_SEED))
+    });
+    group.bench_function("fig12_to_16_ten_jobs", |b| {
+        b.iter(|| scale::fig12(node, DEFAULT_SEED))
+    });
+    group.bench_function("fig17_fifteen_jobs", |b| {
+        b.iter(|| scale::fig17(node, DEFAULT_SEED))
+    });
+    group.finish();
+
+    let mut ab = c.benchmark_group("ablations");
+    ab.sample_size(10);
+    ab.warm_up_time(std::time::Duration::from_millis(500));
+    ab.measurement_time(std::time::Duration::from_secs(3));
+    ab.bench_function("backoff", |b| b.iter(|| ablation::backoff(node)));
+    ab.bench_function("policy_zoo", |b| {
+        b.iter(|| ablation::policy_zoo(node, DEFAULT_SEED))
+    });
+    ab.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,308 @@
+//! Regenerate every table and figure of the FlowCon paper.
+//!
+//! ```text
+//! repro [experiment ...]
+//!
+//! experiments:
+//!   table1 fig1 fig3 fig4 fig5 fig6 table2 fig7 fig8 fig9 fig10 fig11
+//!   fig12 fig13 fig14 fig15 fig16 fig17
+//!   ablation-backoff ablation-beta ablation-kappa ablation-policies
+//!   all (default)
+//! ```
+//!
+//! Output: paper-style tables and ASCII charts on stdout; CSV artifacts
+//! under `target/experiments/`.
+
+use flowcon_bench::experiments::{ablation, default_node, fig1, fixed, random, scale, DEFAULT_SEED};
+use flowcon_bench::report::{completion_table, section, write_csv};
+use flowcon_dl::models::{ModelSpec, TABLE1_MODELS};
+use flowcon_metrics::chart::{bar_chart, line_chart};
+use flowcon_metrics::export::{completions_csv, series_csv, text_table, to_csv};
+use flowcon_metrics::summary::RunSummary;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        // fig7/fig10/fig13/fig15 each also print their paired figure.
+        vec![
+            "table1", "fig1", "fig3", "fig4", "fig5", "fig6", "table2", "fig7", "fig9",
+            "fig10", "fig12", "fig13", "fig15", "fig17",
+            "ablation-backoff", "ablation-beta", "ablation-kappa", "ablation-policies",
+            "ablation-resource",
+        ]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+
+    for exp in wanted {
+        match exp {
+            "table1" => table1(),
+            "fig1" => run_fig1(),
+            "fig3" => fixed_sweep("Fig. 3 (alpha=5%, itval sweep)", fixed::fig3(default_node()), "fig3"),
+            "fig4" => fixed_sweep("Fig. 4 (alpha=10%, itval sweep)", fixed::fig4(default_node()), "fig4"),
+            "fig5" => fixed_sweep("Fig. 5 (itval=20, alpha sweep)", fixed::fig5(default_node()), "fig5"),
+            "fig6" => fixed_sweep("Fig. 6 (itval=30, alpha sweep)", fixed::fig6(default_node()), "fig6"),
+            "table2" => table2(),
+            "fig7" | "fig8" => fig7_fig8(),
+            "fig9" => fig9(),
+            "fig10" | "fig11" => fig10_fig11(),
+            "fig12" => fig12_fig15_fig16(false),
+            "fig15" | "fig16" => fig12_fig15_fig16(true),
+            "fig13" | "fig14" => fig13_fig14(),
+            "fig17" => fig17(),
+            "ablation-backoff" => ablation_backoff(),
+            "ablation-beta" => ablation_beta(),
+            "ablation-kappa" => ablation_kappa(),
+            "ablation-policies" => ablation_policies(),
+            "ablation-resource" => ablation_resource(),
+            other => eprintln!("unknown experiment: {other}"),
+        }
+    }
+}
+
+fn table1() {
+    section("Table 1: Tested Deep Learning Models");
+    let rows: Vec<Vec<String>> = TABLE1_MODELS
+        .iter()
+        .map(|&id| {
+            let m = ModelSpec::of(id);
+            vec![
+                m.label(),
+                m.eval.kind.name().to_string(),
+                format!("{:?}", m.framework),
+                format!("{:.0}", m.total_work),
+                format!("{:.2}", m.demand),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        text_table(
+            &["Model", "Eval. Function", "Platform", "Work (cpu-s)", "Demand"],
+            &rows
+        )
+    );
+}
+
+fn run_fig1() {
+    section("Fig. 1: Training progress of five models (NA, one node)");
+    let fig = fig1::run(default_node());
+    let mut rows = Vec::new();
+    for c in &fig.curves {
+        let t90 = fig1::time_fraction_to_quality(&fig, &c.label, 0.9);
+        rows.push(vec![
+            c.label.clone(),
+            t90.map_or("-".into(), |t| format!("{:.1}%", t * 100.0)),
+        ]);
+        let csv_rows: Vec<Vec<String>> = c
+            .points
+            .iter()
+            .map(|&(t, a)| vec![c.label.clone(), format!("{t:.4}"), format!("{a:.4}")])
+            .collect();
+        write_csv(
+            &format!("fig1_{}.csv", c.label.replace([' ', '(', ')'], "_")),
+            &to_csv(&["model", "time_frac", "accuracy"], &csv_rows),
+        );
+    }
+    print!(
+        "{}",
+        text_table(&["Model", "time to 90% of final accuracy"], &rows)
+    );
+    println!("(makespan {:.1}s; CSVs under target/experiments/)", fig.makespan_secs);
+}
+
+fn fixed_sweep(title: &str, sweep: fixed::FixedSweep, file: &str) {
+    section(title);
+    let labels: Vec<String> = sweep
+        .baseline
+        .completions
+        .iter()
+        .map(|c| c.label.clone())
+        .collect();
+    let mut runs: Vec<&RunSummary> = sweep.cells.iter().map(|c| &c.summary).collect();
+    runs.push(&sweep.baseline);
+    print!("{}", completion_table(&runs, &labels));
+    write_csv(&format!("{file}.csv"), &completions_csv(&runs));
+}
+
+fn table2() {
+    section("Table 2: Completion-time reduction of MNIST (Tensorflow)");
+    let (fig4_col, fig5_col) = fixed::table2(default_node());
+    let n = fig4_col.len().max(fig5_col.len());
+    let rows: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            let left = fig4_col.get(i);
+            let right = fig5_col.get(i);
+            vec![
+                left.map_or(String::new(), |(n, _)| n.clone()),
+                left.map_or(String::new(), |(_, r)| format!("{r:.1}%")),
+                right.map_or(String::new(), |(n, _)| n.clone()),
+                right.map_or(String::new(), |(_, r)| format!("{r:.1}%")),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        text_table(
+            &["alpha,itval (Fig.4)", "Reduction", "alpha,itval (Fig.5)", "Reduction"],
+            &rows
+        )
+    );
+    let csv_rows: Vec<Vec<String>> = fig4_col
+        .iter()
+        .chain(fig5_col.iter())
+        .map(|(name, red)| vec![name.clone(), format!("{red:.2}")])
+        .collect();
+    write_csv("table2.csv", &to_csv(&["setting", "reduction_pct"], &csv_rows));
+}
+
+fn cpu_chart(title: &str, summary: &RunSummary, file: &str) {
+    section(title);
+    let series: Vec<(&str, &flowcon_metrics::TimeSeries)> = summary.cpu_usage.iter().collect();
+    print!("{}", line_chart("CPU usage", &series, Some(1.0), 100, 14));
+    write_csv(&format!("{file}.csv"), &series_csv("cpu_usage", &summary.cpu_usage));
+}
+
+fn fig7_fig8() {
+    let (fc, na) = fixed::fig7_fig8(default_node());
+    cpu_chart("Fig. 7: CPU usage, FlowCon (alpha=5%, itval=20, 3 jobs)", &fc, "fig7");
+    cpu_chart("Fig. 8: CPU usage, NA (3 jobs)", &na, "fig8");
+}
+
+fn fig9() {
+    section("Fig. 9: Five jobs, random submission");
+    let cmp = random::fig9(default_node(), DEFAULT_SEED);
+    let labels = cmp.labels();
+    let mut runs: Vec<&RunSummary> = cmp.flowcon.iter().collect();
+    runs.push(&cmp.baseline);
+    print!("{}", completion_table(&runs, &labels));
+    for (policy, wins, losses) in cmp.win_loss_rows() {
+        println!("{policy}: {wins} wins / {losses} losses vs NA");
+    }
+    write_csv("fig9.csv", &completions_csv(&runs));
+}
+
+fn fig10_fig11() {
+    let (fc, na) = random::fig10_fig11(default_node(), DEFAULT_SEED);
+    cpu_chart("Fig. 10: CPU usage, FlowCon (alpha=3%, itval=30, 5 jobs)", &fc, "fig10");
+    cpu_chart("Fig. 11: CPU usage, NA (5 jobs)", &na, "fig11");
+}
+
+fn fig12_fig15_fig16(charts: bool) {
+    let cmp = scale::fig12(default_node(), DEFAULT_SEED);
+    if charts {
+        cpu_chart("Fig. 15: CPU usage, FlowCon (alpha=10%, itval=20, 10 jobs)", &cmp.flowcon, "fig15");
+        cpu_chart("Fig. 16: CPU usage, NA (10 jobs)", &cmp.baseline, "fig16");
+        return;
+    }
+    section("Fig. 12: Ten jobs, random submission (FlowCon-10%-20 vs NA)");
+    let labels = cmp.labels();
+    let runs = [&cmp.flowcon, &cmp.baseline];
+    print!("{}", completion_table(&runs, &labels));
+    let (wins, losses) = cmp.wins_losses();
+    println!("FlowCon wins {wins} / loses {losses} of 10 jobs");
+    if let Some((job, red)) = cmp.biggest_winner() {
+        println!("largest improvement: {job} ({red:.1}%)");
+    }
+    write_csv("fig12.csv", &completions_csv(&runs));
+}
+
+fn fig13_fig14() {
+    let cmp = scale::fig12(default_node(), DEFAULT_SEED);
+    let (loser, winner) = cmp.exemplars();
+    for (figure, job, file) in [("Fig. 13", &loser, "fig13"), ("Fig. 14", &winner, "fig14")] {
+        section(&format!("{figure}: Growth efficiency of {job} (FlowCon vs NA)"));
+        let empty = flowcon_metrics::TimeSeries::new();
+        let fc = cmp.flowcon.growth_efficiency.get(job).unwrap_or(&empty);
+        let na = cmp.baseline.growth_efficiency.get(job).unwrap_or(&empty);
+        print!(
+            "{}",
+            line_chart("Growth efficiency", &[("FlowCon", fc), ("NA", na)], None, 100, 12)
+        );
+        write_csv(&format!("{file}.csv"), &series_csv("growth", &cmp.flowcon.growth_efficiency));
+    }
+}
+
+fn fig17() {
+    section("Fig. 17: Fifteen jobs, random submission (FlowCon-10%-40 vs NA)");
+    let cmp = scale::fig17(default_node(), DEFAULT_SEED);
+    let labels = cmp.labels();
+    let runs = [&cmp.flowcon, &cmp.baseline];
+    print!("{}", completion_table(&runs, &labels));
+    let (wins, losses) = cmp.wins_losses();
+    println!("FlowCon wins {wins} / loses {losses} of 15 jobs");
+    write_csv("fig17.csv", &completions_csv(&runs));
+}
+
+fn ablation_backoff() {
+    section("Ablation: exponential back-off");
+    let ab = ablation::backoff(default_node());
+    print!(
+        "{}",
+        text_table(
+            &["variant", "algorithm runs", "makespan (s)"],
+            &[
+                vec!["back-off on".into(), ab.runs_with.to_string(), format!("{:.1}", ab.makespan_with)],
+                vec!["back-off off".into(), ab.runs_without.to_string(), format!("{:.1}", ab.makespan_without)],
+            ]
+        )
+    );
+}
+
+fn ablation_beta() {
+    section("Ablation: beta lower-bound sweep (5 random jobs)");
+    let rows = ablation::beta_sweep(default_node(), DEFAULT_SEED, &[1.0, 2.0, 4.0, 8.0]);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(b, makespan, worst)| {
+            vec![format!("{b}"), format!("{makespan:.1}"), format!("{worst:.1}%")]
+        })
+        .collect();
+    print!(
+        "{}",
+        text_table(&["beta", "makespan (s)", "worst per-job reduction"], &table_rows)
+    );
+}
+
+fn ablation_kappa() {
+    section("Ablation: contention coefficient sweep (fixed schedule)");
+    let rows = ablation::kappa_sweep(default_node(), &[0.0, 0.01, 0.02, 0.05, 0.10]);
+    let bars: Vec<(String, f64)> = rows
+        .iter()
+        .map(|(k, imp)| (format!("kappa={k}"), imp.max(0.0)))
+        .collect();
+    print!("{}", bar_chart("makespan improvement vs NA (%)", &bars, "%", 40));
+    for (k, imp) in rows {
+        println!("kappa={k}: {imp:+.2}%");
+    }
+}
+
+fn ablation_resource() {
+    section("Ablation: growth efficiency per resource kind (Eq. 2)");
+    let rows = ablation::resource_sweep(default_node(), DEFAULT_SEED);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(res, makespan, wins)| {
+            vec![res.clone(), format!("{makespan:.1}"), format!("{wins} of 5")]
+        })
+        .collect();
+    print!(
+        "{}",
+        text_table(&["driving resource", "makespan (s)", "wins vs NA"], &table_rows)
+    );
+}
+
+fn ablation_policies() {
+    section("Ablation: policy zoo (5 random jobs)");
+    let rows = ablation::policy_zoo(default_node(), DEFAULT_SEED);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, makespan, mean)| {
+            vec![name.clone(), format!("{makespan:.1}"), format!("{mean:.1}")]
+        })
+        .collect();
+    print!(
+        "{}",
+        text_table(&["policy", "makespan (s)", "mean completion (s)"], &table_rows)
+    );
+}

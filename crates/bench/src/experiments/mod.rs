@@ -1,0 +1,71 @@
+//! Experiment definitions, one module per figure group.
+
+pub mod ablation;
+pub mod fig1;
+pub mod fixed;
+pub mod random;
+pub mod scale;
+
+use flowcon_core::config::NodeConfig;
+
+/// The seed every headline experiment uses (results in EXPERIMENTS.md were
+/// produced with this seed; change it to check robustness).
+pub const DEFAULT_SEED: u64 = 0xF10C;
+
+/// The default simulated node for all experiments.
+pub fn default_node() -> NodeConfig {
+    NodeConfig::default().with_seed(DEFAULT_SEED)
+}
+
+/// Run closures on parallel OS threads, preserving input order of results.
+///
+/// Parameter sweeps (Figs. 3–6 sweep five itval values × several α) are
+/// embarrassingly parallel: each cell is an independent deterministic
+/// simulation, so we fan out with scoped threads (no dependency needed) and
+/// join in order.
+pub fn parallel_map<T, F>(inputs: Vec<T>, f: F) -> Vec<<F as ParallelCell<T>>::Out>
+where
+    T: Send,
+    F: ParallelCell<T> + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .map(|input| scope.spawn({
+                let f = &f;
+                move || f.run(input)
+            }))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment cell panicked"))
+            .collect()
+    })
+}
+
+/// A sendable experiment cell (object-safe closure alternative so
+/// `parallel_map` can name the output type).
+pub trait ParallelCell<T> {
+    /// Result of one cell.
+    type Out: Send;
+    /// Execute one cell.
+    fn run(&self, input: T) -> Self::Out;
+}
+
+impl<T, O: Send, F: Fn(T) -> O> ParallelCell<T> for F {
+    type Out = O;
+    fn run(&self, input: T) -> O {
+        self(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..32).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..32).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,129 @@
+//! Scalability experiments (§5.5): Figs. 12–17.
+//!
+//! 10 and 15 jobs drawn from the Table 1 catalog, random arrivals in
+//! 0–200 s.  Fig. 12/17 compare per-job completion times; Figs. 13–14 dig
+//! into growth-efficiency traces of one "loser" and one "winner"; Figs.
+//! 15–16 show the CPU traces.
+
+use flowcon_core::config::{FlowConConfig, NodeConfig};
+use flowcon_core::worker::{run_baseline, run_flowcon};
+use flowcon_dl::workload::WorkloadPlan;
+use flowcon_metrics::summary::RunSummary;
+
+/// Results of a scalability comparison.
+#[derive(Debug, Clone)]
+pub struct ScaleComparison {
+    /// FlowCon run.
+    pub flowcon: RunSummary,
+    /// NA baseline.
+    pub baseline: RunSummary,
+    /// The workload.
+    pub plan: WorkloadPlan,
+}
+
+impl ScaleComparison {
+    /// Job labels in arrival order.
+    pub fn labels(&self) -> Vec<String> {
+        self.plan.jobs.iter().map(|j| j.label.clone()).collect()
+    }
+
+    /// Wins/losses vs the baseline.
+    pub fn wins_losses(&self) -> (usize, usize) {
+        self.flowcon.wins_losses_vs(&self.baseline)
+    }
+
+    /// The job with the largest completion-time reduction.
+    pub fn biggest_winner(&self) -> Option<(String, f64)> {
+        self.labels()
+            .into_iter()
+            .filter_map(|l| self.flowcon.reduction_vs(&self.baseline, &l).map(|r| (l, r)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite reductions"))
+    }
+
+    /// Pick the Fig. 13/14 exemplars: the biggest loser (or the smallest
+    /// winner if FlowCon wins everywhere) and the biggest winner.
+    pub fn exemplars(&self) -> (String, String) {
+        let mut rows: Vec<(String, f64)> = self
+            .labels()
+            .into_iter()
+            .filter_map(|l| self.flowcon.reduction_vs(&self.baseline, &l).map(|r| (l, r)))
+            .collect();
+        rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite reductions"));
+        let loser = rows.first().map(|(l, _)| l.clone()).unwrap_or_default();
+        let winner = rows.last().map(|(l, _)| l.clone()).unwrap_or_default();
+        (loser, winner)
+    }
+}
+
+/// Fig. 12 (and Figs. 13–16): 10 jobs, FlowCon α = 10%, itval = 20 vs NA.
+pub fn fig12(node: NodeConfig, workload_seed: u64) -> ScaleComparison {
+    let plan = WorkloadPlan::random_n(10, workload_seed);
+    compare(node, plan, FlowConConfig::with_params(0.10, 20))
+}
+
+/// Fig. 17: 15 jobs, FlowCon α = 10%, itval = 40 vs NA.
+pub fn fig17(node: NodeConfig, workload_seed: u64) -> ScaleComparison {
+    let plan = WorkloadPlan::random_n(15, workload_seed);
+    compare(node, plan, FlowConConfig::with_params(0.10, 40))
+}
+
+/// Run one FlowCon-vs-NA comparison on a given plan.
+pub fn compare(node: NodeConfig, plan: WorkloadPlan, config: FlowConConfig) -> ScaleComparison {
+    let (flowcon, baseline) = std::thread::scope(|s| {
+        let fc = s.spawn(|| run_flowcon(node, &plan, config).summary);
+        let na = s.spawn(|| run_baseline(node, &plan).summary);
+        (
+            fc.join().expect("flowcon run panicked"),
+            na.join().expect("baseline run panicked"),
+        )
+    });
+    ScaleComparison {
+        flowcon,
+        baseline,
+        plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{default_node, DEFAULT_SEED};
+
+    #[test]
+    fn ten_jobs_mostly_win() {
+        let cmp = fig12(default_node(), DEFAULT_SEED);
+        let (wins, losses) = cmp.wins_losses();
+        assert!(
+            wins >= 6,
+            "expected FlowCon to win most of 10 jobs: {wins} wins, {losses} losses"
+        );
+        let impr = cmp.flowcon.makespan_improvement_vs(&cmp.baseline);
+        assert!(impr > -5.0, "makespan regressed {:.1}%", -impr);
+    }
+
+    #[test]
+    fn fifteen_jobs_complete_and_mostly_win() {
+        let cmp = fig17(default_node(), DEFAULT_SEED);
+        assert_eq!(cmp.flowcon.completions.len(), 15);
+        assert_eq!(cmp.baseline.completions.len(), 15);
+        let (wins, _) = cmp.wins_losses();
+        assert!(wins >= 8, "expected ≥8 wins out of 15, got {wins}");
+    }
+
+    #[test]
+    fn exemplars_have_growth_traces() {
+        let cmp = fig12(default_node(), DEFAULT_SEED);
+        let (loser, winner) = cmp.exemplars();
+        assert_ne!(loser, winner);
+        for label in [&loser, &winner] {
+            assert!(
+                cmp.flowcon.growth_efficiency.get(label).is_some(),
+                "missing FlowCon growth trace for {label}"
+            );
+            assert!(
+                cmp.baseline.growth_efficiency.get(label).is_some(),
+                "missing NA growth trace for {label}"
+            );
+        }
+    }
+}

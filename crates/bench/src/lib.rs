@@ -1,0 +1,24 @@
+//! # flowcon-bench
+//!
+//! The experiment harness: one module per group of figures/tables from the
+//! FlowCon paper's evaluation (§5), plus the ablations listed in DESIGN.md.
+//!
+//! Every experiment is a pure function from a seed/parameter set to
+//! structured results, so the `repro` binary, the integration tests and the
+//! Criterion benches all share the same code paths.
+//!
+//! | Module | Regenerates |
+//! |---|---|
+//! | [`experiments::fig1`] | Fig. 1 (training progress of five models) |
+//! | [`experiments::fixed`] | Figs. 3–8, Table 2 (fixed schedule) |
+//! | [`experiments::random`] | Figs. 9–11 (five-job random schedule) |
+//! | [`experiments::scale`] | Figs. 12–17 (10/15-job scalability) |
+//! | [`experiments::ablation`] | back-off / β / κ / policy-zoo ablations |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{ablation, fig1, fixed, random, scale};

@@ -1,0 +1,77 @@
+//! Output plumbing shared by every experiment: paper-style stdout blocks
+//! and CSV files under `target/experiments/`.
+
+use std::path::PathBuf;
+
+use flowcon_metrics::export;
+use flowcon_metrics::summary::RunSummary;
+
+/// Directory CSV artifacts are written into.
+pub fn output_dir() -> PathBuf {
+    PathBuf::from("target/experiments")
+}
+
+/// Write a CSV artifact, returning its path for the report.
+pub fn write_csv(name: &str, content: &str) -> PathBuf {
+    let path = output_dir().join(name);
+    if let Err(e) = export::write_file(&path, content) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    path
+}
+
+/// Print a titled section separator.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Render completion-time rows for a set of runs: the common shape of
+/// Figs. 3–6, 9, 12 and 17.
+pub fn completion_table(runs: &[&RunSummary], job_labels: &[String]) -> String {
+    let mut header: Vec<&str> = vec!["job"];
+    for r in runs {
+        header.push(r.policy.as_str());
+    }
+    let rows: Vec<Vec<String>> = job_labels
+        .iter()
+        .map(|label| {
+            let mut row = vec![label.clone()];
+            for r in runs {
+                row.push(
+                    r.completion_of(label)
+                        .map_or("-".into(), |s| format!("{s:.1}")),
+                );
+            }
+            row
+        })
+        .chain(std::iter::once({
+            let mut row = vec!["makespan".to_string()];
+            for r in runs {
+                row.push(format!("{:.1}", r.makespan_secs()));
+            }
+            row
+        }))
+        .collect();
+    export::text_table(&header, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcon_metrics::summary::CompletionRecord;
+    use flowcon_sim::time::SimTime;
+
+    #[test]
+    fn completion_table_includes_makespan_row() {
+        let mut s = RunSummary::new("NA");
+        s.completions.push(CompletionRecord {
+            label: "Job-1".into(),
+            arrival: SimTime::ZERO,
+            finished: SimTime::from_secs(100),
+            exit_code: 0,
+        });
+        let table = completion_table(&[&s], &["Job-1".to_string()]);
+        assert!(table.contains("makespan"));
+        assert!(table.contains("100.0"));
+    }
+}

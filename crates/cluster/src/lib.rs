@@ -1,0 +1,27 @@
+//! # flowcon-cluster
+//!
+//! The manager/worker cluster layer of Fig. 2.
+//!
+//! In the paper, managers "accept specifications from the user", select a
+//! worker to host each container, and otherwise only interact with the
+//! workers' container pools — all of FlowCon runs worker-side.  This crate
+//! implements that split so multi-worker deployments (the paper's
+//! architecture, evaluated there on a single worker) can be studied:
+//!
+//! * [`policy_kind`] — a serializable policy selector so managers can
+//!   configure workers uniformly.
+//! * [`placement`] — placement strategies (round-robin, spread, least
+//!   loaded by submitted work) used when the manager assigns a job.
+//! * [`manager`] — the manager: splits a workload plan across workers and
+//!   runs every worker simulation on its own OS thread.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod manager;
+pub mod placement;
+pub mod policy_kind;
+
+pub use manager::{ClusterResult, Manager};
+pub use placement::{LeastLoaded, PlacementStrategy, RoundRobin, Spread};
+pub use policy_kind::PolicyKind;

@@ -1,0 +1,191 @@
+//! The cluster manager.
+//!
+//! Accepts a workload plan, places each job on a worker (in arrival order,
+//! using a [`PlacementStrategy`]), then runs every worker's simulation on
+//! its own OS thread — workers are independent once jobs are assigned,
+//! exactly as in the paper's architecture where managers never participate
+//! in worker-side reconfiguration.
+
+use flowcon_core::config::NodeConfig;
+use flowcon_core::worker::{RunResult, WorkerSim};
+use flowcon_dl::workload::WorkloadPlan;
+
+use crate::placement::{record_assignment, PlacementStrategy, WorkerLoad};
+use crate::policy_kind::PolicyKind;
+
+/// Result of a cluster run.
+#[derive(Debug)]
+pub struct ClusterResult {
+    /// Per-worker results, indexed by worker.
+    pub workers: Vec<RunResult>,
+    /// Which worker each job went to: `(job label, worker index)`.
+    pub assignments: Vec<(String, usize)>,
+}
+
+impl ClusterResult {
+    /// Cluster makespan: the latest completion over all workers.
+    pub fn makespan_secs(&self) -> f64 {
+        self.workers
+            .iter()
+            .map(|w| w.summary.makespan_secs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Total number of completed jobs.
+    pub fn completed_jobs(&self) -> usize {
+        self.workers.iter().map(|w| w.summary.completions.len()).sum()
+    }
+
+    /// Completion time of a job by label, searching all workers.
+    pub fn completion_of(&self, label: &str) -> Option<f64> {
+        self.workers
+            .iter()
+            .find_map(|w| w.summary.completion_of(label))
+    }
+}
+
+/// The manager: placement + per-worker node configs + per-worker policy.
+pub struct Manager<P: PlacementStrategy> {
+    nodes: Vec<NodeConfig>,
+    policy: PolicyKind,
+    strategy: P,
+}
+
+impl<P: PlacementStrategy> Manager<P> {
+    /// A manager over `workers` identical nodes.
+    pub fn new(workers: usize, node: NodeConfig, policy: PolicyKind, strategy: P) -> Self {
+        assert!(workers > 0, "a cluster needs at least one worker");
+        // Give each worker its own seed stream so workloads don't correlate.
+        let nodes = (0..workers)
+            .map(|i| node.with_seed(node.seed.wrapping_add(i as u64 * 0x9E37_79B9)))
+            .collect();
+        Manager {
+            nodes,
+            policy,
+            strategy,
+        }
+    }
+
+    /// A manager over heterogeneous nodes.
+    pub fn with_nodes(nodes: Vec<NodeConfig>, policy: PolicyKind, strategy: P) -> Self {
+        assert!(!nodes.is_empty());
+        Manager {
+            nodes,
+            policy,
+            strategy,
+        }
+    }
+
+    /// Place every job, run every worker, and gather the results.
+    pub fn run(mut self, plan: &WorkloadPlan) -> ClusterResult {
+        let n = self.nodes.len();
+        let mut loads = vec![WorkerLoad::default(); n];
+        let mut per_worker: Vec<Vec<flowcon_dl::workload::JobRequest>> = vec![Vec::new(); n];
+        let mut assignments = Vec::with_capacity(plan.len());
+
+        for job in &plan.jobs {
+            let target = self.strategy.place(job, &loads);
+            assert!(target < n, "strategy returned worker {target} of {n}");
+            record_assignment(&mut loads[target], job);
+            assignments.push((job.label.clone(), target));
+            per_worker[target].push(job.clone());
+        }
+
+        let policy = self.policy;
+        let nodes = self.nodes;
+        let workers: Vec<RunResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = per_worker
+                .into_iter()
+                .zip(&nodes)
+                .map(|(jobs, &node)| {
+                    scope.spawn(move || {
+                        let plan = WorkloadPlan::new(jobs);
+                        WorkerSim::new(node, plan, policy.build()).run()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker simulation panicked"))
+                .collect()
+        });
+
+        ClusterResult {
+            workers,
+            assignments,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{RoundRobin, Spread};
+    use flowcon_core::config::FlowConConfig;
+
+    fn node() -> NodeConfig {
+        NodeConfig::default()
+    }
+
+    #[test]
+    fn all_jobs_complete_across_two_workers() {
+        let plan = WorkloadPlan::random_n(10, 7);
+        let manager = Manager::new(2, node(), PolicyKind::Baseline, RoundRobin::default());
+        let result = manager.run(&plan);
+        assert_eq!(result.completed_jobs(), 10);
+        assert_eq!(result.assignments.len(), 10);
+        // Round-robin: 5 jobs each.
+        let w0 = result.assignments.iter().filter(|(_, w)| *w == 0).count();
+        assert_eq!(w0, 5);
+    }
+
+    #[test]
+    fn two_workers_beat_one_on_makespan() {
+        let plan = WorkloadPlan::random_n(10, 7);
+        let one = Manager::new(1, node(), PolicyKind::Baseline, Spread).run(&plan);
+        let two = Manager::new(2, node(), PolicyKind::Baseline, Spread).run(&plan);
+        assert!(
+            two.makespan_secs() < one.makespan_secs(),
+            "2 workers {:.0}s vs 1 worker {:.0}s",
+            two.makespan_secs(),
+            one.makespan_secs()
+        );
+    }
+
+    #[test]
+    fn flowcon_policy_runs_on_every_worker() {
+        let plan = WorkloadPlan::random_n(8, 9);
+        let manager = Manager::new(
+            2,
+            node(),
+            PolicyKind::FlowCon(FlowConConfig::default()),
+            Spread,
+        );
+        let result = manager.run(&plan);
+        assert_eq!(result.completed_jobs(), 8);
+        for w in &result.workers {
+            assert_eq!(w.summary.policy, "FlowCon-5%-20");
+        }
+    }
+
+    #[test]
+    fn completion_lookup_spans_workers() {
+        let plan = WorkloadPlan::random_n(4, 3);
+        let result =
+            Manager::new(2, node(), PolicyKind::Baseline, RoundRobin::default()).run(&plan);
+        for job in &plan.jobs {
+            assert!(
+                result.completion_of(&job.label).is_some(),
+                "missing {}",
+                job.label
+            );
+        }
+        assert!(result.completion_of("nonexistent").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Manager::new(0, node(), PolicyKind::Baseline, Spread);
+    }
+}

@@ -1,0 +1,142 @@
+//! Placement strategies.
+//!
+//! When a job is submitted the manager must pick a worker.  Like real
+//! cluster managers (and unlike an oracle), strategies only see what has
+//! been *submitted*: how many jobs each worker has been assigned and the
+//! demand those jobs declared — not how far along they are.
+
+use flowcon_dl::models::ModelSpec;
+use flowcon_dl::workload::JobRequest;
+
+/// What the manager knows about each worker at placement time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerLoad {
+    /// Jobs assigned so far.
+    pub jobs_assigned: usize,
+    /// Sum of declared total work (CPU-seconds) assigned so far.
+    pub work_assigned: f64,
+}
+
+/// A placement strategy: pick a worker index for the next job.
+pub trait PlacementStrategy {
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+    /// Choose a worker in `0..loads.len()`.
+    fn place(&mut self, job: &JobRequest, loads: &[WorkerLoad]) -> usize;
+}
+
+/// Cycle through workers in order.
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl PlacementStrategy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+    fn place(&mut self, _job: &JobRequest, loads: &[WorkerLoad]) -> usize {
+        assert!(!loads.is_empty());
+        let idx = self.next % loads.len();
+        self.next = self.next.wrapping_add(1);
+        idx
+    }
+}
+
+/// Fewest assigned jobs first (docker swarm's "spread").
+#[derive(Debug, Default, Clone)]
+pub struct Spread;
+
+impl PlacementStrategy for Spread {
+    fn name(&self) -> &'static str {
+        "spread"
+    }
+    fn place(&mut self, _job: &JobRequest, loads: &[WorkerLoad]) -> usize {
+        assert!(!loads.is_empty());
+        loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.jobs_assigned)
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    }
+}
+
+/// Least total declared work first — a resource-aware spread (in the spirit
+/// of the authors' earlier DRAPS placement work, reference [28]).
+#[derive(Debug, Default, Clone)]
+pub struct LeastLoaded;
+
+impl PlacementStrategy for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+    fn place(&mut self, _job: &JobRequest, loads: &[WorkerLoad]) -> usize {
+        assert!(!loads.is_empty());
+        loads
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.work_assigned
+                    .partial_cmp(&b.work_assigned)
+                    .expect("finite work")
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    }
+}
+
+/// Update a worker's load after assigning `job` to it.
+pub fn record_assignment(load: &mut WorkerLoad, job: &JobRequest) {
+    load.jobs_assigned += 1;
+    load.work_assigned += ModelSpec::of(job.model).total_work;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcon_dl::ModelId;
+    use flowcon_sim::time::SimTime;
+
+    fn job(model: ModelId) -> JobRequest {
+        JobRequest {
+            label: "j".into(),
+            model,
+            arrival: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobin::default();
+        let loads = vec![WorkerLoad::default(); 3];
+        let picks: Vec<usize> = (0..6).map(|_| rr.place(&job(ModelId::Gru), &loads)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn spread_prefers_fewest_jobs() {
+        let mut s = Spread;
+        let mut loads = vec![WorkerLoad::default(); 2];
+        loads[0].jobs_assigned = 3;
+        assert_eq!(s.place(&job(ModelId::Gru), &loads), 1);
+    }
+
+    #[test]
+    fn least_loaded_prefers_least_work() {
+        let mut s = LeastLoaded;
+        let mut loads = vec![WorkerLoad::default(); 3];
+        loads[0].work_assigned = 100.0;
+        loads[1].work_assigned = 20.0;
+        loads[2].work_assigned = 50.0;
+        assert_eq!(s.place(&job(ModelId::Vae), &loads), 1);
+    }
+
+    #[test]
+    fn record_assignment_accumulates() {
+        let mut load = WorkerLoad::default();
+        record_assignment(&mut load, &job(ModelId::Gru));
+        assert_eq!(load.jobs_assigned, 1);
+        assert!(load.work_assigned > 0.0);
+    }
+}

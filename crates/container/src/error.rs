@@ -1,0 +1,62 @@
+//! Substrate error type.
+
+use std::fmt;
+
+use crate::id::ContainerId;
+use crate::state::ContainerState;
+
+/// Errors returned by the container daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContainerError {
+    /// The container id is unknown to this daemon.
+    NoSuchContainer(ContainerId),
+    /// The image reference is not present in the registry.
+    NoSuchImage(String),
+    /// A lifecycle transition was rejected.
+    InvalidTransition {
+        /// Container whose transition was rejected.
+        id: ContainerId,
+        /// State it is currently in.
+        from: ContainerState,
+        /// State that was requested.
+        to: ContainerState,
+    },
+    /// An operation requires a running container.
+    NotRunning(ContainerId),
+}
+
+impl fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContainerError::NoSuchContainer(id) => write!(f, "no such container: {id}"),
+            ContainerError::NoSuchImage(r) => write!(f, "no such image: {r}"),
+            ContainerError::InvalidTransition { id, from, to } => {
+                write!(f, "container {id}: illegal transition {from} -> {to}")
+            }
+            ContainerError::NotRunning(id) => write!(f, "container {id} is not running"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let id = ContainerId::from_raw(3);
+        let e = ContainerError::InvalidTransition {
+            id,
+            from: ContainerState::Exited(0),
+            to: ContainerState::Running,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("illegal transition"));
+        assert!(msg.contains("exited(0)"));
+        assert!(ContainerError::NoSuchImage("x:y".into())
+            .to_string()
+            .contains("x:y"));
+    }
+}

@@ -1,0 +1,147 @@
+//! The docker-events stream.
+//!
+//! FlowCon's Worker Monitor runs two listeners — *New Cons* and *Finished
+//! Cons* (§3.2.2) — that react to containers entering and leaving the pool.
+//! The daemon records lifecycle events here; listeners drain them with a
+//! cursor so multiple consumers can observe the same history independently.
+
+use flowcon_sim::time::SimTime;
+
+use crate::id::ContainerId;
+
+/// A lifecycle event, analogous to one line of `docker events`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ContainerEvent {
+    /// Container created (not yet running).
+    Created {
+        /// Subject container.
+        id: ContainerId,
+        /// Event time.
+        at: SimTime,
+    },
+    /// Container started running.
+    Started {
+        /// Subject container.
+        id: ContainerId,
+        /// Event time.
+        at: SimTime,
+    },
+    /// Container exited.
+    Died {
+        /// Subject container.
+        id: ContainerId,
+        /// Event time.
+        at: SimTime,
+        /// Exit code (0 = converged).
+        exit_code: i32,
+    },
+}
+
+impl ContainerEvent {
+    /// The container the event concerns.
+    pub fn id(&self) -> ContainerId {
+        match *self {
+            ContainerEvent::Created { id, .. }
+            | ContainerEvent::Started { id, .. }
+            | ContainerEvent::Died { id, .. } => id,
+        }
+    }
+
+    /// When the event happened.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            ContainerEvent::Created { at, .. }
+            | ContainerEvent::Started { at, .. }
+            | ContainerEvent::Died { at, .. } => at,
+        }
+    }
+}
+
+/// An append-only event log with cursor-based consumption.
+#[derive(Debug, Default, Clone)]
+pub struct EventLog {
+    events: Vec<ContainerEvent>,
+}
+
+/// A consumer position in an [`EventLog`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EventCursor(usize);
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, event: ContainerEvent) {
+        self.events.push(event);
+    }
+
+    /// Events appended since `cursor`, advancing the cursor.
+    pub fn drain_since(&self, cursor: &mut EventCursor) -> &[ContainerEvent] {
+        let start = cursor.0.min(self.events.len());
+        cursor.0 = self.events.len();
+        &self.events[start..]
+    }
+
+    /// Total number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Full history (newest last).
+    pub fn all(&self) -> &[ContainerEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64, s: u64) -> ContainerEvent {
+        ContainerEvent::Started {
+            id: ContainerId::from_raw(i),
+            at: SimTime::from_secs(s),
+        }
+    }
+
+    #[test]
+    fn cursors_are_independent() {
+        let mut log = EventLog::new();
+        log.push(ev(1, 1));
+        log.push(ev(2, 2));
+
+        let mut a = EventCursor::default();
+        let mut b = EventCursor::default();
+        assert_eq!(log.drain_since(&mut a).len(), 2);
+        assert_eq!(log.drain_since(&mut a).len(), 0, "cursor advanced");
+        log.push(ev(3, 3));
+        assert_eq!(log.drain_since(&mut a).len(), 1);
+        assert_eq!(log.drain_since(&mut b).len(), 3, "b sees full history");
+    }
+
+    #[test]
+    fn accessors() {
+        let e = ContainerEvent::Died {
+            id: ContainerId::from_raw(9),
+            at: SimTime::from_secs(4),
+            exit_code: 137,
+        };
+        assert_eq!(e.id().as_raw(), 9);
+        assert_eq!(e.at(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn stale_cursor_is_clamped() {
+        let log = EventLog::new();
+        let mut c = EventCursor(10);
+        assert!(log.drain_since(&mut c).is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! Container identifiers.
+
+use std::fmt;
+
+/// A container id: a dense `u64` rendered as a short Docker-style hex hash.
+///
+/// Ids are allocated sequentially by the daemon, which keeps experiment
+/// output stable across runs, but displayed as 12 hex digits so logs look
+/// like `docker ps` output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContainerId(u64);
+
+impl ContainerId {
+    /// Construct from a raw integer (used by the daemon's allocator).
+    pub const fn from_raw(raw: u64) -> Self {
+        ContainerId(raw)
+    }
+
+    /// The raw integer value.
+    pub const fn as_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Short hex rendering, like the 12-character ids `docker ps` shows.
+    ///
+    /// The raw id is mixed through a SplitMix64 finalizer so consecutive
+    /// containers don't produce visually adjacent hashes.
+    pub fn short_hex(self) -> String {
+        let mut z = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        format!("{:012x}", z & 0xFFFF_FFFF_FFFF)
+    }
+}
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.short_hex())
+    }
+}
+
+/// Sequential id allocator owned by the daemon.
+#[derive(Debug, Default, Clone)]
+pub struct IdAllocator {
+    next: u64,
+}
+
+impl IdAllocator {
+    /// A fresh allocator starting at id 0.
+    pub fn new() -> Self {
+        IdAllocator { next: 0 }
+    }
+
+    /// Allocate the next id.
+    pub fn allocate(&mut self) -> ContainerId {
+        let id = ContainerId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Number of ids handed out so far.
+    pub fn allocated(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_is_sequential() {
+        let mut a = IdAllocator::new();
+        assert_eq!(a.allocate().as_raw(), 0);
+        assert_eq!(a.allocate().as_raw(), 1);
+        assert_eq!(a.allocated(), 2);
+    }
+
+    #[test]
+    fn short_hex_is_stable_and_distinct() {
+        let a = ContainerId::from_raw(1).short_hex();
+        let b = ContainerId::from_raw(2).short_hex();
+        assert_eq!(a.len(), 12);
+        assert_ne!(a, b);
+        assert_eq!(a, ContainerId::from_raw(1).short_hex());
+    }
+
+    #[test]
+    fn display_matches_short_hex() {
+        let id = ContainerId::from_raw(77);
+        assert_eq!(id.to_string(), id.short_hex());
+    }
+}

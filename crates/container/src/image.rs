@@ -1,0 +1,140 @@
+//! Container images.
+//!
+//! The paper's jobs ship as framework images (`pytorch/pytorch`,
+//! `tensorflow/tensorflow`, Keras, ...) started with `docker run -d
+//! <DL_job>`.  The catalog here is a small name→image map used by workload
+//! generators to label containers the way the paper labels jobs, e.g.
+//! "MNIST (Tensorflow)".
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An immutable image description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Repository name, e.g. `pytorch/pytorch`.
+    pub name: String,
+    /// Tag, e.g. `latest` or `18.09-cpu`.
+    pub tag: String,
+}
+
+impl Image {
+    /// Build an image reference.
+    pub fn new(name: impl Into<String>, tag: impl Into<String>) -> Self {
+        Image {
+            name: name.into(),
+            tag: tag.into(),
+        }
+    }
+
+    /// Parse a `name:tag` reference; a missing tag defaults to `latest`.
+    pub fn parse(reference: &str) -> Self {
+        match reference.split_once(':') {
+            Some((name, tag)) if !tag.is_empty() => Image::new(name, tag),
+            _ => Image::new(reference.trim_end_matches(':'), "latest"),
+        }
+    }
+
+    /// Canonical `name:tag` reference string.
+    pub fn reference(&self) -> String {
+        format!("{}:{}", self.name, self.tag)
+    }
+}
+
+impl fmt::Display for Image {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.name, self.tag)
+    }
+}
+
+/// A local image store, keyed by reference.
+#[derive(Debug, Default, Clone)]
+pub struct ImageRegistry {
+    images: BTreeMap<String, Image>,
+}
+
+impl ImageRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry preloaded with the framework images the paper uses.
+    pub fn with_dl_defaults() -> Self {
+        let mut r = Self::new();
+        r.pull(Image::new("pytorch/pytorch", "latest"));
+        r.pull(Image::new("tensorflow/tensorflow", "latest"));
+        r.pull(Image::new("keras/keras", "latest"));
+        r
+    }
+
+    /// Add (or replace) an image.
+    pub fn pull(&mut self, image: Image) {
+        self.images.insert(image.reference(), image);
+    }
+
+    /// Look up an image by `name:tag` reference.
+    pub fn get(&self, reference: &str) -> Option<&Image> {
+        self.images.get(reference)
+    }
+
+    /// True if the reference exists locally.
+    pub fn contains(&self, reference: &str) -> bool {
+        self.images.contains_key(reference)
+    }
+
+    /// Number of stored images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// True if the registry holds no images.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Iterate over images in reference order.
+    pub fn iter(&self) -> impl Iterator<Item = &Image> {
+        self.images.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_with_and_without_tag() {
+        assert_eq!(
+            Image::parse("pytorch/pytorch:1.0"),
+            Image::new("pytorch/pytorch", "1.0")
+        );
+        assert_eq!(
+            Image::parse("tensorflow/tensorflow"),
+            Image::new("tensorflow/tensorflow", "latest")
+        );
+        assert_eq!(Image::parse("busybox:"), Image::new("busybox", "latest"));
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let mut r = ImageRegistry::new();
+        assert!(r.is_empty());
+        r.pull(Image::new("a/b", "v1"));
+        assert!(r.contains("a/b:v1"));
+        assert_eq!(r.get("a/b:v1").unwrap().tag, "v1");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn defaults_include_both_frameworks() {
+        let r = ImageRegistry::with_dl_defaults();
+        assert!(r.contains("pytorch/pytorch:latest"));
+        assert!(r.contains("tensorflow/tensorflow:latest"));
+    }
+
+    #[test]
+    fn display_is_reference() {
+        assert_eq!(Image::new("x", "y").to_string(), "x:y");
+    }
+}

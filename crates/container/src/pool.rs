@@ -1,0 +1,157 @@
+//! The per-worker Container Pool (Fig. 2).
+//!
+//! Stores every container the worker knows about and answers the queries the
+//! FlowCon modules need: the running set (for the allocator and Algorithm 1)
+//! and the total count (Algorithm 2's `T(i)`).
+//!
+//! Iteration order is always ascending container id, which makes every
+//! downstream computation deterministic.
+
+use std::collections::BTreeMap;
+
+use crate::container::Container;
+use crate::id::ContainerId;
+use crate::workload::Workload;
+
+/// An id-ordered collection of containers.
+pub struct ContainerPool<W> {
+    containers: BTreeMap<ContainerId, Container<W>>,
+}
+
+impl<W> Default for ContainerPool<W> {
+    fn default() -> Self {
+        ContainerPool {
+            containers: BTreeMap::new(),
+        }
+    }
+}
+
+impl<W: Workload> ContainerPool<W> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a container (replaces any with the same id).
+    pub fn insert(&mut self, container: Container<W>) {
+        self.containers.insert(container.id(), container);
+    }
+
+    /// Remove a container, returning it.
+    pub fn remove(&mut self, id: ContainerId) -> Option<Container<W>> {
+        self.containers.remove(&id)
+    }
+
+    /// Borrow a container.
+    pub fn get(&self, id: ContainerId) -> Option<&Container<W>> {
+        self.containers.get(&id)
+    }
+
+    /// Mutably borrow a container.
+    pub fn get_mut(&mut self, id: ContainerId) -> Option<&mut Container<W>> {
+        self.containers.get_mut(&id)
+    }
+
+    /// True if the pool holds this id.
+    pub fn contains(&self, id: ContainerId) -> bool {
+        self.containers.contains_key(&id)
+    }
+
+    /// Total number of containers (running or not) — Algorithm 2's `T(i)`.
+    pub fn len(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// True if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.containers.is_empty()
+    }
+
+    /// All containers in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Container<W>> {
+        self.containers.values()
+    }
+
+    /// All containers in id order, mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Container<W>> {
+        self.containers.values_mut()
+    }
+
+    /// Ids of containers currently in the `Running` state, in id order.
+    pub fn running_ids(&self) -> Vec<ContainerId> {
+        self.containers
+            .values()
+            .filter(|c| c.state().is_runnable())
+            .map(|c| c.id())
+            .collect()
+    }
+
+    /// Number of running containers.
+    pub fn running_count(&self) -> usize {
+        self.containers
+            .values()
+            .filter(|c| c.state().is_runnable())
+            .count()
+    }
+
+    /// All ids currently known, in id order.
+    pub fn ids(&self) -> Vec<ContainerId> {
+        self.containers.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+    use crate::limits::ResourceLimits;
+    use crate::state::ContainerState;
+    use crate::workload::FixedWork;
+    use flowcon_sim::time::SimTime;
+
+    fn container(raw: u64) -> Container<FixedWork> {
+        Container::new(
+            ContainerId::from_raw(raw),
+            Image::new("img", "latest"),
+            FixedWork::new(format!("job-{raw}"), 10.0, 1.0),
+            ResourceLimits::default(),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut pool = ContainerPool::new();
+        pool.insert(container(2));
+        pool.insert(container(1));
+        assert_eq!(pool.len(), 2);
+        assert!(pool.contains(ContainerId::from_raw(1)));
+        let removed = pool.remove(ContainerId::from_raw(1)).unwrap();
+        assert_eq!(removed.id().as_raw(), 1);
+        assert_eq!(pool.len(), 1);
+        assert!(pool.get(ContainerId::from_raw(1)).is_none());
+    }
+
+    #[test]
+    fn iteration_is_id_ordered() {
+        let mut pool = ContainerPool::new();
+        for raw in [5, 1, 3, 2, 4] {
+            pool.insert(container(raw));
+        }
+        let ids: Vec<u64> = pool.iter().map(|c| c.id().as_raw()).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn running_ids_filters_by_state() {
+        let mut pool = ContainerPool::new();
+        pool.insert(container(1));
+        pool.insert(container(2));
+        pool.get_mut(ContainerId::from_raw(2))
+            .unwrap()
+            .transition(ContainerState::Running, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(pool.running_count(), 1);
+        assert_eq!(pool.running_ids(), vec![ContainerId::from_raw(2)]);
+    }
+}

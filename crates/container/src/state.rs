@@ -1,0 +1,98 @@
+//! Container lifecycle state machine.
+//!
+//! Mirrors the Docker states FlowCon's listeners care about: a container is
+//! *created*, *running* while its job trains, possibly *paused*, and finally
+//! *exited* — the paper computes completion time "whenever the container is
+//! marked as exited" (§5.5.1).  Illegal transitions are rejected rather than
+//! silently accepted so substrate bugs surface in tests.
+
+use std::fmt;
+
+/// Lifecycle states of a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContainerState {
+    /// Created but not yet started.
+    Created,
+    /// Actively runnable (its workload competes for resources).
+    Running,
+    /// Frozen by `docker pause`: consumes no CPU, retains memory.
+    Paused,
+    /// Terminated with an exit code (0 = the training job converged).
+    Exited(i32),
+}
+
+impl ContainerState {
+    /// True if the container can consume CPU.
+    pub fn is_runnable(self) -> bool {
+        matches!(self, ContainerState::Running)
+    }
+
+    /// True if the container has terminated.
+    pub fn is_exited(self) -> bool {
+        matches!(self, ContainerState::Exited(_))
+    }
+
+    /// Whether `self -> next` is a legal lifecycle transition.
+    pub fn can_transition_to(self, next: ContainerState) -> bool {
+        use ContainerState::*;
+        match (self, next) {
+            (Created, Running) => true,
+            (Created, Exited(_)) => true, // failed to start
+            (Running, Paused) => true,
+            (Running, Exited(_)) => true,
+            (Paused, Running) => true,
+            (Paused, Exited(_)) => true, // killed while paused
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for ContainerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContainerState::Created => write!(f, "created"),
+            ContainerState::Running => write!(f, "running"),
+            ContainerState::Paused => write!(f, "paused"),
+            ContainerState::Exited(code) => write!(f, "exited({code})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ContainerState::*;
+
+    #[test]
+    fn legal_paths() {
+        assert!(Created.can_transition_to(Running));
+        assert!(Running.can_transition_to(Paused));
+        assert!(Paused.can_transition_to(Running));
+        assert!(Running.can_transition_to(Exited(0)));
+        assert!(Paused.can_transition_to(Exited(137)));
+        assert!(Created.can_transition_to(Exited(1)));
+    }
+
+    #[test]
+    fn illegal_paths() {
+        assert!(!Exited(0).can_transition_to(Running));
+        assert!(!Exited(0).can_transition_to(Exited(1)));
+        assert!(!Created.can_transition_to(Paused));
+        assert!(!Running.can_transition_to(Created));
+        assert!(!Running.can_transition_to(Running));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Running.is_runnable());
+        assert!(!Paused.is_runnable());
+        assert!(Exited(0).is_exited());
+        assert!(!Created.is_exited());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Exited(137).to_string(), "exited(137)");
+        assert_eq!(Running.to_string(), "running");
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-container resource accounting.
+//!
+//! The paper's Container Monitor "records the consumption of four resources:
+//! CPU, memory, block I/O, and network I/O" per container (§3.2.1), and the
+//! Executor needs the *average usage over the measurement interval* for the
+//! growth-efficiency denominator (Eq. 2).  `ContainerStats` therefore keeps
+//! both cumulative usage and a bounded window of instantaneous samples.
+
+use std::collections::VecDeque;
+
+use flowcon_sim::resources::{ResourceKind, ResourceVec};
+use flowcon_sim::time::SimTime;
+
+/// One instantaneous usage observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsageSample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// Instantaneous usage rates (fractions of node capacity).
+    pub rates: ResourceVec,
+}
+
+/// Cumulative + windowed usage accounting for one container.
+#[derive(Debug, Clone)]
+pub struct ContainerStats {
+    /// Integrated resource-time (e.g. CPU-seconds) since start.
+    cumulative: ResourceVec,
+    /// Most recent instantaneous rates.
+    current: ResourceVec,
+    /// Bounded ring of recent samples for interval averaging.
+    window: VecDeque<UsageSample>,
+    /// Maximum samples retained.
+    window_cap: usize,
+    /// Total runnable time integrated so far (seconds).
+    busy_seconds: f64,
+}
+
+impl Default for ContainerStats {
+    fn default() -> Self {
+        Self::new(4096)
+    }
+}
+
+impl ContainerStats {
+    /// Stats with a given sample-window capacity.
+    pub fn new(window_cap: usize) -> Self {
+        ContainerStats {
+            cumulative: ResourceVec::ZERO,
+            current: ResourceVec::ZERO,
+            window: VecDeque::new(),
+            window_cap: window_cap.max(2),
+            busy_seconds: 0.0,
+        }
+    }
+
+    /// Integrate `rates` held constant for `dt_secs` seconds ending at `now`.
+    pub fn integrate(&mut self, now: SimTime, rates: ResourceVec, dt_secs: f64) {
+        debug_assert!(dt_secs >= 0.0, "negative interval");
+        debug_assert!(rates.is_valid(), "invalid rates {rates:?}");
+        self.cumulative += rates.scale(dt_secs);
+        self.current = rates;
+        self.busy_seconds += dt_secs;
+        if self.window.len() == self.window_cap {
+            self.window.pop_front();
+        }
+        self.window.push_back(UsageSample { at: now, rates });
+    }
+
+    /// Most recent instantaneous rates.
+    pub fn current(&self) -> ResourceVec {
+        self.current
+    }
+
+    /// Cumulative resource-time (CPU-seconds etc.).
+    pub fn cumulative(&self) -> ResourceVec {
+        self.cumulative
+    }
+
+    /// Cumulative CPU-seconds — the paper's headline usage figure.
+    pub fn cpu_seconds(&self) -> f64 {
+        self.cumulative.get(ResourceKind::Cpu)
+    }
+
+    /// Total seconds of integrated runnable time.
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_seconds
+    }
+
+    /// Average usage of `kind` over samples taken in `(since, until]`.
+    ///
+    /// This is `R_cid,ri(t_i)` from Eq. 2: the Executor passes the previous
+    /// and current algorithm-tick times.  Returns `None` when no samples
+    /// fall inside the interval (e.g. a container created an instant ago).
+    pub fn average_over(&self, kind: ResourceKind, since: SimTime, until: SimTime) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for s in self.window.iter().rev() {
+            if s.at <= since {
+                break;
+            }
+            if s.at <= until {
+                sum += s.rates.get(kind);
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Number of samples currently retained.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn integration_accumulates_cpu_seconds() {
+        let mut st = ContainerStats::default();
+        st.integrate(t(1), ResourceVec::cpu(0.5), 1.0);
+        st.integrate(t(2), ResourceVec::cpu(0.25), 1.0);
+        assert!((st.cpu_seconds() - 0.75).abs() < 1e-12);
+        assert_eq!(st.current().get(ResourceKind::Cpu), 0.25);
+        assert!((st.busy_seconds() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_over_interval_matches_samples() {
+        let mut st = ContainerStats::default();
+        st.integrate(t(1), ResourceVec::cpu(0.2), 1.0);
+        st.integrate(t(2), ResourceVec::cpu(0.4), 1.0);
+        st.integrate(t(3), ResourceVec::cpu(0.6), 1.0);
+        // Interval (1, 3]: samples at t=2 (0.4) and t=3 (0.6).
+        let avg = st.average_over(ResourceKind::Cpu, t(1), t(3)).unwrap();
+        assert!((avg - 0.5).abs() < 1e-12, "avg {avg}");
+    }
+
+    #[test]
+    fn average_over_empty_interval_is_none() {
+        let mut st = ContainerStats::default();
+        st.integrate(t(5), ResourceVec::cpu(0.9), 1.0);
+        assert_eq!(st.average_over(ResourceKind::Cpu, t(5), t(10)), None);
+        assert_eq!(st.average_over(ResourceKind::Cpu, t(0), t(4)), None);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut st = ContainerStats::new(4);
+        for i in 0..10 {
+            st.integrate(t(i), ResourceVec::cpu(0.1), 1.0);
+        }
+        assert_eq!(st.window_len(), 4);
+        // Old samples evicted: interval covering only evicted samples is None.
+        assert_eq!(st.average_over(ResourceKind::Cpu, t(0), t(5)), None);
+    }
+
+    #[test]
+    fn non_cpu_kinds_are_tracked() {
+        let mut st = ContainerStats::default();
+        st.integrate(t(1), ResourceVec::new(0.1, 0.3, 0.2, 0.05), 2.0);
+        assert!((st.cumulative().get(ResourceKind::Memory) - 0.6).abs() < 1e-12);
+        let avg = st.average_over(ResourceKind::BlkIo, t(0), t(1)).unwrap();
+        assert!((avg - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,194 @@
+//! Scenario tests for the container substrate: multi-container lifecycles
+//! driven the way the worker simulation drives them.
+
+use flowcon_container::workload::{FixedWork, Workload};
+use flowcon_container::{
+    ContainerEvent, ContainerId, ContainerState, Daemon, ImageRegistry, ResourceLimits,
+    UpdateOptions,
+};
+use flowcon_sim::time::SimTime;
+use proptest::prelude::*;
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn daemon() -> Daemon<FixedWork> {
+    Daemon::new(ImageRegistry::with_dl_defaults())
+}
+
+#[test]
+fn three_container_lifecycle_with_updates() {
+    let mut d = daemon();
+    let a = d
+        .run("pytorch/pytorch:latest", FixedWork::new("a", 30.0, 0.9), ResourceLimits::default(), t(0))
+        .unwrap();
+    let b = d
+        .run("tensorflow/tensorflow:latest", FixedWork::new("b", 10.0, 0.8), ResourceLimits::default(), t(0))
+        .unwrap();
+    let c = d
+        .run("tensorflow/tensorflow:latest", FixedWork::new("c", 5.0, 0.7), ResourceLimits::default(), t(0))
+        .unwrap();
+    assert_eq!(d.ps(), vec![a, b, c]);
+
+    // Throttle a, give b and c free rein.
+    d.update(a, UpdateOptions::new().cpus(0.2)).unwrap();
+
+    // 10 seconds at (0.2, 0.4, 0.4): c (5 cpu-s of work) got 4 — still going.
+    let exited = d.advance(t(10), &[a, b, c], &[0.2, 0.4, 0.4], &[1.0], 10.0);
+    assert!(exited.is_empty());
+
+    // 5 more seconds: c crosses its 5 cpu-s first, then b at 10 cpu-s.
+    let exited = d.advance(t(15), &[a, b, c], &[0.2, 0.4, 0.4], &[1.0], 5.0);
+    assert_eq!(exited, vec![c]);
+    let exited = d.advance(t(25), &[a, b], &[0.2, 0.5], &[1.0], 10.0);
+    assert_eq!(exited, vec![b]);
+
+    // a is still running with its limit intact.
+    assert_eq!(d.ps(), vec![a]);
+    assert_eq!(d.inspect(a).unwrap().limits().cpu_limit(), 0.2);
+    assert_eq!(d.alloc_inputs(), vec![(a, 0.2, 0.9)]);
+}
+
+#[test]
+fn advance_exits_exactly_on_work_completion() {
+    let mut d = daemon();
+    let a = d
+        .run("pytorch/pytorch:latest", FixedWork::new("a", 5.0, 1.0), ResourceLimits::default(), t(0))
+        .unwrap();
+    // 4 cpu-s: not done.
+    assert!(d.advance(t(8), &[a], &[0.5], &[1.0], 8.0).is_empty());
+    // 1 more cpu-s: done.
+    let exited = d.advance(t(10), &[a], &[0.5], &[1.0], 2.0);
+    assert_eq!(exited, vec![a]);
+    assert_eq!(
+        d.inspect(a).unwrap().state(),
+        ContainerState::Exited(0),
+        "clean convergence"
+    );
+    assert_eq!(d.completion_record(a).unwrap().1, 10.0);
+}
+
+#[test]
+fn event_stream_orders_lifecycle_events() {
+    let mut d = daemon();
+    let a = d
+        .run("pytorch/pytorch:latest", FixedWork::new("a", 1.0, 1.0), ResourceLimits::default(), t(1))
+        .unwrap();
+    d.advance(t(3), &[a], &[1.0], &[1.0], 2.0);
+    let kinds: Vec<&str> = d
+        .events()
+        .all()
+        .iter()
+        .map(|e| match e {
+            ContainerEvent::Created { .. } => "created",
+            ContainerEvent::Started { .. } => "started",
+            ContainerEvent::Died { .. } => "died",
+        })
+        .collect();
+    assert_eq!(kinds, vec!["created", "started", "died"]);
+    let times: Vec<u64> = d.events().all().iter().map(|e| e.at().as_micros()).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn exec_injects_into_running_container_only() {
+    let mut d = daemon();
+    let a = d
+        .run("pytorch/pytorch:latest", FixedWork::new("a", 100.0, 1.0), ResourceLimits::default(), t(0))
+        .unwrap();
+    d.exec(a, |w| w.advance(t(1), 50.0)).unwrap();
+    assert_eq!(d.inspect(a).unwrap().workload().remaining_cpu_seconds(), Some(50.0));
+    d.stop(a, t(2)).unwrap();
+    assert!(d.exec(a, |_| {}).is_err(), "exec on stopped container fails");
+    assert!(d.exec(ContainerId::from_raw(99), |_| {}).is_err());
+}
+
+#[test]
+fn reap_collects_externally_finished_workloads() {
+    let mut d = daemon();
+    let a = d
+        .run("pytorch/pytorch:latest", FixedWork::new("a", 10.0, 1.0), ResourceLimits::default(), t(0))
+        .unwrap();
+    // Finish the workload via exec without advancing the clock.
+    d.exec(a, |w| w.advance(t(1), 10.0)).unwrap();
+    assert_eq!(d.ps(), vec![a], "not yet reaped");
+    let reaped = d.reap(t(5));
+    assert_eq!(reaped, vec![a]);
+    assert!(d.ps().is_empty());
+    assert_eq!(d.inspect(a).unwrap().state(), ContainerState::Exited(0));
+    assert!(d.reap(t(6)).is_empty(), "reap is idempotent");
+}
+
+#[test]
+fn graveyard_retains_full_history() {
+    let mut d = daemon();
+    let mut ids = Vec::new();
+    for i in 0..5 {
+        let id = d
+            .run(
+                "tensorflow/tensorflow:latest",
+                FixedWork::new(format!("job-{i}"), 1.0, 1.0),
+                ResourceLimits::default(),
+                t(i),
+            )
+            .unwrap();
+        ids.push(id);
+    }
+    let rates = vec![0.2; 5];
+    d.advance(t(10), &ids, &rates, &[1.0], 5.0);
+    assert!(d.ps().is_empty());
+    assert_eq!(d.graveyard().len(), 5);
+    for id in ids {
+        assert!(d.completion_record(id).is_some());
+    }
+}
+
+proptest! {
+    /// Usage accounting equals rate × time for any schedule of advances.
+    #[test]
+    fn cpu_seconds_integrate_exactly(
+        steps in prop::collection::vec((0.0f64..=1.0, 0.1f64..=5.0), 1..40),
+    ) {
+        let mut d = daemon();
+        let a = d
+            .run(
+                "pytorch/pytorch:latest",
+                FixedWork::new("a", 1e12, 1.0),
+                ResourceLimits::default(),
+                t(0),
+            )
+            .unwrap();
+        let mut clock = 0.0;
+        let mut expected = 0.0;
+        for (rate, dt) in steps {
+            clock += dt;
+            expected += rate * dt;
+            d.advance(SimTime::from_secs_f64(clock), &[a], &[rate], &[1.0], dt);
+        }
+        let got = d.stats(a).unwrap().cpu_seconds();
+        prop_assert!((got - expected).abs() < 1e-6, "got {got}, expected {expected}");
+    }
+
+    /// Updates never corrupt limits: after any sequence of updates every
+    /// limit stays in [0, 1].
+    #[test]
+    fn update_sequences_keep_limits_valid(
+        updates in prop::collection::vec(-2.0f64..=3.0, 1..50),
+    ) {
+        let mut d = daemon();
+        let a = d
+            .run(
+                "pytorch/pytorch:latest",
+                FixedWork::new("a", 10.0, 1.0),
+                ResourceLimits::default(),
+                t(0),
+            )
+            .unwrap();
+        for v in updates {
+            d.update(a, UpdateOptions::new().cpus(v)).unwrap();
+            let l = d.inspect(a).unwrap().limits().cpu_limit();
+            prop_assert!((0.0..=1.0).contains(&l), "limit {l}");
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The training-job workload.
+//!
+//! [`TrainingJob`] is the payload a container runs: it consumes effective
+//! CPU-seconds, walks its model's convergence curve, and exposes the noisy
+//! evaluation-function value FlowCon's Container Monitor samples.
+
+use flowcon_container::workload::{Workload, WorkloadStatus};
+use flowcon_sim::rng::SimRng;
+use flowcon_sim::time::SimTime;
+
+use crate::models::ModelSpec;
+
+/// Fraction of total work before the job emits its first measurement
+/// (framework import + data loading produce no loss values).
+const WARMUP_FRACTION: f64 = 0.005;
+
+/// A deep-learning training job driven by allocated CPU time.
+#[derive(Debug, Clone)]
+pub struct TrainingJob {
+    spec: ModelSpec,
+    label: String,
+    /// Total effective CPU-seconds this instance needs (spec value ± jitter).
+    total_work: f64,
+    /// Effective CPU-seconds consumed so far.
+    done: f64,
+    /// Per-instance noise stream.
+    rng: SimRng,
+    /// Cached noisy evaluation value, refreshed on advance.
+    last_eval: Option<f64>,
+    failed: Option<i32>,
+}
+
+impl TrainingJob {
+    /// Create a job from a model spec with a dedicated RNG stream.
+    ///
+    /// Per-instance total work is jittered by ±3% (dataset shuffling, I/O
+    /// variance) so repeated instances of one model are not clones.
+    pub fn new(spec: ModelSpec, rng: &mut SimRng) -> Self {
+        let mut rng = rng.split();
+        let jitter = 1.0 + 0.03 * (2.0 * rng.f64() - 1.0);
+        let total_work = spec.total_work * jitter;
+        let label = spec.label();
+        TrainingJob {
+            spec,
+            label,
+            total_work,
+            done: 0.0,
+            rng,
+            last_eval: None,
+            failed: None,
+        }
+    }
+
+    /// Create a job with an explicit instance label (e.g. `Job-3`).
+    pub fn with_label(spec: ModelSpec, label: impl Into<String>, rng: &mut SimRng) -> Self {
+        let mut job = Self::new(spec, rng);
+        job.label = label.into();
+        job
+    }
+
+    /// The model spec this job trains.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Progress through the job's compute in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        (self.done / self.total_work).min(1.0)
+    }
+
+    /// Noise-free evaluation value at the current progress.
+    ///
+    /// Follows the model's *evaluation* convergence curve, which may be
+    /// slower than its accuracy curve (see `ModelSpec::eval_curve`).
+    pub fn true_eval(&self) -> f64 {
+        self.spec
+            .eval
+            .value_at(self.spec.eval_curve().level(self.progress()))
+    }
+
+    /// Normalized model quality in `[0, 1]` (for Fig. 1-style accuracy axes).
+    pub fn quality(&self) -> f64 {
+        self.spec.curve.level(self.progress())
+    }
+
+    /// Accuracy on the paper's Fig. 1 axis: quality scaled by the model's
+    /// final accuracy.
+    pub fn accuracy(&self) -> f64 {
+        self.quality() * self.spec.final_accuracy
+    }
+
+    /// Inject a crash: the container will exit with `code` on next advance.
+    pub fn inject_failure(&mut self, code: i32) {
+        self.failed = Some(code);
+    }
+
+    /// Refresh the cached noisy measurement.
+    ///
+    /// Noise is multiplicative on the *remaining distance to convergence*
+    /// (training noise shrinks as the model converges) plus a small absolute
+    /// jitter so converged jobs still wiggle — FlowCon's α threshold has to
+    /// filter exactly that wiggle in practice.
+    fn remeasure(&mut self) {
+        let truth = self.true_eval();
+        let converged = self.spec.eval.converged;
+        let distance = truth - converged;
+        let rel = 1.0 + self.spec.noise * self.rng.normal();
+        let abs = 0.002 * self.spec.eval.magnitude() * self.rng.normal();
+        self.last_eval = Some(converged + distance * rel + abs);
+    }
+}
+
+impl Workload for TrainingJob {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn demand(&self) -> f64 {
+        self.spec.demand
+    }
+
+    fn advance(&mut self, _now: SimTime, cpu_seconds: f64) {
+        debug_assert!(cpu_seconds >= 0.0);
+        self.done = (self.done + cpu_seconds).min(self.total_work);
+        if self.progress() >= WARMUP_FRACTION {
+            self.remeasure();
+        }
+    }
+
+    fn eval(&self, _now: SimTime) -> Option<f64> {
+        self.last_eval
+    }
+
+    fn status(&self) -> WorkloadStatus {
+        if let Some(code) = self.failed {
+            return WorkloadStatus::Failed(code);
+        }
+        if self.done >= self.total_work {
+            WorkloadStatus::Finished
+        } else {
+            WorkloadStatus::Running
+        }
+    }
+
+    fn remaining_cpu_seconds(&self) -> Option<f64> {
+        Some((self.total_work - self.done).max(0.0))
+    }
+
+    fn footprint(&self) -> flowcon_sim::resources::ResourceVec {
+        self.spec.footprint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelId;
+
+    fn job(id: ModelId, seed: u64) -> TrainingJob {
+        let mut rng = SimRng::new(seed);
+        TrainingJob::new(ModelSpec::of(id), &mut rng)
+    }
+
+    #[test]
+    fn fresh_job_has_no_measurement() {
+        let j = job(ModelId::MnistTf, 1);
+        assert_eq!(j.eval(SimTime::ZERO), None, "warm-up emits nothing");
+        assert_eq!(j.status(), WorkloadStatus::Running);
+    }
+
+    #[test]
+    fn advance_decreases_loss_monotonically_modulo_noise() {
+        let mut j = job(ModelId::MnistTorch, 2);
+        let mut evals = Vec::new();
+        for step in 1..=50 {
+            j.advance(SimTime::from_secs(step), 2.0);
+            if let Some(e) = j.eval(SimTime::from_secs(step)) {
+                evals.push(e);
+            }
+        }
+        assert!(evals.len() > 40);
+        // Loss should fall substantially from first to last measurement.
+        assert!(
+            evals.last().unwrap() < &(evals[0] * 0.2),
+            "first {} last {}",
+            evals[0],
+            evals.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn completes_after_total_work() {
+        let mut j = job(ModelId::MnistTf, 3);
+        let spec_total = ModelSpec::of(ModelId::MnistTf).total_work;
+        let total = j.remaining_cpu_seconds().unwrap();
+        assert!(
+            (total - spec_total).abs() < spec_total * 0.04,
+            "jittered total {total} vs spec {spec_total}"
+        );
+        j.advance(SimTime::from_secs(100), total + 1.0);
+        assert_eq!(j.status(), WorkloadStatus::Finished);
+        assert!((j.progress() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_jitter_varies_by_instance_but_is_seed_stable() {
+        let a = job(ModelId::Vae, 7).remaining_cpu_seconds().unwrap();
+        let b = job(ModelId::Vae, 8).remaining_cpu_seconds().unwrap();
+        let a2 = job(ModelId::Vae, 7).remaining_cpu_seconds().unwrap();
+        assert_ne!(a, b, "different seeds jitter differently");
+        assert_eq!(a, a2, "same seed reproduces");
+    }
+
+    #[test]
+    fn accuracy_tracks_curve_times_final() {
+        let mut j = job(ModelId::Gru, 4);
+        assert_eq!(j.accuracy(), 0.0);
+        let total = j.remaining_cpu_seconds().unwrap();
+        j.advance(SimTime::from_secs(1), total);
+        assert!((j.accuracy() - 0.932).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_injection_overrides_completion() {
+        let mut j = job(ModelId::MnistTf, 5);
+        j.inject_failure(139);
+        assert_eq!(j.status(), WorkloadStatus::Failed(139));
+    }
+
+    #[test]
+    fn noise_is_small_relative_to_signal() {
+        let mut j = job(ModelId::MnistTorch, 6);
+        j.advance(SimTime::from_secs(1), 10.0);
+        let truth = j.true_eval();
+        let measured = j.eval(SimTime::from_secs(1)).unwrap();
+        assert!(
+            (measured - truth).abs() < 0.2 * truth.max(0.1),
+            "measured {measured} truth {truth}"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Training-trace recording.
+//!
+//! Fig. 1 plots normalized accuracy against normalized cumulative time for
+//! five concurrently training models.  A [`TraceRecorder`] samples a job's
+//! accuracy/loss during a run; [`TraceRecorder::normalized`] rescales the
+//! series onto Fig. 1's axes.
+
+use flowcon_sim::time::SimTime;
+
+/// One sampled point of a training trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Sample time.
+    pub at: SimTime,
+    /// Raw evaluation value (loss or accuracy), if the job had measured one.
+    pub eval: Option<f64>,
+    /// Model accuracy on the Fig. 1 axis.
+    pub accuracy: f64,
+    /// Progress through the job's compute in `[0, 1]`.
+    pub progress: f64,
+}
+
+/// A labelled accuracy/loss trace for one job.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    /// Job label (Fig. 1 legend entry).
+    pub label: String,
+    points: Vec<TracePoint>,
+}
+
+impl TraceRecorder {
+    /// A recorder for one job.
+    pub fn new(label: impl Into<String>) -> Self {
+        TraceRecorder {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a sample.
+    pub fn record(&mut self, point: TracePoint) {
+        self.points.push(point);
+    }
+
+    /// All samples in record order.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Completion time: the time of the first sample with progress ≥ 1,
+    /// falling back to the last sample.
+    pub fn completion(&self) -> Option<SimTime> {
+        self.points
+            .iter()
+            .find(|p| p.progress >= 1.0)
+            .or(self.points.last())
+            .map(|p| p.at)
+    }
+
+    /// The trace on Fig. 1's axes: `(cumulative time %, accuracy %)` with
+    /// both coordinates normalized to `[0, 1]` by the *maximum over all
+    /// traces* completion time supplied by the caller.
+    pub fn normalized(&self, makespan: SimTime) -> Vec<(f64, f64)> {
+        let span = makespan.as_secs_f64().max(f64::MIN_POSITIVE);
+        self.points
+            .iter()
+            .map(|p| (p.at.as_secs_f64() / span, p.accuracy))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn point(s: u64, acc: f64, progress: f64) -> TracePoint {
+        TracePoint {
+            at: t(s),
+            eval: Some(1.0 - acc),
+            accuracy: acc,
+            progress,
+        }
+    }
+
+    #[test]
+    fn completion_is_first_full_progress_sample() {
+        let mut tr = TraceRecorder::new("GRU");
+        tr.record(point(10, 0.5, 0.4));
+        tr.record(point(20, 0.9, 1.0));
+        tr.record(point(30, 0.9, 1.0));
+        assert_eq!(tr.completion(), Some(t(20)));
+    }
+
+    #[test]
+    fn completion_falls_back_to_last_sample() {
+        let mut tr = TraceRecorder::new("VAE");
+        tr.record(point(10, 0.2, 0.3));
+        assert_eq!(tr.completion(), Some(t(10)));
+        assert_eq!(TraceRecorder::new("empty").completion(), None);
+    }
+
+    #[test]
+    fn normalization_scales_time_axis() {
+        let mut tr = TraceRecorder::new("MNIST");
+        tr.record(point(50, 0.8, 0.9));
+        tr.record(point(100, 0.97, 1.0));
+        let norm = tr.normalized(t(200));
+        assert!((norm[0].0 - 0.25).abs() < 1e-12);
+        assert!((norm[1].0 - 0.5).abs() < 1e-12);
+        assert_eq!(norm[0].1, 0.8);
+    }
+}

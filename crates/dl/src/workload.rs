@@ -1,0 +1,205 @@
+//! Experiment workload generators.
+//!
+//! Encodes the three workload families of the paper's evaluation:
+//!
+//! * **Fixed scheduling** (§5.3): VAE (PyTorch) at 0 s, MNIST (PyTorch) at
+//!   40 s, MNIST (TensorFlow) at 80 s.
+//! * **Random scheduling** (§5.4): five models — LSTM-CFC, VAE, VAET,
+//!   MNIST, GRU — submitted at times drawn uniformly from 0–200 s.
+//! * **Scalability** (§5.5): 10 or 15 jobs sampled from the catalog, random
+//!   arrivals in 0–200 s.
+
+use flowcon_sim::rng::SimRng;
+use flowcon_sim::time::SimTime;
+
+use crate::models::{ModelId, ModelSpec, TABLE1_MODELS};
+
+/// One job submission: which model, when.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Instance label, e.g. `Job-3` (random workloads) or the model label.
+    pub label: String,
+    /// The model to train.
+    pub model: ModelId,
+    /// Submission time.
+    pub arrival: SimTime,
+}
+
+/// An ordered set of job submissions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadPlan {
+    /// Requests sorted by arrival time.
+    pub jobs: Vec<JobRequest>,
+}
+
+impl WorkloadPlan {
+    /// Wrap and sort requests by arrival (stable on label for ties).
+    pub fn new(mut jobs: Vec<JobRequest>) -> Self {
+        jobs.sort_by(|a, b| a.arrival.cmp(&b.arrival).then(a.label.cmp(&b.label)));
+        WorkloadPlan { jobs }
+    }
+
+    /// Number of jobs in the plan.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// §5.3's fixed schedule: VAE@0s, MNIST-PyTorch@40s, MNIST-TF@80s.
+    pub fn fixed_three() -> Self {
+        WorkloadPlan::new(vec![
+            JobRequest {
+                label: ModelSpec::of(ModelId::Vae).label(),
+                model: ModelId::Vae,
+                arrival: SimTime::from_secs(0),
+            },
+            JobRequest {
+                label: ModelSpec::of(ModelId::MnistTorch).label(),
+                model: ModelId::MnistTorch,
+                arrival: SimTime::from_secs(40),
+            },
+            JobRequest {
+                label: ModelSpec::of(ModelId::MnistTf).label(),
+                model: ModelId::MnistTf,
+                arrival: SimTime::from_secs(80),
+            },
+        ])
+    }
+
+    /// §5.4's five-model random schedule with arrivals in `[0, 200)` s.
+    ///
+    /// Jobs are labelled `Job-1` … `Job-5` in arrival order, as in Fig. 9.
+    pub fn random_five(seed: u64) -> Self {
+        const MODELS: [ModelId; 5] = [
+            ModelId::LstmCfc,
+            ModelId::Vae,
+            ModelId::VaeTf,
+            ModelId::MnistTorch,
+            ModelId::Gru,
+        ];
+        Self::random_from(&MODELS, seed)
+    }
+
+    /// §5.5's scalability mixes: `n` jobs drawn round-robin from Table 1's
+    /// models, random arrivals in `[0, 200)` s, labelled in arrival order.
+    pub fn random_n(n: usize, seed: u64) -> Self {
+        let models: Vec<ModelId> = (0..n).map(|i| TABLE1_MODELS[i % TABLE1_MODELS.len()]).collect();
+        Self::random_from(&models, seed)
+    }
+
+    /// Random arrivals for an explicit model list, labelled `Job-<k>` by
+    /// arrival order (the paper's convention: "the responsible jobs are
+    /// marked as 1, 2, 3, 4 and 5").
+    pub fn random_from(models: &[ModelId], seed: u64) -> Self {
+        let mut rng = SimRng::new(seed);
+        let mut arrivals: Vec<(SimTime, ModelId)> = models
+            .iter()
+            .map(|&m| (SimTime::from_secs_f64(rng.range_f64(0.0, 200.0)), m))
+            .collect();
+        arrivals.sort_by_key(|&(t, _)| t);
+        let jobs = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, (arrival, model))| JobRequest {
+                label: format!("Job-{}", i + 1),
+                model,
+                arrival,
+            })
+            .collect();
+        WorkloadPlan { jobs }
+    }
+
+    /// All five Fig. 1 models submitted simultaneously at t=0.
+    pub fn fig1_concurrent() -> Self {
+        const MODELS: [ModelId; 5] = [
+            ModelId::Vae,
+            ModelId::MnistTorch,
+            ModelId::LstmCfc,
+            ModelId::Gru,
+            ModelId::LogReg,
+        ];
+        WorkloadPlan::new(
+            MODELS
+                .iter()
+                .map(|&m| JobRequest {
+                    label: ModelSpec::of(m).label(),
+                    model: m,
+                    arrival: SimTime::ZERO,
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_three_matches_section_5_3() {
+        let plan = WorkloadPlan::fixed_three();
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.jobs[0].model, ModelId::Vae);
+        assert_eq!(plan.jobs[0].arrival, SimTime::from_secs(0));
+        assert_eq!(plan.jobs[1].model, ModelId::MnistTorch);
+        assert_eq!(plan.jobs[1].arrival, SimTime::from_secs(40));
+        assert_eq!(plan.jobs[2].model, ModelId::MnistTf);
+        assert_eq!(plan.jobs[2].arrival, SimTime::from_secs(80));
+    }
+
+    #[test]
+    fn random_five_uses_the_papers_models() {
+        let plan = WorkloadPlan::random_five(42);
+        assert_eq!(plan.len(), 5);
+        let mut models: Vec<ModelId> = plan.jobs.iter().map(|j| j.model).collect();
+        models.sort();
+        let mut expected = vec![
+            ModelId::LstmCfc,
+            ModelId::Vae,
+            ModelId::VaeTf,
+            ModelId::MnistTorch,
+            ModelId::Gru,
+        ];
+        expected.sort();
+        assert_eq!(models, expected);
+    }
+
+    #[test]
+    fn random_arrivals_within_window_and_sorted() {
+        for seed in 0..20 {
+            let plan = WorkloadPlan::random_n(15, seed);
+            assert_eq!(plan.len(), 15);
+            let mut last = SimTime::ZERO;
+            for job in &plan.jobs {
+                assert!(job.arrival >= last, "arrivals sorted");
+                assert!(job.arrival < SimTime::from_secs(200));
+                last = job.arrival;
+            }
+        }
+    }
+
+    #[test]
+    fn labels_follow_arrival_order() {
+        let plan = WorkloadPlan::random_five(7);
+        for (i, job) in plan.jobs.iter().enumerate() {
+            assert_eq!(job.label, format!("Job-{}", i + 1));
+        }
+    }
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        assert_eq!(WorkloadPlan::random_n(10, 5), WorkloadPlan::random_n(10, 5));
+        assert_ne!(WorkloadPlan::random_n(10, 5), WorkloadPlan::random_n(10, 6));
+    }
+
+    #[test]
+    fn fig1_is_five_concurrent_models() {
+        let plan = WorkloadPlan::fig1_concurrent();
+        assert_eq!(plan.len(), 5);
+        assert!(plan.jobs.iter().all(|j| j.arrival == SimTime::ZERO));
+    }
+}

@@ -1,0 +1,42 @@
+//! # flowcon-core
+//!
+//! The paper's contribution: **FlowCon**, an elastic, growth-efficiency
+//! driven resource configurator for containerized deep-learning training
+//! jobs (Zheng et al., ICPP 2019).
+//!
+//! FlowCon runs on each worker (Fig. 2) and consists of:
+//!
+//! * a **Container Monitor** ([`monitor`]) sampling each job's evaluation
+//!   function and resource usage, from which the *progress score* (Eq. 1)
+//!   and *growth efficiency* (Eq. 2) are computed ([`metric`]);
+//! * a **Worker Monitor** with *New Cons* / *Finished Cons* listeners
+//!   ([`listener`], Algorithm 2) reacting to pool changes in real time;
+//! * an **Executor** that periodically runs the dynamic resource-management
+//!   algorithm ([`algorithm`], Algorithm 1), classifying containers into
+//!   New / Watching / Completing lists ([`lists`]) and issuing
+//!   `docker update` calls, with exponential back-off when every job has
+//!   converged.
+//!
+//! [`policy`] packages this as [`policy::FlowConPolicy`] behind the
+//! [`policy::ResourcePolicy`] trait, alongside the paper's baseline
+//! ([`policy::FairSharePolicy`], "NA") and two ablation policies.
+//! [`worker`] provides the deterministic fluid simulation of one worker
+//! node that every experiment runs on.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algorithm;
+pub mod config;
+pub mod lists;
+pub mod listener;
+pub mod metric;
+pub mod monitor;
+pub mod policy;
+pub mod worker;
+
+pub use config::{FlowConConfig, NodeConfig};
+pub use lists::{ListKind, Lists};
+pub use metric::{growth_efficiency, progress_score, GrowthMeasurement};
+pub use policy::{FairSharePolicy, FlowConPolicy, ResourcePolicy, StaticEqualPolicy};
+pub use worker::{RunResult, WorkerSim};

@@ -1,0 +1,197 @@
+//! The New / Watching / Completing lists of Algorithm 1.
+//!
+//! Each container sits in at most one list:
+//!
+//! * **NL** (New List) — young and quickly growing;
+//! * **WL** (Watching List) — near convergence (one below-α measurement);
+//! * **CL** (Completing List) — converging and growing slowly (two
+//!   consecutive below-α measurements).
+//!
+//! Transitions (Algorithm 1 lines 2–13): a below-α measurement demotes
+//! NL→WL and WL→CL; an at-or-above-α measurement promotes any container
+//! back to NL.  Mutual exclusion of the three lists is an invariant that
+//! property tests pin down.
+
+use std::collections::BTreeMap;
+
+use flowcon_container::ContainerId;
+
+/// Which list a container occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListKind {
+    /// New List: young and quickly growing.
+    New,
+    /// Watching List: near convergence.
+    Watching,
+    /// Completing List: converging, growing slowly.
+    Completing,
+}
+
+/// The three mutually exclusive lists.
+#[derive(Debug, Clone, Default)]
+pub struct Lists {
+    membership: BTreeMap<ContainerId, ListKind>,
+}
+
+impl Lists {
+    /// Empty lists.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a container into the New List (Algorithm 2 line 7).
+    pub fn insert_new(&mut self, id: ContainerId) {
+        self.membership.insert(id, ListKind::New);
+    }
+
+    /// Remove a container from whichever list holds it (Algorithm 2 lines
+    /// 12–14).
+    pub fn remove(&mut self, id: ContainerId) {
+        self.membership.remove(&id);
+    }
+
+    /// The list currently holding `id`.
+    pub fn kind_of(&self, id: ContainerId) -> Option<ListKind> {
+        self.membership.get(&id).copied()
+    }
+
+    /// Apply one growth measurement (Algorithm 1 lines 4–13).
+    ///
+    /// Containers not yet tracked are treated as New-List members first
+    /// (the listener inserts arrivals into NL before the algorithm runs,
+    /// but a direct call must not panic).
+    pub fn observe(&mut self, id: ContainerId, growth: f64, alpha: f64) {
+        let current = *self.membership.entry(id).or_insert(ListKind::New);
+        let next = if growth < alpha {
+            match current {
+                ListKind::New => ListKind::Watching,
+                ListKind::Watching => ListKind::Completing,
+                ListKind::Completing => ListKind::Completing,
+            }
+        } else {
+            ListKind::New
+        };
+        self.membership.insert(id, next);
+    }
+
+    /// True if **all** tracked containers are in the Completing List and at
+    /// least one container exists (Algorithm 1 line 14).
+    pub fn all_completing(&self) -> bool {
+        !self.membership.is_empty()
+            && self
+                .membership
+                .values()
+                .all(|&k| k == ListKind::Completing)
+    }
+
+    /// Number of tracked containers.
+    pub fn len(&self) -> usize {
+        self.membership.len()
+    }
+
+    /// True when no container is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.membership.is_empty()
+    }
+
+    /// Iterate `(id, kind)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ContainerId, ListKind)> + '_ {
+        self.membership.iter().map(|(&id, &k)| (id, k))
+    }
+
+    /// Ids in a given list, in id order.
+    pub fn in_list(&self, kind: ListKind) -> Vec<ContainerId> {
+        self.membership
+            .iter()
+            .filter(|(_, &k)| k == kind)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(raw: u64) -> ContainerId {
+        ContainerId::from_raw(raw)
+    }
+
+    #[test]
+    fn demotion_takes_two_low_measurements() {
+        let mut lists = Lists::new();
+        lists.insert_new(id(1));
+        assert_eq!(lists.kind_of(id(1)), Some(ListKind::New));
+        lists.observe(id(1), 0.01, 0.05);
+        assert_eq!(lists.kind_of(id(1)), Some(ListKind::Watching));
+        lists.observe(id(1), 0.01, 0.05);
+        assert_eq!(lists.kind_of(id(1)), Some(ListKind::Completing));
+        // Stays in CL on further low measurements.
+        lists.observe(id(1), 0.0, 0.05);
+        assert_eq!(lists.kind_of(id(1)), Some(ListKind::Completing));
+    }
+
+    #[test]
+    fn high_growth_promotes_back_to_new() {
+        let mut lists = Lists::new();
+        lists.insert_new(id(1));
+        lists.observe(id(1), 0.01, 0.05);
+        lists.observe(id(1), 0.01, 0.05);
+        assert_eq!(lists.kind_of(id(1)), Some(ListKind::Completing));
+        // A staircase loss drop makes G spike above alpha again.
+        lists.observe(id(1), 0.2, 0.05);
+        assert_eq!(lists.kind_of(id(1)), Some(ListKind::New));
+    }
+
+    #[test]
+    fn boundary_value_alpha_counts_as_growing() {
+        let mut lists = Lists::new();
+        lists.insert_new(id(1));
+        // Algorithm 1 line 10: G >= alpha keeps the job in NL.
+        lists.observe(id(1), 0.05, 0.05);
+        assert_eq!(lists.kind_of(id(1)), Some(ListKind::New));
+    }
+
+    #[test]
+    fn all_completing_requires_every_member() {
+        let mut lists = Lists::new();
+        assert!(!lists.all_completing(), "empty lists are not all-CL");
+        lists.insert_new(id(1));
+        lists.insert_new(id(2));
+        for _ in 0..2 {
+            lists.observe(id(1), 0.0, 0.05);
+        }
+        assert!(!lists.all_completing());
+        for _ in 0..2 {
+            lists.observe(id(2), 0.0, 0.05);
+        }
+        assert!(lists.all_completing());
+    }
+
+    #[test]
+    fn remove_drops_membership() {
+        let mut lists = Lists::new();
+        lists.insert_new(id(1));
+        lists.remove(id(1));
+        assert_eq!(lists.kind_of(id(1)), None);
+        assert!(lists.is_empty());
+    }
+
+    #[test]
+    fn in_list_partitions_members() {
+        let mut lists = Lists::new();
+        lists.insert_new(id(1));
+        lists.insert_new(id(2));
+        lists.observe(id(2), 0.0, 0.05);
+        assert_eq!(lists.in_list(ListKind::New), vec![id(1)]);
+        assert_eq!(lists.in_list(ListKind::Watching), vec![id(2)]);
+        assert!(lists.in_list(ListKind::Completing).is_empty());
+    }
+
+    #[test]
+    fn observe_untracked_container_is_tolerated() {
+        let mut lists = Lists::new();
+        lists.observe(id(9), 0.5, 0.05);
+        assert_eq!(lists.kind_of(id(9)), Some(ListKind::New));
+    }
+}

@@ -1,0 +1,568 @@
+//! The deterministic fluid simulation of one worker node.
+//!
+//! This is the testbed substitute: a single node (capacity 1.0) running
+//! containerized DL jobs under a [`ResourcePolicy`].  Between events the
+//! node is a fluid processor-sharing system — the water-filling allocator
+//! (with Docker-soft-limit semantics) fixes every container's CPU rate, and
+//! workloads advance linearly — so the simulation only needs events at:
+//!
+//! * job **arrivals** (from the workload plan),
+//! * projected job **completions** (recomputed whenever rates change),
+//! * **policy ticks** (the Executor's interval, with back-off/reset),
+//! * **sample ticks** (1 s usage/limit traces) and **trace ticks**
+//!   (growth-efficiency traces at a fixed interval for Figs. 13–14).
+//!
+//! Every run is reproducible from `NodeConfig::seed`.
+
+use flowcon_container::{ContainerId, Daemon, ImageRegistry, ResourceLimits, UpdateOptions, Workload};
+use flowcon_dl::models::ModelSpec;
+use flowcon_dl::workload::WorkloadPlan;
+use flowcon_dl::TrainingJob;
+use flowcon_metrics::summary::{CompletionRecord, RunSummary};
+use flowcon_sim::alloc::AllocRequest;
+use flowcon_sim::engine::{Scheduler, SimEngine, Simulation};
+use flowcon_sim::rng::SimRng;
+use flowcon_sim::time::{SimDuration, SimTime};
+
+use crate::config::NodeConfig;
+use crate::monitor::ContainerMonitor;
+use crate::policy::ResourcePolicy;
+
+/// Interval between growth-efficiency trace measurements (Figs. 13–14).
+const TRACE_INTERVAL: SimDuration = SimDuration::from_secs(20);
+
+/// Events driving the worker simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WorkerEvent {
+    /// The `idx`-th job of the plan arrives.
+    Arrival(usize),
+    /// A projected completion; `gen` invalidates stale projections.
+    CompletionCheck(u64),
+    /// The Executor's periodic tick; `gen` invalidates pre-empted ticks.
+    PolicyTick(u64),
+    /// 1 Hz usage/limit sampling.
+    SampleTick,
+    /// Growth-efficiency trace sampling.
+    TraceTick,
+    /// Fault injection: crash the `idx`-th entry of the failure schedule.
+    InjectFailure(usize),
+}
+
+/// A scheduled fault: crash the job with `label` at `at` with `exit_code`.
+#[derive(Debug, Clone)]
+pub struct FailureInjection {
+    /// Label of the job to crash.
+    pub label: String,
+    /// When the crash happens.
+    pub at: SimTime,
+    /// Exit code the container reports (e.g. 137 for OOM-kill).
+    pub exit_code: i32,
+}
+
+/// The outcome of a worker run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Everything the paper reports: completions, makespan, traces.
+    pub summary: RunSummary,
+    /// Total simulated events processed (performance accounting).
+    pub events_processed: u64,
+    /// Estimated scheduler overhead in CPU-seconds
+    /// (`algorithm_runs × NodeConfig::algo_cost_cpu_secs`).
+    pub scheduler_overhead_cpu_secs: f64,
+}
+
+/// One simulated worker node executing a workload plan under a policy.
+pub struct WorkerSim {
+    node: NodeConfig,
+    plan: WorkloadPlan,
+    policy: Box<dyn ResourcePolicy>,
+
+    daemon: Daemon<TrainingJob>,
+    rng: SimRng,
+
+    /// Rates fixed since the last recompute: `(id, rate)` for each running
+    /// container, in pool id order.
+    rates: Vec<(ContainerId, f64)>,
+    /// Per-container contention efficiencies, aligned with `rates`.
+    efficiencies: Vec<f64>,
+    last_advance: SimTime,
+
+    completion_gen: u64,
+    tick_gen: u64,
+    arrivals_pending: usize,
+
+    policy_monitor: ContainerMonitor,
+    trace_monitor: ContainerMonitor,
+
+    summary: RunSummary,
+    update_calls: u64,
+    algorithm_runs: u64,
+    failures: Vec<FailureInjection>,
+}
+
+impl WorkerSim {
+    /// Build a worker for `plan` under `policy`.
+    pub fn new(node: NodeConfig, plan: WorkloadPlan, policy: Box<dyn ResourcePolicy>) -> Self {
+        let summary = RunSummary::new(policy.name());
+        let arrivals_pending = plan.len();
+        WorkerSim {
+            node,
+            plan,
+            policy,
+            daemon: Daemon::new(ImageRegistry::with_dl_defaults()),
+            rng: SimRng::new(node.seed),
+            rates: Vec::new(),
+            efficiencies: Vec::new(),
+            last_advance: SimTime::ZERO,
+            completion_gen: 0,
+            tick_gen: 0,
+            arrivals_pending,
+            policy_monitor: ContainerMonitor::new(),
+            trace_monitor: ContainerMonitor::new(),
+            summary,
+            update_calls: 0,
+            algorithm_runs: 0,
+            failures: Vec::new(),
+        }
+    }
+
+    /// Schedule a fault: the job with `label` crashes at `at` with
+    /// `exit_code` (the Finished-Cons listener must release its resources
+    /// exactly as for a clean exit).
+    pub fn with_failure(mut self, label: impl Into<String>, at: SimTime, exit_code: i32) -> Self {
+        self.failures.push(FailureInjection {
+            label: label.into(),
+            at,
+            exit_code,
+        });
+        self
+    }
+
+    /// Run the plan to completion and return the results.
+    pub fn run(self) -> RunResult {
+        let mut engine: SimEngine<WorkerShell> = SimEngine::new();
+        for (idx, job) in self.plan.jobs.iter().enumerate() {
+            engine.prime(job.arrival, WorkerEvent::Arrival(idx));
+        }
+        engine.prime(SimTime::ZERO, WorkerEvent::SampleTick);
+        engine.prime(TRACE_INTERVAL.into_time(), WorkerEvent::TraceTick);
+        for (idx, f) in self.failures.iter().enumerate() {
+            engine.prime(f.at, WorkerEvent::InjectFailure(idx));
+        }
+        let mut shell = WorkerShell(self);
+        engine.run_to_completion(&mut shell);
+        let mut worker = shell.0;
+        worker.summary.update_calls = worker.update_calls;
+        worker.summary.algorithm_runs = worker.algorithm_runs;
+        RunResult {
+            scheduler_overhead_cpu_secs: worker.algorithm_runs as f64
+                * worker.node.algo_cost_cpu_secs,
+            summary: worker.summary,
+            events_processed: engine.events_processed(),
+        }
+    }
+
+    /// True once every job has arrived and the pool is empty.
+    fn is_done(&self) -> bool {
+        self.arrivals_pending == 0 && self.daemon.pool().is_empty()
+    }
+
+    /// Integrate the fluid state from `last_advance` to `now`.
+    fn advance_to(&mut self, now: SimTime) -> Vec<ContainerId> {
+        let dt = now.saturating_since(self.last_advance).as_secs_f64();
+        self.last_advance = now;
+        if dt <= 0.0 || self.rates.is_empty() {
+            return Vec::new();
+        }
+        let (ids, rates): (Vec<ContainerId>, Vec<f64>) = self.rates.iter().copied().unzip();
+        self.daemon
+            .advance(now, &ids, &rates, &self.efficiencies, dt)
+    }
+
+    /// Recompute allocator rates and contention for the current pool.
+    ///
+    /// Limits are Docker-style **soft caps** (§4.1): a limit bounds the
+    /// share a container may claim while others contend, but capacity that
+    /// would otherwise idle (every cap satisfied, capacity left) is
+    /// redistributed up to demand — "even if the container cannot maximize
+    /// its own resource, the unused option will be utilized by others".
+    fn recompute_rates(&mut self) {
+        let inputs = self.daemon.alloc_inputs();
+        let requests: Vec<AllocRequest> = inputs
+            .iter()
+            .map(|&(_, limit, demand)| AllocRequest {
+                limit,
+                demand,
+                weight: 1.0,
+            })
+            .collect();
+        let alloc = flowcon_sim::alloc::waterfill_soft(self.node.capacity, &requests);
+        self.rates = inputs
+            .iter()
+            .zip(&alloc.rates)
+            .map(|(&(id, _, _), &r)| (id, r))
+            .collect();
+        // A container is "shaped" when a policy gave it an explicit limit;
+        // free competitors (limit 1.0, i.e. NA and fresh jobs) pay the
+        // jitter tax on top of the shared contention factor.
+        let n = self.rates.len();
+        self.efficiencies = inputs
+            .iter()
+            .map(|&(_, limit, _)| {
+                let shaped = limit < 0.999;
+                self.node.contention.container_efficiency(n, shaped)
+            })
+            .collect();
+        self.completion_gen += 1;
+    }
+
+    /// Project the earliest completion under current rates.
+    fn next_completion(&self) -> Option<SimTime> {
+        let mut best: Option<f64> = None;
+        for (&(id, rate), &eff) in self.rates.iter().zip(&self.efficiencies) {
+            let c = self.daemon.pool().get(id)?;
+            let remaining = c.workload().remaining_cpu_seconds()?;
+            let speed = rate * eff;
+            if speed > 1e-12 {
+                let eta = remaining / speed;
+                best = Some(best.map_or(eta, |b| b.min(eta)));
+            }
+        }
+        best.map(|eta| {
+            // One microsecond of margin so the projected event lands strictly
+            // after the workload's exact finish (the workload clamps).
+            self.last_advance + SimDuration::from_secs_f64(eta) + SimDuration::from_micros(1)
+        })
+    }
+
+    /// Handle exits: record completions and notify the policy.
+    fn process_exits(&mut self, now: SimTime, exited: &[ContainerId]) -> bool {
+        if exited.is_empty() {
+            return false;
+        }
+        for &id in exited {
+            self.policy_monitor.forget(id);
+            self.trace_monitor.forget(id);
+            if let Some(c) = self.daemon.graveyard().get(id) {
+                let code = match c.state() {
+                    flowcon_container::ContainerState::Exited(code) => code,
+                    _ => 0,
+                };
+                self.summary.completions.push(CompletionRecord {
+                    label: c.workload().label().to_string(),
+                    arrival: c.created_at(),
+                    finished: now,
+                    exit_code: code,
+                });
+            }
+        }
+        let pool_ids = self.daemon.pool().ids();
+        self.policy.on_pool_change(now, &pool_ids)
+    }
+
+    /// Run the policy (Executor tick or listener interrupt), apply updates,
+    /// and return the policy's next interval.
+    fn run_reconfigure(&mut self, now: SimTime) -> Option<SimDuration> {
+        let measures = self.policy_monitor.measure(now, &self.daemon);
+        let decision = self.policy.reconfigure(now, &measures);
+        self.algorithm_runs += 1;
+        for (id, limit) in &decision.updates {
+            if self
+                .daemon
+                .update(*id, UpdateOptions::new().cpus(*limit))
+                .is_ok()
+            {
+                self.update_calls += 1;
+            }
+        }
+        decision.next_interval
+    }
+
+    /// Reschedule the policy tick after a reconfiguration.
+    fn schedule_tick(
+        &mut self,
+        sched: &mut Scheduler<'_, WorkerEvent>,
+        interval: Option<SimDuration>,
+    ) {
+        if self.is_done() {
+            return;
+        }
+        if let Some(itval) = interval {
+            self.tick_gen += 1;
+            sched.after(itval, WorkerEvent::PolicyTick(self.tick_gen));
+        }
+    }
+
+    /// Schedule the next projected completion check.
+    fn schedule_completion(&mut self, sched: &mut Scheduler<'_, WorkerEvent>) {
+        if let Some(at) = self.next_completion() {
+            sched.at(at, WorkerEvent::CompletionCheck(self.completion_gen));
+        }
+    }
+
+    fn record_samples(&mut self, now: SimTime) {
+        for &(id, rate) in &self.rates {
+            if let Some(c) = self.daemon.pool().get(id) {
+                let label = c.workload().label().to_string();
+                self.summary.cpu_usage.series_mut(&label).push(now, rate);
+                self.summary
+                    .limits
+                    .series_mut(&label)
+                    .push(now, c.limits().cpu_limit());
+            }
+        }
+    }
+
+    fn record_growth_traces(&mut self, now: SimTime) {
+        let measures = self.trace_monitor.measure(now, &self.daemon);
+        for m in measures {
+            let Some(g) = m.growth() else { continue };
+            if let Some(c) = self.daemon.pool().get(m.id) {
+                let label = c.workload().label().to_string();
+                self.summary
+                    .growth_efficiency
+                    .series_mut(&label)
+                    .push(now, g);
+            }
+        }
+    }
+
+    fn handle(&mut self, event: WorkerEvent, sched: &mut Scheduler<'_, WorkerEvent>) {
+        let now = sched.now();
+        match event {
+            WorkerEvent::Arrival(idx) => {
+                let exited = self.advance_to(now);
+                let interrupted_by_exit = self.process_exits(now, &exited);
+
+                let request = self.plan.jobs[idx].clone();
+                let spec = ModelSpec::of(request.model);
+                let image = spec.framework.image();
+                let job = TrainingJob::with_label(spec, request.label, &mut self.rng);
+                self.daemon
+                    .run(image, job, ResourceLimits::unlimited(), now)
+                    .expect("default registry contains framework images");
+                self.arrivals_pending -= 1;
+
+                let pool_ids = self.daemon.pool().ids();
+                let interrupt = self.policy.on_pool_change(now, &pool_ids);
+                if interrupt || interrupted_by_exit {
+                    let next = self.run_reconfigure(now);
+                    self.schedule_tick(sched, next);
+                } else if self.daemon.pool().len() == 1 {
+                    // First job under a tick-less policy still needs the
+                    // executor chain started (if the policy has one).
+                    let initial = self.policy.initial_interval();
+                    self.schedule_tick(sched, initial);
+                }
+                self.recompute_rates();
+                self.schedule_completion(sched);
+            }
+            WorkerEvent::CompletionCheck(gen) => {
+                if gen != self.completion_gen {
+                    return; // stale projection
+                }
+                let exited = self.advance_to(now);
+                let interrupt = self.process_exits(now, &exited);
+                if interrupt {
+                    let next = self.run_reconfigure(now);
+                    self.schedule_tick(sched, next);
+                }
+                self.recompute_rates();
+                self.schedule_completion(sched);
+            }
+            WorkerEvent::PolicyTick(gen) => {
+                if gen != self.tick_gen {
+                    return; // pre-empted by an interrupt
+                }
+                let exited = self.advance_to(now);
+                let interrupt = self.process_exits(now, &exited);
+                let _ = interrupt; // tick already reconfigures below
+                let next = self.run_reconfigure(now);
+                self.schedule_tick(sched, next);
+                self.recompute_rates();
+                self.schedule_completion(sched);
+            }
+            WorkerEvent::SampleTick => {
+                let exited = self.advance_to(now);
+                let interrupt = self.process_exits(now, &exited);
+                if interrupt {
+                    let next = self.run_reconfigure(now);
+                    self.schedule_tick(sched, next);
+                    self.recompute_rates();
+                    self.schedule_completion(sched);
+                }
+                self.record_samples(now);
+                if !self.is_done() {
+                    sched.after(self.node.sample_interval, WorkerEvent::SampleTick);
+                }
+            }
+            WorkerEvent::TraceTick => {
+                let exited = self.advance_to(now);
+                let interrupt = self.process_exits(now, &exited);
+                if interrupt {
+                    let next = self.run_reconfigure(now);
+                    self.schedule_tick(sched, next);
+                    self.recompute_rates();
+                    self.schedule_completion(sched);
+                }
+                self.record_growth_traces(now);
+                if !self.is_done() {
+                    sched.after(TRACE_INTERVAL, WorkerEvent::TraceTick);
+                }
+            }
+            WorkerEvent::InjectFailure(idx) => {
+                let exited = self.advance_to(now);
+                let mut interrupt = self.process_exits(now, &exited);
+                let injection = self.failures[idx].clone();
+                let target = self
+                    .daemon
+                    .pool()
+                    .iter()
+                    .find(|c| c.workload().label() == injection.label)
+                    .map(|c| c.id());
+                if let Some(id) = target {
+                    self.daemon
+                        .exec(id, |job| job.inject_failure(injection.exit_code))
+                        .expect("target is running");
+                    let crashed = self.daemon.reap(now);
+                    interrupt |= self.process_exits(now, &crashed);
+                }
+                if interrupt {
+                    let next = self.run_reconfigure(now);
+                    self.schedule_tick(sched, next);
+                }
+                self.recompute_rates();
+                self.schedule_completion(sched);
+            }
+        }
+    }
+}
+
+/// Newtype so `Simulation` can be implemented without exposing internals.
+struct WorkerShell(WorkerSim);
+
+impl Simulation for WorkerShell {
+    type Event = WorkerEvent;
+    fn handle(&mut self, event: WorkerEvent, sched: &mut Scheduler<'_, WorkerEvent>) {
+        self.0.handle(event, sched);
+    }
+}
+
+/// Helper: a `SimDuration` as an absolute time from t=0.
+trait IntoTime {
+    fn into_time(self) -> SimTime;
+}
+
+impl IntoTime for SimDuration {
+    fn into_time(self) -> SimTime {
+        SimTime::ZERO + self
+    }
+}
+
+/// Convenience: run `plan` under FlowCon with the given parameters.
+pub fn run_flowcon(
+    node: NodeConfig,
+    plan: &WorkloadPlan,
+    config: crate::config::FlowConConfig,
+) -> RunResult {
+    WorkerSim::new(
+        node,
+        plan.clone(),
+        Box::new(crate::policy::FlowConPolicy::new(config)),
+    )
+    .run()
+}
+
+/// Convenience: run `plan` under the NA baseline.
+pub fn run_baseline(node: NodeConfig, plan: &WorkloadPlan) -> RunResult {
+    WorkerSim::new(
+        node,
+        plan.clone(),
+        Box::new(crate::policy::FairSharePolicy::new()),
+    )
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlowConConfig;
+
+    fn node() -> NodeConfig {
+        NodeConfig::default()
+    }
+
+    #[test]
+    fn single_job_runs_to_completion_under_na() {
+        let plan = WorkloadPlan::random_from(&[flowcon_dl::ModelId::MnistTf], 1);
+        let result = run_baseline(node(), &plan);
+        assert_eq!(result.summary.completions.len(), 1);
+        let c = &result.summary.completions[0];
+        assert_eq!(c.exit_code, 0);
+        // Alone at demand 0.75, ~27 cpu-s of work: completion ≈ 36 s (±jitter).
+        let secs = c.completion_secs();
+        assert!((30.0..45.0).contains(&secs), "completion {secs}");
+    }
+
+    #[test]
+    fn fixed_three_under_na_matches_paper_scale() {
+        let plan = WorkloadPlan::fixed_three();
+        let result = run_baseline(node(), &plan);
+        let s = &result.summary;
+        assert_eq!(s.completions.len(), 3);
+        let makespan = s.makespan_secs();
+        // §5.3: NA makespan ≈ 394 s.  Allow the fluid model ±10%.
+        assert!(
+            (354.0..434.0).contains(&makespan),
+            "NA makespan {makespan}"
+        );
+        let mnist_tf = s.completion_of("MNIST (Tensorflow)").unwrap();
+        // §5.3: ≈ 84.7 s under NA.
+        assert!((70.0..100.0).contains(&mnist_tf), "MNIST-TF {mnist_tf}");
+    }
+
+    #[test]
+    fn flowcon_speeds_up_the_late_short_job() {
+        let plan = WorkloadPlan::fixed_three();
+        let na = run_baseline(node(), &plan);
+        let fc = run_flowcon(node(), &plan, FlowConConfig::with_params(0.05, 20));
+        let red = fc
+            .summary
+            .reduction_vs(&na.summary, "MNIST (Tensorflow)")
+            .unwrap();
+        assert!(
+            red > 10.0,
+            "expected a double-digit completion-time reduction, got {red:.1}%"
+        );
+        // Makespan must not regress materially (§5.3: FlowCon improves 1-5%).
+        let makespan_impr = fc.summary.makespan_improvement_vs(&na.summary);
+        assert!(makespan_impr > -3.0, "makespan change {makespan_impr:.1}%");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let plan = WorkloadPlan::random_five(11);
+        let a = run_flowcon(node(), &plan, FlowConConfig::default());
+        let b = run_flowcon(node(), &plan, FlowConConfig::default());
+        assert_eq!(a.summary.completions, b.summary.completions);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    #[test]
+    fn all_jobs_complete_cleanly_at_scale() {
+        let plan = WorkloadPlan::random_n(15, 3);
+        let result = run_flowcon(node(), &plan, FlowConConfig::with_params(0.10, 40));
+        assert_eq!(result.summary.completions.len(), 15);
+        assert!(result.summary.completions.iter().all(|c| c.exit_code == 0));
+    }
+
+    #[test]
+    fn traces_are_recorded() {
+        let plan = WorkloadPlan::fixed_three();
+        let fc = run_flowcon(node(), &plan, FlowConConfig::default());
+        assert_eq!(fc.summary.cpu_usage.len(), 3, "one usage series per job");
+        assert!(!fc.summary.growth_efficiency.is_empty());
+        assert!(fc.summary.update_calls > 0);
+        assert!(fc.summary.algorithm_runs > 0);
+    }
+}

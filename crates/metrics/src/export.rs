@@ -1,0 +1,176 @@
+//! CSV export of experiment results.
+//!
+//! Hand-rolled on purpose: the data is purely numeric with simple string
+//! labels, so a dependency would buy nothing.  Fields containing commas,
+//! quotes or newlines are quoted per RFC 4180.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::summary::RunSummary;
+use crate::timeseries::MultiSeries;
+
+/// Escape one CSV field.
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Render rows of fields as CSV text.
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| field(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Completion-time table for a set of runs: one row per (policy, job).
+pub fn completions_csv(summaries: &[&RunSummary]) -> String {
+    let mut rows = Vec::new();
+    for s in summaries {
+        for c in &s.completions {
+            rows.push(vec![
+                s.policy.clone(),
+                c.label.clone(),
+                format!("{:.3}", c.arrival.as_secs_f64()),
+                format!("{:.3}", c.finished.as_secs_f64()),
+                format!("{:.3}", c.completion_secs()),
+                c.exit_code.to_string(),
+            ]);
+        }
+    }
+    to_csv(
+        &["policy", "job", "arrival_s", "finished_s", "completion_s", "exit_code"],
+        &rows,
+    )
+}
+
+/// Long-format CSV of a multi-series (one row per point).
+pub fn series_csv(name: &str, series: &MultiSeries) -> String {
+    let mut rows = Vec::new();
+    for (label, s) in series.iter() {
+        for &(t, v) in s.points() {
+            rows.push(vec![
+                name.to_string(),
+                label.to_string(),
+                format!("{t:.3}"),
+                format!("{v:.6}"),
+            ]);
+        }
+    }
+    to_csv(&["series", "label", "t_s", "value"], &rows)
+}
+
+/// Write `content` to `path`, creating parent directories.
+pub fn write_file(path: &Path, content: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, content)
+}
+
+/// Render a compact, aligned text table (for the repro binary's stdout).
+pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (i, h) in header.iter().enumerate() {
+        let _ = write!(line, "{:<w$}  ", h, w = widths[i]);
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            let _ = write!(line, "{:<w$}  ", cell, w = widths[i]);
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::CompletionRecord;
+    use flowcon_sim::time::SimTime;
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = to_csv(
+            &["a", "b"],
+            &[vec!["1".into(), "x,y".into()], vec!["2".into(), "z".into()]],
+        );
+        assert_eq!(csv, "a,b\n1,\"x,y\"\n2,z\n");
+    }
+
+    #[test]
+    fn completions_csv_has_one_row_per_job() {
+        let mut s = RunSummary::new("NA");
+        s.completions.push(CompletionRecord {
+            label: "Job-1".into(),
+            arrival: SimTime::from_secs(0),
+            finished: SimTime::from_secs(100),
+            exit_code: 0,
+        });
+        let csv = completions_csv(&[&s]);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("NA,Job-1,0.000,100.000,100.000,0"));
+    }
+
+    #[test]
+    fn text_table_aligns_columns() {
+        let table = text_table(
+            &["job", "secs"],
+            &[
+                vec!["Job-1".into(), "85.3".into()],
+                vec!["Job-10".into(), "110.0".into()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].starts_with("job"));
+        assert!(lines[2].starts_with("Job-1 "));
+        assert!(lines[3].starts_with("Job-10"));
+    }
+
+    #[test]
+    fn write_file_creates_parents() {
+        let dir = std::env::temp_dir().join("flowcon_metrics_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        write_file(&path, "a,b\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,29 @@
+//! # flowcon-metrics
+//!
+//! Measurement, summarization and reporting for FlowCon experiments.
+//!
+//! The paper evaluates three metrics (§5.2): **overall makespan**,
+//! **individual job completion time** and **CPU usage** traces.  This crate
+//! provides the containers those metrics live in, plus the reporting
+//! machinery the experiment harness uses to regenerate every figure:
+//!
+//! * [`timeseries`] — append-only `(t, value)` series with resampling and
+//!   window averaging (CPU usage and growth-efficiency traces).
+//! * [`summary`] — per-run summaries: completion times, makespan, overlap
+//!   accounting, and FlowCon-vs-NA comparisons (Table 2's reductions).
+//! * [`stats`] — descriptive statistics helpers.
+//! * [`chart`] — ASCII line/bar charts so `repro` output is readable in a
+//!   terminal.
+//! * [`export`] — CSV writing (hand-rolled; the format is trivial).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chart;
+pub mod export;
+pub mod stats;
+pub mod summary;
+pub mod timeseries;
+
+pub use summary::{CompletionRecord, RunSummary};
+pub use timeseries::{MultiSeries, TimeSeries};

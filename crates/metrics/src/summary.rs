@@ -1,0 +1,206 @@
+//! Run summaries and baseline comparisons.
+//!
+//! A [`RunSummary`] captures everything the paper reports about one
+//! experiment run: per-job completion times, the overall makespan, CPU and
+//! growth-efficiency traces, and scheduler overhead counters.  Comparison
+//! helpers compute the derived quantities the paper quotes (Table 2's
+//! completion-time reductions, overlap between jobs, win/loss counts).
+
+use flowcon_sim::time::SimTime;
+
+use crate::timeseries::MultiSeries;
+
+/// Completion record of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletionRecord {
+    /// Job label (`Job-3`, `MNIST (Tensorflow)`, ...).
+    pub label: String,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Exit time.
+    pub finished: SimTime,
+    /// Exit code (0 = converged).
+    pub exit_code: i32,
+}
+
+impl CompletionRecord {
+    /// Completion time in seconds (exit − arrival), the paper's per-job
+    /// metric.
+    pub fn completion_secs(&self) -> f64 {
+        self.finished.saturating_since(self.arrival).as_secs_f64()
+    }
+}
+
+/// Everything measured in one experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Policy name (`FlowCon-5%-20`, `NA`, ...).
+    pub policy: String,
+    /// Per-job completion records, in submission order.
+    pub completions: Vec<CompletionRecord>,
+    /// Per-job CPU-usage traces (Figs. 7/8/10/11/15/16).
+    pub cpu_usage: MultiSeries,
+    /// Per-job growth-efficiency traces (Figs. 13/14).
+    pub growth_efficiency: MultiSeries,
+    /// Per-job resource-limit traces (FlowCon's decisions over time).
+    pub limits: MultiSeries,
+    /// Number of times Algorithm 1 ran (scheduler overhead proxy).
+    pub algorithm_runs: u64,
+    /// Number of `docker update` calls issued.
+    pub update_calls: u64,
+}
+
+impl RunSummary {
+    /// A summary for the named policy.
+    pub fn new(policy: impl Into<String>) -> Self {
+        RunSummary {
+            policy: policy.into(),
+            ..Default::default()
+        }
+    }
+
+    /// The makespan: "the total length of the schedule for all the jobs"
+    /// (§5.2) — the latest exit time over all jobs.
+    pub fn makespan_secs(&self) -> f64 {
+        self.completions
+            .iter()
+            .map(|c| c.finished.as_secs_f64())
+            .fold(0.0, f64::max)
+    }
+
+    /// Completion time of the job with `label`.
+    pub fn completion_of(&self, label: &str) -> Option<f64> {
+        self.completions
+            .iter()
+            .find(|c| c.label == label)
+            .map(|c| c.completion_secs())
+    }
+
+    /// Seconds during which at least `k` jobs were simultaneously alive
+    /// (between arrival and exit) — the paper's "overlap" (§5.3).
+    pub fn overlap_secs(&self, k: usize) -> f64 {
+        let mut edges: Vec<(f64, i32)> = Vec::with_capacity(self.completions.len() * 2);
+        for c in &self.completions {
+            edges.push((c.arrival.as_secs_f64(), 1));
+            edges.push((c.finished.as_secs_f64(), -1));
+        }
+        edges.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times").then(b.1.cmp(&a.1)));
+        let mut active = 0i32;
+        let mut overlap = 0.0;
+        let mut last_t = 0.0;
+        for (t, delta) in edges {
+            if active as usize >= k {
+                overlap += t - last_t;
+            }
+            active += delta;
+            last_t = t;
+        }
+        overlap
+    }
+
+    /// Percentage reduction in `label`'s completion time vs `baseline`
+    /// (positive = this run is faster), as reported in Table 2.
+    pub fn reduction_vs(&self, baseline: &RunSummary, label: &str) -> Option<f64> {
+        let ours = self.completion_of(label)?;
+        let theirs = baseline.completion_of(label)?;
+        (theirs > 0.0).then(|| 100.0 * (theirs - ours) / theirs)
+    }
+
+    /// Percentage makespan improvement vs `baseline` (positive = faster).
+    pub fn makespan_improvement_vs(&self, baseline: &RunSummary) -> f64 {
+        let theirs = baseline.makespan_secs();
+        if theirs <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (theirs - self.makespan_secs()) / theirs
+    }
+
+    /// `(wins, losses)` in per-job completion time vs a baseline with the
+    /// same job labels (§5.4: "FlowCon reduces the completion time for 4
+    /// jobs ... out of 5").
+    pub fn wins_losses_vs(&self, baseline: &RunSummary) -> (usize, usize) {
+        let mut wins = 0;
+        let mut losses = 0;
+        for c in &self.completions {
+            if let Some(b) = baseline.completion_of(&c.label) {
+                let ours = c.completion_secs();
+                if ours < b {
+                    wins += 1;
+                } else if ours > b {
+                    losses += 1;
+                }
+            }
+        }
+        (wins, losses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(label: &str, arrival: u64, finished: u64) -> CompletionRecord {
+        CompletionRecord {
+            label: label.into(),
+            arrival: SimTime::from_secs(arrival),
+            finished: SimTime::from_secs(finished),
+            exit_code: 0,
+        }
+    }
+
+    fn summary(policy: &str, recs: Vec<CompletionRecord>) -> RunSummary {
+        RunSummary {
+            policy: policy.into(),
+            completions: recs,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn completion_and_makespan() {
+        let s = summary("NA", vec![rec("a", 0, 390), rec("b", 40, 270), rec("c", 80, 165)]);
+        assert_eq!(s.completion_of("c"), Some(85.0));
+        assert_eq!(s.makespan_secs(), 390.0);
+        assert_eq!(s.completion_of("missing"), None);
+    }
+
+    #[test]
+    fn overlap_counts_concurrent_lifetime() {
+        let s = summary("NA", vec![rec("a", 0, 100), rec("b", 40, 120), rec("c", 80, 90)]);
+        // >=2 alive: [40, 100] = 60; >=3 alive: [80, 90] = 10.
+        assert!((s.overlap_secs(2) - 60.0).abs() < 1e-9);
+        assert!((s.overlap_secs(3) - 10.0).abs() < 1e-9);
+        assert!((s.overlap_secs(1) - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduction_vs_baseline_matches_paper_arithmetic() {
+        // §5.3: 84.7s -> 57.7s is a 31.9% reduction.
+        let fc = summary("FlowCon", vec![rec("mnist", 80, 138)]); // 57.7 ≈ 58
+        let na = summary("NA", vec![rec("mnist", 80, 165)]); // 84.7 ≈ 85
+        let red = fc.reduction_vs(&na, "mnist").unwrap();
+        assert!((red - 100.0 * (85.0 - 58.0) / 85.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wins_losses() {
+        let fc = summary(
+            "FlowCon",
+            vec![rec("1", 0, 100), rec("2", 0, 210), rec("3", 0, 90)],
+        );
+        let na = summary(
+            "NA",
+            vec![rec("1", 0, 120), rec("2", 0, 200), rec("3", 0, 100)],
+        );
+        assert_eq!(fc.wins_losses_vs(&na), (2, 1));
+    }
+
+    #[test]
+    fn makespan_improvement_sign() {
+        let fc = summary("FlowCon", vec![rec("a", 0, 380)]);
+        let na = summary("NA", vec![rec("a", 0, 394)]);
+        let imp = fc.makespan_improvement_vs(&na);
+        assert!(imp > 3.0 && imp < 4.0, "{imp}");
+        assert!(na.makespan_improvement_vs(&fc) < 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! The token-bucket CPU governor.
+//!
+//! A user-space reimplementation of what cgroups' CFS bandwidth controller
+//! does for Docker: each container owns a bucket holding *CPU-microseconds*
+//! of budget.  A governor thread deposits budget at the container's granted
+//! rate (its water-filled share of node capacity); the container's worker
+//! thread withdraws one quantum before each compute burst, blocking when
+//! the bucket is empty — which is exactly how a throttled container
+//! experiences its limit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A closable token bucket measured in CPU-microseconds.
+pub struct TokenBucket {
+    state: Mutex<State>,
+    available: Condvar,
+    /// Burst ceiling: deposits beyond this are dropped (a throttled
+    /// container must not bank unbounded credit while idle).
+    burst_us: u64,
+}
+
+struct State {
+    tokens_us: u64,
+    closed: bool,
+}
+
+impl TokenBucket {
+    /// A bucket with the given burst ceiling.
+    pub fn new(burst_us: u64) -> Arc<Self> {
+        Arc::new(TokenBucket {
+            state: Mutex::new(State {
+                tokens_us: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            burst_us: burst_us.max(1),
+        })
+    }
+
+    /// Deposit budget (governor side), saturating at the burst ceiling.
+    pub fn deposit(&self, us: u64) {
+        let mut s = self.state.lock();
+        s.tokens_us = (s.tokens_us + us).min(self.burst_us);
+        drop(s);
+        self.available.notify_all();
+    }
+
+    /// Withdraw `us` of budget, blocking until available.
+    ///
+    /// Returns `false` if the bucket was closed (shutdown) before the
+    /// budget could be satisfied.
+    pub fn withdraw(&self, us: u64) -> bool {
+        let mut s = self.state.lock();
+        loop {
+            if s.tokens_us >= us {
+                s.tokens_us -= us;
+                return true;
+            }
+            if s.closed {
+                return false;
+            }
+            self.available.wait(&mut s);
+        }
+    }
+
+    /// Like [`TokenBucket::withdraw`] but gives up after `timeout`.
+    pub fn withdraw_timeout(&self, us: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut s = self.state.lock();
+        loop {
+            if s.tokens_us >= us {
+                s.tokens_us -= us;
+                return true;
+            }
+            if s.closed {
+                return false;
+            }
+            if self.available.wait_until(&mut s, deadline).timed_out() {
+                return false;
+            }
+        }
+    }
+
+    /// Close the bucket: blocked and future withdrawals return `false`.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Current balance (for tests/diagnostics).
+    pub fn balance_us(&self) -> u64 {
+        self.state.lock().tokens_us
+    }
+}
+
+/// An `f64` stored in an atomic (rate cells shared governor ↔ coordinator).
+#[derive(Debug, Default)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    /// A new cell holding `v`.
+    pub fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    /// Load the value.
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Store a value.
+    pub fn store(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta`, returning the new value (CAS loop).
+    pub fn fetch_add(&self, delta: f64) -> f64 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return f64::from_bits(new),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn deposit_then_withdraw() {
+        let b = TokenBucket::new(10_000);
+        b.deposit(5_000);
+        assert!(b.withdraw(3_000));
+        assert_eq!(b.balance_us(), 2_000);
+    }
+
+    #[test]
+    fn burst_ceiling_caps_balance() {
+        let b = TokenBucket::new(1_000);
+        b.deposit(50_000);
+        assert_eq!(b.balance_us(), 1_000);
+    }
+
+    #[test]
+    fn withdraw_blocks_until_deposit() {
+        let b = TokenBucket::new(10_000);
+        let b2 = Arc::clone(&b);
+        let waiter = thread::spawn(move || b2.withdraw(1_000));
+        thread::sleep(Duration::from_millis(20));
+        b.deposit(1_000);
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn close_releases_blocked_waiters() {
+        let b = TokenBucket::new(10_000);
+        let b2 = Arc::clone(&b);
+        let waiter = thread::spawn(move || b2.withdraw(1_000));
+        thread::sleep(Duration::from_millis(20));
+        b.close();
+        assert!(!waiter.join().unwrap());
+        assert!(!b.withdraw(1), "closed bucket refuses new withdrawals");
+    }
+
+    #[test]
+    fn withdraw_timeout_times_out() {
+        let b = TokenBucket::new(10_000);
+        assert!(!b.withdraw_timeout(1_000, Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn atomic_f64_roundtrip_and_add() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.load(), 1.5);
+        a.store(2.25);
+        assert_eq!(a.load(), 2.25);
+        assert_eq!(a.fetch_add(0.75), 3.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! The synthetic compute kernel.
+//!
+//! Stands in for a training step: a tight integer-mixing loop that keeps a
+//! core busy for a requested duration.  The mixing state is returned (and
+//! thus observable) so the optimizer cannot delete the loop.
+
+use std::time::{Duration, Instant};
+
+/// One round of SplitMix64-style mixing.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Burn CPU for approximately `duration`, returning the mixed state.
+///
+/// Checks the clock every few thousand iterations, so the overshoot is
+/// bounded by one check period (microseconds) rather than by timer slop.
+pub fn spin_for(duration: Duration) -> u64 {
+    let start = Instant::now();
+    let mut state = 0x5EED_F10C_u64;
+    loop {
+        for _ in 0..4096 {
+            state = mix(state);
+        }
+        if start.elapsed() >= duration {
+            return state;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_takes_roughly_the_requested_time() {
+        let want = Duration::from_millis(20);
+        let start = Instant::now();
+        let state = spin_for(want);
+        let took = start.elapsed();
+        assert_ne!(state, 0);
+        assert!(took >= want, "took {took:?}");
+        assert!(
+            took < want + Duration::from_millis(15),
+            "took {took:?}, expected ≈{want:?}"
+        );
+    }
+}

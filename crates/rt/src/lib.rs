@@ -1,0 +1,28 @@
+//! # flowcon-rt
+//!
+//! **Real-thread execution mode**: the same FlowCon policies driving real
+//! OS threads instead of the fluid simulation.
+//!
+//! Each container is a worker thread running a synthetic compute kernel;
+//! a user-space **token-bucket governor** enforces the policy's soft CPU
+//! limits (deposit rate ∝ water-filled share), a coordinator thread plays
+//! the Executor/listener roles against wall-clock time, and completions
+//! flow back over a channel.  This closes the "it only works in
+//! simulation" gap: the control loop — measure evaluation functions,
+//! compute growth efficiency, run Algorithm 1, apply limits — is exercised
+//! against genuinely parallel execution with `parking_lot` locks,
+//! `crossbeam` channels and atomics.
+//!
+//! Scale note: experiments here use *small* jobs (fractions of a CPU-second)
+//! so the test suite stays fast; the machinery is identical at any scale.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod governor;
+pub mod kernel;
+pub mod runtime;
+
+pub use governor::TokenBucket;
+pub use kernel::spin_for;
+pub use runtime::{RtConfig, RtJob, RtRuntime};

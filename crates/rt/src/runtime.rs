@@ -1,0 +1,463 @@
+//! The real-thread runtime.
+//!
+//! Topology (one box per thread):
+//!
+//! ```text
+//!  +--------------+   completions    +-------------+
+//!  | container #1 |----------------->|             |
+//!  +--------------+    (channel)     |             |
+//!  +--------------+                  | coordinator |  measure/Alg.1/update
+//!  | container #2 |----------------->|  (executor  |------------+
+//!  +--------------+                  |  +listener) |            |
+//!        ^  tokens                   +-------------+            v
+//!  +--------------+     shares (atomics)                 rate cells
+//!  |   governor   |<---------------------------------------------+
+//!  +--------------+
+//! ```
+//!
+//! Containers burn CPU in quanta gated by their token bucket; the governor
+//! refills buckets at the water-filled share of node capacity; the
+//! coordinator samples evaluation functions, feeds the policy (FlowCon, NA,
+//! ...) and applies the returned limits — the exact worker-side loop of the
+//! paper, on wall-clock time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use flowcon_container::{ContainerId, Workload, WorkloadStatus};
+use flowcon_core::metric::{progress_score, GrowthMeasurement};
+use flowcon_core::policy::ResourcePolicy;
+use flowcon_dl::TrainingJob;
+use flowcon_metrics::summary::{CompletionRecord, RunSummary};
+use flowcon_sim::alloc::{waterfill, AllocRequest};
+use flowcon_sim::time::SimTime;
+
+use crate::governor::{AtomicF64, TokenBucket};
+use crate::kernel::spin_for;
+
+/// Runtime parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RtConfig {
+    /// Node CPU capacity in cores distributed by the governor.
+    pub capacity_cores: f64,
+    /// Governor refill period.
+    pub refill_period: Duration,
+    /// Compute quantum per bucket withdrawal.
+    pub quantum: Duration,
+    /// Fallback executor tick when the policy does not set one.
+    pub default_tick: Duration,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            capacity_cores: 2.0,
+            refill_period: Duration::from_millis(5),
+            quantum: Duration::from_millis(2),
+            default_tick: Duration::from_millis(100),
+        }
+    }
+}
+
+/// One job submission for the real-thread runtime.
+#[derive(Debug, Clone)]
+pub struct RtJob {
+    /// The training job (size it small: wall time is real).
+    pub job: TrainingJob,
+    /// Delay after runtime start before the job is submitted.
+    pub arrival: Duration,
+}
+
+struct RtContainer {
+    id: ContainerId,
+    label: String,
+    job: Arc<Mutex<TrainingJob>>,
+    bucket: Arc<TokenBucket>,
+    /// CPU-seconds consumed (written by the container thread).
+    cpu_used: Arc<AtomicF64>,
+    /// Current granted rate in cores (read by the governor).
+    rate: Arc<AtomicF64>,
+    /// Policy-assigned limit (weight), 1.0 = unshaped.
+    limit: f64,
+    demand: f64,
+    arrival_at: Duration,
+    handle: Option<thread::JoinHandle<()>>,
+    // Monitor baseline.
+    last_eval: Option<f64>,
+    last_cpu: f64,
+    last_tick: Duration,
+}
+
+/// The runtime: spawn with a policy, feed jobs, collect a [`RunSummary`].
+pub struct RtRuntime {
+    config: RtConfig,
+    policy: Box<dyn ResourcePolicy>,
+}
+
+impl RtRuntime {
+    /// Build a runtime around a policy.
+    pub fn new(config: RtConfig, policy: Box<dyn ResourcePolicy>) -> Self {
+        RtRuntime { config, policy }
+    }
+
+    /// Run the jobs to completion and summarize.
+    pub fn run(mut self, jobs: Vec<RtJob>) -> RunSummary {
+        let mut summary = RunSummary::new(self.policy.name());
+        if jobs.is_empty() {
+            return summary;
+        }
+        let start = Instant::now();
+        let (done_tx, done_rx) = bounded::<ContainerId>(jobs.len());
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        // Pending arrivals, earliest first.
+        let mut pending: Vec<RtJob> = jobs;
+        pending.sort_by_key(|j| j.arrival);
+        pending.reverse(); // pop() takes the earliest
+
+        let mut active: BTreeMap<ContainerId, RtContainer> = BTreeMap::new();
+        let mut next_id: u64 = 0;
+
+        // Governor thread: refill every bucket at its current rate.
+        let governor_targets: Arc<Mutex<Vec<(Arc<TokenBucket>, Arc<AtomicF64>)>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let governor = {
+            let targets = Arc::clone(&governor_targets);
+            let shutdown = Arc::clone(&shutdown);
+            let period = self.config.refill_period;
+            thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    thread::sleep(period);
+                    let period_us = period.as_micros() as f64;
+                    for (bucket, rate) in targets.lock().iter() {
+                        let deposit = (rate.load() * period_us) as u64;
+                        if deposit > 0 {
+                            bucket.deposit(deposit);
+                        }
+                    }
+                }
+            })
+        };
+
+        let mut tick: Duration = self
+            .policy
+            .initial_interval()
+            .map(|d| Duration::from_secs_f64(d.as_secs_f64()))
+            .unwrap_or(self.config.default_tick);
+        let mut next_tick = start + tick;
+        let mut algorithm_runs = 0u64;
+        let mut update_calls = 0u64;
+
+        loop {
+            // 1. Start any due arrivals.
+            let now = start.elapsed();
+            let mut pool_changed = false;
+            while pending.last().is_some_and(|j| j.arrival <= now) {
+                let rt_job = pending.pop().expect("just checked");
+                let container = self.launch(
+                    ContainerId::from_raw(next_id),
+                    rt_job,
+                    now,
+                    &done_tx,
+                    &governor_targets,
+                    &shutdown,
+                );
+                next_id += 1;
+                active.insert(container.id, container);
+                pool_changed = true;
+            }
+
+            if pool_changed {
+                let ids: Vec<ContainerId> = active.keys().copied().collect();
+                if self.policy.on_pool_change(sim_now(now), &ids) {
+                    self.reconfigure(now, &mut active, &mut algorithm_runs, &mut update_calls, &mut tick);
+                    next_tick = start + now + tick;
+                }
+                self.reshare(&active);
+            }
+
+            if pending.is_empty() && active.is_empty() {
+                break;
+            }
+
+            // 2. Wait for a completion, the next tick, or the next arrival.
+            let mut deadline = next_tick;
+            if let Some(j) = pending.last() {
+                deadline = deadline.min(start + j.arrival);
+            }
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            match done_rx.recv_timeout(timeout) {
+                Ok(id) => {
+                    let now = start.elapsed();
+                    if let Some(mut c) = active.remove(&id) {
+                        if let Some(h) = c.handle.take() {
+                            let _ = h.join();
+                        }
+                        let status = c.job.lock().status();
+                        summary.completions.push(CompletionRecord {
+                            label: c.label.clone(),
+                            arrival: sim_now(c.arrival_at),
+                            finished: sim_now(now),
+                            exit_code: match status {
+                                WorkloadStatus::Failed(code) => code,
+                                _ => 0,
+                            },
+                        });
+                        governor_targets
+                            .lock()
+                            .retain(|(b, _)| !Arc::ptr_eq(b, &c.bucket));
+                    }
+                    let ids: Vec<ContainerId> = active.keys().copied().collect();
+                    if self.policy.on_pool_change(sim_now(now), &ids) {
+                        self.reconfigure(now, &mut active, &mut algorithm_runs, &mut update_calls, &mut tick);
+                        next_tick = start + now + tick;
+                    }
+                    self.reshare(&active);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= next_tick {
+                        let now = start.elapsed();
+                        self.reconfigure(now, &mut active, &mut algorithm_runs, &mut update_calls, &mut tick);
+                        self.reshare(&active);
+                        next_tick = Instant::now() + tick;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        shutdown.store(true, Ordering::Relaxed);
+        let _ = governor.join();
+        summary.algorithm_runs = algorithm_runs;
+        summary.update_calls = update_calls;
+        summary
+    }
+
+    /// Spawn one container thread.
+    fn launch(
+        &self,
+        id: ContainerId,
+        rt_job: RtJob,
+        now: Duration,
+        done_tx: &Sender<ContainerId>,
+        governor_targets: &Arc<Mutex<Vec<(Arc<TokenBucket>, Arc<AtomicF64>)>>>,
+        shutdown: &Arc<AtomicBool>,
+    ) -> RtContainer {
+        let label = Workload::label(&rt_job.job).to_string();
+        let demand = Workload::demand(&rt_job.job);
+        let burst_us = (self.config.quantum.as_micros() as u64).saturating_mul(4);
+        let bucket = TokenBucket::new(burst_us.max(1_000));
+        let job = Arc::new(Mutex::new(rt_job.job));
+        let cpu_used = Arc::new(AtomicF64::new(0.0));
+        let rate = Arc::new(AtomicF64::new(0.0));
+        governor_targets
+            .lock()
+            .push((Arc::clone(&bucket), Arc::clone(&rate)));
+
+        let handle = {
+            let bucket = Arc::clone(&bucket);
+            let job = Arc::clone(&job);
+            let cpu_used = Arc::clone(&cpu_used);
+            let done_tx = done_tx.clone();
+            let shutdown = Arc::clone(&shutdown);
+            let quantum = self.config.quantum;
+            let quantum_us = quantum.as_micros() as u64;
+            let start_offset = now;
+            thread::spawn(move || {
+                let started = Instant::now();
+                loop {
+                    if shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if !bucket.withdraw_timeout(quantum_us, Duration::from_millis(200)) {
+                        // Either shut down or starved this round; re-check.
+                        continue;
+                    }
+                    spin_for(quantum);
+                    let finished = {
+                        let mut j = job.lock();
+                        let virtual_now =
+                            sim_now(start_offset + started.elapsed());
+                        j.advance(virtual_now, quantum.as_secs_f64());
+                        cpu_used.fetch_add(quantum.as_secs_f64());
+                        j.status() != WorkloadStatus::Running
+                    };
+                    if finished {
+                        let _ = done_tx.send(
+                            // The coordinator resolves the id from its map;
+                            // sending the raw id is enough.
+                            id,
+                        );
+                        return;
+                    }
+                }
+            })
+        };
+
+        RtContainer {
+            id,
+            label,
+            job,
+            bucket,
+            cpu_used,
+            rate,
+            limit: 1.0,
+            demand,
+            arrival_at: now,
+            handle: Some(handle),
+            last_eval: None,
+            last_cpu: 0.0,
+            last_tick: now,
+        }
+    }
+
+    /// Measure + run the policy + apply limits (the Executor's job).
+    fn reconfigure(
+        &mut self,
+        now: Duration,
+        active: &mut BTreeMap<ContainerId, RtContainer>,
+        algorithm_runs: &mut u64,
+        update_calls: &mut u64,
+        tick: &mut Duration,
+    ) {
+        let mut measures = Vec::with_capacity(active.len());
+        for c in active.values_mut() {
+            let eval_now = c.job.lock().eval(sim_now(now));
+            let cpu_now = c.cpu_used.load();
+            let dt = (now - c.last_tick).as_secs_f64();
+            let growth = if dt > 0.01 {
+                let avg_cpu = (cpu_now - c.last_cpu) / dt;
+                let p = match (eval_now, c.last_eval) {
+                    (Some(e), Some(prev)) => progress_score(e, prev, dt),
+                    _ => None,
+                };
+                c.last_tick = now;
+                c.last_eval = eval_now.or(c.last_eval);
+                c.last_cpu = cpu_now;
+                p.map(|p| (p, avg_cpu))
+            } else {
+                None
+            };
+            measures.push(GrowthMeasurement {
+                id: c.id,
+                progress: growth.map(|(p, _)| p),
+                avg_usage: flowcon_sim::ResourceVec::cpu(growth.map_or(0.0, |(_, a)| a)),
+                cpu_limit: c.limit,
+            });
+        }
+        let decision = self.policy.reconfigure(sim_now(now), &measures);
+        *algorithm_runs += 1;
+        for (id, limit) in decision.updates {
+            if let Some(c) = active.get_mut(&id) {
+                c.limit = limit;
+                *update_calls += 1;
+            }
+        }
+        if let Some(next) = decision.next_interval {
+            *tick = Duration::from_secs_f64(next.as_secs_f64());
+        }
+    }
+
+    /// Recompute governor rates from limits/demands (water-filled weights,
+    /// the same soft-limit semantics as the simulation).
+    fn reshare(&self, active: &BTreeMap<ContainerId, RtContainer>) {
+        if active.is_empty() {
+            return;
+        }
+        let requests: Vec<AllocRequest> = active
+            .values()
+            .map(|c| AllocRequest {
+                limit: 1.0,
+                demand: c.demand,
+                weight: c.limit.max(1e-6),
+            })
+            .collect();
+        let alloc = waterfill(self.config.capacity_cores, &requests);
+        for (c, &share) in active.values().zip(&alloc.rates) {
+            c.rate.store(share);
+        }
+    }
+}
+
+/// Wall-clock elapsed time as a simulation timestamp for the policy API.
+fn sim_now(elapsed: Duration) -> SimTime {
+    SimTime::from_secs_f64(elapsed.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcon_core::config::FlowConConfig;
+    use flowcon_core::policy::{FairSharePolicy, FlowConPolicy};
+    use flowcon_dl::models::{ModelId, ModelSpec};
+    use flowcon_sim::rng::SimRng;
+    use flowcon_sim::time::SimDuration;
+
+    /// A small job: `work` CPU-seconds of a GRU-shaped model.
+    fn small_job(label: &str, work: f64, demand: f64, seed: u64) -> TrainingJob {
+        let mut spec = ModelSpec::of(ModelId::Gru);
+        spec.total_work = work;
+        spec.demand = demand;
+        let mut rng = SimRng::new(seed);
+        TrainingJob::with_label(spec, label, &mut rng)
+    }
+
+    #[test]
+    fn jobs_complete_under_baseline() {
+        let runtime = RtRuntime::new(RtConfig::default(), Box::new(FairSharePolicy::new()));
+        let jobs = vec![
+            RtJob {
+                job: small_job("rt-a", 0.15, 1.0, 1),
+                arrival: Duration::ZERO,
+            },
+            RtJob {
+                job: small_job("rt-b", 0.15, 1.0, 2),
+                arrival: Duration::from_millis(30),
+            },
+        ];
+        let summary = runtime.run(jobs);
+        assert_eq!(summary.completions.len(), 2);
+        assert!(summary.completions.iter().all(|c| c.exit_code == 0));
+        let makespan = summary.makespan_secs();
+        // 0.3 cpu-s over 2 cores: finishes well under 5 wall seconds.
+        assert!(makespan < 5.0, "makespan {makespan}s");
+    }
+
+    #[test]
+    fn flowcon_policy_reconfigures_real_threads() {
+        let config = FlowConConfig {
+            initial_interval: SimDuration::from_millis(100),
+            ..FlowConConfig::default()
+        };
+        let runtime = RtRuntime::new(RtConfig::default(), Box::new(FlowConPolicy::new(config)));
+        let jobs = vec![
+            RtJob {
+                job: small_job("rt-long", 0.6, 1.0, 3),
+                arrival: Duration::ZERO,
+            },
+            RtJob {
+                job: small_job("rt-late", 0.2, 1.0, 4),
+                arrival: Duration::from_millis(250),
+            },
+        ];
+        let summary = runtime.run(jobs);
+        assert_eq!(summary.completions.len(), 2);
+        assert!(
+            summary.algorithm_runs > 0,
+            "the executor must have run Algorithm 1"
+        );
+    }
+
+    #[test]
+    fn empty_run_is_trivial() {
+        let runtime = RtRuntime::new(RtConfig::default(), Box::new(FairSharePolicy::new()));
+        let summary = runtime.run(vec![]);
+        assert!(summary.completions.is_empty());
+    }
+}

@@ -1,0 +1,362 @@
+//! Water-filling CPU allocation with Docker-style *soft* limits.
+//!
+//! The paper relies on two properties of `docker update` limits (§4.1):
+//!
+//! 1. A limit caps the share a container may claim, and
+//! 2. limits are **soft**: capacity a container cannot use (because of its
+//!    limit *or* because the workload cannot scale past its own parallelism
+//!    ceiling) is redistributed to the other runnable containers.
+//!
+//! Property 2 is why the sum of FlowCon limits may exceed 1 (§5.4) and why
+//! the `1/(β·n)` lower bound never strands capacity.  Both properties are
+//! exactly *progressive filling*: starting from an equal split, containers
+//! whose effective cap is below their fair share are pinned at the cap and
+//! the slack is re-split among the rest.
+//!
+//! The allocator is the innermost loop of every experiment, so it works on
+//! caller-provided request slices, allocates only one scratch vector, and is
+//! `O(n log n)` in the number of runnable containers.
+
+/// One runnable container's view of the allocator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocRequest {
+    /// Soft limit as a fraction of node capacity (`1.0` = unlimited).
+    ///
+    /// This is what FlowCon's Algorithm 1 writes via `docker update`.
+    pub limit: f64,
+    /// Demand ceiling: the largest share this workload can actually consume
+    /// (DL frameworks rarely saturate a whole node — cf. the paper's Fig. 11
+    /// where a lone job uses well under full capacity).
+    pub demand: f64,
+    /// Scheduling weight for the fair split.  Docker's default gives every
+    /// container the same `cpu-shares`, so policies normally leave this at 1.
+    pub weight: f64,
+}
+
+impl AllocRequest {
+    /// A request with the given limit, full demand and unit weight.
+    pub fn with_limit(limit: f64) -> Self {
+        AllocRequest {
+            limit,
+            demand: 1.0,
+            weight: 1.0,
+        }
+    }
+
+    /// An unlimited request (the NA baseline) with the given demand ceiling.
+    pub fn unlimited(demand: f64) -> Self {
+        AllocRequest {
+            limit: 1.0,
+            demand,
+            weight: 1.0,
+        }
+    }
+
+    /// Effective cap: the binding constraint between limit and demand.
+    ///
+    /// Non-finite limits or demands yield a zero cap (`f64::min` would
+    /// silently discard a NaN operand otherwise).
+    pub fn cap(&self) -> f64 {
+        if !self.limit.is_finite() || !self.demand.is_finite() {
+            return 0.0;
+        }
+        self.limit.min(self.demand).max(0.0)
+    }
+}
+
+/// The result of a water-filling round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Per-container CPU rate, same order as the request slice.
+    pub rates: Vec<f64>,
+    /// Total allocated rate (≤ capacity).
+    pub total: f64,
+    /// Capacity left unallocated because every container hit its cap.
+    pub idle: f64,
+}
+
+/// Distribute `capacity` over the requests by weighted progressive filling.
+///
+/// Guarantees (enforced by debug assertions and property tests):
+///
+/// * `rates[i] <= requests[i].cap() + ε`
+/// * `sum(rates) <= capacity + ε`
+/// * work conservation: if `sum(caps) >= capacity` then
+///   `sum(rates) == capacity` (up to ε)
+/// * containers with equal `(limit, demand, weight)` receive equal rates.
+///
+/// Non-finite or negative inputs are treated as zero; zero-cap containers
+/// receive a zero rate.
+pub fn waterfill(capacity: f64, requests: &[AllocRequest]) -> Allocation {
+    let n = requests.len();
+    if n == 0 || capacity <= 0.0 {
+        return Allocation {
+            rates: vec![0.0; n],
+            total: 0.0,
+            idle: capacity.max(0.0),
+        };
+    }
+
+    // Sanitize caps and weights once.
+    let mut rates = vec![0.0f64; n];
+    // Indices of containers still unfilled, sorted by cap/weight ascending so
+    // each filling round can peel off saturated containers in one pass.
+    let mut order: Vec<usize> = (0..n).collect();
+    let cap = |i: usize| {
+        let c = requests[i].cap();
+        if c.is_finite() && c > 0.0 {
+            c
+        } else {
+            0.0
+        }
+    };
+    let weight = |i: usize| {
+        let w = requests[i].weight;
+        if w.is_finite() && w > 0.0 {
+            w
+        } else {
+            0.0
+        }
+    };
+    // Containers with zero cap or zero weight never receive capacity.
+    order.retain(|&i| cap(i) > 0.0 && weight(i) > 0.0);
+    order.sort_by(|&a, &b| {
+        let ka = cap(a) / weight(a);
+        let kb = cap(b) / weight(b);
+        ka.partial_cmp(&kb)
+            .expect("caps and weights sanitized to finite values")
+            .then(a.cmp(&b))
+    });
+
+    let mut remaining = capacity;
+    let mut weight_left: f64 = order.iter().map(|&i| weight(i)).sum();
+    let mut start = 0;
+    // Progressive filling: the water level is `remaining / weight_left`.  Any
+    // container whose cap-per-weight is below the level is pinned at its cap;
+    // because `order` is sorted those are exactly a prefix.
+    while start < order.len() && remaining > 1e-15 && weight_left > 0.0 {
+        let level = remaining / weight_left;
+        let i = order[start];
+        let per_weight_cap = cap(i) / weight(i);
+        if per_weight_cap <= level {
+            // Pinned at cap.
+            rates[i] = cap(i);
+            remaining -= cap(i);
+            weight_left -= weight(i);
+            start += 1;
+        } else {
+            // Everyone remaining fits under the level: weighted equal split.
+            for &j in &order[start..] {
+                rates[j] = level * weight(j);
+            }
+            break;
+        }
+    }
+
+    let total: f64 = rates.iter().sum();
+    debug_assert!(total <= capacity + 1e-9, "over-allocated: {total}");
+    for (i, &r) in rates.iter().enumerate() {
+        debug_assert!(
+            r <= requests[i].cap() + 1e-9,
+            "rate {r} exceeds cap {}",
+            requests[i].cap()
+        );
+    }
+    Allocation {
+        rates,
+        total,
+        idle: (capacity - total).max(0.0),
+    }
+}
+
+/// Water-filling with **truly soft** limits.
+///
+/// Stage 1 is [`waterfill`] with caps `min(limit, demand)`.  If capacity
+/// remains because every cap is satisfied (e.g. every container is
+/// throttled), stage 2 redistributes the leftover among containers whose
+/// *demand* exceeds their stage-1 allocation — limits bound a container's
+/// entitled share under contention, but never leave the node idle while
+/// someone is runnable, which is how the paper describes `docker update`
+/// limits behaving (§4.1, §5.4).
+pub fn waterfill_soft(capacity: f64, requests: &[AllocRequest]) -> Allocation {
+    let stage1 = waterfill(capacity, requests);
+    if stage1.idle <= 1e-12 {
+        return stage1;
+    }
+    // Stage 2: top up to demand, ignoring limits, weighted as before.
+    let top_up: Vec<AllocRequest> = requests
+        .iter()
+        .zip(&stage1.rates)
+        .map(|(q, &r)| {
+            let demand = if q.demand.is_finite() { q.demand.max(0.0) } else { 0.0 };
+            AllocRequest {
+                limit: 1.0,
+                demand: (demand - r).max(0.0),
+                weight: q.weight,
+            }
+        })
+        .collect();
+    let stage2 = waterfill(stage1.idle, &top_up);
+    let rates: Vec<f64> = stage1
+        .rates
+        .iter()
+        .zip(&stage2.rates)
+        .map(|(&a, &b)| a + b)
+        .collect();
+    let total: f64 = rates.iter().sum();
+    Allocation {
+        rates,
+        idle: (capacity - total).max(0.0),
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(limit: f64, demand: f64) -> AllocRequest {
+        AllocRequest {
+            limit,
+            demand,
+            weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn empty_input_is_all_idle() {
+        let a = waterfill(1.0, &[]);
+        assert!(a.rates.is_empty());
+        assert_eq!(a.idle, 1.0);
+    }
+
+    #[test]
+    fn single_unlimited_container_gets_its_demand() {
+        let a = waterfill(1.0, &[req(1.0, 0.8)]);
+        assert!((a.rates[0] - 0.8).abs() < 1e-12);
+        assert!((a.idle - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_containers_split_equally() {
+        let a = waterfill(1.0, &[req(1.0, 1.0); 4]);
+        for r in &a.rates {
+            assert!((r - 0.25).abs() < 1e-12);
+        }
+        assert!(a.idle < 1e-12);
+    }
+
+    #[test]
+    fn paper_fig7_scenario_limit_quarter_vs_one() {
+        // §5.3: VAE limited to 0.25, MNIST limit 1 -> 25% / 75% split.
+        let a = waterfill(1.0, &[req(0.25, 1.0), req(1.0, 1.0)]);
+        assert!((a.rates[0] - 0.25).abs() < 1e-12, "{:?}", a.rates);
+        assert!((a.rates[1] - 0.75).abs() < 1e-12, "{:?}", a.rates);
+    }
+
+    #[test]
+    fn soft_limits_redistribute_unused_capacity() {
+        // Three containers limited to 0.2 each plus one unlimited: the
+        // unlimited one absorbs the leftover 0.4.
+        let a = waterfill(1.0, &[req(0.2, 1.0), req(0.2, 1.0), req(0.2, 1.0), req(1.0, 1.0)]);
+        assert!((a.rates[3] - 0.4).abs() < 1e-12, "{:?}", a.rates);
+        assert!(a.idle < 1e-12);
+    }
+
+    #[test]
+    fn demand_ceiling_binds_like_a_limit() {
+        // A job that can only use 30% of the node leaves the rest to others.
+        let a = waterfill(1.0, &[req(1.0, 0.3), req(1.0, 1.0)]);
+        assert!((a.rates[0] - 0.3).abs() < 1e-12);
+        assert!((a.rates[1] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_capped_leaves_idle_capacity() {
+        let a = waterfill(1.0, &[req(0.1, 1.0), req(0.2, 1.0)]);
+        assert!((a.total - 0.3).abs() < 1e-12);
+        assert!((a.idle - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_bias_the_split() {
+        let reqs = [
+            AllocRequest {
+                limit: 1.0,
+                demand: 1.0,
+                weight: 3.0,
+            },
+            AllocRequest {
+                limit: 1.0,
+                demand: 1.0,
+                weight: 1.0,
+            },
+        ];
+        let a = waterfill(1.0, &reqs);
+        assert!((a.rates[0] - 0.75).abs() < 1e-12);
+        assert!((a.rates[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_or_invalid_requests_get_nothing() {
+        let reqs = [
+            req(0.0, 1.0),
+            AllocRequest {
+                limit: f64::NAN,
+                demand: 1.0,
+                weight: 1.0,
+            },
+            req(1.0, 1.0),
+        ];
+        let a = waterfill(1.0, &reqs);
+        assert_eq!(a.rates[0], 0.0);
+        assert_eq!(a.rates[1], 0.0);
+        assert!((a.rates[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_other_than_one() {
+        // An 8-core node expressed in cores instead of fractions.
+        let a = waterfill(8.0, &[req(2.0, 8.0), req(8.0, 8.0)]);
+        assert!((a.rates[0] - 2.0).abs() < 1e-12);
+        assert!((a.rates[1] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soft_waterfill_matches_hard_when_caps_cover_capacity() {
+        let reqs = [req(0.25, 1.0), req(1.0, 1.0)];
+        assert_eq!(waterfill_soft(1.0, &reqs), waterfill(1.0, &reqs));
+    }
+
+    #[test]
+    fn soft_waterfill_redistributes_past_limits_up_to_demand() {
+        // Both containers throttled to 0.2, but both could use 0.6: the
+        // idle 0.6 splits evenly, 0.5 each — nothing idles while demand
+        // remains.
+        let reqs = [req(0.2, 0.6), req(0.2, 0.6)];
+        let a = waterfill_soft(1.0, &reqs);
+        assert!((a.rates[0] - 0.5).abs() < 1e-9, "{:?}", a.rates);
+        assert!((a.rates[1] - 0.5).abs() < 1e-9);
+        assert!(a.idle < 1e-9, "idle {}", a.idle);
+    }
+
+    #[test]
+    fn soft_waterfill_respects_demand_ceilings() {
+        let reqs = [req(0.1, 0.3), req(0.1, 0.2)];
+        let a = waterfill_soft(1.0, &reqs);
+        assert!((a.rates[0] - 0.3).abs() < 1e-9);
+        assert!((a.rates[1] - 0.2).abs() < 1e-9);
+        assert!((a.idle - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_of_limits_above_one_is_fine() {
+        // §5.4 note: with the β lower bound the limit sum can exceed 1.
+        let a = waterfill(1.0, &[req(0.6, 1.0), req(0.6, 1.0), req(0.6, 1.0)]);
+        let total: f64 = a.rates.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for r in &a.rates {
+            assert!(*r <= 0.6 + 1e-12);
+        }
+    }
+}

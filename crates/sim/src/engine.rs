@@ -1,0 +1,245 @@
+//! A minimal, reusable discrete-event simulation driver.
+//!
+//! Concrete simulations (the FlowCon worker-node model, the cluster model)
+//! implement [`Simulation`]; the engine owns the clock and the event queue
+//! and repeatedly dispatches the earliest event.  Handlers receive a
+//! [`Scheduler`] so they can enqueue follow-up events but cannot rewind the
+//! clock.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// Why an engine run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// The time horizon passed; later events remain pending.
+    HorizonReached,
+    /// The event budget was exhausted (run-away protection).
+    EventBudgetExhausted,
+    /// A handler requested an early stop.
+    Stopped,
+}
+
+/// Handle through which event handlers schedule new events.
+pub struct Scheduler<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    stop: &'a mut bool,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule an event at an absolute time.
+    ///
+    /// Panics if `when` lies in the past — causality must hold.
+    pub fn at(&mut self, when: SimTime, event: E) {
+        assert!(
+            when >= self.now,
+            "cannot schedule into the past: now={}, when={}",
+            self.now,
+            when
+        );
+        self.queue.schedule(when, event);
+    }
+
+    /// Schedule an event `delay` after now.
+    pub fn after(&mut self, delay: crate::time::SimDuration, event: E) {
+        self.queue.schedule(self.now + delay, event);
+    }
+
+    /// Request that the engine stop after the current event.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// A discrete-event simulation: state plus an event handler.
+pub trait Simulation {
+    /// The event payload type.
+    type Event;
+
+    /// Handle one event at its firing time.
+    fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
+}
+
+/// The engine: clock + queue + dispatch loop.
+pub struct SimEngine<S: Simulation> {
+    queue: EventQueue<S::Event>,
+    now: SimTime,
+    events_processed: u64,
+    /// Run-away guard: an experiment on this scale should never need more.
+    max_events: u64,
+}
+
+impl<S: Simulation> Default for SimEngine<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Simulation> SimEngine<S> {
+    /// A fresh engine at t=0 with the default event budget.
+    pub fn new() -> Self {
+        SimEngine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            events_processed: 0,
+            max_events: 50_000_000,
+        }
+    }
+
+    /// Override the run-away event budget.
+    pub fn with_max_events(mut self, max: u64) -> Self {
+        self.max_events = max;
+        self
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Schedule an initial event before running.
+    pub fn prime(&mut self, when: SimTime, event: S::Event) {
+        self.queue.schedule(when, event);
+    }
+
+    /// Run until the queue drains, the horizon passes, or budget runs out.
+    pub fn run_until(&mut self, sim: &mut S, horizon: SimTime) -> RunOutcome {
+        let mut stop = false;
+        loop {
+            let Some(next) = self.queue.peek_time() else {
+                return RunOutcome::Drained;
+            };
+            if next > horizon {
+                return RunOutcome::HorizonReached;
+            }
+            if self.events_processed >= self.max_events {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            let (when, event) = self.queue.pop().expect("peeked entry must pop");
+            debug_assert!(when >= self.now, "event queue yielded a past event");
+            self.now = when;
+            self.events_processed += 1;
+            let mut sched = Scheduler {
+                now: self.now,
+                queue: &mut self.queue,
+                stop: &mut stop,
+            };
+            sim.handle(event, &mut sched);
+            if stop {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+
+    /// Run until no events remain (or budget runs out).
+    pub fn run_to_completion(&mut self, sim: &mut S) -> RunOutcome {
+        self.run_until(sim, SimTime::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A toy simulation: a counter that reschedules itself `n` times.
+    struct Ticker {
+        remaining: u32,
+        fired_at: Vec<SimTime>,
+    }
+
+    enum TickEvent {
+        Tick,
+    }
+
+    impl Simulation for Ticker {
+        type Event = TickEvent;
+        fn handle(&mut self, _ev: TickEvent, sched: &mut Scheduler<'_, TickEvent>) {
+            self.fired_at.push(sched.now());
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                sched.after(SimDuration::from_secs(10), TickEvent::Tick);
+            }
+        }
+    }
+
+    #[test]
+    fn self_rescheduling_chain_runs_to_completion() {
+        let mut sim = Ticker {
+            remaining: 3,
+            fired_at: vec![],
+        };
+        let mut engine = SimEngine::new();
+        engine.prime(SimTime::ZERO, TickEvent::Tick);
+        let outcome = engine.run_to_completion(&mut sim);
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(
+            sim.fired_at,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_secs(10),
+                SimTime::from_secs(20),
+                SimTime::from_secs(30)
+            ]
+        );
+        assert_eq!(engine.events_processed(), 4);
+    }
+
+    #[test]
+    fn horizon_stops_early() {
+        let mut sim = Ticker {
+            remaining: 100,
+            fired_at: vec![],
+        };
+        let mut engine = SimEngine::new();
+        engine.prime(SimTime::ZERO, TickEvent::Tick);
+        let outcome = engine.run_until(&mut sim, SimTime::from_secs(25));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(sim.fired_at.len(), 3); // t=0, 10, 20
+        assert_eq!(engine.now(), SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn event_budget_guards_runaway() {
+        let mut sim = Ticker {
+            remaining: u32::MAX,
+            fired_at: vec![],
+        };
+        let mut engine = SimEngine::new().with_max_events(5);
+        engine.prime(SimTime::ZERO, TickEvent::Tick);
+        let outcome = engine.run_to_completion(&mut sim);
+        assert_eq!(outcome, RunOutcome::EventBudgetExhausted);
+        assert_eq!(engine.events_processed(), 5);
+    }
+
+    struct Stopper;
+    impl Simulation for Stopper {
+        type Event = u8;
+        fn handle(&mut self, _ev: u8, sched: &mut Scheduler<'_, u8>) {
+            sched.stop();
+        }
+    }
+
+    #[test]
+    fn handler_can_stop_engine() {
+        let mut sim = Stopper;
+        let mut engine = SimEngine::new();
+        engine.prime(SimTime::ZERO, 0);
+        engine.prime(SimTime::from_secs(1), 1);
+        assert_eq!(engine.run_to_completion(&mut sim), RunOutcome::Stopped);
+        assert_eq!(engine.events_processed(), 1);
+    }
+}

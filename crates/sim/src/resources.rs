@@ -1,0 +1,202 @@
+//! Resource vocabulary.
+//!
+//! FlowCon's container monitor records four resources per container
+//! (paper §3.2.1): CPU, memory, block I/O and network I/O.  The evaluation
+//! focuses on CPU because DL training jobs are compute-bound (§5.2), and the
+//! algorithms here do the same, but the data model carries all four so the
+//! growth-efficiency metric (Eq. 2) can be computed per resource kind.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul};
+
+/// The resource kinds tracked per container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ResourceKind {
+    /// CPU, expressed as a fraction of one node's compute capacity.
+    Cpu,
+    /// Memory, expressed as a fraction of the node's memory.
+    Memory,
+    /// Block I/O bandwidth fraction.
+    BlkIo,
+    /// Network I/O bandwidth fraction.
+    NetIo,
+}
+
+/// All resource kinds, in canonical order.
+pub const RESOURCE_KINDS: [ResourceKind; 4] = [
+    ResourceKind::Cpu,
+    ResourceKind::Memory,
+    ResourceKind::BlkIo,
+    ResourceKind::NetIo,
+];
+
+impl ResourceKind {
+    /// Canonical index of this kind in a [`ResourceVec`].
+    pub const fn index(self) -> usize {
+        match self {
+            ResourceKind::Cpu => 0,
+            ResourceKind::Memory => 1,
+            ResourceKind::BlkIo => 2,
+            ResourceKind::NetIo => 3,
+        }
+    }
+
+    /// Human-readable name as used in reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ResourceKind::Cpu => "cpu",
+            ResourceKind::Memory => "memory",
+            ResourceKind::BlkIo => "blkio",
+            ResourceKind::NetIo => "netio",
+        }
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A small fixed-size vector with one `f64` per resource kind.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceVec([f64; 4]);
+
+impl ResourceVec {
+    /// The zero vector.
+    pub const ZERO: ResourceVec = ResourceVec([0.0; 4]);
+
+    /// A vector with every component set to `v`.
+    pub const fn splat(v: f64) -> Self {
+        ResourceVec([v; 4])
+    }
+
+    /// A vector with only the CPU component set.
+    pub const fn cpu(v: f64) -> Self {
+        ResourceVec([v, 0.0, 0.0, 0.0])
+    }
+
+    /// Build from explicit components (cpu, memory, blkio, netio).
+    pub const fn new(cpu: f64, memory: f64, blkio: f64, netio: f64) -> Self {
+        ResourceVec([cpu, memory, blkio, netio])
+    }
+
+    /// Component accessor.
+    pub fn get(&self, kind: ResourceKind) -> f64 {
+        self.0[kind.index()]
+    }
+
+    /// Set one component.
+    pub fn set(&mut self, kind: ResourceKind, v: f64) {
+        self.0[kind.index()] = v;
+    }
+
+    /// Component-wise scaling.
+    pub fn scale(&self, k: f64) -> ResourceVec {
+        ResourceVec([self.0[0] * k, self.0[1] * k, self.0[2] * k, self.0[3] * k])
+    }
+
+    /// True if every component is finite and non-negative.
+    pub fn is_valid(&self) -> bool {
+        self.0.iter().all(|x| x.is_finite() && *x >= 0.0)
+    }
+
+    /// Component-wise maximum with another vector.
+    pub fn max(&self, other: &ResourceVec) -> ResourceVec {
+        ResourceVec([
+            self.0[0].max(other.0[0]),
+            self.0[1].max(other.0[1]),
+            self.0[2].max(other.0[2]),
+            self.0[3].max(other.0[3]),
+        ])
+    }
+}
+
+impl Index<ResourceKind> for ResourceVec {
+    type Output = f64;
+    fn index(&self, kind: ResourceKind) -> &f64 {
+        &self.0[kind.index()]
+    }
+}
+
+impl IndexMut<ResourceKind> for ResourceVec {
+    fn index_mut(&mut self, kind: ResourceKind) -> &mut f64 {
+        &mut self.0[kind.index()]
+    }
+}
+
+impl Add for ResourceVec {
+    type Output = ResourceVec;
+    fn add(self, rhs: ResourceVec) -> ResourceVec {
+        ResourceVec([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+            self.0[3] + rhs.0[3],
+        ])
+    }
+}
+
+impl AddAssign for ResourceVec {
+    fn add_assign(&mut self, rhs: ResourceVec) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<f64> for ResourceVec {
+    type Output = ResourceVec;
+    fn mul(self, k: f64) -> ResourceVec {
+        self.scale(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_canonical_and_distinct() {
+        let mut seen = [false; 4];
+        for kind in RESOURCE_KINDS {
+            assert!(!seen[kind.index()], "duplicate index for {kind}");
+            seen[kind.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = ResourceVec::new(0.5, 0.25, 0.0, 0.1);
+        let b = ResourceVec::splat(0.1);
+        let c = a + b;
+        assert!((c.get(ResourceKind::Cpu) - 0.6).abs() < 1e-12);
+        assert!((c.get(ResourceKind::Memory) - 0.35).abs() < 1e-12);
+        let d = a * 2.0;
+        assert!((d.get(ResourceKind::Cpu) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_constructor_only_sets_cpu() {
+        let v = ResourceVec::cpu(0.7);
+        assert_eq!(v.get(ResourceKind::Cpu), 0.7);
+        assert_eq!(v.get(ResourceKind::Memory), 0.0);
+        assert_eq!(v.get(ResourceKind::BlkIo), 0.0);
+        assert_eq!(v.get(ResourceKind::NetIo), 0.0);
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(ResourceVec::splat(0.0).is_valid());
+        assert!(!ResourceVec::new(-0.1, 0.0, 0.0, 0.0).is_valid());
+        assert!(!ResourceVec::new(f64::NAN, 0.0, 0.0, 0.0).is_valid());
+    }
+
+    #[test]
+    fn index_traits() {
+        let mut v = ResourceVec::ZERO;
+        v[ResourceKind::NetIo] = 0.9;
+        assert_eq!(v[ResourceKind::NetIo], 0.9);
+        v.set(ResourceKind::BlkIo, 0.2);
+        assert_eq!(v.get(ResourceKind::BlkIo), 0.2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the water-filling allocator: the invariants
+//! every FlowCon experiment rests on.
+
+use flowcon_sim::{waterfill, AllocRequest};
+use proptest::prelude::*;
+
+fn arb_request() -> impl Strategy<Value = AllocRequest> {
+    (0.0f64..=1.5, 0.0f64..=1.2, 0.1f64..=4.0).prop_map(|(limit, demand, weight)| AllocRequest {
+        limit,
+        demand,
+        weight,
+    })
+}
+
+proptest! {
+    /// No container ever exceeds its cap, and capacity is never exceeded.
+    #[test]
+    fn caps_and_capacity_respected(
+        reqs in prop::collection::vec(arb_request(), 0..24),
+        capacity in 0.1f64..=16.0,
+    ) {
+        let a = waterfill(capacity, &reqs);
+        prop_assert_eq!(a.rates.len(), reqs.len());
+        let total: f64 = a.rates.iter().sum();
+        prop_assert!(total <= capacity + 1e-9);
+        for (r, q) in a.rates.iter().zip(&reqs) {
+            prop_assert!(*r >= 0.0);
+            prop_assert!(*r <= q.cap() + 1e-9, "rate {} cap {}", r, q.cap());
+        }
+    }
+
+    /// Work conservation: if aggregate caps cover the capacity, nothing idles.
+    #[test]
+    fn work_conserving_when_demand_suffices(
+        reqs in prop::collection::vec(arb_request(), 1..24),
+        capacity in 0.1f64..=4.0,
+    ) {
+        let cap_sum: f64 = reqs.iter().map(|q| q.cap()).sum();
+        let a = waterfill(capacity, &reqs);
+        let total: f64 = a.rates.iter().sum();
+        if cap_sum >= capacity {
+            prop_assert!((total - capacity).abs() < 1e-6,
+                "total {} != capacity {} though caps sum to {}", total, capacity, cap_sum);
+        } else {
+            prop_assert!((total - cap_sum).abs() < 1e-6,
+                "all caps binding: total {} != cap sum {}", total, cap_sum);
+        }
+    }
+
+    /// Symmetry: identical requests receive identical rates.
+    #[test]
+    fn equal_requests_equal_rates(
+        q in arb_request(),
+        n in 1usize..16,
+        capacity in 0.1f64..=4.0,
+    ) {
+        let reqs = vec![q; n];
+        let a = waterfill(capacity, &reqs);
+        for w in a.rates.windows(2) {
+            prop_assert!((w[0] - w[1]).abs() < 1e-9, "{:?}", a.rates);
+        }
+    }
+
+    /// Raising one container's limit never reduces its own allocation.
+    #[test]
+    fn limit_monotonicity(
+        mut reqs in prop::collection::vec(arb_request(), 1..12),
+        idx in 0usize..12,
+        bump in 0.0f64..=1.0,
+        capacity in 0.5f64..=2.0,
+    ) {
+        let idx = idx % reqs.len();
+        let before = waterfill(capacity, &reqs);
+        reqs[idx].limit += bump;
+        let after = waterfill(capacity, &reqs);
+        prop_assert!(after.rates[idx] >= before.rates[idx] - 1e-9,
+            "raising a limit lowered the rate: {} -> {}", before.rates[idx], after.rates[idx]);
+    }
+
+    /// Idle + total always equals capacity (up to fp error) when inputs sane.
+    #[test]
+    fn idle_accounting(
+        reqs in prop::collection::vec(arb_request(), 0..16),
+        capacity in 0.1f64..=4.0,
+    ) {
+        let a = waterfill(capacity, &reqs);
+        prop_assert!((a.total + a.idle - capacity).abs() < 1e-6);
+    }
+
+    /// Determinism: same inputs, same outputs.
+    #[test]
+    fn deterministic(
+        reqs in prop::collection::vec(arb_request(), 0..16),
+        capacity in 0.1f64..=4.0,
+    ) {
+        let a = waterfill(capacity, &reqs);
+        let b = waterfill(capacity, &reqs);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,50 @@
+//! Beyond the paper: FlowCon on a multi-worker cluster.
+//!
+//! The paper's architecture (Fig. 2) places FlowCon entirely worker-side
+//! so it scales out trivially; this example runs 12 jobs over 1–3 workers
+//! with different placement strategies.
+//!
+//! ```sh
+//! cargo run --release --example cluster_placement
+//! ```
+
+use flowcon_cluster::{LeastLoaded, Manager, PolicyKind, RoundRobin, Spread};
+use flowcon_core::config::{FlowConConfig, NodeConfig};
+use flowcon_dl::workload::WorkloadPlan;
+
+fn main() {
+    let node = NodeConfig::default();
+    let plan = WorkloadPlan::random_n(12, 77);
+    let policy = PolicyKind::FlowCon(FlowConConfig::default());
+
+    println!("12 jobs, FlowCon-5%-20 on every worker\n");
+    println!("workers  strategy      makespan (s)  completed");
+    println!("-----------------------------------------------");
+
+    for workers in 1..=3usize {
+        // Strategies are equivalent at 1 worker, so only round-robin prints.
+        let rr = Manager::new(workers, node, policy, RoundRobin::default()).run(&plan);
+        println!(
+            "{workers:<8} {:<13} {:>10.1}  {:>9}",
+            "round-robin",
+            rr.makespan_secs(),
+            rr.completed_jobs()
+        );
+        if workers > 1 {
+            let spread = Manager::new(workers, node, policy, Spread).run(&plan);
+            println!(
+                "{workers:<8} {:<13} {:>10.1}  {:>9}",
+                "spread",
+                spread.makespan_secs(),
+                spread.completed_jobs()
+            );
+            let least = Manager::new(workers, node, policy, LeastLoaded).run(&plan);
+            println!(
+                "{workers:<8} {:<13} {:>10.1}  {:>9}",
+                "least-loaded",
+                least.makespan_secs(),
+                least.completed_jobs()
+            );
+        }
+    }
+}

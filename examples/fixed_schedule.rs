@@ -1,0 +1,35 @@
+//! The §5.3 fixed-schedule parameter study: sweep `itval` and `alpha` and
+//! print the completion-time tables behind Figs. 3–6.
+//!
+//! ```sh
+//! cargo run --release --example fixed_schedule
+//! ```
+
+use flowcon_bench::experiments::{default_node, fixed};
+use flowcon_bench::report::completion_table;
+use flowcon_metrics::summary::RunSummary;
+
+fn main() {
+    let node = default_node();
+    for (title, sweep) in [
+        ("alpha = 5%, itval in {20..60}  (Fig. 3)", fixed::fig3(node)),
+        ("alpha = 10%, itval in {20..60} (Fig. 4)", fixed::fig4(node)),
+        ("itval = 20, alpha in {1..15}%  (Fig. 5)", fixed::fig5(node)),
+        ("itval = 30, alpha in {1..15}%  (Fig. 6)", fixed::fig6(node)),
+    ] {
+        println!("\n## {title}\n");
+        let labels: Vec<String> = sweep
+            .baseline
+            .completions
+            .iter()
+            .map(|c| c.label.clone())
+            .collect();
+        let mut runs: Vec<&RunSummary> = sweep.cells.iter().map(|c| &c.summary).collect();
+        runs.push(&sweep.baseline);
+        print!("{}", completion_table(&runs, &labels));
+        println!("\nMNIST (Tensorflow) reductions vs NA:");
+        for (name, red) in sweep.reductions() {
+            println!("  {name:<18} {red:5.1}%");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: run the paper's fixed three-job schedule under FlowCon and
+//! under the unmodified platform (NA), and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use flowcon_core::config::{FlowConConfig, NodeConfig};
+use flowcon_core::worker::{run_baseline, run_flowcon};
+use flowcon_dl::workload::WorkloadPlan;
+
+fn main() {
+    // A single simulated worker node (capacity 1.0), deterministic seed.
+    let node = NodeConfig::default();
+
+    // §5.3's workload: VAE at 0 s, MNIST-PyTorch at 40 s, MNIST-TF at 80 s.
+    let plan = WorkloadPlan::fixed_three();
+
+    // FlowCon with the paper's sweet spot: alpha = 5%, itval = 20 s.
+    let flowcon = run_flowcon(node, &plan, FlowConConfig::with_params(0.05, 20));
+    let baseline = run_baseline(node, &plan);
+
+    println!("policy          job                        completion (s)");
+    println!("---------------------------------------------------------");
+    for summary in [&flowcon.summary, &baseline.summary] {
+        for c in &summary.completions {
+            println!(
+                "{:<15} {:<26} {:>8.1}",
+                summary.policy,
+                c.label,
+                c.completion_secs()
+            );
+        }
+    }
+    println!(
+        "\nmakespan: FlowCon {:.1}s vs NA {:.1}s ({:+.1}%)",
+        flowcon.summary.makespan_secs(),
+        baseline.summary.makespan_secs(),
+        flowcon.summary.makespan_improvement_vs(&baseline.summary)
+    );
+    let job = "MNIST (Tensorflow)";
+    if let Some(red) = flowcon.summary.reduction_vs(&baseline.summary, job) {
+        println!("{job} completes {red:.1}% faster under FlowCon");
+    }
+    println!(
+        "scheduler: {} Algorithm-1 runs, {} docker-update calls",
+        flowcon.summary.algorithm_runs, flowcon.summary.update_calls
+    );
+}

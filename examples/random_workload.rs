@@ -1,0 +1,42 @@
+//! The §5.4 random-submission study: five models submitted at random times,
+//! FlowCon under four parameter settings vs NA (Fig. 9).
+//!
+//! Pass a seed to try a different random schedule:
+//!
+//! ```sh
+//! cargo run --release --example random_workload -- 1234
+//! ```
+
+use flowcon_bench::experiments::{default_node, random, DEFAULT_SEED};
+use flowcon_bench::report::completion_table;
+use flowcon_metrics::summary::RunSummary;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let cmp = random::fig9(default_node(), seed);
+
+    println!("workload (seed {seed}):");
+    for job in &cmp.plan.jobs {
+        println!(
+            "  {:<8} {:<22} arrives {:>6.1}s",
+            job.label,
+            format!("{:?}", job.model),
+            job.arrival.as_secs_f64()
+        );
+    }
+
+    println!();
+    let labels = cmp.labels();
+    let mut runs: Vec<&RunSummary> = cmp.flowcon.iter().collect();
+    runs.push(&cmp.baseline);
+    print!("{}", completion_table(&runs, &labels));
+
+    println!();
+    for (policy, wins, losses) in cmp.win_loss_rows() {
+        let ties = labels.len() - wins - losses;
+        println!("{policy:<16} {wins} wins, {losses} losses, {ties} ties vs NA");
+    }
+}

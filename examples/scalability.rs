@@ -1,0 +1,35 @@
+//! The §5.5 scalability study: 10 and 15 randomly submitted jobs
+//! (Figs. 12 and 17), with the growth-efficiency exemplars of Figs. 13–14.
+//!
+//! ```sh
+//! cargo run --release --example scalability
+//! ```
+
+use flowcon_bench::experiments::{default_node, scale, DEFAULT_SEED};
+use flowcon_bench::report::completion_table;
+
+fn main() {
+    let node = default_node();
+
+    for (title, cmp) in [
+        ("Ten jobs (Fig. 12)", scale::fig12(node, DEFAULT_SEED)),
+        ("Fifteen jobs (Fig. 17)", scale::fig17(node, DEFAULT_SEED)),
+    ] {
+        println!("\n## {title}\n");
+        let labels = cmp.labels();
+        print!(
+            "{}",
+            completion_table(&[&cmp.flowcon, &cmp.baseline], &labels)
+        );
+        let (wins, losses) = cmp.wins_losses();
+        println!(
+            "FlowCon wins {wins} / loses {losses} of {} jobs",
+            labels.len()
+        );
+        if let Some((job, red)) = cmp.biggest_winner() {
+            println!("largest improvement: {job} ({red:.1}%)");
+        }
+        let (loser, winner) = cmp.exemplars();
+        println!("Fig. 13/14 exemplars: loser = {loser}, winner = {winner}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Reproducibility: identical seeds give bit-identical experiment results,
+//! different seeds differ — across every layer.
+
+use flowcon_bench::experiments::{fixed, random, scale};
+use flowcon_cluster::{Manager, PolicyKind, Spread};
+use flowcon_core::config::{FlowConConfig, NodeConfig};
+use flowcon_core::worker::run_flowcon;
+use flowcon_dl::workload::WorkloadPlan;
+
+fn node(seed: u64) -> NodeConfig {
+    NodeConfig::default().with_seed(seed)
+}
+
+#[test]
+fn worker_runs_reproduce_bitwise() {
+    let plan = WorkloadPlan::random_n(10, 9);
+    let a = run_flowcon(node(1), &plan, FlowConConfig::default());
+    let b = run_flowcon(node(1), &plan, FlowConConfig::default());
+    assert_eq!(a.summary.completions, b.summary.completions);
+    assert_eq!(a.summary.algorithm_runs, b.summary.algorithm_runs);
+    assert_eq!(a.summary.update_calls, b.summary.update_calls);
+    assert_eq!(a.events_processed, b.events_processed);
+    // Full trace equality, not just summaries.
+    for (label, series) in a.summary.cpu_usage.iter() {
+        assert_eq!(
+            Some(series.points()),
+            b.summary.cpu_usage.get(label).map(|s| s.points()),
+            "cpu trace of {label} diverged"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let plan = WorkloadPlan::random_n(10, 9);
+    let a = run_flowcon(node(1), &plan, FlowConConfig::default());
+    let b = run_flowcon(node(2), &plan, FlowConConfig::default());
+    // Same plan, different node seed -> different job-size jitter ->
+    // different completions.
+    assert_ne!(a.summary.completions, b.summary.completions);
+}
+
+#[test]
+fn parallel_sweeps_equal_serial_reruns() {
+    // The figure sweeps fan out on threads; determinism means a cell run
+    // alone is identical to the same cell inside the sweep.
+    let sweep = fixed::fig3(node(0xF10C));
+    let alone = run_flowcon(
+        node(0xF10C),
+        &WorkloadPlan::fixed_three(),
+        FlowConConfig::with_params(0.05, 30),
+    );
+    let cell = &sweep.cells[1]; // itval = 30
+    assert_eq!(cell.summary.completions, alone.summary.completions);
+}
+
+#[test]
+fn experiments_reproduce_end_to_end() {
+    let a = random::fig9(node(7), 7);
+    let b = random::fig9(node(7), 7);
+    for (x, y) in a.flowcon.iter().zip(&b.flowcon) {
+        assert_eq!(x.completions, y.completions);
+    }
+    let s1 = scale::fig12(node(7), 7);
+    let s2 = scale::fig12(node(7), 7);
+    assert_eq!(s1.flowcon.completions, s2.flowcon.completions);
+    assert_eq!(s1.exemplars(), s2.exemplars());
+}
+
+#[test]
+fn cluster_runs_reproduce() {
+    let plan = WorkloadPlan::random_n(9, 4);
+    let run = |seed| {
+        Manager::new(3, node(seed), PolicyKind::Baseline, Spread)
+            .run(&plan)
+            .workers
+            .iter()
+            .flat_map(|w| w.summary.completions.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5), run(6));
+}

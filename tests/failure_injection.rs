@@ -1,0 +1,123 @@
+//! Failure injection: crashed containers must be detected by the
+//! Finished-Cons listener, their resources released, and the rest of the
+//! workload must proceed — under both FlowCon and NA.
+
+use flowcon_core::config::{FlowConConfig, NodeConfig};
+use flowcon_core::policy::{FairSharePolicy, FlowConPolicy};
+use flowcon_core::worker::WorkerSim;
+use flowcon_dl::workload::WorkloadPlan;
+use flowcon_sim::time::SimTime;
+
+fn flowcon() -> Box<FlowConPolicy> {
+    Box::new(FlowConPolicy::new(FlowConConfig::default()))
+}
+
+#[test]
+fn crashed_job_reports_its_exit_code() {
+    let plan = WorkloadPlan::fixed_three();
+    let result = WorkerSim::new(NodeConfig::default(), plan, flowcon())
+        .with_failure("VAE (Pytorch)", SimTime::from_secs(100), 137)
+        .run();
+    let s = &result.summary;
+    assert_eq!(s.completions.len(), 3, "all three containers exit");
+    let vae = s
+        .completions
+        .iter()
+        .find(|c| c.label == "VAE (Pytorch)")
+        .unwrap();
+    assert_eq!(vae.exit_code, 137);
+    assert!(
+        (vae.completion_secs() - 100.0).abs() < 1.0,
+        "crash time {:.1}",
+        vae.completion_secs()
+    );
+    // The survivors still converge cleanly.
+    assert!(s
+        .completions
+        .iter()
+        .filter(|c| c.label != "VAE (Pytorch)")
+        .all(|c| c.exit_code == 0));
+}
+
+#[test]
+fn survivors_speed_up_after_a_crash() {
+    // Killing the long VAE at t=100 frees most of the node; MNIST-PyTorch
+    // (which would otherwise share until ~220 s) must finish earlier.
+    let plan = WorkloadPlan::fixed_three();
+    let healthy = WorkerSim::new(
+        NodeConfig::default(),
+        plan.clone(),
+        Box::new(FairSharePolicy::new()),
+    )
+    .run();
+    let crashed = WorkerSim::new(
+        NodeConfig::default(),
+        plan,
+        Box::new(FairSharePolicy::new()),
+    )
+    .with_failure("VAE (Pytorch)", SimTime::from_secs(100), 137)
+    .run();
+    let healthy_mnist = healthy
+        .summary
+        .completion_of("MNIST (Pytorch)")
+        .expect("completes");
+    let crashed_mnist = crashed
+        .summary
+        .completion_of("MNIST (Pytorch)")
+        .expect("completes");
+    assert!(
+        crashed_mnist < healthy_mnist - 10.0,
+        "MNIST-P should reclaim the crashed VAE's share: {crashed_mnist:.1} vs {healthy_mnist:.1}"
+    );
+}
+
+#[test]
+fn crash_of_a_watched_container_does_not_wedge_flowcon() {
+    // Crash the job FlowCon is actively throttling; the lists must purge it
+    // and later reconfigurations must not reference it.
+    let plan = WorkloadPlan::random_five(3);
+    let victim = plan.jobs[0].label.clone();
+    let result = WorkerSim::new(NodeConfig::default(), plan, flowcon())
+        .with_failure(&victim, SimTime::from_secs(300), 139)
+        .run();
+    assert_eq!(result.summary.completions.len(), 5);
+    let crashed = result
+        .summary
+        .completions
+        .iter()
+        .find(|c| c.label == victim)
+        .unwrap();
+    assert_eq!(crashed.exit_code, 139);
+    // The run terminates (this assertion is the absence of a hang) and the
+    // makespan is still dominated by a real job, not the crash.
+    assert!(result.summary.makespan_secs() > 300.0);
+}
+
+#[test]
+fn failure_before_first_measurement_is_handled() {
+    // Crash a job during warm-up (it has never produced an eval value):
+    // the fresh-container path of Algorithm 1 must tolerate the removal.
+    let plan = WorkloadPlan::fixed_three();
+    let result = WorkerSim::new(NodeConfig::default(), plan, flowcon())
+        .with_failure("MNIST (Tensorflow)", SimTime::from_secs(81), 1)
+        .run();
+    assert_eq!(result.summary.completions.len(), 3);
+    let mnist = result
+        .summary
+        .completions
+        .iter()
+        .find(|c| c.label == "MNIST (Tensorflow)")
+        .unwrap();
+    assert_eq!(mnist.exit_code, 1);
+    assert!(mnist.completion_secs() < 2.0);
+}
+
+#[test]
+fn failure_targeting_unknown_label_is_a_noop() {
+    let plan = WorkloadPlan::fixed_three();
+    let result = WorkerSim::new(NodeConfig::default(), plan, flowcon())
+        .with_failure("No Such Job", SimTime::from_secs(50), 9)
+        .run();
+    assert_eq!(result.summary.completions.len(), 3);
+    assert!(result.summary.completions.iter().all(|c| c.exit_code == 0));
+}

@@ -1,0 +1,179 @@
+//! Integration tests pinning the paper's headline claims (the "shape"
+//! criteria from DESIGN.md).  These are the tests that say "the
+//! reproduction reproduces".
+
+use flowcon_bench::experiments::{default_node, fig1, fixed, random, scale, DEFAULT_SEED};
+use flowcon_core::config::FlowConConfig;
+use flowcon_core::worker::{run_baseline, run_flowcon};
+use flowcon_dl::workload::WorkloadPlan;
+
+/// §5.3 anchor: the NA baseline lands on the paper's absolute numbers.
+#[test]
+fn na_baseline_matches_paper_anchors() {
+    let plan = WorkloadPlan::fixed_three();
+    let na = run_baseline(default_node(), &plan).summary;
+    let makespan = na.makespan_secs();
+    assert!(
+        (makespan - 394.0).abs() < 394.0 * 0.05,
+        "NA makespan {makespan:.1}s vs paper 394.0s"
+    );
+    let mnist_tf = na.completion_of("MNIST (Tensorflow)").unwrap();
+    assert!(
+        (mnist_tf - 84.7).abs() < 84.7 * 0.10,
+        "MNIST-TF NA completion {mnist_tf:.1}s vs paper 84.7s"
+    );
+}
+
+/// Headline claim: FlowCon reduces individual completion time by up to
+/// ~42% "without sacrificing the overall makespan".
+#[test]
+fn headline_reduction_without_makespan_sacrifice() {
+    let plan = WorkloadPlan::fixed_three();
+    let na = run_baseline(default_node(), &plan).summary;
+    let best = fixed::ALPHAS
+        .iter()
+        .map(|&alpha| {
+            let fc = run_flowcon(
+                default_node(),
+                &plan,
+                FlowConConfig::with_params(alpha, 20),
+            )
+            .summary;
+            let red = fc.reduction_vs(&na, "MNIST (Tensorflow)").unwrap();
+            let makespan_ok = fc.makespan_improvement_vs(&na) > -2.0;
+            (red, makespan_ok)
+        })
+        .collect::<Vec<_>>();
+    assert!(
+        best.iter().any(|&(red, _)| red > 30.0),
+        "expected a >30% best-case reduction, got {best:?}"
+    );
+    assert!(
+        best.iter().all(|&(_, ok)| ok),
+        "some setting sacrificed the makespan: {best:?}"
+    );
+}
+
+/// Figs. 3–4 shape: larger itval, smaller benefit for the tracked job.
+#[test]
+fn benefit_shrinks_with_interval() {
+    let sweep = fixed::fig4(default_node());
+    let reds: Vec<f64> = sweep.reductions().into_iter().map(|(_, r)| r).collect();
+    // Compare the fast end (itval 20/30) against the slow end (50/60).
+    let fast = (reds[0] + reds[1]) / 2.0;
+    let slow = (reds[3] + reds[4]) / 2.0;
+    assert!(
+        fast > slow + 5.0,
+        "expected reductions to shrink with itval: fast {fast:.1}% slow {slow:.1}%"
+    );
+    // Every setting still beats NA (Table 2: "FlowCon performs better than
+    // NA in all the parameter settings").
+    assert!(reds.iter().all(|&r| r > 0.0), "{reds:?}");
+}
+
+/// Fig. 5 shape: smaller alpha keeps jobs in NL longer and helps the
+/// tracked job more.
+#[test]
+fn benefit_shrinks_with_alpha() {
+    let sweep = fixed::fig5(default_node());
+    let reds: Vec<f64> = sweep.reductions().into_iter().map(|(_, r)| r).collect();
+    assert!(
+        reds[0] > reds[4],
+        "alpha=1% ({:.1}%) should beat alpha=15% ({:.1}%)",
+        reds[0],
+        reds[4]
+    );
+}
+
+/// §5.4: FlowCon wins most of the five random jobs in every setting, the
+/// makespan improves (paper: 1–5%), and only the early fast-converging job
+/// pays a penalty.
+///
+/// Known deviation (see EXPERIMENTS.md): our synthetic early GRU instance
+/// loses more than the paper's worst case (~12%), because Algorithm 1 pins
+/// a converged job at the `1/(β·n)` bound for however long younger jobs
+/// keep arriving, and the paper under-specifies β and the evaluation-value
+/// scales that determine how long that is.  The *pattern* — early
+/// fast-converger donates, late jobs win, makespan improves — matches.
+#[test]
+fn random_schedule_mostly_wins() {
+    let cmp = random::fig9(default_node(), DEFAULT_SEED);
+    for s in &cmp.flowcon {
+        let (wins, _) = s.wins_losses_vs(&cmp.baseline);
+        assert!(wins >= 3, "{}: only {wins} wins", s.policy);
+        let makespan = s.makespan_improvement_vs(&cmp.baseline);
+        assert!(
+            makespan > 0.5 && makespan < 10.0,
+            "{}: makespan improvement {makespan:.1}% outside the paper band",
+            s.policy
+        );
+        // At the paper's showcased setting the loser's penalty stays
+        // moderate; at the least favorable setting (large itval) it can
+        // approach 2x — the documented deviation.
+        let worst_cap = if s.policy == "FlowCon-3%-30" { -55.0 } else { -95.0 };
+        for job in &cmp.plan.jobs {
+            if let Some(red) = s.reduction_vs(&cmp.baseline, &job.label) {
+                assert!(
+                    red > worst_cap,
+                    "{}: {} regressed {:.1}% — throttling ran away",
+                    s.policy,
+                    job.label,
+                    -red
+                );
+            }
+        }
+    }
+}
+
+/// §5.5: at 10 jobs FlowCon wins a clear majority; at 15 jobs losses stay
+/// small (paper: worst increase 5.7%... allow fluid-model slack).
+#[test]
+fn scalability_shapes() {
+    let ten = scale::fig12(default_node(), DEFAULT_SEED);
+    let (wins10, _) = ten.wins_losses();
+    assert!(wins10 >= 6, "10 jobs: {wins10} wins");
+    assert!(
+        ten.flowcon.makespan_improvement_vs(&ten.baseline) > -3.0,
+        "10-job makespan regressed"
+    );
+
+    let fifteen = scale::fig17(default_node(), DEFAULT_SEED);
+    let (wins15, losses15) = fifteen.wins_losses();
+    assert!(
+        wins15 > losses15,
+        "15 jobs: {wins15} wins vs {losses15} losses"
+    );
+}
+
+/// Fig. 1/§2.2: the GRU converges to ~97% quality in a small fraction of
+/// its runtime while logistic regression is near-linear.
+#[test]
+fn fig1_convergence_shapes() {
+    let fig = fig1::run(default_node());
+    let gru = fig1::time_fraction_to_quality(&fig, "RNN-GRU (Tensorflow)", 0.968).unwrap();
+    let logreg =
+        fig1::time_fraction_to_quality(&fig, "Logistic Regression (Tensorflow)", 0.968).unwrap();
+    assert!(gru < 0.4, "GRU reached 96.8% quality at {gru:.2}");
+    assert!(
+        logreg > gru * 1.5,
+        "LogReg ({logreg:.2}) should converge much later than GRU ({gru:.2})"
+    );
+}
+
+/// Figs. 13–14 scale check: growth-efficiency traces span the magnitudes
+/// the paper plots (losers < 0.1, winners can exceed 0.3).
+#[test]
+fn growth_efficiency_trace_scales() {
+    let cmp = scale::fig12(default_node(), DEFAULT_SEED);
+    let mut maxima: Vec<f64> = Vec::new();
+    for (_, series) in cmp.flowcon.growth_efficiency.iter() {
+        if let Some(m) = series.max_value() {
+            maxima.push(m);
+        }
+    }
+    assert!(!maxima.is_empty());
+    let lo = maxima.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = maxima.iter().cloned().fold(0.0, f64::max);
+    assert!(lo < 0.1, "some job should peak below 0.1, min peak {lo}");
+    assert!(hi > 0.3, "some job should peak above 0.3, max peak {hi}");
+}
