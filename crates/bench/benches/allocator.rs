@@ -2,23 +2,14 @@
 //! every experiment (rates are recomputed on each event).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flowcon_sim::alloc::{waterfill, AllocRequest};
-use flowcon_sim::rng::SimRng;
-
-fn requests(n: usize, seed: u64) -> Vec<AllocRequest> {
-    let mut rng = SimRng::new(seed);
-    (0..n)
-        .map(|_| AllocRequest {
-            limit: rng.range_f64(0.05, 1.0),
-            demand: rng.range_f64(0.2, 1.0),
-            weight: 1.0,
-        })
-        .collect()
-}
+// `requests` is shared with the perf micro-suite so criterion numbers and
+// the BENCH_*.json trajectory measure the same workload distribution.
+use flowcon_bench::perf::{requests, waterfill_seed};
+use flowcon_sim::alloc::{waterfill, waterfill_into, WaterfillScratch};
 
 fn bench_waterfill(c: &mut Criterion) {
     let mut group = c.benchmark_group("waterfill");
-    for n in [2usize, 5, 10, 15, 50, 200] {
+    for n in [2usize, 5, 10, 15, 50, 64, 200] {
         let reqs = requests(n, 42);
         group.bench_with_input(BenchmarkId::from_parameter(n), &reqs, |b, reqs| {
             b.iter(|| waterfill(std::hint::black_box(1.0), std::hint::black_box(reqs)))
@@ -27,5 +18,70 @@ fn bench_waterfill(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_waterfill);
+/// The seed repository's v0 allocator, kept as the fixed comparison point:
+/// `waterfill_into_warm/<n>` vs `waterfill_seed/<n>` is the speedup this
+/// optimisation line is judged by (≥ 2× at n=64).
+fn bench_waterfill_seed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("waterfill_seed");
+    for n in [2usize, 5, 10, 15, 50, 64, 200] {
+        let reqs = requests(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &reqs, |b, reqs| {
+            b.iter(|| waterfill_seed(std::hint::black_box(1.0), std::hint::black_box(reqs)))
+        });
+    }
+    group.finish();
+}
+
+/// The zero-allocation entry point with a warm order cache — the steady
+/// state of every worker tick.  Compare against `waterfill/<n>` above for
+/// the cold-vs-warm ratio tracked in BENCH_*.json.
+fn bench_waterfill_into_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("waterfill_into_warm");
+    for n in [2usize, 5, 10, 15, 50, 64, 200] {
+        let reqs = requests(n, 42);
+        let mut scratch = WaterfillScratch::new();
+        waterfill_into(&mut scratch, 1.0, &reqs); // warm the buffers + order
+        group.bench_with_input(BenchmarkId::from_parameter(n), &reqs, |b, reqs| {
+            b.iter(|| {
+                waterfill_into(
+                    &mut scratch,
+                    std::hint::black_box(1.0),
+                    std::hint::black_box(reqs),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The `Σcaps ≤ capacity` early exit: no sort at all.
+fn bench_waterfill_early_exit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("waterfill_early_exit");
+    for n in [15usize, 64, 200] {
+        let mut reqs = requests(n, 42);
+        for q in reqs.iter_mut() {
+            q.limit = 0.5 / n as f64;
+        }
+        let mut scratch = WaterfillScratch::new();
+        waterfill_into(&mut scratch, 1.0, &reqs);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &reqs, |b, reqs| {
+            b.iter(|| {
+                waterfill_into(
+                    &mut scratch,
+                    std::hint::black_box(1.0),
+                    std::hint::black_box(reqs),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_waterfill_seed,
+    bench_waterfill,
+    bench_waterfill_into_warm,
+    bench_waterfill_early_exit
+);
 criterion_main!(benches);

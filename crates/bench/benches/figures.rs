@@ -6,7 +6,9 @@
 //! values).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use flowcon_bench::experiments::{ablation, default_node, fig1, fixed, random, scale, DEFAULT_SEED};
+use flowcon_bench::experiments::{
+    ablation, default_node, fig1, fixed, random, scale, DEFAULT_SEED,
+};
 
 fn bench_figures(c: &mut Criterion) {
     let node = default_node();
@@ -21,7 +23,9 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig5_alpha_sweep_itval20", |b| b.iter(|| fixed::fig5(node)));
     group.bench_function("fig6_alpha_sweep_itval30", |b| b.iter(|| fixed::fig6(node)));
     group.bench_function("table2_reductions", |b| b.iter(|| fixed::table2(node)));
-    group.bench_function("fig7_fig8_cpu_traces", |b| b.iter(|| fixed::fig7_fig8(node)));
+    group.bench_function("fig7_fig8_cpu_traces", |b| {
+        b.iter(|| fixed::fig7_fig8(node))
+    });
     group.bench_function("fig9_random_five", |b| {
         b.iter(|| random::fig9(node, DEFAULT_SEED))
     });

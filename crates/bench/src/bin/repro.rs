@@ -2,32 +2,101 @@
 //!
 //! ```text
 //! repro [experiment ...]
+//! repro bench [--out FILE]
 //!
 //! experiments:
 //!   table1 fig1 fig3 fig4 fig5 fig6 table2 fig7 fig8 fig9 fig10 fig11
 //!   fig12 fig13 fig14 fig15 fig16 fig17
 //!   ablation-backoff ablation-beta ablation-kappa ablation-policies
 //!   all (default)
+//!
+//! `repro bench` runs the fixed allocator/engine/policy micro-suite and
+//! writes a machine-readable `BENCH_<date>.json` (see BENCHMARKS.md).
 //! ```
 //!
 //! Output: paper-style tables and ASCII charts on stdout; CSV artifacts
 //! under `target/experiments/`.
 
-use flowcon_bench::experiments::{ablation, default_node, fig1, fixed, random, scale, DEFAULT_SEED};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use flowcon_bench::experiments::{
+    ablation, default_node, fig1, fixed, random, scale, DEFAULT_SEED,
+};
+use flowcon_bench::perf;
 use flowcon_bench::report::{completion_table, section, write_csv};
 use flowcon_dl::models::{ModelSpec, TABLE1_MODELS};
 use flowcon_metrics::chart::{bar_chart, line_chart};
 use flowcon_metrics::export::{completions_csv, series_csv, text_table, to_csv};
 use flowcon_metrics::summary::RunSummary;
 
+/// Counting allocator so `repro bench` can report allocs/op.
+///
+/// Counting is off by default and enabled only by the `bench` subcommand,
+/// so figure-reproduction runs (parallel, allocation-heavy) don't pay a
+/// contended atomic per allocation for a counter nobody reads.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+fn count_if_enabled() {
+    if COUNTING.load(Ordering::Relaxed) {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_if_enabled();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_if_enabled();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_if_enabled();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench") {
+        run_bench(&args[1..]);
+        return;
+    }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         // fig7/fig10/fig13/fig15 each also print their paired figure.
         vec![
-            "table1", "fig1", "fig3", "fig4", "fig5", "fig6", "table2", "fig7", "fig9",
-            "fig10", "fig12", "fig13", "fig15", "fig17",
-            "ablation-backoff", "ablation-beta", "ablation-kappa", "ablation-policies",
+            "table1",
+            "fig1",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "table2",
+            "fig7",
+            "fig9",
+            "fig10",
+            "fig12",
+            "fig13",
+            "fig15",
+            "fig17",
+            "ablation-backoff",
+            "ablation-beta",
+            "ablation-kappa",
+            "ablation-policies",
             "ablation-resource",
         ]
     } else {
@@ -38,10 +107,26 @@ fn main() {
         match exp {
             "table1" => table1(),
             "fig1" => run_fig1(),
-            "fig3" => fixed_sweep("Fig. 3 (alpha=5%, itval sweep)", fixed::fig3(default_node()), "fig3"),
-            "fig4" => fixed_sweep("Fig. 4 (alpha=10%, itval sweep)", fixed::fig4(default_node()), "fig4"),
-            "fig5" => fixed_sweep("Fig. 5 (itval=20, alpha sweep)", fixed::fig5(default_node()), "fig5"),
-            "fig6" => fixed_sweep("Fig. 6 (itval=30, alpha sweep)", fixed::fig6(default_node()), "fig6"),
+            "fig3" => fixed_sweep(
+                "Fig. 3 (alpha=5%, itval sweep)",
+                fixed::fig3(default_node()),
+                "fig3",
+            ),
+            "fig4" => fixed_sweep(
+                "Fig. 4 (alpha=10%, itval sweep)",
+                fixed::fig4(default_node()),
+                "fig4",
+            ),
+            "fig5" => fixed_sweep(
+                "Fig. 5 (itval=20, alpha sweep)",
+                fixed::fig5(default_node()),
+                "fig5",
+            ),
+            "fig6" => fixed_sweep(
+                "Fig. 6 (itval=30, alpha sweep)",
+                fixed::fig6(default_node()),
+                "fig6",
+            ),
             "table2" => table2(),
             "fig7" | "fig8" => fig7_fig8(),
             "fig9" => fig9(),
@@ -57,6 +142,67 @@ fn main() {
             "ablation-resource" => ablation_resource(),
             other => eprintln!("unknown experiment: {other}"),
         }
+    }
+}
+
+/// `repro bench [--out FILE]`: run the micro-suite, print a table, write
+/// the machine-readable trajectory file.
+fn run_bench(args: &[String]) {
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("BENCH_{}.json", perf::today_utc()));
+    let mode = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+
+    section(&format!("Perf micro-suite ({mode})"));
+    COUNTING.store(true, Ordering::Relaxed);
+    let counter = || ALLOCATIONS.load(Ordering::Relaxed);
+    let results = perf::run_micro_suite(Some(&counter));
+    COUNTING.store(false, Ordering::Relaxed);
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.1}", r.ns_per_op),
+                r.allocs_per_op.map_or("-".into(), |a| format!("{a:.2}")),
+                r.events_per_sec.map_or("-".into(), |e| format!("{e:.0}")),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        text_table(&["benchmark", "ns/op", "allocs/op", "events/s"], &rows)
+    );
+
+    // Headline ratios at n=64: warm scratch vs the seed (v0) allocator and
+    // vs today's cold allocating wrapper.
+    let ns_of = |name: &str| results.iter().find(|r| r.name == name).map(|r| r.ns_per_op);
+    if let (Some(seed), Some(cold), Some(warm)) = (
+        ns_of("waterfill/seed/n64"),
+        ns_of("waterfill/cold/n64"),
+        ns_of("waterfill/warm/n64"),
+    ) {
+        if warm > 0.0 {
+            println!(
+                "waterfill n=64: warm scratch is {:.2}x faster than the seed (v0) and {:.2}x faster than the cold path",
+                seed / warm,
+                cold / warm
+            );
+        }
+    }
+
+    let json = perf::to_json(&results, &perf::today_utc(), mode);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("failed to write {out_path}: {e}"),
     }
 }
 
@@ -78,7 +224,13 @@ fn table1() {
     print!(
         "{}",
         text_table(
-            &["Model", "Eval. Function", "Platform", "Work (cpu-s)", "Demand"],
+            &[
+                "Model",
+                "Eval. Function",
+                "Platform",
+                "Work (cpu-s)",
+                "Demand"
+            ],
             &rows
         )
     );
@@ -108,7 +260,10 @@ fn run_fig1() {
         "{}",
         text_table(&["Model", "time to 90% of final accuracy"], &rows)
     );
-    println!("(makespan {:.1}s; CSVs under target/experiments/)", fig.makespan_secs);
+    println!(
+        "(makespan {:.1}s; CSVs under target/experiments/)",
+        fig.makespan_secs
+    );
 }
 
 fn fixed_sweep(title: &str, sweep: fixed::FixedSweep, file: &str) {
@@ -144,7 +299,12 @@ fn table2() {
     print!(
         "{}",
         text_table(
-            &["alpha,itval (Fig.4)", "Reduction", "alpha,itval (Fig.5)", "Reduction"],
+            &[
+                "alpha,itval (Fig.4)",
+                "Reduction",
+                "alpha,itval (Fig.5)",
+                "Reduction"
+            ],
             &rows
         )
     );
@@ -153,19 +313,29 @@ fn table2() {
         .chain(fig5_col.iter())
         .map(|(name, red)| vec![name.clone(), format!("{red:.2}")])
         .collect();
-    write_csv("table2.csv", &to_csv(&["setting", "reduction_pct"], &csv_rows));
+    write_csv(
+        "table2.csv",
+        &to_csv(&["setting", "reduction_pct"], &csv_rows),
+    );
 }
 
 fn cpu_chart(title: &str, summary: &RunSummary, file: &str) {
     section(title);
     let series: Vec<(&str, &flowcon_metrics::TimeSeries)> = summary.cpu_usage.iter().collect();
     print!("{}", line_chart("CPU usage", &series, Some(1.0), 100, 14));
-    write_csv(&format!("{file}.csv"), &series_csv("cpu_usage", &summary.cpu_usage));
+    write_csv(
+        &format!("{file}.csv"),
+        &series_csv("cpu_usage", &summary.cpu_usage),
+    );
 }
 
 fn fig7_fig8() {
     let (fc, na) = fixed::fig7_fig8(default_node());
-    cpu_chart("Fig. 7: CPU usage, FlowCon (alpha=5%, itval=20, 3 jobs)", &fc, "fig7");
+    cpu_chart(
+        "Fig. 7: CPU usage, FlowCon (alpha=5%, itval=20, 3 jobs)",
+        &fc,
+        "fig7",
+    );
     cpu_chart("Fig. 8: CPU usage, NA (3 jobs)", &na, "fig8");
 }
 
@@ -184,14 +354,22 @@ fn fig9() {
 
 fn fig10_fig11() {
     let (fc, na) = random::fig10_fig11(default_node(), DEFAULT_SEED);
-    cpu_chart("Fig. 10: CPU usage, FlowCon (alpha=3%, itval=30, 5 jobs)", &fc, "fig10");
+    cpu_chart(
+        "Fig. 10: CPU usage, FlowCon (alpha=3%, itval=30, 5 jobs)",
+        &fc,
+        "fig10",
+    );
     cpu_chart("Fig. 11: CPU usage, NA (5 jobs)", &na, "fig11");
 }
 
 fn fig12_fig15_fig16(charts: bool) {
     let cmp = scale::fig12(default_node(), DEFAULT_SEED);
     if charts {
-        cpu_chart("Fig. 15: CPU usage, FlowCon (alpha=10%, itval=20, 10 jobs)", &cmp.flowcon, "fig15");
+        cpu_chart(
+            "Fig. 15: CPU usage, FlowCon (alpha=10%, itval=20, 10 jobs)",
+            &cmp.flowcon,
+            "fig15",
+        );
         cpu_chart("Fig. 16: CPU usage, NA (10 jobs)", &cmp.baseline, "fig16");
         return;
     }
@@ -211,15 +389,26 @@ fn fig13_fig14() {
     let cmp = scale::fig12(default_node(), DEFAULT_SEED);
     let (loser, winner) = cmp.exemplars();
     for (figure, job, file) in [("Fig. 13", &loser, "fig13"), ("Fig. 14", &winner, "fig14")] {
-        section(&format!("{figure}: Growth efficiency of {job} (FlowCon vs NA)"));
+        section(&format!(
+            "{figure}: Growth efficiency of {job} (FlowCon vs NA)"
+        ));
         let empty = flowcon_metrics::TimeSeries::new();
         let fc = cmp.flowcon.growth_efficiency.get(job).unwrap_or(&empty);
         let na = cmp.baseline.growth_efficiency.get(job).unwrap_or(&empty);
         print!(
             "{}",
-            line_chart("Growth efficiency", &[("FlowCon", fc), ("NA", na)], None, 100, 12)
+            line_chart(
+                "Growth efficiency",
+                &[("FlowCon", fc), ("NA", na)],
+                None,
+                100,
+                12
+            )
         );
-        write_csv(&format!("{file}.csv"), &series_csv("growth", &cmp.flowcon.growth_efficiency));
+        write_csv(
+            &format!("{file}.csv"),
+            &series_csv("growth", &cmp.flowcon.growth_efficiency),
+        );
     }
 }
 
@@ -242,8 +431,16 @@ fn ablation_backoff() {
         text_table(
             &["variant", "algorithm runs", "makespan (s)"],
             &[
-                vec!["back-off on".into(), ab.runs_with.to_string(), format!("{:.1}", ab.makespan_with)],
-                vec!["back-off off".into(), ab.runs_without.to_string(), format!("{:.1}", ab.makespan_without)],
+                vec![
+                    "back-off on".into(),
+                    ab.runs_with.to_string(),
+                    format!("{:.1}", ab.makespan_with)
+                ],
+                vec![
+                    "back-off off".into(),
+                    ab.runs_without.to_string(),
+                    format!("{:.1}", ab.makespan_without)
+                ],
             ]
         )
     );
@@ -255,12 +452,19 @@ fn ablation_beta() {
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|(b, makespan, worst)| {
-            vec![format!("{b}"), format!("{makespan:.1}"), format!("{worst:.1}%")]
+            vec![
+                format!("{b}"),
+                format!("{makespan:.1}"),
+                format!("{worst:.1}%"),
+            ]
         })
         .collect();
     print!(
         "{}",
-        text_table(&["beta", "makespan (s)", "worst per-job reduction"], &table_rows)
+        text_table(
+            &["beta", "makespan (s)", "worst per-job reduction"],
+            &table_rows
+        )
     );
 }
 
@@ -271,7 +475,10 @@ fn ablation_kappa() {
         .iter()
         .map(|(k, imp)| (format!("kappa={k}"), imp.max(0.0)))
         .collect();
-    print!("{}", bar_chart("makespan improvement vs NA (%)", &bars, "%", 40));
+    print!(
+        "{}",
+        bar_chart("makespan improvement vs NA (%)", &bars, "%", 40)
+    );
     for (k, imp) in rows {
         println!("kappa={k}: {imp:+.2}%");
     }
@@ -283,12 +490,19 @@ fn ablation_resource() {
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|(res, makespan, wins)| {
-            vec![res.clone(), format!("{makespan:.1}"), format!("{wins} of 5")]
+            vec![
+                res.clone(),
+                format!("{makespan:.1}"),
+                format!("{wins} of 5"),
+            ]
         })
         .collect();
     print!(
         "{}",
-        text_table(&["driving resource", "makespan (s)", "wins vs NA"], &table_rows)
+        text_table(
+            &["driving resource", "makespan (s)", "wins vs NA"],
+            &table_rows
+        )
     );
 }
 
@@ -303,6 +517,9 @@ fn ablation_policies() {
         .collect();
     print!(
         "{}",
-        text_table(&["policy", "makespan (s)", "mean completion (s)"], &table_rows)
+        text_table(
+            &["policy", "makespan (s)", "mean completion (s)"],
+            &table_rows
+        )
     );
 }

@@ -84,10 +84,13 @@ pub fn fig6(node: NodeConfig) -> FixedSweep {
     sweep(node, &ALPHAS.map(|a| (a, 30)))
 }
 
+/// One Table 2 column: `(setting label, reduction %)` rows.
+pub type ReductionColumn = Vec<(String, f64)>;
+
 /// Table 2: completion-time reduction of MNIST (TensorFlow) for the Fig. 4
 /// column (α = 10%, varying itval) and the Fig. 5 column (itval = 20,
 /// varying α).
-pub fn table2(node: NodeConfig) -> (Vec<(String, f64)>, Vec<(String, f64)>) {
+pub fn table2(node: NodeConfig) -> (ReductionColumn, ReductionColumn) {
     (fig4(node).reductions(), fig5(node).reductions())
 }
 

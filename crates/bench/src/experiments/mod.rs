@@ -21,26 +21,68 @@ pub fn default_node() -> NodeConfig {
 ///
 /// Parameter sweeps (Figs. 3–6 sweep five itval values × several α) are
 /// embarrassingly parallel: each cell is an independent deterministic
-/// simulation, so we fan out with scoped threads (no dependency needed) and
-/// join in order.
+/// simulation.  Parallelism is bounded by
+/// [`std::thread::available_parallelism`]: a fixed pool of scoped workers
+/// pulls cells off a shared cursor, so a 100-cell sweep on an 8-way machine
+/// spawns 8 threads, not 100.
 pub fn parallel_map<T, F>(inputs: Vec<T>, f: F) -> Vec<<F as ParallelCell<T>>::Out>
 where
     T: Send,
     F: ParallelCell<T> + Sync,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    // Single-worker degenerate case (or a 1-cell sweep): run inline.
+    if workers == 1 {
+        return inputs.into_iter().map(|input| f.run(input)).collect();
+    }
+
+    // Work-stealing by shared cursor: each worker claims the next unclaimed
+    // index, computes the cell, and writes the result into its slot, so
+    // output order always matches input order regardless of scheduling.
+    let cells: Vec<Mutex<Option<T>>> = inputs
+        .into_iter()
+        .map(|input| Mutex::new(Some(input)))
+        .collect();
+    let slots: Vec<Mutex<Option<<F as ParallelCell<T>>::Out>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
     std::thread::scope(|scope| {
-        let handles: Vec<_> = inputs
-            .into_iter()
-            .map(|input| scope.spawn({
-                let f = &f;
-                move || f.run(input)
-            }))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment cell panicked"))
-            .collect()
-    })
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let input = cells[i]
+                    .lock()
+                    .expect("cell mutex poisoned")
+                    .take()
+                    .expect("each cell is claimed exactly once");
+                let out = f.run(input);
+                *slots[i].lock().expect("slot mutex poisoned") = Some(out);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot mutex poisoned")
+                .expect("every slot filled by a worker")
+        })
+        .collect()
 }
 
 /// A sendable experiment cell (object-safe closure alternative so
@@ -67,5 +109,20 @@ mod tests {
     fn parallel_map_preserves_order() {
         let out = parallel_map((0..32).collect(), |x: i32| x * 2);
         assert_eq!(out, (0..32).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_many_more_cells_than_cores() {
+        // 500 cells must not spawn 500 threads; with the bounded pool this
+        // completes with at most `available_parallelism` workers.
+        let out = parallel_map((0..500).collect(), |x: u64| x * x);
+        assert_eq!(out.len(), 500);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == (i as u64).pow(2)));
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        assert!(parallel_map(Vec::<u8>::new(), |x: u8| x).is_empty());
+        assert_eq!(parallel_map(vec![7], |x: u8| x + 1), vec![8]);
     }
 }

@@ -36,7 +36,11 @@ impl ScaleComparison {
     pub fn biggest_winner(&self) -> Option<(String, f64)> {
         self.labels()
             .into_iter()
-            .filter_map(|l| self.flowcon.reduction_vs(&self.baseline, &l).map(|r| (l, r)))
+            .filter_map(|l| {
+                self.flowcon
+                    .reduction_vs(&self.baseline, &l)
+                    .map(|r| (l, r))
+            })
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite reductions"))
     }
 
@@ -46,7 +50,11 @@ impl ScaleComparison {
         let mut rows: Vec<(String, f64)> = self
             .labels()
             .into_iter()
-            .filter_map(|l| self.flowcon.reduction_vs(&self.baseline, &l).map(|r| (l, r)))
+            .filter_map(|l| {
+                self.flowcon
+                    .reduction_vs(&self.baseline, &l)
+                    .map(|r| (l, r))
+            })
             .collect();
         rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite reductions"));
         let loser = rows.first().map(|(l, _)| l.clone()).unwrap_or_default();

@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 
 pub use experiments::{ablation, fig1, fixed, random, scale};

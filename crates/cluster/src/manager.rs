@@ -33,7 +33,10 @@ impl ClusterResult {
 
     /// Total number of completed jobs.
     pub fn completed_jobs(&self) -> usize {
-        self.workers.iter().map(|w| w.summary.completions.len()).sum()
+        self.workers
+            .iter()
+            .map(|w| w.summary.completions.len())
+            .sum()
     }
 
     /// Completion time of a job by label, searching all workers.

@@ -110,7 +110,9 @@ mod tests {
     fn round_robin_cycles() {
         let mut rr = RoundRobin::default();
         let loads = vec![WorkerLoad::default(); 3];
-        let picks: Vec<usize> = (0..6).map(|_| rr.place(&job(ModelId::Gru), &loads)).collect();
+        let picks: Vec<usize> = (0..6)
+            .map(|_| rr.place(&job(ModelId::Gru), &loads))
+            .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
 

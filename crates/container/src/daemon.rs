@@ -197,11 +197,21 @@ impl<W: Workload> Daemon<W> {
     /// This is the allocator's input: `(id, cpu_limit, demand)` per runnable
     /// container.
     pub fn alloc_inputs(&self) -> Vec<(ContainerId, f64, f64)> {
-        self.pool
-            .iter()
-            .filter(|c| c.state().is_runnable())
-            .map(|c| (c.id(), c.limits().cpu_limit(), c.workload().demand()))
-            .collect()
+        let mut out = Vec::new();
+        self.alloc_inputs_into(&mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Daemon::alloc_inputs`]: clears `out` and
+    /// refills it in place, so a per-tick caller reuses one buffer forever.
+    pub fn alloc_inputs_into(&self, out: &mut Vec<(ContainerId, f64, f64)>) {
+        out.clear();
+        out.extend(
+            self.pool
+                .iter()
+                .filter(|c| c.state().is_runnable())
+                .map(|c| (c.id(), c.limits().cpu_limit(), c.workload().demand())),
+        );
     }
 
     /// Advance every running container by `dt_secs` of simulated time.

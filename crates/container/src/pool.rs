@@ -98,6 +98,13 @@ impl<W: Workload> ContainerPool<W> {
     pub fn ids(&self) -> Vec<ContainerId> {
         self.containers.keys().copied().collect()
     }
+
+    /// Allocation-free variant of [`ContainerPool::ids`]: clears `out` and
+    /// refills it in place.
+    pub fn ids_into(&self, out: &mut Vec<ContainerId>) {
+        out.clear();
+        out.extend(self.containers.keys().copied());
+    }
 }
 
 #[cfg(test)]

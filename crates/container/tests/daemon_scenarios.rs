@@ -21,13 +21,28 @@ fn daemon() -> Daemon<FixedWork> {
 fn three_container_lifecycle_with_updates() {
     let mut d = daemon();
     let a = d
-        .run("pytorch/pytorch:latest", FixedWork::new("a", 30.0, 0.9), ResourceLimits::default(), t(0))
+        .run(
+            "pytorch/pytorch:latest",
+            FixedWork::new("a", 30.0, 0.9),
+            ResourceLimits::default(),
+            t(0),
+        )
         .unwrap();
     let b = d
-        .run("tensorflow/tensorflow:latest", FixedWork::new("b", 10.0, 0.8), ResourceLimits::default(), t(0))
+        .run(
+            "tensorflow/tensorflow:latest",
+            FixedWork::new("b", 10.0, 0.8),
+            ResourceLimits::default(),
+            t(0),
+        )
         .unwrap();
     let c = d
-        .run("tensorflow/tensorflow:latest", FixedWork::new("c", 5.0, 0.7), ResourceLimits::default(), t(0))
+        .run(
+            "tensorflow/tensorflow:latest",
+            FixedWork::new("c", 5.0, 0.7),
+            ResourceLimits::default(),
+            t(0),
+        )
         .unwrap();
     assert_eq!(d.ps(), vec![a, b, c]);
 
@@ -54,7 +69,12 @@ fn three_container_lifecycle_with_updates() {
 fn advance_exits_exactly_on_work_completion() {
     let mut d = daemon();
     let a = d
-        .run("pytorch/pytorch:latest", FixedWork::new("a", 5.0, 1.0), ResourceLimits::default(), t(0))
+        .run(
+            "pytorch/pytorch:latest",
+            FixedWork::new("a", 5.0, 1.0),
+            ResourceLimits::default(),
+            t(0),
+        )
         .unwrap();
     // 4 cpu-s: not done.
     assert!(d.advance(t(8), &[a], &[0.5], &[1.0], 8.0).is_empty());
@@ -73,7 +93,12 @@ fn advance_exits_exactly_on_work_completion() {
 fn event_stream_orders_lifecycle_events() {
     let mut d = daemon();
     let a = d
-        .run("pytorch/pytorch:latest", FixedWork::new("a", 1.0, 1.0), ResourceLimits::default(), t(1))
+        .run(
+            "pytorch/pytorch:latest",
+            FixedWork::new("a", 1.0, 1.0),
+            ResourceLimits::default(),
+            t(1),
+        )
         .unwrap();
     d.advance(t(3), &[a], &[1.0], &[1.0], 2.0);
     let kinds: Vec<&str> = d
@@ -87,7 +112,12 @@ fn event_stream_orders_lifecycle_events() {
         })
         .collect();
     assert_eq!(kinds, vec!["created", "started", "died"]);
-    let times: Vec<u64> = d.events().all().iter().map(|e| e.at().as_micros()).collect();
+    let times: Vec<u64> = d
+        .events()
+        .all()
+        .iter()
+        .map(|e| e.at().as_micros())
+        .collect();
     assert!(times.windows(2).all(|w| w[0] <= w[1]));
 }
 
@@ -95,12 +125,23 @@ fn event_stream_orders_lifecycle_events() {
 fn exec_injects_into_running_container_only() {
     let mut d = daemon();
     let a = d
-        .run("pytorch/pytorch:latest", FixedWork::new("a", 100.0, 1.0), ResourceLimits::default(), t(0))
+        .run(
+            "pytorch/pytorch:latest",
+            FixedWork::new("a", 100.0, 1.0),
+            ResourceLimits::default(),
+            t(0),
+        )
         .unwrap();
     d.exec(a, |w| w.advance(t(1), 50.0)).unwrap();
-    assert_eq!(d.inspect(a).unwrap().workload().remaining_cpu_seconds(), Some(50.0));
+    assert_eq!(
+        d.inspect(a).unwrap().workload().remaining_cpu_seconds(),
+        Some(50.0)
+    );
     d.stop(a, t(2)).unwrap();
-    assert!(d.exec(a, |_| {}).is_err(), "exec on stopped container fails");
+    assert!(
+        d.exec(a, |_| {}).is_err(),
+        "exec on stopped container fails"
+    );
     assert!(d.exec(ContainerId::from_raw(99), |_| {}).is_err());
 }
 
@@ -108,7 +149,12 @@ fn exec_injects_into_running_container_only() {
 fn reap_collects_externally_finished_workloads() {
     let mut d = daemon();
     let a = d
-        .run("pytorch/pytorch:latest", FixedWork::new("a", 10.0, 1.0), ResourceLimits::default(), t(0))
+        .run(
+            "pytorch/pytorch:latest",
+            FixedWork::new("a", 10.0, 1.0),
+            ResourceLimits::default(),
+            t(0),
+        )
         .unwrap();
     // Finish the workload via exec without advancing the clock.
     d.exec(a, |w| w.advance(t(1), 10.0)).unwrap();

@@ -303,16 +303,16 @@ mod tests {
             assert!(m.demand > 0.0 && m.demand <= 1.0, "{id:?}");
             assert!(m.noise >= 0.0 && m.noise < 0.2, "{id:?}");
             assert!(m.eval.magnitude() > 0.0, "{id:?}");
-            assert!(
-                m.final_accuracy > 0.0 && m.final_accuracy <= 1.0,
-                "{id:?}"
-            );
+            assert!(m.final_accuracy > 0.0 && m.final_accuracy <= 1.0, "{id:?}");
         }
     }
 
     #[test]
     fn labels_match_paper_style() {
-        assert_eq!(ModelSpec::of(ModelId::MnistTf).label(), "MNIST (Tensorflow)");
+        assert_eq!(
+            ModelSpec::of(ModelId::MnistTf).label(),
+            "MNIST (Tensorflow)"
+        );
         assert_eq!(ModelSpec::of(ModelId::Vae).label(), "VAE (Pytorch)");
     }
 
@@ -347,8 +347,10 @@ mod tests {
     #[test]
     fn table1_has_six_distinct_model_families() {
         // VAE and MNIST appear on both platforms; the table lists 6 rows.
-        let names: std::collections::BTreeSet<&str> =
-            TABLE1_MODELS.iter().map(|&m| ModelSpec::of(m).name).collect();
+        let names: std::collections::BTreeSet<&str> = TABLE1_MODELS
+            .iter()
+            .map(|&m| ModelSpec::of(m).name)
+            .collect();
         assert_eq!(names.len(), 6, "{names:?}");
     }
 }

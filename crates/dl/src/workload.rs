@@ -87,7 +87,9 @@ impl WorkloadPlan {
     /// §5.5's scalability mixes: `n` jobs drawn round-robin from Table 1's
     /// models, random arrivals in `[0, 200)` s, labelled in arrival order.
     pub fn random_n(n: usize, seed: u64) -> Self {
-        let models: Vec<ModelId> = (0..n).map(|i| TABLE1_MODELS[i % TABLE1_MODELS.len()]).collect();
+        let models: Vec<ModelId> = (0..n)
+            .map(|i| TABLE1_MODELS[i % TABLE1_MODELS.len()])
+            .collect();
         Self::random_from(&models, seed)
     }
 

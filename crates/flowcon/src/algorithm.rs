@@ -68,9 +68,11 @@ pub fn run_algorithm1(
         .iter()
         .all(|m| lists.kind_of(m.id) == Some(ListKind::Completing));
     if every_measured_in_cl {
+        // Same 1e-9 tolerance as the update-emission path below: a limit
+        // like 0.9999999999 must not trigger a spurious `docker update`.
         let updates = measures
             .iter()
-            .filter(|m| m.cpu_limit != 1.0)
+            .filter(|m| (m.cpu_limit - 1.0).abs() > 1e-9)
             .map(|m| (m.id, 1.0))
             .collect();
         return AlgorithmOutcome {
@@ -142,11 +144,7 @@ mod tests {
     fn fresh_container_gets_full_limit() {
         let mut lists = Lists::new();
         lists.insert_new(id(1));
-        let out = run_algorithm1(
-            &config(),
-            &mut lists,
-            &[measure(1, None, 0.5)],
-        );
+        let out = run_algorithm1(&config(), &mut lists, &[measure(1, None, 0.5)]);
         assert_eq!(out.updates, vec![(id(1), 1.0)]);
         assert!(!out.backed_off);
     }
@@ -199,6 +197,23 @@ mod tests {
         let out = run_algorithm1(&config(), &mut lists, &[measure(1, Some(0.001), 1.0)]);
         assert!(out.backed_off);
         assert!(out.updates.is_empty());
+    }
+
+    #[test]
+    fn backoff_tolerates_float_noise_in_released_limits() {
+        // A limit within 1e-9 of 1.0 (accumulated float noise) must not
+        // trigger a spurious release update during back-off.
+        let mut lists = Lists::new();
+        lists.insert_new(id(1));
+        lists.observe(id(1), 0.0, 0.05);
+        lists.observe(id(1), 0.0, 0.05);
+        let out = run_algorithm1(
+            &config(),
+            &mut lists,
+            &[measure(1, Some(0.001), 1.0 - 1e-10)],
+        );
+        assert!(out.backed_off);
+        assert!(out.updates.is_empty(), "{:?}", out.updates);
     }
 
     #[test]

@@ -28,8 +28,8 @@
 
 pub mod algorithm;
 pub mod config;
-pub mod lists;
 pub mod listener;
+pub mod lists;
 pub mod metric;
 pub mod monitor;
 pub mod policy;

@@ -77,11 +77,7 @@ impl Lists {
     /// True if **all** tracked containers are in the Completing List and at
     /// least one container exists (Algorithm 1 line 14).
     pub fn all_completing(&self) -> bool {
-        !self.membership.is_empty()
-            && self
-                .membership
-                .values()
-                .all(|&k| k == ListKind::Completing)
+        !self.membership.is_empty() && self.membership.values().all(|&k| k == ListKind::Completing)
     }
 
     /// Number of tracked containers.

@@ -27,9 +27,10 @@ pub const USAGE_FLOOR: f64 = 1e-3;
 
 /// Eq. 1: absolute per-second progress of the evaluation function.
 ///
-/// Returns `None` for a non-positive interval.
+/// Returns `None` for a non-positive (or non-finite) interval.
 pub fn progress_score(eval_now: f64, eval_prev: f64, dt_secs: f64) -> Option<f64> {
-    if !(dt_secs > 0.0) || !eval_now.is_finite() || !eval_prev.is_finite() {
+    let interval_valid = dt_secs.is_finite() && dt_secs > 0.0;
+    if !interval_valid || !eval_now.is_finite() || !eval_prev.is_finite() {
         return None;
     }
     Some((eval_now - eval_prev).abs() / dt_secs)

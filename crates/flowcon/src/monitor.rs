@@ -49,6 +49,20 @@ impl ContainerMonitor {
         daemon: &Daemon<W>,
     ) -> Vec<GrowthMeasurement> {
         let mut out = Vec::new();
+        self.measure_into(now, daemon, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`ContainerMonitor::measure`]: clears
+    /// `out` and refills it in place, so the per-tick caller reuses one
+    /// buffer across the whole run.
+    pub fn measure_into<W: Workload>(
+        &mut self,
+        now: SimTime,
+        daemon: &Daemon<W>,
+        out: &mut Vec<GrowthMeasurement>,
+    ) {
+        out.clear();
         for c in daemon.pool().iter().filter(|c| c.state().is_runnable()) {
             let id = c.id();
             let eval_now = c.workload().eval(now);
@@ -115,7 +129,6 @@ impl ContainerMonitor {
             };
             out.push(m);
         }
-        out
     }
 
     /// Drop state for a finished container (resource release, Algorithm 2

@@ -201,7 +201,11 @@ impl ResourcePolicy for StaticEqualPolicy {
     }
 
     fn reconfigure(&mut self, _now: SimTime, _measures: &[GrowthMeasurement]) -> PolicyDecision {
-        let share = if self.n == 0 { 1.0 } else { 1.0 / self.n as f64 };
+        let share = if self.n == 0 {
+            1.0
+        } else {
+            1.0 / self.n as f64
+        };
         PolicyDecision {
             updates: self.ids.iter().map(|&id| (id, share)).collect(),
             next_interval: None,
@@ -237,10 +241,7 @@ impl QualityProportionalPolicy {
 
 impl ResourcePolicy for QualityProportionalPolicy {
     fn name(&self) -> String {
-        format!(
-            "QualityProp-{}",
-            self.interval.as_secs_f64().round() as u64
-        )
+        format!("QualityProp-{}", self.interval.as_secs_f64().round() as u64)
     }
 
     fn initial_interval(&self) -> Option<SimDuration> {

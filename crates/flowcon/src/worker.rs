@@ -14,17 +14,20 @@
 //!
 //! Every run is reproducible from `NodeConfig::seed`.
 
-use flowcon_container::{ContainerId, Daemon, ImageRegistry, ResourceLimits, UpdateOptions, Workload};
+use flowcon_container::{
+    ContainerId, Daemon, ImageRegistry, ResourceLimits, UpdateOptions, Workload,
+};
 use flowcon_dl::models::ModelSpec;
 use flowcon_dl::workload::WorkloadPlan;
 use flowcon_dl::TrainingJob;
 use flowcon_metrics::summary::{CompletionRecord, RunSummary};
-use flowcon_sim::alloc::AllocRequest;
+use flowcon_sim::alloc::{waterfill_soft_into, AllocRequest, WaterfillScratch};
 use flowcon_sim::engine::{Scheduler, SimEngine, Simulation};
 use flowcon_sim::rng::SimRng;
 use flowcon_sim::time::{SimDuration, SimTime};
 
 use crate::config::NodeConfig;
+use crate::metric::GrowthMeasurement;
 use crate::monitor::ContainerMonitor;
 use crate::policy::ResourcePolicy;
 
@@ -80,12 +83,30 @@ pub struct WorkerSim {
     daemon: Daemon<TrainingJob>,
     rng: SimRng,
 
-    /// Rates fixed since the last recompute: `(id, rate)` for each running
-    /// container, in pool id order.
-    rates: Vec<(ContainerId, f64)>,
-    /// Per-container contention efficiencies, aligned with `rates`.
+    /// Ids of containers whose rates are fixed since the last recompute,
+    /// in pool id order.
+    rate_ids: Vec<ContainerId>,
+    /// CPU rates aligned with `rate_ids`.
+    rate_vals: Vec<f64>,
+    /// Per-container contention efficiencies, aligned with `rate_ids`.
     efficiencies: Vec<f64>,
     last_advance: SimTime,
+
+    // --- reusable hot-path buffers: the tick loop is allocation-free in
+    // --- steady state (asserted by `crates/sim/tests/zero_alloc.rs` for
+    // --- the allocator and exercised end-to-end by the benches).
+    /// Water-filling scratch (rate buffers + warm sort-order cache).
+    alloc_scratch: WaterfillScratch,
+    /// `(id, limit, demand)` rows from the daemon, reused every recompute.
+    alloc_inputs: Vec<(ContainerId, f64, f64)>,
+    /// Allocator requests derived from `alloc_inputs`.
+    requests: Vec<AllocRequest>,
+    /// Growth measurements buffer for policy reconfigurations.
+    measures: Vec<GrowthMeasurement>,
+    /// Growth measurements buffer for trace sampling.
+    trace_measures: Vec<GrowthMeasurement>,
+    /// Pool-membership buffer for listener notifications.
+    pool_ids: Vec<ContainerId>,
 
     completion_gen: u64,
     tick_gen: u64,
@@ -105,15 +126,25 @@ impl WorkerSim {
     pub fn new(node: NodeConfig, plan: WorkloadPlan, policy: Box<dyn ResourcePolicy>) -> Self {
         let summary = RunSummary::new(policy.name());
         let arrivals_pending = plan.len();
+        // Jobs on a worker never exceed the plan size, so pre-sizing the
+        // scratch buffers makes even the first tick allocation-free.
+        let max_jobs = plan.len();
         WorkerSim {
             node,
             plan,
             policy,
             daemon: Daemon::new(ImageRegistry::with_dl_defaults()),
             rng: SimRng::new(node.seed),
-            rates: Vec::new(),
-            efficiencies: Vec::new(),
+            rate_ids: Vec::with_capacity(max_jobs),
+            rate_vals: Vec::with_capacity(max_jobs),
+            efficiencies: Vec::with_capacity(max_jobs),
             last_advance: SimTime::ZERO,
+            alloc_scratch: WaterfillScratch::with_capacity(max_jobs),
+            alloc_inputs: Vec::with_capacity(max_jobs),
+            requests: Vec::with_capacity(max_jobs),
+            measures: Vec::with_capacity(max_jobs),
+            trace_measures: Vec::with_capacity(max_jobs),
+            pool_ids: Vec::with_capacity(max_jobs),
             completion_gen: 0,
             tick_gen: 0,
             arrivals_pending,
@@ -168,15 +199,17 @@ impl WorkerSim {
     }
 
     /// Integrate the fluid state from `last_advance` to `now`.
+    ///
+    /// The returned `Vec` is empty (and unallocated) unless containers
+    /// actually exited in this step.
     fn advance_to(&mut self, now: SimTime) -> Vec<ContainerId> {
         let dt = now.saturating_since(self.last_advance).as_secs_f64();
         self.last_advance = now;
-        if dt <= 0.0 || self.rates.is_empty() {
+        if dt <= 0.0 || self.rate_ids.is_empty() {
             return Vec::new();
         }
-        let (ids, rates): (Vec<ContainerId>, Vec<f64>) = self.rates.iter().copied().unzip();
         self.daemon
-            .advance(now, &ids, &rates, &self.efficiencies, dt)
+            .advance(now, &self.rate_ids, &self.rate_vals, &self.efficiencies, dt)
     }
 
     /// Recompute allocator rates and contention for the current pool.
@@ -187,39 +220,45 @@ impl WorkerSim {
     /// redistributed up to demand — "even if the container cannot maximize
     /// its own resource, the unused option will be utilized by others".
     fn recompute_rates(&mut self) {
-        let inputs = self.daemon.alloc_inputs();
-        let requests: Vec<AllocRequest> = inputs
-            .iter()
-            .map(|&(_, limit, demand)| AllocRequest {
-                limit,
-                demand,
-                weight: 1.0,
-            })
-            .collect();
-        let alloc = flowcon_sim::alloc::waterfill_soft(self.node.capacity, &requests);
-        self.rates = inputs
-            .iter()
-            .zip(&alloc.rates)
-            .map(|(&(id, _, _), &r)| (id, r))
-            .collect();
+        self.daemon.alloc_inputs_into(&mut self.alloc_inputs);
+        self.requests.clear();
+        self.requests.extend(
+            self.alloc_inputs
+                .iter()
+                .map(|&(_, limit, demand)| AllocRequest {
+                    limit,
+                    demand,
+                    weight: 1.0,
+                }),
+        );
+        waterfill_soft_into(&mut self.alloc_scratch, self.node.capacity, &self.requests);
+        self.rate_ids.clear();
+        self.rate_vals.clear();
+        self.rate_ids
+            .extend(self.alloc_inputs.iter().map(|&(id, _, _)| id));
+        self.rate_vals.extend_from_slice(self.alloc_scratch.rates());
         // A container is "shaped" when a policy gave it an explicit limit;
         // free competitors (limit 1.0, i.e. NA and fresh jobs) pay the
         // jitter tax on top of the shared contention factor.
-        let n = self.rates.len();
-        self.efficiencies = inputs
-            .iter()
-            .map(|&(_, limit, _)| {
+        let n = self.rate_ids.len();
+        self.efficiencies.clear();
+        self.efficiencies
+            .extend(self.alloc_inputs.iter().map(|&(_, limit, _)| {
                 let shaped = limit < 0.999;
                 self.node.contention.container_efficiency(n, shaped)
-            })
-            .collect();
+            }));
         self.completion_gen += 1;
     }
 
     /// Project the earliest completion under current rates.
     fn next_completion(&self) -> Option<SimTime> {
         let mut best: Option<f64> = None;
-        for (&(id, rate), &eff) in self.rates.iter().zip(&self.efficiencies) {
+        for ((&id, &rate), &eff) in self
+            .rate_ids
+            .iter()
+            .zip(&self.rate_vals)
+            .zip(&self.efficiencies)
+        {
             let c = self.daemon.pool().get(id)?;
             let remaining = c.workload().remaining_cpu_seconds()?;
             let speed = rate * eff;
@@ -256,15 +295,16 @@ impl WorkerSim {
                 });
             }
         }
-        let pool_ids = self.daemon.pool().ids();
-        self.policy.on_pool_change(now, &pool_ids)
+        self.daemon.pool().ids_into(&mut self.pool_ids);
+        self.policy.on_pool_change(now, &self.pool_ids)
     }
 
     /// Run the policy (Executor tick or listener interrupt), apply updates,
     /// and return the policy's next interval.
     fn run_reconfigure(&mut self, now: SimTime) -> Option<SimDuration> {
-        let measures = self.policy_monitor.measure(now, &self.daemon);
-        let decision = self.policy.reconfigure(now, &measures);
+        self.policy_monitor
+            .measure_into(now, &self.daemon, &mut self.measures);
+        let decision = self.policy.reconfigure(now, &self.measures);
         self.algorithm_runs += 1;
         for (id, limit) in &decision.updates {
             if self
@@ -301,27 +341,30 @@ impl WorkerSim {
     }
 
     fn record_samples(&mut self, now: SimTime) {
-        for &(id, rate) in &self.rates {
+        for (&id, &rate) in self.rate_ids.iter().zip(&self.rate_vals) {
             if let Some(c) = self.daemon.pool().get(id) {
-                let label = c.workload().label().to_string();
-                self.summary.cpu_usage.series_mut(&label).push(now, rate);
+                // Borrow the label in place: a steady-state sample tick must
+                // not allocate (`series_mut` only clones for unseen labels).
+                let label = c.workload().label();
+                self.summary.cpu_usage.series_mut(label).push(now, rate);
                 self.summary
                     .limits
-                    .series_mut(&label)
+                    .series_mut(label)
                     .push(now, c.limits().cpu_limit());
             }
         }
     }
 
     fn record_growth_traces(&mut self, now: SimTime) {
-        let measures = self.trace_monitor.measure(now, &self.daemon);
-        for m in measures {
+        self.trace_monitor
+            .measure_into(now, &self.daemon, &mut self.trace_measures);
+        for m in &self.trace_measures {
             let Some(g) = m.growth() else { continue };
             if let Some(c) = self.daemon.pool().get(m.id) {
-                let label = c.workload().label().to_string();
+                let label = c.workload().label();
                 self.summary
                     .growth_efficiency
-                    .series_mut(&label)
+                    .series_mut(label)
                     .push(now, g);
             }
         }
@@ -343,8 +386,8 @@ impl WorkerSim {
                     .expect("default registry contains framework images");
                 self.arrivals_pending -= 1;
 
-                let pool_ids = self.daemon.pool().ids();
-                let interrupt = self.policy.on_pool_change(now, &pool_ids);
+                self.daemon.pool().ids_into(&mut self.pool_ids);
+                let interrupt = self.policy.on_pool_change(now, &self.pool_ids);
                 if interrupt || interrupted_by_exit {
                     let next = self.run_reconfigure(now);
                     self.schedule_tick(sched, next);
@@ -512,10 +555,7 @@ mod tests {
         assert_eq!(s.completions.len(), 3);
         let makespan = s.makespan_secs();
         // §5.3: NA makespan ≈ 394 s.  Allow the fluid model ±10%.
-        assert!(
-            (354.0..434.0).contains(&makespan),
-            "NA makespan {makespan}"
-        );
+        assert!((354.0..434.0).contains(&makespan), "NA makespan {makespan}");
         let mnist_tf = s.completion_of("MNIST (Tensorflow)").unwrap();
         // §5.3: ≈ 84.7 s under NA.
         assert!((70.0..100.0).contains(&mnist_tf), "MNIST-TF {mnist_tf}");

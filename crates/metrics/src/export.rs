@@ -55,7 +55,14 @@ pub fn completions_csv(summaries: &[&RunSummary]) -> String {
         }
     }
     to_csv(
-        &["policy", "job", "arrival_s", "finished_s", "completion_s", "exit_code"],
+        &[
+            "policy",
+            "job",
+            "arrival_s",
+            "finished_s",
+            "completion_s",
+            "exit_code",
+        ],
         &rows,
     )
 }

@@ -32,16 +32,16 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
 
 /// Minimum of a slice; `None` when empty.
 pub fn min(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().fold(None, |acc, x| {
-        Some(acc.map_or(x, |m: f64| m.min(x)))
-    })
+    xs.iter()
+        .copied()
+        .fold(None, |acc, x| Some(acc.map_or(x, |m: f64| m.min(x))))
 }
 
 /// Maximum of a slice; `None` when empty.
 pub fn max(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().fold(None, |acc, x| {
-        Some(acc.map_or(x, |m: f64| m.max(x)))
-    })
+    xs.iter()
+        .copied()
+        .fold(None, |acc, x| Some(acc.map_or(x, |m: f64| m.max(x))))
 }
 
 /// Geometric mean of strictly positive values; `None` otherwise.

@@ -84,7 +84,11 @@ impl RunSummary {
             edges.push((c.arrival.as_secs_f64(), 1));
             edges.push((c.finished.as_secs_f64(), -1));
         }
-        edges.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times").then(b.1.cmp(&a.1)));
+        edges.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite times")
+                .then(b.1.cmp(&a.1))
+        });
         let mut active = 0i32;
         let mut overlap = 0.0;
         let mut last_t = 0.0;
@@ -158,7 +162,10 @@ mod tests {
 
     #[test]
     fn completion_and_makespan() {
-        let s = summary("NA", vec![rec("a", 0, 390), rec("b", 40, 270), rec("c", 80, 165)]);
+        let s = summary(
+            "NA",
+            vec![rec("a", 0, 390), rec("b", 40, 270), rec("c", 80, 165)],
+        );
         assert_eq!(s.completion_of("c"), Some(85.0));
         assert_eq!(s.makespan_secs(), 390.0);
         assert_eq!(s.completion_of("missing"), None);
@@ -166,7 +173,10 @@ mod tests {
 
     #[test]
     fn overlap_counts_concurrent_lifetime() {
-        let s = summary("NA", vec![rec("a", 0, 100), rec("b", 40, 120), rec("c", 80, 90)]);
+        let s = summary(
+            "NA",
+            vec![rec("a", 0, 100), rec("b", 40, 120), rec("c", 80, 90)],
+        );
         // >=2 alive: [40, 100] = 60; >=3 alive: [80, 90] = 10.
         assert!((s.overlap_secs(2) - 60.0).abs() < 1e-9);
         assert!((s.overlap_secs(3) - 10.0).abs() < 1e-9);

@@ -124,10 +124,7 @@ impl MultiSeries {
 
     /// Borrow a series by label.
     pub fn get(&self, label: &str) -> Option<&TimeSeries> {
-        self.series
-            .iter()
-            .find(|(l, _)| l == label)
-            .map(|(_, s)| s)
+        self.series.iter().find(|(l, _)| l == label).map(|(_, s)| s)
     }
 
     /// Iterate `(label, series)` in insertion order.

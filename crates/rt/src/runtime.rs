@@ -41,6 +41,9 @@ use flowcon_sim::time::SimTime;
 use crate::governor::{AtomicF64, TokenBucket};
 use crate::kernel::spin_for;
 
+/// The governor's refill targets: one `(bucket, rate)` pair per container.
+type GovernorTargets = Arc<Mutex<Vec<(Arc<TokenBucket>, Arc<AtomicF64>)>>>;
+
 /// Runtime parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct RtConfig {
@@ -125,8 +128,7 @@ impl RtRuntime {
         let mut next_id: u64 = 0;
 
         // Governor thread: refill every bucket at its current rate.
-        let governor_targets: Arc<Mutex<Vec<(Arc<TokenBucket>, Arc<AtomicF64>)>>> =
-            Arc::new(Mutex::new(Vec::new()));
+        let governor_targets: GovernorTargets = Arc::new(Mutex::new(Vec::new()));
         let governor = {
             let targets = Arc::clone(&governor_targets);
             let shutdown = Arc::clone(&shutdown);
@@ -176,7 +178,13 @@ impl RtRuntime {
             if pool_changed {
                 let ids: Vec<ContainerId> = active.keys().copied().collect();
                 if self.policy.on_pool_change(sim_now(now), &ids) {
-                    self.reconfigure(now, &mut active, &mut algorithm_runs, &mut update_calls, &mut tick);
+                    self.reconfigure(
+                        now,
+                        &mut active,
+                        &mut algorithm_runs,
+                        &mut update_calls,
+                        &mut tick,
+                    );
                     next_tick = start + now + tick;
                 }
                 self.reshare(&active);
@@ -215,7 +223,13 @@ impl RtRuntime {
                     }
                     let ids: Vec<ContainerId> = active.keys().copied().collect();
                     if self.policy.on_pool_change(sim_now(now), &ids) {
-                        self.reconfigure(now, &mut active, &mut algorithm_runs, &mut update_calls, &mut tick);
+                        self.reconfigure(
+                            now,
+                            &mut active,
+                            &mut algorithm_runs,
+                            &mut update_calls,
+                            &mut tick,
+                        );
                         next_tick = start + now + tick;
                     }
                     self.reshare(&active);
@@ -223,7 +237,13 @@ impl RtRuntime {
                 Err(RecvTimeoutError::Timeout) => {
                     if Instant::now() >= next_tick {
                         let now = start.elapsed();
-                        self.reconfigure(now, &mut active, &mut algorithm_runs, &mut update_calls, &mut tick);
+                        self.reconfigure(
+                            now,
+                            &mut active,
+                            &mut algorithm_runs,
+                            &mut update_calls,
+                            &mut tick,
+                        );
                         self.reshare(&active);
                         next_tick = Instant::now() + tick;
                     }
@@ -246,7 +266,7 @@ impl RtRuntime {
         rt_job: RtJob,
         now: Duration,
         done_tx: &Sender<ContainerId>,
-        governor_targets: &Arc<Mutex<Vec<(Arc<TokenBucket>, Arc<AtomicF64>)>>>,
+        governor_targets: &GovernorTargets,
         shutdown: &Arc<AtomicBool>,
     ) -> RtContainer {
         let label = Workload::label(&rt_job.job).to_string();
@@ -265,7 +285,7 @@ impl RtRuntime {
             let job = Arc::clone(&job);
             let cpu_used = Arc::clone(&cpu_used);
             let done_tx = done_tx.clone();
-            let shutdown = Arc::clone(&shutdown);
+            let shutdown = Arc::clone(shutdown);
             let quantum = self.config.quantum;
             let quantum_us = quantum.as_micros() as u64;
             let start_offset = now;
@@ -282,8 +302,7 @@ impl RtRuntime {
                     spin_for(quantum);
                     let finished = {
                         let mut j = job.lock();
-                        let virtual_now =
-                            sim_now(start_offset + started.elapsed());
+                        let virtual_now = sim_now(start_offset + started.elapsed());
                         j.advance(virtual_now, quantum.as_secs_f64());
                         cpu_used.fetch_add(quantum.as_secs_f64());
                         j.status() != WorkloadStatus::Running

@@ -94,7 +94,8 @@ impl ContentionModel {
         if shaped || n <= 1 {
             return base;
         }
-        let jitter_factor = (1.0 - self.jitter * (n as f64 - 1.0)).max(self.jitter_floor.clamp(0.0, 1.0));
+        let jitter_factor =
+            (1.0 - self.jitter * (n as f64 - 1.0)).max(self.jitter_floor.clamp(0.0, 1.0));
         (base * jitter_factor).max(self.min_efficiency.min(base))
     }
 }

@@ -119,16 +119,23 @@ impl<S: Simulation> SimEngine<S> {
     pub fn run_until(&mut self, sim: &mut S, horizon: SimTime) -> RunOutcome {
         let mut stop = false;
         loop {
-            let Some(next) = self.queue.peek_time() else {
-                return RunOutcome::Drained;
-            };
-            if next > horizon {
-                return RunOutcome::HorizonReached;
-            }
             if self.events_processed >= self.max_events {
-                return RunOutcome::EventBudgetExhausted;
+                // Budget exhaustion only reports when a dispatchable event
+                // is actually pending (drain/horizon outcomes win otherwise).
+                return match self.queue.peek_time() {
+                    None => RunOutcome::Drained,
+                    Some(next) if next > horizon => RunOutcome::HorizonReached,
+                    Some(_) => RunOutcome::EventBudgetExhausted,
+                };
             }
-            let (when, event) = self.queue.pop().expect("peeked entry must pop");
+            // Fused peek/pop: one heap operation per dispatched event.
+            let Some((when, event)) = self.queue.pop_if_at_or_before(horizon) else {
+                return if self.queue.is_empty() {
+                    RunOutcome::Drained
+                } else {
+                    RunOutcome::HorizonReached
+                };
+            };
             debug_assert!(when >= self.now, "event queue yielded a past event");
             self.now = when;
             self.events_processed += 1;

@@ -78,6 +78,22 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|e| (e.when, e.payload))
     }
 
+    /// Remove and return the earliest event **iff** it fires at or before
+    /// `horizon` — the engine's fused peek/pop fast path.
+    ///
+    /// A dispatch loop built on `peek_time` + `pop` touches the heap twice
+    /// per event; this does one sift-down via [`std::collections::binary_heap::PeekMut`],
+    /// and costs only an O(1) root inspection when the next event lies
+    /// beyond the horizon.
+    pub fn pop_if_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        let entry = self.heap.peek_mut()?;
+        if entry.when > horizon {
+            return None;
+        }
+        let e = std::collections::binary_heap::PeekMut::pop(entry);
+        Some((e.when, e.payload))
+    }
+
     /// Number of events currently pending.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -133,6 +149,37 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
         let (t, _) = q.pop().unwrap();
         assert_eq!(t, SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn pop_if_at_or_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(4), "later");
+        q.schedule(SimTime::from_secs(1), "soon");
+        assert_eq!(
+            q.pop_if_at_or_before(SimTime::from_secs(2)),
+            Some((SimTime::from_secs(1), "soon"))
+        );
+        // Next event is beyond the horizon: nothing popped, queue intact.
+        assert_eq!(q.pop_if_at_or_before(SimTime::from_secs(2)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(
+            q.pop_if_at_or_before(SimTime::from_secs(4)),
+            Some((SimTime::from_secs(4), "later"))
+        );
+        assert_eq!(q.pop_if_at_or_before(SimTime::MAX), None, "empty queue");
+    }
+
+    #[test]
+    fn pop_if_at_or_before_keeps_fifo_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..5 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> =
+            std::iter::from_fn(|| q.pop_if_at_or_before(t).map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Property-based tests for the water-filling allocator: the invariants
 //! every FlowCon experiment rests on.
 
+use flowcon_sim::alloc::{waterfill_into, waterfill_soft, waterfill_soft_into, WaterfillScratch};
 use flowcon_sim::{waterfill, AllocRequest};
 use proptest::prelude::*;
 
@@ -96,5 +97,113 @@ proptest! {
         let a = waterfill(capacity, &reqs);
         let b = waterfill(capacity, &reqs);
         prop_assert_eq!(a, b);
+    }
+
+    /// Equal treatment of equals: two identical requests embedded anywhere
+    /// in a random set receive bit-identical rates.
+    #[test]
+    fn equal_requests_treated_equally_in_mixed_sets(
+        mut reqs in prop::collection::vec(arb_request(), 2..20),
+        twin in arb_request(),
+        positions in (0usize..20, 0usize..20),
+        capacity in 0.1f64..=4.0,
+    ) {
+        let i = positions.0 % reqs.len();
+        let mut j = positions.1 % reqs.len();
+        if i == j {
+            j = (j + 1) % reqs.len();
+        }
+        reqs[i] = twin;
+        reqs[j] = twin;
+        let a = waterfill(capacity, &reqs);
+        prop_assert!(
+            (a.rates[i] - a.rates[j]).abs() < 1e-9,
+            "equal requests, unequal rates: {} vs {}",
+            a.rates[i],
+            a.rates[j]
+        );
+    }
+
+    /// Bit-identity: `waterfill_into` with a continuously reused scratch
+    /// (warm order cache, early exits, shrink/grow) returns exactly the
+    /// rates of the allocating `waterfill`, round after round.
+    #[test]
+    fn scratch_reuse_bit_identical_to_allocating(
+        rounds in prop::collection::vec(prop::collection::vec(arb_request(), 0..24), 1..8),
+        capacity in 0.1f64..=4.0,
+    ) {
+        let mut scratch = WaterfillScratch::new();
+        for reqs in &rounds {
+            let totals = waterfill_into(&mut scratch, capacity, reqs);
+            let fresh = waterfill(capacity, reqs);
+            prop_assert_eq!(scratch.rates().len(), fresh.rates.len());
+            for (a, b) in scratch.rates().iter().zip(&fresh.rates) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{} != {}", a, b);
+            }
+            prop_assert_eq!(totals.total.to_bits(), fresh.total.to_bits());
+            prop_assert_eq!(totals.idle.to_bits(), fresh.idle.to_bits());
+        }
+    }
+
+    /// Bit-identity under steady-state limit drift: only limits move between
+    /// rounds (the Algorithm 1 pattern), which exercises the warm-order
+    /// revalidation path specifically.
+    #[test]
+    fn warm_cache_bit_identical_under_limit_drift(
+        base in prop::collection::vec(arb_request(), 1..24),
+        drifts in prop::collection::vec((0usize..24, -0.3f64..=0.3), 1..16),
+        capacity in 0.1f64..=4.0,
+    ) {
+        let mut reqs = base;
+        let mut scratch = WaterfillScratch::new();
+        for (idx, delta) in drifts {
+            let i = idx % reqs.len();
+            reqs[i].limit = (reqs[i].limit + delta).clamp(0.0, 1.5);
+            waterfill_into(&mut scratch, capacity, &reqs);
+            let fresh = waterfill(capacity, &reqs);
+            for (a, b) in scratch.rates().iter().zip(&fresh.rates) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{} != {}", a, b);
+            }
+        }
+    }
+
+    /// The soft (demand top-up) scratch path is bit-identical too.
+    #[test]
+    fn soft_scratch_reuse_bit_identical(
+        rounds in prop::collection::vec(prop::collection::vec(arb_request(), 0..16), 1..8),
+        capacity in 0.1f64..=4.0,
+    ) {
+        let mut scratch = WaterfillScratch::new();
+        for reqs in &rounds {
+            let totals = waterfill_soft_into(&mut scratch, capacity, reqs);
+            let fresh = waterfill_soft(capacity, reqs);
+            prop_assert_eq!(scratch.rates().len(), fresh.rates.len());
+            for (a, b) in scratch.rates().iter().zip(&fresh.rates) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{} != {}", a, b);
+            }
+            prop_assert_eq!(totals.total.to_bits(), fresh.total.to_bits());
+        }
+    }
+
+    /// The scratch entry point upholds the allocator invariants directly
+    /// (cap respect, capacity respect, work conservation).
+    #[test]
+    fn scratch_caps_capacity_and_conservation(
+        reqs in prop::collection::vec(arb_request(), 0..24),
+        capacity in 0.1f64..=4.0,
+    ) {
+        let mut scratch = WaterfillScratch::new();
+        let totals = waterfill_into(&mut scratch, capacity, &reqs);
+        let total: f64 = scratch.rates().iter().sum();
+        prop_assert!(total <= capacity + 1e-9);
+        for (r, q) in scratch.rates().iter().zip(&reqs) {
+            prop_assert!(*r >= 0.0);
+            prop_assert!(*r <= q.cap() + 1e-9, "rate {} cap {}", r, q.cap());
+        }
+        let cap_sum: f64 = reqs.iter().map(|q| q.cap()).sum();
+        if cap_sum >= capacity {
+            prop_assert!((total - capacity).abs() < 1e-6);
+        }
+        prop_assert!((totals.total + totals.idle - capacity).abs() < 1e-6);
     }
 }

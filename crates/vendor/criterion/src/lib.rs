@@ -1,0 +1,353 @@
+//! Offline subset of `criterion` covering the API this workspace's benches
+//! use: `Criterion`, `BenchmarkGroup`, `Bencher` (`iter` / `iter_batched`),
+//! `BenchmarkId`, `BatchSize` and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build environment has no crates.io access, so this shim provides a
+//! real (if simple) measurement loop: each benchmark is warmed up, then
+//! sampled `sample_size` times with an auto-calibrated iteration count per
+//! sample, and the median/min ns-per-iteration are printed in a stable,
+//! greppable one-line format:
+//!
+//! ```text
+//! bench: <name> ... median 123.4 ns/iter (min 120.0, samples 20)
+//! ```
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (kept for API parity; the shim
+/// always times routine-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many routine calls per setup.
+    SmallInput,
+    /// Large inputs: one routine call per setup.
+    LargeInput,
+    /// Per-iteration setup.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/value` id from a parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// `function/value` id.
+    pub fn new<S: Into<String>, P: fmt::Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// One measured sample set.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Fully qualified benchmark name (`group/id`).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample's nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    result_ns: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes at least `min_sample_time`.
+        let mut iters_per_sample: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.config.min_sample_time || iters_per_sample >= 1 << 24 {
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(2);
+        }
+        // Warm-up.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.config.warm_up_time {
+            std::hint::black_box(routine());
+        }
+        // Sample.
+        let deadline = Instant::now() + self.config.measurement_time;
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.result_ns.push(ns);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// Measure `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.config.warm_up_time {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let deadline = Instant::now() + self.config.measurement_time;
+        for _ in 0..self.config.sample_size.max(10) {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            let ns = start.elapsed().as_nanos() as f64;
+            std::hint::black_box(out);
+            self.result_ns.push(ns);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    min_sample_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(150),
+            measurement_time: Duration::from_millis(750),
+            min_sample_time: Duration::from_millis(5),
+        }
+    }
+}
+
+/// The benchmark manager (shim of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+    /// Every measurement taken so far (inspectable by callers).
+    pub measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Parse CLI configuration (accepted and ignored by the shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            sink: &mut self.measurements,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let config = self.config.clone();
+        run_one(name, &config, f, &mut self.measurements);
+        self
+    }
+
+    /// Print a final summary (no-op placeholder for API parity).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    sink: &'a mut Vec<Measurement>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = format!("{}/{}", self.name, id.into());
+        run_one(&name, &self.config, f, self.sink);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &T),
+    {
+        let name = format!("{}/{}", self.name, id.into());
+        run_one(&name, &self.config, |b| f(b, input), self.sink);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    name: &str,
+    config: &Config,
+    mut f: F,
+    sink: &mut Vec<Measurement>,
+) {
+    let mut bencher = Bencher {
+        config,
+        result_ns: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut ns = bencher.result_ns;
+    if ns.is_empty() {
+        return;
+    }
+    ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = ns[ns.len() / 2];
+    let min = ns[0];
+    println!(
+        "bench: {name} ... median {median:.1} ns/iter (min {min:.1}, samples {})",
+        ns.len()
+    );
+    sink.push(Measurement {
+        name: name.to_string(),
+        median_ns: median,
+        min_ns: min,
+        samples: ns.len(),
+    });
+}
+
+/// Re-export for `b.iter(|| black_box(...))`-style benches.
+pub use std::hint::black_box;
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_measurement() {
+        let mut c = Criterion {
+            config: Config {
+                sample_size: 3,
+                warm_up_time: Duration::from_millis(1),
+                measurement_time: Duration::from_millis(20),
+                min_sample_time: Duration::from_micros(100),
+            },
+            measurements: Vec::new(),
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.measurements.len(), 1);
+        assert!(c.measurements[0].median_ns >= 0.0);
+    }
+
+    #[test]
+    fn group_names_prefix_benchmarks() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(10));
+            g.bench_with_input(BenchmarkId::from_parameter(5), &5u64, |b, &n| {
+                b.iter(|| n * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.measurements[0].name, "g/5");
+    }
+}

@@ -1,0 +1,465 @@
+//! Offline subset of `proptest` covering the API this workspace's property
+//! tests use: the [`Strategy`] trait (with `prop_map`), range and tuple
+//! strategies, `collection::vec` / `collection::btree_set`,
+//! `option::weighted`, and the `proptest!` / `prop_assert*` macros.
+//!
+//! The build environment has no crates.io access, so the real crate is
+//! replaced by this shim.  Differences from upstream: no shrinking (a
+//! failing case panics with its inputs via the assertion message), and a
+//! fixed deterministic seed per test function so failures reproduce.
+//! Case count defaults to 64 and honours `PROPTEST_CASES`.
+
+pub mod strategy {
+    //! The strategy trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.unit_f64_inclusive() * (hi - lo)
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty integer range");
+                    let span = (hi - lo) as u64;
+                    let offset = if span == u64::MAX {
+                        rng.next_u64()
+                    } else {
+                        rng.next_u64() % (span + 1)
+                    };
+                    lo + offset as $t
+                }
+            }
+        )*};
+    }
+    int_strategies!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty integer range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    let offset = if span == u64::MAX {
+                        rng.next_u64()
+                    } else {
+                        rng.next_u64() % (span + 1)
+                    };
+                    (lo as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+    signed_int_strategies!(i8, i16, i32, i64);
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// A half-open `[min, max)` length domain for collection strategies.
+    ///
+    /// Mirrors upstream's `SizeRange`: taking `Into<SizeRange>` (instead of
+    /// a generic strategy) is what pins bare `1..12` literals to `usize`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.max <= self.min + 1 {
+                return self.min;
+            }
+            self.min + (rng.next_u64() % (self.max - self.min) as u64) as usize
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: r.end().saturating_add(1),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with a length drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: SizeRange,
+    }
+
+    /// A vector of values from `element`, sized within `sizes`.
+    pub fn vec<S: Strategy>(element: S, sizes: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            sizes: sizes.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.sizes.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` with a target size drawn from a
+    /// [`SizeRange`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        sizes: SizeRange,
+    }
+
+    /// A set of values from `element`; duplicates drawn while filling are
+    /// discarded, so the final size may undershoot the target (as upstream).
+    pub fn btree_set<S>(element: S, sizes: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            sizes: sizes.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.sizes.pick(rng);
+            let mut out = BTreeSet::new();
+            // Bounded attempts so narrow element domains cannot loop forever.
+            for _ in 0..target.saturating_mul(4) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    //! `Option<T>` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `Some` with the given probability.
+    pub struct WeightedOption<S> {
+        probability: f64,
+        inner: S,
+    }
+
+    /// `Some(value)` with probability `probability`, else `None`.
+    pub fn weighted<S: Strategy>(probability: f64, inner: S) -> WeightedOption<S> {
+        WeightedOption { probability, inner }
+    }
+
+    impl<S: Strategy> Strategy for WeightedOption<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.unit_f64() < self.probability {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic RNG and case-count plumbing behind `proptest!`.
+
+    /// Number of cases each property runs (default 64, `PROPTEST_CASES`
+    /// overrides).
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64)
+    }
+
+    /// SplitMix64: tiny, fast, and plenty for test-input generation.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Deterministic RNG for one `(test, case)` pair.
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            let mut seed = 0x9E37_79B9_7F4A_7C15u64 ^ case.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            for b in test_name.bytes() {
+                seed = seed.rotate_left(7) ^ (b as u64).wrapping_mul(0x94D0_49BB_1331_11EB);
+            }
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform in `[0, 1]`.
+        pub fn unit_f64_inclusive(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test needs in scope.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    // `prop::collection::vec(...)`-style paths resolve through this alias.
+    pub use crate as prop;
+}
+
+/// Assert inside a property (panics with context in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}
+
+/// Define property tests: each function runs its body over generated
+/// inputs for [`test_runner::cases`] cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                for case in 0..cases {
+                    let mut proptest_rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut proptest_rng,
+                        );
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 0.25f64..=0.75,
+            n in 3usize..10,
+            raw in 1u64..5,
+        ) {
+            prop_assert!((0.25..=0.75).contains(&x));
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((1..5).contains(&raw));
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            xs in prop::collection::vec((0.0f64..1.0, 0u64..4).prop_map(|(a, b)| a + b as f64), 1..20),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            for x in &xs {
+                prop_assert!((0.0..5.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn weighted_option_mixes(flags in prop::collection::vec(prop::option::weighted(0.5, 0u64..2), 64..65)) {
+            let somes = flags.iter().filter(|f| f.is_some()).count();
+            // 64 draws at p=0.5: statistically impossible to be all-or-nothing
+            // with a correct generator (probability 2^-63).
+            prop_assert!(somes > 0 && somes < 64, "somes {somes}");
+        }
+
+        #[test]
+        fn patterns_allow_mut(mut v in 1usize..4) {
+            v += 1;
+            prop_assert!(v >= 2);
+        }
+    }
+
+    #[test]
+    fn determinism_per_case() {
+        use crate::strategy::Strategy;
+        let a = (0.0f64..1.0).generate(&mut crate::test_runner::TestRng::for_case("t", 3));
+        let b = (0.0f64..1.0).generate(&mut crate::test_runner::TestRng::for_case("t", 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn btree_set_respects_target() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::for_case("set", 0);
+        let s = crate::collection::btree_set(0u64..12, 0usize..8).generate(&mut rng);
+        assert!(s.len() < 8);
+    }
+}

@@ -47,11 +47,7 @@ fn all_policies_complete_the_same_workload() {
             policy.name()
         );
         assert!(
-            result
-                .summary
-                .completions
-                .iter()
-                .all(|c| c.exit_code == 0),
+            result.summary.completions.iter().all(|c| c.exit_code == 0),
             "{} had failures",
             policy.name()
         );
@@ -103,7 +99,10 @@ fn csv_exports_are_well_formed() {
     }
 
     let usage_csv = series_csv("cpu", &fc.cpu_usage);
-    assert!(usage_csv.lines().count() > 100, "usage trace should be dense");
+    assert!(
+        usage_csv.lines().count() > 100,
+        "usage trace should be dense"
+    );
     assert!(usage_csv.starts_with("series,label,t_s,value\n"));
 }
 

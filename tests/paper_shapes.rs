@@ -33,12 +33,8 @@ fn headline_reduction_without_makespan_sacrifice() {
     let best = fixed::ALPHAS
         .iter()
         .map(|&alpha| {
-            let fc = run_flowcon(
-                default_node(),
-                &plan,
-                FlowConConfig::with_params(alpha, 20),
-            )
-            .summary;
+            let fc =
+                run_flowcon(default_node(), &plan, FlowConConfig::with_params(alpha, 20)).summary;
             let red = fc.reduction_vs(&na, "MNIST (Tensorflow)").unwrap();
             let makespan_ok = fc.makespan_improvement_vs(&na) > -2.0;
             (red, makespan_ok)
@@ -110,7 +106,11 @@ fn random_schedule_mostly_wins() {
         // At the paper's showcased setting the loser's penalty stays
         // moderate; at the least favorable setting (large itval) it can
         // approach 2x — the documented deviation.
-        let worst_cap = if s.policy == "FlowCon-3%-30" { -55.0 } else { -95.0 };
+        let worst_cap = if s.policy == "FlowCon-3%-30" {
+            -55.0
+        } else {
+            -95.0
+        };
         for job in &cmp.plan.jobs {
             if let Some(red) = s.reduction_vs(&cmp.baseline, &job.label) {
                 assert!(
