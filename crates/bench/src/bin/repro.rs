@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [experiment ...]
-//! repro bench [--out FILE]
+//! repro bench [--out FILE] [--check BASELINE.json]
+//! repro cluster [--workers N] [--jobs J] [--seed S]
 //!
 //! experiments:
 //!   table1 fig1 fig3 fig4 fig5 fig6 table2 fig7 fig8 fig9 fig10 fig11
@@ -10,8 +11,14 @@
 //!   ablation-backoff ablation-beta ablation-kappa ablation-policies
 //!   all (default)
 //!
-//! `repro bench` runs the fixed allocator/engine/policy micro-suite and
-//! writes a machine-readable `BENCH_<date>.json` (see BENCHMARKS.md).
+//! `repro bench` runs the fixed allocator/engine/policy/cluster micro-suite
+//! and writes a machine-readable `BENCH_<date>.json` (see BENCHMARKS.md).
+//! With `--check` it then compares the fresh results against the given
+//! baseline file and exits non-zero on a regression (the CI perf gate).
+//!
+//! `repro cluster` runs one sharded cluster simulation (default 1024
+//! workers, 2 jobs each) on at most `available_parallelism` OS threads and
+//! prints the scale numbers.
 //! ```
 //!
 //! Output: paper-style tables and ASCII charts on stdout; CSV artifacts
@@ -74,6 +81,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("bench") {
         run_bench(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("cluster") {
+        run_cluster(&args[1..]);
         return;
     }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
@@ -145,15 +156,38 @@ fn main() {
     }
 }
 
-/// `repro bench [--out FILE]`: run the micro-suite, print a table, write
-/// the machine-readable trajectory file.
+/// Value of `--<name> VALUE` in `args`, if the flag is present.
+///
+/// A flag with a missing value — end of argv, or another `--flag` in the
+/// value position — is a hard usage error: silently swallowing it would
+/// e.g. let a CI script run `bench --check` with the baseline forgotten
+/// and never gate anything.
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Some(v.clone()),
+        _ => {
+            eprintln!("{name} requires a value");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `repro bench [--out FILE] [--check BASELINE]`: run the micro-suite,
+/// print a table, write the machine-readable trajectory file, and — with
+/// `--check` — gate the fresh numbers against a committed baseline.
 fn run_bench(args: &[String]) {
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| format!("BENCH_{}.json", perf::today_utc()));
+    let out_path =
+        flag_value(args, "--out").unwrap_or_else(|| format!("BENCH_{}.json", perf::today_utc()));
+    // Resolve (and stat) the baseline up front: a bad gate invocation must
+    // fail before the suite spends its ~15 s, not after.
+    let check_path = flag_value(args, "--check");
+    if let Some(p) = &check_path {
+        if !std::path::Path::new(p).is_file() {
+            eprintln!("cannot read baseline {p}: not a file");
+            std::process::exit(2);
+        }
+    }
     let mode = if cfg!(debug_assertions) {
         "debug"
     } else {
@@ -204,6 +238,115 @@ fn run_bench(args: &[String]) {
         Ok(()) => println!("wrote {out_path}"),
         Err(e) => eprintln!("failed to write {out_path}: {e}"),
     }
+
+    if let Some(baseline_path) = check_path {
+        check_gate(&results, &baseline_path, mode);
+    }
+}
+
+/// The CI perf gate: compare fresh results against `baseline_path`, print
+/// the verdict, and exit non-zero on any violation.
+fn check_gate(results: &[perf::PerfResult], baseline_path: &str, mode: &str) {
+    section(&format!("Bench regression gate vs {baseline_path}"));
+    if mode != "release" {
+        eprintln!("warning: gating {mode} numbers against a committed (release) baseline");
+    }
+    let doc = match std::fs::read_to_string(baseline_path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let Some(baseline) = perf::parse_results(&doc) else {
+        eprintln!("{baseline_path} is not a flowcon-bench/v1 document");
+        std::process::exit(2);
+    };
+    let violations = perf::check_regression(results, &baseline);
+    if violations.is_empty() {
+        println!(
+            "gate passed: no warm-path allocations, no events/s regression > {:.0}%, no allocs/op growth > {:.0}% vs {} baseline rows",
+            100.0 * perf::EVENTS_REGRESSION_TOLERANCE,
+            100.0 * perf::ALLOCS_REGRESSION_TOLERANCE,
+            baseline.len()
+        );
+    } else {
+        for v in &violations {
+            eprintln!("REGRESSION: {v}");
+        }
+        eprintln!("bench gate FAILED with {} violation(s)", violations.len());
+        std::process::exit(1);
+    }
+}
+
+/// `repro cluster [--workers N] [--jobs J] [--seed S]`: one sharded cluster
+/// run — N workers on at most `available_parallelism` OS threads.
+///
+/// Defaults (2 jobs/worker, plan seed [`perf::CLUSTER_BENCH_PLAN_SEED`],
+/// node seed [`perf::CLUSTER_BENCH_NODE_SEED`]) replicate the
+/// `cluster/sharded/w<N>` bench case exactly, so any committed
+/// `BENCH_*.json` point can be reproduced by hand; `--seed` reseeds the
+/// workload plan.
+fn run_cluster(args: &[String]) {
+    use flowcon_cluster::{executor, Manager, PolicyKind, RoundRobin};
+    use flowcon_core::config::{FlowConConfig, NodeConfig};
+    use flowcon_dl::workload::WorkloadPlan;
+
+    let parse_num = |name: &str| {
+        flag_value(args, name).map(|v| {
+            v.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("{name} wants a number, got {v}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let workers = parse_num("--workers").unwrap_or(1024) as usize;
+    let jobs = parse_num("--jobs").unwrap_or(2 * workers as u64) as usize;
+    let seed = parse_num("--seed").unwrap_or(perf::CLUSTER_BENCH_PLAN_SEED);
+
+    let shards = executor::shard_count(workers);
+    section(&format!(
+        "Sharded cluster: {workers} workers, {jobs} jobs, {shards} OS threads"
+    ));
+    let plan = WorkloadPlan::random_n(jobs, seed);
+    let node = NodeConfig::default().with_seed(perf::CLUSTER_BENCH_NODE_SEED);
+    let manager = Manager::new(
+        workers,
+        node,
+        PolicyKind::FlowCon(FlowConConfig::default()),
+        RoundRobin::default(),
+    );
+    let start = std::time::Instant::now();
+    let result = manager.run_owned(plan);
+    let wall = start.elapsed();
+    let events: u64 = result.workers.iter().map(|w| w.events_processed).sum();
+
+    let rows = vec![
+        vec!["workers".to_string(), workers.to_string()],
+        vec!["OS threads (shards)".to_string(), shards.to_string()],
+        vec![
+            "jobs placed".to_string(),
+            result.assignments.len().to_string(),
+        ],
+        vec![
+            "jobs completed".to_string(),
+            result.completed_jobs().to_string(),
+        ],
+        vec![
+            "cluster makespan (sim s)".to_string(),
+            format!("{:.1}", result.makespan_secs()),
+        ],
+        vec!["events processed".to_string(), events.to_string()],
+        vec![
+            "wall time (ms)".to_string(),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+        ],
+        vec![
+            "events/s (wall)".to_string(),
+            format!("{:.0}", events as f64 / wall.as_secs_f64()),
+        ],
+    ];
+    print!("{}", text_table(&["metric", "value"], &rows));
 }
 
 fn table1() {

@@ -21,84 +21,18 @@ pub fn default_node() -> NodeConfig {
 ///
 /// Parameter sweeps (Figs. 3–6 sweep five itval values × several α) are
 /// embarrassingly parallel: each cell is an independent deterministic
-/// simulation.  Parallelism is bounded by
-/// [`std::thread::available_parallelism`]: a fixed pool of scoped workers
-/// pulls cells off a shared cursor, so a 100-cell sweep on an 8-way machine
-/// spawns 8 threads, not 100.
-pub fn parallel_map<T, F>(inputs: Vec<T>, f: F) -> Vec<<F as ParallelCell<T>>::Out>
+/// simulation.  Delegates to the sharded cluster executor
+/// ([`flowcon_cluster::executor::map_bounded`]) — the shared-cursor pool
+/// born here was generalized into that module — so parallelism stays
+/// bounded by [`std::thread::available_parallelism`]: a 100-cell sweep on
+/// an 8-way machine spawns 8 threads, not 100.
+pub fn parallel_map<T, O, F>(inputs: Vec<T>, f: F) -> Vec<O>
 where
     T: Send,
-    F: ParallelCell<T> + Sync,
+    O: Send,
+    F: Fn(T) -> O + Sync,
 {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
-    let n = inputs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    // Single-worker degenerate case (or a 1-cell sweep): run inline.
-    if workers == 1 {
-        return inputs.into_iter().map(|input| f.run(input)).collect();
-    }
-
-    // Work-stealing by shared cursor: each worker claims the next unclaimed
-    // index, computes the cell, and writes the result into its slot, so
-    // output order always matches input order regardless of scheduling.
-    let cells: Vec<Mutex<Option<T>>> = inputs
-        .into_iter()
-        .map(|input| Mutex::new(Some(input)))
-        .collect();
-    let slots: Vec<Mutex<Option<<F as ParallelCell<T>>::Out>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    return;
-                }
-                let input = cells[i]
-                    .lock()
-                    .expect("cell mutex poisoned")
-                    .take()
-                    .expect("each cell is claimed exactly once");
-                let out = f.run(input);
-                *slots[i].lock().expect("slot mutex poisoned") = Some(out);
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot mutex poisoned")
-                .expect("every slot filled by a worker")
-        })
-        .collect()
-}
-
-/// A sendable experiment cell (object-safe closure alternative so
-/// `parallel_map` can name the output type).
-pub trait ParallelCell<T> {
-    /// Result of one cell.
-    type Out: Send;
-    /// Execute one cell.
-    fn run(&self, input: T) -> Self::Out;
-}
-
-impl<T, O: Send, F: Fn(T) -> O> ParallelCell<T> for F {
-    type Out = O;
-    fn run(&self, input: T) -> O {
-        self(input)
-    }
+    flowcon_cluster::executor::map_bounded(inputs, f)
 }
 
 #[cfg(test)]

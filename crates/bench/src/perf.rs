@@ -13,6 +13,7 @@
 
 use std::time::{Duration, Instant};
 
+use flowcon_cluster::{Manager, PolicyKind, RoundRobin};
 use flowcon_container::ContainerId;
 use flowcon_core::algorithm::run_algorithm1;
 use flowcon_core::config::{FlowConConfig, NodeConfig};
@@ -77,16 +78,25 @@ fn time_ns<F: FnMut()>(mut op: F, budget: Duration) -> f64 {
 }
 
 /// Allocations per op of `op` over a fixed iteration count.
-fn allocs_per_op<F: FnMut()>(counter: Option<AllocCounter<'_>>, mut op: F) -> Option<f64> {
+fn allocs_per_op<F: FnMut()>(counter: Option<AllocCounter<'_>>, op: F) -> Option<f64> {
+    allocs_per_op_iters(counter, 1_000, op)
+}
+
+/// Allocations per op over `iters` iterations (for expensive ops that can't
+/// afford the default 1000).
+fn allocs_per_op_iters<F: FnMut()>(
+    counter: Option<AllocCounter<'_>>,
+    iters: u64,
+    mut op: F,
+) -> Option<f64> {
     let counter = counter?;
-    const ITERS: u64 = 1_000;
     // Warm once so buffer growth is excluded, as in steady state.
     op();
     let before = counter();
-    for _ in 0..ITERS {
+    for _ in 0..iters {
         op();
     }
-    Some((counter() - before) as f64 / ITERS as f64)
+    Some((counter() - before) as f64 / iters as f64)
 }
 
 /// The seed repository's `waterfill` (v0), preserved verbatim as the
@@ -383,7 +393,62 @@ pub fn run_micro_suite(counter: Option<AllocCounter<'_>>) -> Vec<PerfResult> {
         push("worker/flowcon_fixed_three", ns, None, Some(events_per_sec));
     }
 
+    // --- cluster: sharded executor scale curve (2 jobs/worker, FlowCon) ---
+    // Events/s is cluster-wide simulated throughput; allocs_per_op is heap
+    // allocations **per worker** per run (scratch recycling keeps it flat
+    // as the cluster grows).
+    for workers in [8usize, 64, 256, 1024] {
+        let (plan, run) = cluster_case(workers);
+        let mut events = 0u64;
+        let ns = time_ns(
+            || {
+                events = std::hint::black_box(run(&plan));
+            },
+            Duration::from_millis(800),
+        );
+        let events_per_sec = events as f64 / (ns / 1e9);
+        // Expensive op: 3 measured iterations are enough for a per-worker
+        // allocation figure (the signal is hundreds of allocs/worker).
+        let allocs = allocs_per_op_iters(counter, 3, || {
+            std::hint::black_box(run(&plan));
+        })
+        .map(|per_run| per_run / workers as f64);
+        push(
+            &format!("cluster/sharded/w{workers}"),
+            ns,
+            allocs,
+            Some(events_per_sec),
+        );
+    }
+
     out
+}
+
+/// Workload-plan seed of the `cluster/sharded/*` benches (`repro cluster`
+/// defaults to the same, so any committed point can be reproduced by hand).
+pub const CLUSTER_BENCH_PLAN_SEED: u64 = 0xC1A5;
+
+/// Node seed of the `cluster/sharded/*` benches.
+pub const CLUSTER_BENCH_NODE_SEED: u64 = 0xF10C;
+
+/// The fixed cluster benchmark case: `workers` nodes, 2 jobs per worker,
+/// FlowCon policy, round-robin placement, sharded execution.  Returns the
+/// plan and a runner closure yielding total simulated events.
+#[allow(clippy::type_complexity)]
+fn cluster_case(workers: usize) -> (WorkloadPlan, impl Fn(&WorkloadPlan) -> u64) {
+    let plan = WorkloadPlan::random_n(workers * 2, CLUSTER_BENCH_PLAN_SEED);
+    let node = NodeConfig::default().with_seed(CLUSTER_BENCH_NODE_SEED);
+    let run = move |plan: &WorkloadPlan| {
+        let manager = Manager::new(
+            workers,
+            node,
+            PolicyKind::FlowCon(FlowConConfig::default()),
+            RoundRobin::default(),
+        );
+        let result = manager.run(plan);
+        result.workers.iter().map(|w| w.events_processed).sum()
+    };
+    (plan, run)
 }
 
 /// Encode the suite results as the `BENCH_<date>.json` document.
@@ -423,6 +488,164 @@ pub fn to_json(results: &[PerfResult], date: &str, mode: &str) -> String {
     s.push_str("  ]\n");
     s.push_str("}\n");
     s
+}
+
+// ---------------------------------------------------------------------------
+// The bench regression gate (`repro bench --check <baseline.json>`)
+// ---------------------------------------------------------------------------
+
+/// Benchmark-name prefixes whose warm path is contractually allocation-free
+/// (see BENCHMARKS.md): any `allocs_per_op > 0` on these rows fails the
+/// gate outright.
+pub const ZERO_ALLOC_PREFIXES: [&str; 3] = [
+    "waterfill/warm",
+    "waterfill/early_exit",
+    "waterfill/soft_warm",
+];
+
+/// Maximum tolerated events/s regression vs the baseline (25%): throughput
+/// below `(1 - EVENTS_REGRESSION_TOLERANCE) × baseline` fails the gate.
+pub const EVENTS_REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// Benchmark-name prefixes excluded from the **relative** events/s check:
+/// cluster throughput scales with the runner's *core count* (the sharded
+/// executor uses `available_parallelism` threads), so a baseline committed
+/// from an 8-core box would permanently fail a 4-vCPU CI runner on
+/// unchanged code.  These rows stay gated by presence and by their
+/// machine-independent allocs/worker figure (see
+/// [`ALLOCS_REGRESSION_TOLERANCE`]).
+pub const THROUGHPUT_GATE_EXCLUDE_PREFIXES: [&str; 1] = ["cluster/"];
+
+/// Maximum tolerated relative growth of `allocs_per_op` vs the baseline
+/// (25%), applied to every row measuring allocations in both runs (with a
+/// 0.5-alloc absolute slack so tiny integer counts don't flake).  This is
+/// what keeps the cluster rows honest on any hardware: allocation counts,
+/// unlike throughput, don't depend on the runner's clock or core count —
+/// if `WorkerScratch` recycling ever breaks, allocs/worker jumps from
+/// ~10² to ~10⁴ and this wire trips.
+pub const ALLOCS_REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// Parse a `BENCH_<date>.json` document produced by [`to_json`] back into
+/// results.  Returns `None` when the document is not a flowcon-bench file.
+///
+/// The format is line-oriented by construction (one result object per
+/// line), so this stays dependency-free: no JSON crate is vendored, and
+/// the gate only ever reads files this suite wrote.
+pub fn parse_results(json: &str) -> Option<Vec<PerfResult>> {
+    if !json.contains("\"schema\": \"flowcon-bench/v1\"") {
+        return None;
+    }
+    fn field_f64(line: &str, key: &str) -> Option<f64> {
+        let start = line.find(&format!("\"{key}\": "))? + key.len() + 4;
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        let raw = rest[..end].trim();
+        if raw == "null" {
+            None
+        } else {
+            raw.parse().ok()
+        }
+    }
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name_start) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_start + 9..];
+        let Some(name_end) = rest.find('"') else {
+            continue;
+        };
+        let ns_per_op = field_f64(line, "ns_per_op").unwrap_or(f64::NAN);
+        out.push(PerfResult {
+            name: rest[..name_end].to_string(),
+            ns_per_op,
+            ops_per_sec: field_f64(line, "ops_per_sec").unwrap_or(if ns_per_op > 0.0 {
+                1e9 / ns_per_op
+            } else {
+                0.0
+            }),
+            allocs_per_op: field_f64(line, "allocs_per_op"),
+            events_per_sec: field_f64(line, "events_per_sec"),
+        });
+    }
+    Some(out)
+}
+
+/// Compare a fresh suite run against a committed baseline.
+///
+/// Returns the list of violations (empty = gate passes):
+///
+/// * any current row matching [`ZERO_ALLOC_PREFIXES`] with
+///   `allocs_per_op > 0` (the zero-allocation contract is absolute, not
+///   relative to the baseline);
+/// * any benchmark with `events_per_sec` in **both** runs whose current
+///   throughput fell more than [`EVENTS_REGRESSION_TOLERANCE`] below the
+///   baseline — except [`THROUGHPUT_GATE_EXCLUDE_PREFIXES`] rows, whose
+///   throughput depends on the machine's core count;
+/// * any benchmark with `allocs_per_op` in **both** runs that grew more
+///   than [`ALLOCS_REGRESSION_TOLERANCE`] (+0.5 allocs absolute slack)
+///   over the baseline — allocation counts are machine-independent, so
+///   this wire also covers the `cluster/*` rows;
+/// * any baseline benchmark that disappeared from the current suite (a
+///   silently dropped benchmark would otherwise un-gate itself).
+pub fn check_regression(current: &[PerfResult], baseline: &[PerfResult]) -> Vec<String> {
+    let mut violations = Vec::new();
+
+    for r in current {
+        if ZERO_ALLOC_PREFIXES.iter().any(|p| r.name.starts_with(p)) {
+            if let Some(allocs) = r.allocs_per_op {
+                // The JSON rounds to 2 decimals; anything at or above 0.005
+                // would print as > 0.00.
+                if allocs >= 0.005 {
+                    violations.push(format!(
+                        "{}: warm path allocated ({allocs:.2} allocs/op, contract is 0)",
+                        r.name
+                    ));
+                }
+            }
+        }
+    }
+
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| c.name == b.name) else {
+            violations.push(format!("{}: benchmark missing from current run", b.name));
+            continue;
+        };
+        if let (Some(base_allocs), Some(cur_allocs)) = (b.allocs_per_op, c.allocs_per_op) {
+            let ceiling = base_allocs * (1.0 + ALLOCS_REGRESSION_TOLERANCE) + 0.5;
+            if cur_allocs > ceiling {
+                violations.push(format!(
+                    "{}: allocs/op grew {:.1}% (baseline {:.2}, current {:.2}, ceiling {:.2})",
+                    b.name,
+                    100.0 * (cur_allocs / base_allocs.max(1e-9) - 1.0),
+                    base_allocs,
+                    cur_allocs,
+                    ceiling
+                ));
+            }
+        }
+        if THROUGHPUT_GATE_EXCLUDE_PREFIXES
+            .iter()
+            .any(|p| b.name.starts_with(p))
+        {
+            continue;
+        }
+        if let (Some(base_eps), Some(cur_eps)) = (b.events_per_sec, c.events_per_sec) {
+            let floor = base_eps * (1.0 - EVENTS_REGRESSION_TOLERANCE);
+            if base_eps > 0.0 && cur_eps < floor {
+                violations.push(format!(
+                    "{}: events/s regressed {:.1}% (baseline {:.0}, current {:.0}, floor {:.0})",
+                    b.name,
+                    100.0 * (1.0 - cur_eps / base_eps),
+                    base_eps,
+                    cur_eps,
+                    floor
+                ));
+            }
+        }
+    }
+
+    violations
 }
 
 /// Days-since-epoch to `(year, month, day)` — Howard Hinnant's
@@ -479,6 +702,115 @@ mod tests {
         assert_eq!(civil_from_days(789), (1972, 2, 29)); // leap day
         assert_eq!(civil_from_days(19_723), (2024, 1, 1));
         assert_eq!(civil_from_days(20_663), (2026, 7, 29));
+    }
+
+    fn result(name: &str, allocs: Option<f64>, events: Option<f64>) -> PerfResult {
+        PerfResult {
+            name: name.into(),
+            ns_per_op: 100.0,
+            ops_per_sec: 1e7,
+            allocs_per_op: allocs,
+            events_per_sec: events,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_parse_results() {
+        let results = vec![
+            result("waterfill/warm/n64", Some(0.0), None),
+            result("engine/dispatch_chain/200k", None, Some(2.3e8)),
+            result("cluster/sharded/w1024", Some(312.5), Some(1.9e7)),
+        ];
+        let json = to_json(&results, "2026-07-29", "release");
+        let parsed = parse_results(&json).expect("own format parses");
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].name, "waterfill/warm/n64");
+        assert_eq!(parsed[0].allocs_per_op, Some(0.0));
+        assert_eq!(parsed[0].events_per_sec, None);
+        assert_eq!(parsed[1].allocs_per_op, None);
+        assert!((parsed[1].events_per_sec.unwrap() - 2.3e8).abs() < 1.0);
+        assert!((parsed[2].allocs_per_op.unwrap() - 312.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_results_rejects_foreign_documents() {
+        assert!(parse_results("{\"results\": []}").is_none());
+        assert!(parse_results("").is_none());
+    }
+
+    #[test]
+    fn gate_passes_when_nothing_regressed() {
+        let baseline = vec![
+            result("worker/flowcon_fixed_three", None, Some(6e6)),
+            result("waterfill/warm/n64", Some(0.0), None),
+        ];
+        let current = vec![
+            result("worker/flowcon_fixed_three", None, Some(5.5e6)), // -8%: ok
+            result("waterfill/warm/n64", Some(0.0), None),
+            result("cluster/sharded/w8", Some(300.0), Some(1e7)), // new row: ok
+        ];
+        assert_eq!(check_regression(&current, &baseline), Vec::<String>::new());
+    }
+
+    #[test]
+    fn gate_fails_on_warm_path_allocation() {
+        let current = vec![result("waterfill/warm/n64", Some(1.0), None)];
+        let violations = check_regression(&current, &[]);
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].contains("warm path allocated"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn gate_fails_on_doctored_throughput_baseline() {
+        // A baseline doctored to claim 10x the real throughput must trip
+        // the 25% regression wire.
+        let baseline = vec![result("engine/dispatch_chain/200k", None, Some(2.4e9))];
+        let current = vec![result("engine/dispatch_chain/200k", None, Some(2.4e8))];
+        let violations = check_regression(&current, &baseline);
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].contains("events/s regressed"),
+            "{violations:?}"
+        );
+        // Within-tolerance noise does not trip it.
+        let ok = vec![result("engine/dispatch_chain/200k", None, Some(1.9e9))];
+        assert!(check_regression(&ok, &baseline).is_empty());
+    }
+
+    #[test]
+    fn gate_ignores_core_count_dependent_cluster_throughput() {
+        // Cluster events/s scales with available_parallelism; a multi-core
+        // baseline must not fail a fewer-core machine.  Presence is still
+        // required, though.
+        let baseline = vec![result("cluster/sharded/w1024", Some(113.0), Some(5.6e7))];
+        let current = vec![result("cluster/sharded/w1024", Some(113.0), Some(6.7e6))];
+        assert!(check_regression(&current, &baseline).is_empty());
+        assert_eq!(check_regression(&[], &baseline).len(), 1);
+    }
+
+    #[test]
+    fn gate_fails_when_cluster_allocs_per_worker_balloons() {
+        // If WorkerScratch recycling breaks, allocs/worker jumps by orders
+        // of magnitude — machine-independent, so gated on every runner.
+        let baseline = vec![result("cluster/sharded/w1024", Some(113.0), Some(5.6e7))];
+        let broken = vec![result("cluster/sharded/w1024", Some(12_000.0), Some(5.6e7))];
+        let violations = check_regression(&broken, &baseline);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("allocs/op grew"), "{violations:?}");
+        // 25% + 0.5 slack tolerates shard-count jitter.
+        let ok = vec![result("cluster/sharded/w1024", Some(130.0), Some(5.6e7))];
+        assert!(check_regression(&ok, &baseline).is_empty());
+    }
+
+    #[test]
+    fn gate_fails_when_a_benchmark_disappears() {
+        let baseline = vec![result("worker/flowcon_fixed_three", None, Some(6e6))];
+        let violations = check_regression(&[], &baseline);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("missing"), "{violations:?}");
     }
 
     #[test]

@@ -12,12 +12,16 @@
 //!   configure workers uniformly.
 //! * [`placement`] — placement strategies (round-robin, spread, least
 //!   loaded by submitted work) used when the manager assigns a job.
+//! * [`executor`] — the sharded executor: a bounded shared-cursor pool
+//!   with per-shard reusable state, so 1000-worker clusters run on
+//!   `available_parallelism` OS threads.
 //! * [`manager`] — the manager: splits a workload plan across workers and
-//!   runs every worker simulation on its own OS thread.
+//!   drives every worker simulation on the sharded executor.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod executor;
 pub mod manager;
 pub mod placement;
 pub mod policy_kind;

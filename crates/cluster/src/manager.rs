@@ -1,15 +1,18 @@
 //! The cluster manager.
 //!
 //! Accepts a workload plan, places each job on a worker (in arrival order,
-//! using a [`PlacementStrategy`]), then runs every worker's simulation on
-//! its own OS thread — workers are independent once jobs are assigned,
-//! exactly as in the paper's architecture where managers never participate
-//! in worker-side reconfiguration.
+//! using a [`PlacementStrategy`]), then drives every worker's simulation on
+//! the sharded [`crate::executor`] pool — at most
+//! `available_parallelism` OS threads regardless of cluster size, with one
+//! recycled [`WorkerScratch`] per shard.  Workers are independent once jobs
+//! are assigned, exactly as in the paper's architecture where managers
+//! never participate in worker-side reconfiguration.
 
 use flowcon_core::config::NodeConfig;
-use flowcon_core::worker::{RunResult, WorkerSim};
-use flowcon_dl::workload::WorkloadPlan;
+use flowcon_core::worker::{RunResult, WorkerScratch, WorkerSim};
+use flowcon_dl::workload::{JobRequest, WorkloadPlan};
 
+use crate::executor;
 use crate::placement::{record_assignment, PlacementStrategy, WorkerLoad};
 use crate::policy_kind::PolicyKind;
 
@@ -79,21 +82,73 @@ impl<P: PlacementStrategy> Manager<P> {
         }
     }
 
-    /// Place every job, run every worker, and gather the results.
-    pub fn run(mut self, plan: &WorkloadPlan) -> ClusterResult {
+    /// Place every job by moving it into its worker's plan (no per-job
+    /// clone), returning the per-worker job lists and the assignment log.
+    fn place_jobs(
+        &mut self,
+        jobs: Vec<JobRequest>,
+    ) -> (Vec<Vec<JobRequest>>, Vec<(String, usize)>) {
         let n = self.nodes.len();
         let mut loads = vec![WorkerLoad::default(); n];
-        let mut per_worker: Vec<Vec<flowcon_dl::workload::JobRequest>> = vec![Vec::new(); n];
-        let mut assignments = Vec::with_capacity(plan.len());
+        let mut per_worker: Vec<Vec<JobRequest>> = vec![Vec::new(); n];
+        let mut assignments = Vec::with_capacity(jobs.len());
 
-        for job in &plan.jobs {
-            let target = self.strategy.place(job, &loads);
+        for job in jobs {
+            let target = self.strategy.place(&job, &loads);
             assert!(target < n, "strategy returned worker {target} of {n}");
-            record_assignment(&mut loads[target], job);
+            record_assignment(&mut loads[target], &job);
             assignments.push((job.label.clone(), target));
-            per_worker[target].push(job.clone());
+            per_worker[target].push(job);
         }
+        (per_worker, assignments)
+    }
 
+    /// Place every job, run every worker, and gather the results.
+    ///
+    /// Convenience wrapper over [`Manager::run_owned`] for callers that
+    /// keep the plan; clones it once.
+    pub fn run(self, plan: &WorkloadPlan) -> ClusterResult {
+        self.run_owned(plan.clone())
+    }
+
+    /// Place every job (moving it into its worker's plan), then drive all
+    /// worker simulations on the sharded executor: at most
+    /// `available_parallelism` OS threads, each recycling one
+    /// [`WorkerScratch`] across the worker sims it processes.
+    pub fn run_owned(mut self, plan: WorkloadPlan) -> ClusterResult {
+        let (per_worker, assignments) = self.place_jobs(plan.jobs);
+        let policy = self.policy;
+        let nodes = self.nodes;
+        let work: Vec<(NodeConfig, Vec<JobRequest>)> =
+            nodes.iter().copied().zip(per_worker).collect();
+        let workers: Vec<RunResult> =
+            executor::map_sharded(work, WorkerScratch::new, |scratch, (node, jobs)| {
+                // The per-worker job lists are already in arrival order, so
+                // WorkloadPlan::new's sort is a no-op pass.
+                let plan = WorkloadPlan::new(jobs);
+                let sim =
+                    WorkerSim::with_scratch(node, plan, policy.build(), std::mem::take(scratch));
+                let (result, recycled) = sim.run_recycling();
+                *scratch = recycled;
+                result
+            });
+
+        ClusterResult {
+            workers,
+            assignments,
+        }
+    }
+
+    /// The legacy execution path: one OS thread per worker.
+    ///
+    /// Kept (a) as the reference the sharded executor is bit-compared
+    /// against in `tests/cluster_scale.rs`, and (b) for small clusters on
+    /// machines where oversubscribing threads is acceptable.  Panics the
+    /// spawning thread if any worker simulation panics — and actually
+    /// spawns `workers` OS threads, so don't call it with a 1000-node
+    /// cluster.
+    pub fn run_spawn_per_worker(mut self, plan: &WorkloadPlan) -> ClusterResult {
+        let (per_worker, assignments) = self.place_jobs(plan.jobs.clone());
         let policy = self.policy;
         let nodes = self.nodes;
         let workers: Vec<RunResult> = std::thread::scope(|scope| {

@@ -1,0 +1,134 @@
+//! Cluster-scale properties of the sharded executor.
+//!
+//! The bounded pool must change *how* worker simulations are driven, never
+//! *what* they compute: job conservation and makespan monotonicity must
+//! hold at hundreds of workers, and the sharded path must be bit-identical
+//! to the legacy thread-per-worker path.
+
+use flowcon_cluster::{Manager, PolicyKind, RoundRobin, Spread};
+use flowcon_core::config::{FlowConConfig, NodeConfig};
+use flowcon_dl::workload::WorkloadPlan;
+
+fn node(seed: u64) -> NodeConfig {
+    NodeConfig::default().with_seed(seed)
+}
+
+#[test]
+fn jobs_are_conserved_at_256_workers() {
+    let plan = WorkloadPlan::random_n(512, 7);
+    let result = Manager::new(
+        256,
+        node(7),
+        PolicyKind::FlowCon(FlowConConfig::default()),
+        RoundRobin::default(),
+    )
+    .run_owned(plan.clone());
+
+    // Every job placed exactly once and completed exactly once.
+    assert_eq!(result.assignments.len(), 512);
+    assert_eq!(result.completed_jobs(), 512);
+    for job in &plan.jobs {
+        assert!(
+            result.completion_of(&job.label).is_some(),
+            "job {} lost by the sharded executor",
+            job.label
+        );
+    }
+    // Round-robin over 256 workers: exactly 2 jobs per worker.
+    for w in 0..256 {
+        let assigned = result.assignments.iter().filter(|&&(_, t)| t == w).count();
+        assert_eq!(assigned, 2, "worker {w} got {assigned} jobs");
+    }
+    // All workers' completions are clean exits.
+    assert!(result
+        .workers
+        .iter()
+        .flat_map(|w| &w.summary.completions)
+        .all(|c| c.exit_code == 0));
+}
+
+#[test]
+fn makespan_is_monotone_in_worker_count() {
+    let plan = WorkloadPlan::random_n(512, 7);
+    let makespan = |workers: usize| {
+        Manager::new(workers, node(7), PolicyKind::Baseline, Spread)
+            .run_owned(plan.clone())
+            .makespan_secs()
+    };
+    let m16 = makespan(16);
+    let m64 = makespan(64);
+    let m256 = makespan(256);
+    assert!(
+        m64 < m16,
+        "64 workers ({m64:.0}s) should beat 16 ({m16:.0}s)"
+    );
+    assert!(
+        m256 < m64,
+        "256 workers ({m256:.0}s) should beat 64 ({m64:.0}s)"
+    );
+}
+
+#[test]
+fn sharded_executor_is_bit_identical_to_spawn_per_worker() {
+    let plan = WorkloadPlan::random_n(24, 0xF10C);
+    let build = || {
+        Manager::new(
+            8,
+            node(0xF10C),
+            PolicyKind::FlowCon(FlowConConfig::default()),
+            RoundRobin::default(),
+        )
+    };
+    let spawned = build().run_spawn_per_worker(&plan);
+    let sharded = build().run(&plan);
+
+    assert_eq!(spawned.assignments, sharded.assignments);
+    assert_eq!(spawned.workers.len(), sharded.workers.len());
+    for (i, (a, b)) in spawned
+        .workers
+        .iter()
+        .zip(&sharded.workers)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .enumerate()
+    {
+        assert_eq!(
+            a.summary.completions, b.summary.completions,
+            "worker {i} completions diverge"
+        );
+        assert_eq!(
+            a.events_processed, b.events_processed,
+            "worker {i} event counts diverge"
+        );
+        assert_eq!(
+            a.summary.makespan_secs().to_bits(),
+            b.summary.makespan_secs().to_bits(),
+            "worker {i} makespan diverges at the bit level"
+        );
+    }
+    assert_eq!(
+        spawned.makespan_secs().to_bits(),
+        sharded.makespan_secs().to_bits()
+    );
+}
+
+#[test]
+fn run_owned_matches_borrowed_run() {
+    let plan = WorkloadPlan::random_n(12, 3);
+    let build = || {
+        Manager::new(
+            4,
+            node(3),
+            PolicyKind::FlowCon(FlowConConfig::default()),
+            RoundRobin::default(),
+        )
+    };
+    let borrowed = build().run(&plan);
+    let owned = build().run_owned(plan);
+    assert_eq!(borrowed.assignments, owned.assignments);
+    assert_eq!(borrowed.completed_jobs(), owned.completed_jobs());
+    assert_eq!(
+        borrowed.makespan_secs().to_bits(),
+        owned.makespan_secs().to_bits()
+    );
+}

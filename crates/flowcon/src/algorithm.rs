@@ -39,17 +39,39 @@ pub struct AlgorithmOutcome {
 ///
 /// `lists` carries the classification state across invocations; `measures`
 /// must contain exactly the containers currently on the worker.
+///
+/// Allocating convenience wrapper over [`run_algorithm1_into`]; the worker
+/// hot path threads a reusable updates buffer through the `_into` variant
+/// instead.
 pub fn run_algorithm1(
     config: &FlowConConfig,
     lists: &mut Lists,
     measures: &[GrowthMeasurement],
 ) -> AlgorithmOutcome {
+    let mut updates = Vec::new();
+    let backed_off = run_algorithm1_into(config, lists, measures, &mut updates);
+    AlgorithmOutcome {
+        updates,
+        backed_off,
+    }
+}
+
+/// Allocation-free Algorithm 1: clears `updates` and refills it with the
+/// new `(id, limit)` pairs in place, returning whether the all-CL back-off
+/// branch fired (lines 14–17).
+///
+/// With a warm `updates` buffer (and warm `lists` slots) the steady-state
+/// call performs zero heap allocations.
+pub fn run_algorithm1_into(
+    config: &FlowConConfig,
+    lists: &mut Lists,
+    measures: &[GrowthMeasurement],
+    updates: &mut Vec<(ContainerId, f64)>,
+) -> bool {
+    updates.clear();
     let n = measures.len();
     if n == 0 {
-        return AlgorithmOutcome {
-            updates: Vec::new(),
-            backed_off: false,
-        };
+        return false;
     }
 
     // Lines 2–13: classify every measured container.  Fresh containers
@@ -70,15 +92,13 @@ pub fn run_algorithm1(
     if every_measured_in_cl {
         // Same 1e-9 tolerance as the update-emission path below: a limit
         // like 0.9999999999 must not trigger a spurious `docker update`.
-        let updates = measures
-            .iter()
-            .filter(|m| (m.cpu_limit - 1.0).abs() > 1e-9)
-            .map(|m| (m.id, 1.0))
-            .collect();
-        return AlgorithmOutcome {
-            updates,
-            backed_off: true,
-        };
+        updates.extend(
+            measures
+                .iter()
+                .filter(|m| (m.cpu_limit - 1.0).abs() > 1e-9)
+                .map(|m| (m.id, 1.0)),
+        );
+        return true;
     }
 
     // ΣG over all containers; fresh ones contribute an optimistic prior.
@@ -94,7 +114,6 @@ pub fn run_algorithm1(
     debug_assert!(sum_g > 0.0, "at least the fresh prior contributes");
 
     let lower_bound = 1.0 / (config.beta * n as f64);
-    let mut updates = Vec::new();
     for m in measures {
         let kind = lists.kind_of(m.id).unwrap_or(ListKind::New);
         let new_limit = match (kind, growth_of(m)) {
@@ -112,10 +131,7 @@ pub fn run_algorithm1(
             updates.push((m.id, new_limit));
         }
     }
-    AlgorithmOutcome {
-        updates,
-        backed_off: false,
-    }
+    false
 }
 
 #[cfg(test)]

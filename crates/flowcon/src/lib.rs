@@ -39,4 +39,4 @@ pub use config::{FlowConConfig, NodeConfig};
 pub use lists::{ListKind, Lists};
 pub use metric::{growth_efficiency, progress_score, GrowthMeasurement};
 pub use policy::{FairSharePolicy, FlowConPolicy, ResourcePolicy, StaticEqualPolicy};
-pub use worker::{RunResult, WorkerSim};
+pub use worker::{RunResult, WorkerScratch, WorkerSim};

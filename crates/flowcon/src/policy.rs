@@ -17,7 +17,7 @@
 use flowcon_container::ContainerId;
 use flowcon_sim::time::{SimDuration, SimTime};
 
-use crate::algorithm::run_algorithm1;
+use crate::algorithm::run_algorithm1_into;
 use crate::config::FlowConConfig;
 use crate::listener::Listener;
 use crate::lists::Lists;
@@ -52,8 +52,36 @@ pub trait ResourcePolicy {
     fn initial_interval(&self) -> Option<SimDuration>;
 
     /// Periodic tick or listener interrupt: decide new limits from the
-    /// Container Monitor's measurements.
-    fn reconfigure(&mut self, now: SimTime, measures: &[GrowthMeasurement]) -> PolicyDecision;
+    /// Container Monitor's measurements, writing them into the
+    /// caller-provided `updates` buffer and returning the delay until the
+    /// next periodic reconfiguration.
+    ///
+    /// `updates` may arrive holding the previous tick's decision (the
+    /// worker recycles one buffer across the whole run): implementations
+    /// **must** `updates.clear()` before writing, or stale limits would be
+    /// re-applied every tick.
+    ///
+    /// This is the hot-path entry point: the worker threads one reusable
+    /// buffer through every reconfiguration, so a steady-state call makes
+    /// zero heap allocations (asserted by
+    /// `crates/flowcon/tests/policy_zero_alloc.rs`).
+    fn reconfigure_into(
+        &mut self,
+        now: SimTime,
+        measures: &[GrowthMeasurement],
+        updates: &mut Vec<(ContainerId, f64)>,
+    ) -> Option<SimDuration>;
+
+    /// Allocating convenience wrapper over
+    /// [`ResourcePolicy::reconfigure_into`] for tests and one-shot callers.
+    fn reconfigure(&mut self, now: SimTime, measures: &[GrowthMeasurement]) -> PolicyDecision {
+        let mut updates = Vec::new();
+        let next_interval = self.reconfigure_into(now, measures, &mut updates);
+        PolicyDecision {
+            updates,
+            next_interval,
+        }
+    }
 
     /// Pool membership changed.  Returns true if the policy wants an
     /// immediate reconfiguration (a listener interrupt).
@@ -114,17 +142,19 @@ impl ResourcePolicy for FlowConPolicy {
         Some(self.config.initial_interval)
     }
 
-    fn reconfigure(&mut self, _now: SimTime, measures: &[GrowthMeasurement]) -> PolicyDecision {
+    fn reconfigure_into(
+        &mut self,
+        _now: SimTime,
+        measures: &[GrowthMeasurement],
+        updates: &mut Vec<(ContainerId, f64)>,
+    ) -> Option<SimDuration> {
         self.algorithm_runs += 1;
-        let outcome = run_algorithm1(&self.config, &mut self.lists, measures);
-        if outcome.backed_off && self.config.backoff {
+        let backed_off = run_algorithm1_into(&self.config, &mut self.lists, measures, updates);
+        if backed_off && self.config.backoff {
             // Algorithm 1 line 17.
             self.itval = self.itval.saturating_double();
         }
-        PolicyDecision {
-            updates: outcome.updates,
-            next_interval: Some(self.itval),
-        }
+        Some(self.itval)
     }
 
     fn on_pool_change(&mut self, _now: SimTime, pool_ids: &[ContainerId]) -> bool {
@@ -163,8 +193,14 @@ impl ResourcePolicy for FairSharePolicy {
         None
     }
 
-    fn reconfigure(&mut self, _now: SimTime, _measures: &[GrowthMeasurement]) -> PolicyDecision {
-        PolicyDecision::none()
+    fn reconfigure_into(
+        &mut self,
+        _now: SimTime,
+        _measures: &[GrowthMeasurement],
+        updates: &mut Vec<(ContainerId, f64)>,
+    ) -> Option<SimDuration> {
+        updates.clear();
+        None
     }
 
     fn on_pool_change(&mut self, _now: SimTime, _pool_ids: &[ContainerId]) -> bool {
@@ -200,16 +236,20 @@ impl ResourcePolicy for StaticEqualPolicy {
         None
     }
 
-    fn reconfigure(&mut self, _now: SimTime, _measures: &[GrowthMeasurement]) -> PolicyDecision {
+    fn reconfigure_into(
+        &mut self,
+        _now: SimTime,
+        _measures: &[GrowthMeasurement],
+        updates: &mut Vec<(ContainerId, f64)>,
+    ) -> Option<SimDuration> {
+        updates.clear();
         let share = if self.n == 0 {
             1.0
         } else {
             1.0 / self.n as f64
         };
-        PolicyDecision {
-            updates: self.ids.iter().map(|&id| (id, share)).collect(),
-            next_interval: None,
-        }
+        updates.extend(self.ids.iter().map(|&id| (id, share)));
+        None
     }
 
     fn on_pool_change(&mut self, _now: SimTime, pool_ids: &[ContainerId]) -> bool {
@@ -248,9 +288,14 @@ impl ResourcePolicy for QualityProportionalPolicy {
         Some(self.interval)
     }
 
-    fn reconfigure(&mut self, _now: SimTime, measures: &[GrowthMeasurement]) -> PolicyDecision {
+    fn reconfigure_into(
+        &mut self,
+        _now: SimTime,
+        measures: &[GrowthMeasurement],
+        updates: &mut Vec<(ContainerId, f64)>,
+    ) -> Option<SimDuration> {
+        updates.clear();
         let sum: f64 = measures.iter().filter_map(|m| m.growth()).sum();
-        let mut updates = Vec::new();
         for m in measures {
             let limit = match m.growth() {
                 Some(g) if sum > 0.0 => (g / sum).max(self.floor).min(1.0),
@@ -260,10 +305,7 @@ impl ResourcePolicy for QualityProportionalPolicy {
                 updates.push((m.id, limit));
             }
         }
-        PolicyDecision {
-            updates,
-            next_interval: Some(self.interval),
-        }
+        Some(self.interval)
     }
 
     fn on_pool_change(&mut self, _now: SimTime, _pool_ids: &[ContainerId]) -> bool {

@@ -74,15 +74,17 @@ pub struct RunResult {
     pub scheduler_overhead_cpu_secs: f64,
 }
 
-/// One simulated worker node executing a workload plan under a policy.
-pub struct WorkerSim {
-    node: NodeConfig,
-    plan: WorkloadPlan,
-    policy: Box<dyn ResourcePolicy>,
-
-    daemon: Daemon<TrainingJob>,
-    rng: SimRng,
-
+/// The reusable hot-path buffers of one worker simulation.
+///
+/// Everything in here is recomputed from scratch by the simulation (rates
+/// at every `recompute_rates`, measurement and update buffers at every
+/// tick), so only the *capacity* carries meaning between runs.  The sharded
+/// cluster executor keeps one `WorkerScratch` per OS thread and recycles it
+/// across the hundreds of `WorkerSim`s that shard drives, so worker state
+/// is reused instead of reallocated per simulation
+/// ([`WorkerSim::run_recycling`]).
+#[derive(Debug, Default)]
+pub struct WorkerScratch {
     /// Ids of containers whose rates are fixed since the last recompute,
     /// in pool id order.
     rate_ids: Vec<ContainerId>,
@@ -90,13 +92,8 @@ pub struct WorkerSim {
     rate_vals: Vec<f64>,
     /// Per-container contention efficiencies, aligned with `rate_ids`.
     efficiencies: Vec<f64>,
-    last_advance: SimTime,
-
-    // --- reusable hot-path buffers: the tick loop is allocation-free in
-    // --- steady state (asserted by `crates/sim/tests/zero_alloc.rs` for
-    // --- the allocator and exercised end-to-end by the benches).
     /// Water-filling scratch (rate buffers + warm sort-order cache).
-    alloc_scratch: WaterfillScratch,
+    alloc: WaterfillScratch,
     /// `(id, limit, demand)` rows from the daemon, reused every recompute.
     alloc_inputs: Vec<(ContainerId, f64, f64)>,
     /// Allocator requests derived from `alloc_inputs`.
@@ -107,6 +104,58 @@ pub struct WorkerSim {
     trace_measures: Vec<GrowthMeasurement>,
     /// Pool-membership buffer for listener notifications.
     pool_ids: Vec<ContainerId>,
+    /// Policy-decision updates buffer ([`ResourcePolicy::reconfigure_into`]).
+    updates: Vec<(ContainerId, f64)>,
+}
+
+impl WorkerScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear every buffer (capacities are kept) and make sure at least
+    /// `max_jobs` slots are available, so the first tick of the next run is
+    /// as allocation-free as its steady state.
+    fn reset_for(&mut self, max_jobs: usize) {
+        self.rate_ids.clear();
+        self.rate_vals.clear();
+        self.efficiencies.clear();
+        self.alloc_inputs.clear();
+        self.requests.clear();
+        self.measures.clear();
+        self.trace_measures.clear();
+        self.pool_ids.clear();
+        self.updates.clear();
+        self.rate_ids.reserve(max_jobs);
+        self.rate_vals.reserve(max_jobs);
+        self.efficiencies.reserve(max_jobs);
+        self.alloc_inputs.reserve(max_jobs);
+        self.requests.reserve(max_jobs);
+        self.measures.reserve(max_jobs);
+        self.trace_measures.reserve(max_jobs);
+        self.pool_ids.reserve(max_jobs);
+        self.updates.reserve(max_jobs);
+        self.alloc.reserve(max_jobs);
+    }
+}
+
+/// One simulated worker node executing a workload plan under a policy.
+pub struct WorkerSim {
+    node: NodeConfig,
+    plan: WorkloadPlan,
+    policy: Box<dyn ResourcePolicy>,
+
+    daemon: Daemon<TrainingJob>,
+    rng: SimRng,
+
+    last_advance: SimTime,
+
+    // --- reusable hot-path buffers: the tick loop is allocation-free in
+    // --- steady state (asserted by `crates/sim/tests/zero_alloc.rs` for
+    // --- the allocator, `crates/flowcon/tests/policy_zero_alloc.rs` for
+    // --- the policy layer, and exercised end-to-end by the benches).
+    scratch: WorkerScratch,
 
     completion_gen: u64,
     tick_gen: u64,
@@ -124,27 +173,33 @@ pub struct WorkerSim {
 impl WorkerSim {
     /// Build a worker for `plan` under `policy`.
     pub fn new(node: NodeConfig, plan: WorkloadPlan, policy: Box<dyn ResourcePolicy>) -> Self {
+        Self::with_scratch(node, plan, policy, WorkerScratch::new())
+    }
+
+    /// Build a worker reusing `scratch` from a previous simulation.
+    ///
+    /// The scratch is reset (buffers cleared, capacities kept), so results
+    /// are bit-identical to [`WorkerSim::new`]; only the allocations to
+    /// grow the buffers are saved.
+    pub fn with_scratch(
+        node: NodeConfig,
+        plan: WorkloadPlan,
+        policy: Box<dyn ResourcePolicy>,
+        mut scratch: WorkerScratch,
+    ) -> Self {
         let summary = RunSummary::new(policy.name());
         let arrivals_pending = plan.len();
         // Jobs on a worker never exceed the plan size, so pre-sizing the
         // scratch buffers makes even the first tick allocation-free.
-        let max_jobs = plan.len();
+        scratch.reset_for(plan.len());
         WorkerSim {
             node,
             plan,
             policy,
             daemon: Daemon::new(ImageRegistry::with_dl_defaults()),
             rng: SimRng::new(node.seed),
-            rate_ids: Vec::with_capacity(max_jobs),
-            rate_vals: Vec::with_capacity(max_jobs),
-            efficiencies: Vec::with_capacity(max_jobs),
             last_advance: SimTime::ZERO,
-            alloc_scratch: WaterfillScratch::with_capacity(max_jobs),
-            alloc_inputs: Vec::with_capacity(max_jobs),
-            requests: Vec::with_capacity(max_jobs),
-            measures: Vec::with_capacity(max_jobs),
-            trace_measures: Vec::with_capacity(max_jobs),
-            pool_ids: Vec::with_capacity(max_jobs),
+            scratch,
             completion_gen: 0,
             tick_gen: 0,
             arrivals_pending,
@@ -171,6 +226,12 @@ impl WorkerSim {
 
     /// Run the plan to completion and return the results.
     pub fn run(self) -> RunResult {
+        self.run_recycling().0
+    }
+
+    /// Run the plan to completion, handing the hot-path scratch back so the
+    /// caller can thread it into the next [`WorkerSim::with_scratch`].
+    pub fn run_recycling(self) -> (RunResult, WorkerScratch) {
         let mut engine: SimEngine<WorkerShell> = SimEngine::new();
         for (idx, job) in self.plan.jobs.iter().enumerate() {
             engine.prime(job.arrival, WorkerEvent::Arrival(idx));
@@ -185,12 +246,13 @@ impl WorkerSim {
         let mut worker = shell.0;
         worker.summary.update_calls = worker.update_calls;
         worker.summary.algorithm_runs = worker.algorithm_runs;
-        RunResult {
+        let result = RunResult {
             scheduler_overhead_cpu_secs: worker.algorithm_runs as f64
                 * worker.node.algo_cost_cpu_secs,
             summary: worker.summary,
             events_processed: engine.events_processed(),
-        }
+        };
+        (result, worker.scratch)
     }
 
     /// True once every job has arrived and the pool is empty.
@@ -205,11 +267,16 @@ impl WorkerSim {
     fn advance_to(&mut self, now: SimTime) -> Vec<ContainerId> {
         let dt = now.saturating_since(self.last_advance).as_secs_f64();
         self.last_advance = now;
-        if dt <= 0.0 || self.rate_ids.is_empty() {
+        if dt <= 0.0 || self.scratch.rate_ids.is_empty() {
             return Vec::new();
         }
-        self.daemon
-            .advance(now, &self.rate_ids, &self.rate_vals, &self.efficiencies, dt)
+        self.daemon.advance(
+            now,
+            &self.scratch.rate_ids,
+            &self.scratch.rate_vals,
+            &self.scratch.efficiencies,
+            dt,
+        )
     }
 
     /// Recompute allocator rates and contention for the current pool.
@@ -220,30 +287,36 @@ impl WorkerSim {
     /// redistributed up to demand — "even if the container cannot maximize
     /// its own resource, the unused option will be utilized by others".
     fn recompute_rates(&mut self) {
-        self.daemon.alloc_inputs_into(&mut self.alloc_inputs);
-        self.requests.clear();
-        self.requests.extend(
-            self.alloc_inputs
-                .iter()
-                .map(|&(_, limit, demand)| AllocRequest {
-                    limit,
-                    demand,
-                    weight: 1.0,
-                }),
-        );
-        waterfill_soft_into(&mut self.alloc_scratch, self.node.capacity, &self.requests);
-        self.rate_ids.clear();
-        self.rate_vals.clear();
-        self.rate_ids
-            .extend(self.alloc_inputs.iter().map(|&(id, _, _)| id));
-        self.rate_vals.extend_from_slice(self.alloc_scratch.rates());
+        let scratch = &mut self.scratch;
+        self.daemon.alloc_inputs_into(&mut scratch.alloc_inputs);
+        scratch.requests.clear();
+        scratch
+            .requests
+            .extend(
+                scratch
+                    .alloc_inputs
+                    .iter()
+                    .map(|&(_, limit, demand)| AllocRequest {
+                        limit,
+                        demand,
+                        weight: 1.0,
+                    }),
+            );
+        waterfill_soft_into(&mut scratch.alloc, self.node.capacity, &scratch.requests);
+        scratch.rate_ids.clear();
+        scratch.rate_vals.clear();
+        scratch
+            .rate_ids
+            .extend(scratch.alloc_inputs.iter().map(|&(id, _, _)| id));
+        scratch.rate_vals.extend_from_slice(scratch.alloc.rates());
         // A container is "shaped" when a policy gave it an explicit limit;
         // free competitors (limit 1.0, i.e. NA and fresh jobs) pay the
         // jitter tax on top of the shared contention factor.
-        let n = self.rate_ids.len();
-        self.efficiencies.clear();
-        self.efficiencies
-            .extend(self.alloc_inputs.iter().map(|&(_, limit, _)| {
+        let n = scratch.rate_ids.len();
+        scratch.efficiencies.clear();
+        scratch
+            .efficiencies
+            .extend(scratch.alloc_inputs.iter().map(|&(_, limit, _)| {
                 let shaped = limit < 0.999;
                 self.node.contention.container_efficiency(n, shaped)
             }));
@@ -254,10 +327,11 @@ impl WorkerSim {
     fn next_completion(&self) -> Option<SimTime> {
         let mut best: Option<f64> = None;
         for ((&id, &rate), &eff) in self
+            .scratch
             .rate_ids
             .iter()
-            .zip(&self.rate_vals)
-            .zip(&self.efficiencies)
+            .zip(&self.scratch.rate_vals)
+            .zip(&self.scratch.efficiencies)
         {
             let c = self.daemon.pool().get(id)?;
             let remaining = c.workload().remaining_cpu_seconds()?;
@@ -295,27 +369,37 @@ impl WorkerSim {
                 });
             }
         }
-        self.daemon.pool().ids_into(&mut self.pool_ids);
-        self.policy.on_pool_change(now, &self.pool_ids)
+        self.daemon.pool().ids_into(&mut self.scratch.pool_ids);
+        self.policy.on_pool_change(now, &self.scratch.pool_ids)
     }
 
     /// Run the policy (Executor tick or listener interrupt), apply updates,
     /// and return the policy's next interval.
+    ///
+    /// Measurements and the decision's updates both land in reusable
+    /// scratch buffers — a steady-state reconfiguration is allocation-free
+    /// end to end.
     fn run_reconfigure(&mut self, now: SimTime) -> Option<SimDuration> {
         self.policy_monitor
-            .measure_into(now, &self.daemon, &mut self.measures);
-        let decision = self.policy.reconfigure(now, &self.measures);
+            .measure_into(now, &self.daemon, &mut self.scratch.measures);
+        // Policies must clear the recycled buffer themselves; this belt-and-
+        // suspenders clear keeps a non-conforming external policy from
+        // re-applying last tick's limits.
+        self.scratch.updates.clear();
+        let next_interval =
+            self.policy
+                .reconfigure_into(now, &self.scratch.measures, &mut self.scratch.updates);
         self.algorithm_runs += 1;
-        for (id, limit) in &decision.updates {
+        for &(id, limit) in &self.scratch.updates {
             if self
                 .daemon
-                .update(*id, UpdateOptions::new().cpus(*limit))
+                .update(id, UpdateOptions::new().cpus(limit))
                 .is_ok()
             {
                 self.update_calls += 1;
             }
         }
-        decision.next_interval
+        next_interval
     }
 
     /// Reschedule the policy tick after a reconfiguration.
@@ -341,7 +425,7 @@ impl WorkerSim {
     }
 
     fn record_samples(&mut self, now: SimTime) {
-        for (&id, &rate) in self.rate_ids.iter().zip(&self.rate_vals) {
+        for (&id, &rate) in self.scratch.rate_ids.iter().zip(&self.scratch.rate_vals) {
             if let Some(c) = self.daemon.pool().get(id) {
                 // Borrow the label in place: a steady-state sample tick must
                 // not allocate (`series_mut` only clones for unseen labels).
@@ -357,8 +441,8 @@ impl WorkerSim {
 
     fn record_growth_traces(&mut self, now: SimTime) {
         self.trace_monitor
-            .measure_into(now, &self.daemon, &mut self.trace_measures);
-        for m in &self.trace_measures {
+            .measure_into(now, &self.daemon, &mut self.scratch.trace_measures);
+        for m in &self.scratch.trace_measures {
             let Some(g) = m.growth() else { continue };
             if let Some(c) = self.daemon.pool().get(m.id) {
                 let label = c.workload().label();
@@ -386,8 +470,8 @@ impl WorkerSim {
                     .expect("default registry contains framework images");
                 self.arrivals_pending -= 1;
 
-                self.daemon.pool().ids_into(&mut self.pool_ids);
-                let interrupt = self.policy.on_pool_change(now, &self.pool_ids);
+                self.daemon.pool().ids_into(&mut self.scratch.pool_ids);
+                let interrupt = self.policy.on_pool_change(now, &self.scratch.pool_ids);
                 if interrupt || interrupted_by_exit {
                     let next = self.run_reconfigure(now);
                     self.schedule_tick(sched, next);

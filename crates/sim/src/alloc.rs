@@ -168,6 +168,15 @@ impl WaterfillScratch {
         }
     }
 
+    /// Reserve room for `n` containers in the hard-limit-path buffers
+    /// (same coverage as [`WaterfillScratch::with_capacity`], for scratch
+    /// that is recycled rather than rebuilt).
+    pub fn reserve(&mut self, n: usize) {
+        self.rates.reserve(n.saturating_sub(self.rates.len()));
+        self.entries.reserve(n.saturating_sub(self.entries.len()));
+        self.order.reserve(n.saturating_sub(self.order.len()));
+    }
+
     /// Per-container CPU rates of the most recent round, in request order.
     pub fn rates(&self) -> &[f64] {
         &self.rates

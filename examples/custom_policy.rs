@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use flowcon_container::ContainerId;
 use flowcon_core::config::{FlowConConfig, NodeConfig};
 use flowcon_core::metric::GrowthMeasurement;
-use flowcon_core::policy::{FairSharePolicy, FlowConPolicy, PolicyDecision, ResourcePolicy};
+use flowcon_core::policy::{FairSharePolicy, FlowConPolicy, ResourcePolicy};
 use flowcon_core::worker::WorkerSim;
 use flowcon_dl::workload::WorkloadPlan;
 use flowcon_sim::time::{SimDuration, SimTime};
@@ -40,25 +40,25 @@ impl ResourcePolicy for SeniorityPolicy {
         Some(SimDuration::from_secs(15))
     }
 
-    fn reconfigure(&mut self, now: SimTime, measures: &[GrowthMeasurement]) -> PolicyDecision {
+    fn reconfigure_into(
+        &mut self,
+        now: SimTime,
+        measures: &[GrowthMeasurement],
+        updates: &mut Vec<(ContainerId, f64)>,
+    ) -> Option<SimDuration> {
+        updates.clear();
         // Weight each container by its age (+1 s so newcomers get a sliver).
-        let ages: Vec<f64> = measures
-            .iter()
-            .map(|m| {
-                let started = self.started.get(&m.id).copied().unwrap_or(now);
-                now.saturating_since(started).as_secs_f64() + 1.0
-            })
-            .collect();
-        let total: f64 = ages.iter().sum();
-        let updates = measures
-            .iter()
-            .zip(&ages)
-            .map(|(m, age)| (m.id, (age / total).clamp(0.05, 1.0)))
-            .collect();
-        PolicyDecision {
-            updates,
-            next_interval: Some(SimDuration::from_secs(15)),
-        }
+        let age = |m: &GrowthMeasurement| {
+            let started = self.started.get(&m.id).copied().unwrap_or(now);
+            now.saturating_since(started).as_secs_f64() + 1.0
+        };
+        let total: f64 = measures.iter().map(age).sum();
+        updates.extend(
+            measures
+                .iter()
+                .map(|m| (m.id, (age(m) / total).clamp(0.05, 1.0))),
+        );
+        Some(SimDuration::from_secs(15))
     }
 
     fn on_pool_change(&mut self, now: SimTime, pool_ids: &[ContainerId]) -> bool {
