@@ -3,7 +3,7 @@
 //! ```text
 //! repro [experiment ...]
 //! repro bench [--out FILE] [--check BASELINE.json]
-//! repro cluster [--workers N] [--jobs J] [--seed S]
+//! repro cluster [--workers N] [--jobs J] [--seed S] [--headless]
 //!
 //! experiments:
 //!   table1 fig1 fig3 fig4 fig5 fig6 table2 fig7 fig8 fig9 fig10 fig11
@@ -18,7 +18,10 @@
 //!
 //! `repro cluster` runs one sharded cluster simulation (default 1024
 //! workers, 2 jobs each) on at most `available_parallelism` OS threads and
-//! prints the scale numbers.
+//! prints the scale numbers.  With `--headless` the workers run a
+//! `CompletionsOnly` recorder — no usage/limit traces, no label clones,
+//! O(completions) memory — which is the supported way to drive 10k-worker
+//! clusters (`repro cluster --workers 10240 --headless`).
 //! ```
 //!
 //! Output: paper-style tables and ASCII charts on stdout; CSV artifacts
@@ -279,14 +282,15 @@ fn check_gate(results: &[perf::PerfResult], baseline_path: &str, mode: &str) {
     }
 }
 
-/// `repro cluster [--workers N] [--jobs J] [--seed S]`: one sharded cluster
-/// run — N workers on at most `available_parallelism` OS threads.
+/// `repro cluster [--workers N] [--jobs J] [--seed S] [--headless]`: one
+/// sharded cluster run — N workers on at most `available_parallelism` OS
+/// threads.
 ///
 /// Defaults (2 jobs/worker, plan seed [`perf::CLUSTER_BENCH_PLAN_SEED`],
 /// node seed [`perf::CLUSTER_BENCH_NODE_SEED`]) replicate the
-/// `cluster/sharded/w<N>` bench case exactly, so any committed
-/// `BENCH_*.json` point can be reproduced by hand; `--seed` reseeds the
-/// workload plan.
+/// `cluster/sharded/w<N>` (or, with `--headless`, `cluster/headless/w<N>`)
+/// bench case exactly, so any committed `BENCH_*.json` point can be
+/// reproduced by hand; `--seed` reseeds the workload plan.
 fn run_cluster(args: &[String]) {
     use flowcon_cluster::{executor, Manager, PolicyKind, RoundRobin};
     use flowcon_core::config::{FlowConConfig, NodeConfig};
@@ -303,10 +307,12 @@ fn run_cluster(args: &[String]) {
     let workers = parse_num("--workers").unwrap_or(1024) as usize;
     let jobs = parse_num("--jobs").unwrap_or(2 * workers as u64) as usize;
     let seed = parse_num("--seed").unwrap_or(perf::CLUSTER_BENCH_PLAN_SEED);
+    let headless = args.iter().any(|a| a == "--headless");
 
     let shards = executor::shard_count(workers);
+    let mode = if headless { "headless" } else { "full" };
     section(&format!(
-        "Sharded cluster: {workers} workers, {jobs} jobs, {shards} OS threads"
+        "Sharded cluster ({mode}): {workers} workers, {jobs} jobs, {shards} OS threads"
     ));
     let plan = WorkloadPlan::random_n(jobs, seed);
     let node = NodeConfig::default().with_seed(perf::CLUSTER_BENCH_NODE_SEED);
@@ -317,24 +323,44 @@ fn run_cluster(args: &[String]) {
         RoundRobin::default(),
     );
     let start = std::time::Instant::now();
-    let result = manager.run_owned(plan);
+    // (placed, completed, makespan, events)
+    let (placed, completed, makespan, events) = if headless {
+        let run = manager.run_headless(plan);
+        (
+            run.placements.len(),
+            run.completed_jobs(),
+            run.makespan_secs(),
+            run.events_processed(),
+        )
+    } else {
+        let result = manager.run_owned(plan);
+        let events = result.workers.iter().map(|w| w.events_processed).sum();
+        (
+            result.assignments.len(),
+            result.completed_jobs(),
+            result.makespan_secs(),
+            events,
+        )
+    };
     let wall = start.elapsed();
-    let events: u64 = result.workers.iter().map(|w| w.events_processed).sum();
 
     let rows = vec![
         vec!["workers".to_string(), workers.to_string()],
+        vec![
+            "recorder".to_string(),
+            if headless {
+                "CompletionsOnly"
+            } else {
+                "FullRecorder"
+            }
+            .to_string(),
+        ],
         vec!["OS threads (shards)".to_string(), shards.to_string()],
-        vec![
-            "jobs placed".to_string(),
-            result.assignments.len().to_string(),
-        ],
-        vec![
-            "jobs completed".to_string(),
-            result.completed_jobs().to_string(),
-        ],
+        vec!["jobs placed".to_string(), placed.to_string()],
+        vec!["jobs completed".to_string(), completed.to_string()],
         vec![
             "cluster makespan (sim s)".to_string(),
-            format!("{:.1}", result.makespan_secs()),
+            format!("{makespan:.1}"),
         ],
         vec!["events processed".to_string(), events.to_string()],
         vec![

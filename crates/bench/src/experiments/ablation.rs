@@ -7,11 +7,11 @@
 //! * **policy zoo** — FlowCon vs NA vs static 1/n vs SLAQ-like
 //!   quality-proportional.
 
+use super::{baseline_run, flowcon_run, policy_run};
 use flowcon_core::config::{FlowConConfig, NodeConfig};
 use flowcon_core::policy::{
     FairSharePolicy, FlowConPolicy, QualityProportionalPolicy, StaticEqualPolicy,
 };
-use flowcon_core::worker::{run_baseline, run_flowcon, RunResult, WorkerSim};
 use flowcon_dl::workload::WorkloadPlan;
 use flowcon_sim::contention::ContentionModel;
 use flowcon_sim::time::SimDuration;
@@ -34,8 +34,8 @@ pub struct BackoffAblation {
 /// Run the back-off ablation on the fixed three-job schedule.
 pub fn backoff(node: NodeConfig) -> BackoffAblation {
     let plan = WorkloadPlan::fixed_three();
-    let with = run_flowcon(node, &plan, FlowConConfig::default());
-    let without = run_flowcon(
+    let with = flowcon_run(node, &plan, FlowConConfig::default());
+    let without = flowcon_run(
         node,
         &plan,
         FlowConConfig {
@@ -44,10 +44,10 @@ pub fn backoff(node: NodeConfig) -> BackoffAblation {
         },
     );
     BackoffAblation {
-        runs_with: with.summary.algorithm_runs,
-        runs_without: without.summary.algorithm_runs,
-        makespan_with: with.summary.makespan_secs(),
-        makespan_without: without.summary.makespan_secs(),
+        runs_with: with.output.algorithm_runs,
+        runs_without: without.output.algorithm_runs,
+        makespan_with: with.output.makespan_secs(),
+        makespan_without: without.output.makespan_secs(),
     }
 }
 
@@ -55,13 +55,13 @@ pub fn backoff(node: NodeConfig) -> BackoffAblation {
 /// per-job completion-time regression vs NA.
 pub fn beta_sweep(node: NodeConfig, seed: u64, betas: &[f64]) -> Vec<(f64, f64, f64)> {
     let plan = WorkloadPlan::random_five(seed);
-    let baseline = run_baseline(node, &plan).summary;
+    let baseline = baseline_run(node, &plan).output;
     parallel_map(betas.to_vec(), move |beta: f64| {
         let cfg = FlowConConfig {
             beta,
             ..FlowConConfig::default()
         };
-        let s = run_flowcon(node, &plan, cfg).summary;
+        let s = flowcon_run(node, &plan, cfg).output;
         let worst_regression = plan
             .jobs
             .iter()
@@ -80,8 +80,8 @@ pub fn kappa_sweep(node: NodeConfig, kappas: &[f64]) -> Vec<(f64, f64)> {
             contention: ContentionModel::with_kappa(kappa),
             ..node
         };
-        let na = run_baseline(node, &plan).summary;
-        let fc = run_flowcon(node, &plan, FlowConConfig::default()).summary;
+        let na = baseline_run(node, &plan).output;
+        let fc = flowcon_run(node, &plan, FlowConConfig::default()).output;
         (kappa, fc.makespan_improvement_vs(&na))
     })
 }
@@ -92,7 +92,7 @@ pub fn kappa_sweep(node: NodeConfig, kappas: &[f64]) -> Vec<(f64, f64)> {
 pub fn resource_sweep(node: NodeConfig, seed: u64) -> Vec<(String, f64, usize)> {
     use flowcon_sim::ResourceKind;
     let plan = WorkloadPlan::random_five(seed);
-    let baseline = run_baseline(node, &plan).summary;
+    let baseline = baseline_run(node, &plan).output;
     [ResourceKind::Cpu, ResourceKind::Memory, ResourceKind::BlkIo]
         .into_iter()
         .map(|resource| {
@@ -100,7 +100,7 @@ pub fn resource_sweep(node: NodeConfig, seed: u64) -> Vec<(String, f64, usize)> 
                 resource,
                 ..FlowConConfig::default()
             };
-            let s = run_flowcon(node, &plan, cfg).summary;
+            let s = flowcon_run(node, &plan, cfg).output;
             let (wins, _) = s.wins_losses_vs(&baseline);
             (resource.name().to_string(), s.makespan_secs(), wins)
         })
@@ -111,28 +111,19 @@ pub fn resource_sweep(node: NodeConfig, seed: u64) -> Vec<(String, f64, usize)> 
 /// makespan, mean completion)` per policy.
 pub fn policy_zoo(node: NodeConfig, seed: u64) -> Vec<(String, f64, f64)> {
     let plan = WorkloadPlan::random_five(seed);
-    let runs: Vec<RunResult> = vec![
-        WorkerSim::new(
-            node,
-            plan.clone(),
-            Box::new(FlowConPolicy::new(FlowConConfig::default())),
-        )
-        .run(),
-        WorkerSim::new(node, plan.clone(), Box::new(FairSharePolicy::new())).run(),
-        WorkerSim::new(node, plan.clone(), Box::new(StaticEqualPolicy::new())).run(),
-        WorkerSim::new(
-            node,
-            plan.clone(),
-            Box::new(QualityProportionalPolicy::new(
-                SimDuration::from_secs(30),
-                0.05,
-            )),
-        )
-        .run(),
+    let policies: Vec<Box<dyn flowcon_core::policy::ResourcePolicy>> = vec![
+        Box::new(FlowConPolicy::new(FlowConConfig::default())),
+        Box::new(FairSharePolicy::new()),
+        Box::new(StaticEqualPolicy::new()),
+        Box::new(QualityProportionalPolicy::new(
+            SimDuration::from_secs(30),
+            0.05,
+        )),
     ];
-    runs.into_iter()
-        .map(|r| {
-            let s = r.summary;
+    policies
+        .into_iter()
+        .map(|policy| {
+            let s = policy_run(node, &plan, policy).output;
             let mean = flowcon_metrics::stats::mean(
                 &s.completions
                     .iter()

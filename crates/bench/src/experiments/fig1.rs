@@ -6,8 +6,8 @@
 //! cumulative time.  The headline observation: RNN-GRU reaches ≈96.8% of
 //! its final accuracy within ≈15% of the cumulative time.
 
+use crate::experiments::baseline_run;
 use flowcon_core::config::NodeConfig;
-use flowcon_core::worker::run_baseline;
 use flowcon_dl::workload::WorkloadPlan;
 use flowcon_dl::{ModelId, ModelSpec, TrainingJob};
 use flowcon_sim::rng::SimRng;
@@ -38,21 +38,21 @@ pub struct Fig1 {
 /// scripts on the testbed would have recorded.
 pub fn run(node: NodeConfig) -> Fig1 {
     let plan = WorkloadPlan::fig1_concurrent();
-    let result = run_baseline(node, &plan);
-    let makespan = result.summary.makespan_secs();
+    let result = baseline_run(node, &plan);
+    let makespan = result.output.makespan_secs();
 
     let mut curves = Vec::new();
     for job in &plan.jobs {
         let spec = ModelSpec::of(job.model);
         let label = job.label.clone();
         let completion = result
-            .summary
+            .output
             .completion_of(&label)
             .expect("every job completes");
         // Reconstruct accuracy(t) from the job's cumulative CPU trace: the
         // workload's progress is proportional to integrated effective CPU.
         let usage = result
-            .summary
+            .output
             .cpu_usage
             .get(&label)
             .expect("usage trace recorded");

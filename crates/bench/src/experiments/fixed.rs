@@ -4,8 +4,8 @@
 //! (TensorFlow) at 80 s — the late short TensorFlow job is the one FlowCon
 //! should accelerate by shifting share away from the nearly-converged VAE.
 
+use super::{baseline_run, flowcon_run};
 use flowcon_core::config::{FlowConConfig, NodeConfig};
-use flowcon_core::worker::{run_baseline, run_flowcon};
 use flowcon_dl::workload::WorkloadPlan;
 use flowcon_metrics::summary::RunSummary;
 
@@ -55,10 +55,10 @@ impl FixedSweep {
 /// Run the fixed workload for every `(alpha, itval)` pair given.
 pub fn sweep(node: NodeConfig, params: &[(f64, u64)]) -> FixedSweep {
     let plan = WorkloadPlan::fixed_three();
-    let baseline = run_baseline(node, &plan).summary;
+    let baseline = baseline_run(node, &plan).output;
     let cells = parallel_map(params.to_vec(), |(alpha, itval): (f64, u64)| {
         let config = FlowConConfig::with_params(alpha, itval);
-        let summary = run_flowcon(node, &plan, config).summary;
+        let summary = flowcon_run(node, &plan, config).output;
         FixedCell { config, summary }
     });
     FixedSweep { cells, baseline }
@@ -97,8 +97,8 @@ pub fn table2(node: NodeConfig) -> (ReductionColumn, ReductionColumn) {
 /// Figs. 7–8: CPU usage traces of FlowCon (α = 5%, itval = 20) and NA.
 pub fn fig7_fig8(node: NodeConfig) -> (RunSummary, RunSummary) {
     let plan = WorkloadPlan::fixed_three();
-    let fc = run_flowcon(node, &plan, FlowConConfig::with_params(0.05, 20)).summary;
-    let na = run_baseline(node, &plan).summary;
+    let fc = flowcon_run(node, &plan, FlowConConfig::with_params(0.05, 20)).output;
+    let na = baseline_run(node, &plan).output;
     (fc, na)
 }
 

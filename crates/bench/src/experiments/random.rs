@@ -4,8 +4,8 @@
 //! random times in 0–200 s, compared across four FlowCon parameter settings
 //! and NA.
 
+use super::{baseline_run, flowcon_run};
 use flowcon_core::config::{FlowConConfig, NodeConfig};
-use flowcon_core::worker::{run_baseline, run_flowcon};
 use flowcon_dl::workload::WorkloadPlan;
 use flowcon_metrics::summary::RunSummary;
 
@@ -46,9 +46,9 @@ impl RandomComparison {
 /// Fig. 9: the five-job random schedule under four settings + NA.
 pub fn fig9(node: NodeConfig, workload_seed: u64) -> RandomComparison {
     let plan = WorkloadPlan::random_five(workload_seed);
-    let baseline = run_baseline(node, &plan).summary;
+    let baseline = baseline_run(node, &plan).output;
     let flowcon = parallel_map(FIG9_PARAMS.to_vec(), |(alpha, itval): (f64, u64)| {
-        run_flowcon(node, &plan, FlowConConfig::with_params(alpha, itval)).summary
+        flowcon_run(node, &plan, FlowConConfig::with_params(alpha, itval)).output
     });
     RandomComparison {
         flowcon,
@@ -60,8 +60,8 @@ pub fn fig9(node: NodeConfig, workload_seed: u64) -> RandomComparison {
 /// Figs. 10–11: CPU usage traces for FlowCon (α = 3%, itval = 30) and NA.
 pub fn fig10_fig11(node: NodeConfig, workload_seed: u64) -> (RunSummary, RunSummary) {
     let plan = WorkloadPlan::random_five(workload_seed);
-    let fc = run_flowcon(node, &plan, FlowConConfig::with_params(0.03, 30)).summary;
-    let na = run_baseline(node, &plan).summary;
+    let fc = flowcon_run(node, &plan, FlowConConfig::with_params(0.03, 30)).output;
+    let na = baseline_run(node, &plan).output;
     (fc, na)
 }
 

@@ -5,8 +5,8 @@
 //! into growth-efficiency traces of one "loser" and one "winner"; Figs.
 //! 15–16 show the CPU traces.
 
+use super::{baseline_run, flowcon_run};
 use flowcon_core::config::{FlowConConfig, NodeConfig};
-use flowcon_core::worker::{run_baseline, run_flowcon};
 use flowcon_dl::workload::WorkloadPlan;
 use flowcon_metrics::summary::RunSummary;
 
@@ -78,8 +78,8 @@ pub fn fig17(node: NodeConfig, workload_seed: u64) -> ScaleComparison {
 /// Run one FlowCon-vs-NA comparison on a given plan.
 pub fn compare(node: NodeConfig, plan: WorkloadPlan, config: FlowConConfig) -> ScaleComparison {
     let (flowcon, baseline) = std::thread::scope(|s| {
-        let fc = s.spawn(|| run_flowcon(node, &plan, config).summary);
-        let na = s.spawn(|| run_baseline(node, &plan).summary);
+        let fc = s.spawn(|| flowcon_run(node, &plan, config).output);
+        let na = s.spawn(|| baseline_run(node, &plan).output);
         (
             fc.join().expect("flowcon run panicked"),
             na.join().expect("baseline run panicked"),

@@ -19,7 +19,8 @@ use flowcon_core::algorithm::run_algorithm1;
 use flowcon_core::config::{FlowConConfig, NodeConfig};
 use flowcon_core::lists::Lists;
 use flowcon_core::metric::GrowthMeasurement;
-use flowcon_core::worker::run_flowcon;
+use flowcon_core::policy::FlowConPolicy;
+use flowcon_core::session::Session;
 use flowcon_dl::workload::WorkloadPlan;
 use flowcon_sim::alloc::{
     waterfill, waterfill_into, waterfill_soft_into, AllocRequest, WaterfillScratch,
@@ -383,9 +384,14 @@ pub fn run_micro_suite(counter: Option<AllocCounter<'_>>) -> Vec<PerfResult> {
         let mut events = 0u64;
         let ns = time_ns(
             || {
-                let result = run_flowcon(node, &plan, FlowConConfig::default());
+                let result = Session::builder()
+                    .node(node)
+                    .plan(plan.clone())
+                    .policy(FlowConPolicy::new(FlowConConfig::default()))
+                    .build()
+                    .run();
                 events = result.events_processed;
-                std::hint::black_box(result.summary.completions.len());
+                std::hint::black_box(result.output.completions.len());
             },
             Duration::from_secs(2),
         );
@@ -415,6 +421,50 @@ pub fn run_micro_suite(counter: Option<AllocCounter<'_>>) -> Vec<PerfResult> {
         .map(|per_run| per_run / workers as f64);
         push(
             &format!("cluster/sharded/w{workers}"),
+            ns,
+            allocs,
+            Some(events_per_sec),
+        );
+    }
+
+    // --- cluster: headless scale (CompletionsOnly recorder) ---
+    // The 10k-worker configuration: no sampling events scheduled, no label
+    // clones, O(completions) memory.  allocs_per_op is per **worker** and
+    // must stay within the ≲20 budget (also pinned by
+    // `crates/cluster/tests/headless_allocs.rs`).
+    for workers in [4096usize, 10240] {
+        let plan = WorkloadPlan::random_n(workers * 2, CLUSTER_BENCH_PLAN_SEED);
+        let node = NodeConfig::default().with_seed(CLUSTER_BENCH_NODE_SEED);
+        let manager = || {
+            Manager::new(
+                workers,
+                node,
+                PolicyKind::FlowCon(FlowConConfig::default()),
+                RoundRobin::default(),
+            )
+        };
+        let mut events = 0u64;
+        let ns = time_ns(
+            || {
+                let run = manager().run_headless(plan.clone());
+                events = run.events_processed();
+                std::hint::black_box(run.completed_jobs());
+            },
+            Duration::from_millis(1200),
+        );
+        let events_per_sec = events as f64 / (ns / 1e9);
+        // The timed op clones the plan (negligible wall-clock), but the
+        // clone's 2×workers label allocations would swamp the per-worker
+        // figure — pre-clone outside the counted window instead (one
+        // warm-up + 3 measured iterations).
+        let mut plans: Vec<WorkloadPlan> = (0..4).map(|_| plan.clone()).collect();
+        let allocs = allocs_per_op_iters(counter, 3, || {
+            let p = plans.pop().expect("4 plans pre-cloned");
+            std::hint::black_box(manager().run_headless(p).completed_jobs());
+        })
+        .map(|per_run| per_run / workers as f64);
+        push(
+            &format!("cluster/headless/w{workers}"),
             ns,
             allocs,
             Some(events_per_sec),

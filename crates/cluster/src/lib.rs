@@ -26,6 +26,6 @@ pub mod manager;
 pub mod placement;
 pub mod policy_kind;
 
-pub use manager::{ClusterResult, Manager};
+pub use manager::{ClusterResult, ClusterRun, Manager};
 pub use placement::{LeastLoaded, PlacementStrategy, RoundRobin, Spread};
 pub use policy_kind::PolicyKind;

@@ -1,22 +1,38 @@
 //! The cluster manager.
 //!
 //! Accepts a workload plan, places each job on a worker (in arrival order,
-//! using a [`PlacementStrategy`]), then drives every worker's simulation on
-//! the sharded [`crate::executor`] pool — at most
-//! `available_parallelism` OS threads regardless of cluster size, with one
-//! recycled [`WorkerScratch`] per shard.  Workers are independent once jobs
-//! are assigned, exactly as in the paper's architecture where managers
-//! never participate in worker-side reconfiguration.
+//! using a [`PlacementStrategy`]), then drives one
+//! [`Session`] per worker on the sharded
+//! [`crate::executor`] pool — at most `available_parallelism` OS threads
+//! regardless of cluster size, with one recycled [`WorkerScratch`] per
+//! shard and **one shared image registry for the whole cluster** (the PR-2
+//! profile showed a fresh registry per worker dominating fixed overhead).
+//! Workers are independent once jobs are assigned, exactly as in the
+//! paper's architecture where managers never participate in worker-side
+//! reconfiguration.
+//!
+//! Observability is chosen per run: [`Manager::run_owned`] records full
+//! summaries (today's behavior), [`Manager::run_headless`] keeps label-free
+//! completions only — O(completions) memory, which is what makes
+//! 10k-worker clusters practical — and [`Manager::run_recorded`] accepts
+//! any [`Recorder`] factory.
 
+use std::sync::Arc;
+
+use flowcon_container::image::shared_dl_defaults;
+use flowcon_container::ImageRegistry;
 use flowcon_core::config::NodeConfig;
-use flowcon_core::worker::{RunResult, WorkerScratch, WorkerSim};
+use flowcon_core::recorder::{CompletionsOnly, FullRecorder, Recorder};
+use flowcon_core::session::{Session, SessionResult};
+use flowcon_core::worker::{RunResult, WorkerScratch};
 use flowcon_dl::workload::{JobRequest, WorkloadPlan};
+use flowcon_metrics::summary::{makespan_over, CompletionStats};
 
 use crate::executor;
 use crate::placement::{record_assignment, PlacementStrategy, WorkerLoad};
 use crate::policy_kind::PolicyKind;
 
-/// Result of a cluster run.
+/// Result of a full-observability cluster run.
 #[derive(Debug)]
 pub struct ClusterResult {
     /// Per-worker results, indexed by worker.
@@ -27,11 +43,12 @@ pub struct ClusterResult {
 
 impl ClusterResult {
     /// Cluster makespan: the latest completion over all workers.
+    ///
+    /// Delegates to [`RunSummary::makespan_secs`](flowcon_metrics::summary::RunSummary::makespan_secs) per worker and to the
+    /// canonical [`makespan_over`] fold across workers — one makespan
+    /// implementation for the whole workspace.
     pub fn makespan_secs(&self) -> f64 {
-        self.workers
-            .iter()
-            .map(|w| w.summary.makespan_secs())
-            .fold(0.0, f64::max)
+        makespan_over(self.workers.iter().map(|w| w.summary.makespan_secs()))
     }
 
     /// Total number of completed jobs.
@@ -42,11 +59,60 @@ impl ClusterResult {
             .sum()
     }
 
-    /// Completion time of a job by label, searching all workers.
+    /// Completion time of a job by label, searching all workers; delegates
+    /// to [`RunSummary::completion_of`](flowcon_metrics::summary::RunSummary::completion_of).
     pub fn completion_of(&self, label: &str) -> Option<f64> {
         self.workers
             .iter()
             .find_map(|w| w.summary.completion_of(label))
+    }
+}
+
+/// Result of a recorder-generic cluster run ([`Manager::run_recorded`],
+/// [`Manager::run_headless`]).
+///
+/// Unlike [`ClusterResult`], the assignment log stores worker indices only
+/// (`placements[job]` in plan order) — no label clones, so a headless run
+/// holds O(completions) memory in total.
+#[derive(Debug)]
+pub struct ClusterRun<T> {
+    /// Per-worker session results, indexed by worker.
+    pub workers: Vec<SessionResult<T>>,
+    /// Worker index of each job, in plan (arrival) order.
+    pub placements: Vec<usize>,
+}
+
+impl<T> ClusterRun<T> {
+    /// Total simulated events across all workers.
+    pub fn events_processed(&self) -> u64 {
+        self.workers.iter().map(|w| w.events_processed).sum()
+    }
+}
+
+impl ClusterRun<CompletionStats> {
+    /// Cluster makespan (canonical [`makespan_over`] fold).
+    pub fn makespan_secs(&self) -> f64 {
+        makespan_over(self.workers.iter().map(|w| w.output.makespan_secs()))
+    }
+
+    /// Total number of completed jobs.
+    pub fn completed_jobs(&self) -> usize {
+        self.workers.iter().map(|w| w.output.len()).sum()
+    }
+
+    /// Mean per-job completion time over the whole cluster.
+    pub fn mean_completion_secs(&self) -> Option<f64> {
+        let n = self.completed_jobs();
+        if n == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .workers
+            .iter()
+            .flat_map(|w| w.output.completions.iter())
+            .map(|c| c.completion_secs())
+            .sum();
+        Some(sum / n as f64)
     }
 }
 
@@ -55,6 +121,7 @@ pub struct Manager<P: PlacementStrategy> {
     nodes: Vec<NodeConfig>,
     policy: PolicyKind,
     strategy: P,
+    images: Arc<ImageRegistry>,
 }
 
 impl<P: PlacementStrategy> Manager<P> {
@@ -65,42 +132,91 @@ impl<P: PlacementStrategy> Manager<P> {
         let nodes = (0..workers)
             .map(|i| node.with_seed(node.seed.wrapping_add(i as u64 * 0x9E37_79B9)))
             .collect();
-        Manager {
-            nodes,
-            policy,
-            strategy,
-        }
+        Self::with_nodes(nodes, policy, strategy)
     }
 
     /// A manager over heterogeneous nodes.
     pub fn with_nodes(nodes: Vec<NodeConfig>, policy: PolicyKind, strategy: P) -> Self {
-        assert!(!nodes.is_empty());
+        assert!(!nodes.is_empty(), "a cluster needs at least one worker");
         Manager {
             nodes,
             policy,
             strategy,
+            images: shared_dl_defaults(),
         }
     }
 
+    /// Use a custom image registry, shared by every worker in the cluster
+    /// (defaults to the process-wide DL catalog).
+    pub fn with_images(mut self, images: Arc<ImageRegistry>) -> Self {
+        self.images = images;
+        self
+    }
+
     /// Place every job by moving it into its worker's plan (no per-job
-    /// clone), returning the per-worker job lists and the assignment log.
+    /// clone), reporting each `(job, worker)` decision through `on_assign`.
     fn place_jobs(
         &mut self,
         jobs: Vec<JobRequest>,
-    ) -> (Vec<Vec<JobRequest>>, Vec<(String, usize)>) {
+        mut on_assign: impl FnMut(&JobRequest, usize),
+    ) -> Vec<Vec<JobRequest>> {
         let n = self.nodes.len();
         let mut loads = vec![WorkerLoad::default(); n];
         let mut per_worker: Vec<Vec<JobRequest>> = vec![Vec::new(); n];
-        let mut assignments = Vec::with_capacity(jobs.len());
 
         for job in jobs {
             let target = self.strategy.place(&job, &loads);
             assert!(target < n, "strategy returned worker {target} of {n}");
             record_assignment(&mut loads[target], &job);
-            assignments.push((job.label.clone(), target));
+            on_assign(&job, target);
             per_worker[target].push(job);
         }
-        (per_worker, assignments)
+        per_worker
+    }
+
+    /// Drive one session per worker on the sharded executor: at most
+    /// `available_parallelism` OS threads, each recycling one
+    /// [`WorkerScratch`] across the worker sessions it processes, all
+    /// sharing the manager's image registry.
+    fn drive_sessions<R, F>(
+        self,
+        per_worker: Vec<Vec<JobRequest>>,
+        make: F,
+    ) -> Vec<SessionResult<R::Output>>
+    where
+        R: Recorder,
+        R::Output: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let policy = self.policy;
+        let images = self.images;
+        let work: Vec<(usize, NodeConfig, Vec<JobRequest>)> = self
+            .nodes
+            .iter()
+            .copied()
+            .zip(per_worker)
+            .enumerate()
+            .map(|(idx, (node, jobs))| (idx, node, jobs))
+            .collect();
+        executor::map_sharded(
+            work,
+            || (WorkerScratch::new(), images.clone()),
+            |(scratch, images), (idx, node, jobs)| {
+                // The per-worker job lists are already in arrival order, so
+                // WorkloadPlan::new's sort is a no-op pass.
+                let session = Session::builder()
+                    .node(node)
+                    .plan(WorkloadPlan::new(jobs))
+                    .policy_box(policy.build())
+                    .images(images.clone())
+                    .recorder(make(idx))
+                    .scratch(std::mem::take(scratch))
+                    .build();
+                let (result, recycled) = session.run_recycling();
+                *scratch = recycled;
+                result
+            },
+        )
     }
 
     /// Place every job, run every worker, and gather the results.
@@ -111,32 +227,51 @@ impl<P: PlacementStrategy> Manager<P> {
         self.run_owned(plan.clone())
     }
 
-    /// Place every job (moving it into its worker's plan), then drive all
-    /// worker simulations on the sharded executor: at most
-    /// `available_parallelism` OS threads, each recycling one
-    /// [`WorkerScratch`] across the worker sims it processes.
+    /// Place every job (moving it into its worker's plan), then run one
+    /// full-observability session per worker.
     pub fn run_owned(mut self, plan: WorkloadPlan) -> ClusterResult {
-        let (per_worker, assignments) = self.place_jobs(plan.jobs);
-        let policy = self.policy;
-        let nodes = self.nodes;
-        let work: Vec<(NodeConfig, Vec<JobRequest>)> =
-            nodes.iter().copied().zip(per_worker).collect();
-        let workers: Vec<RunResult> =
-            executor::map_sharded(work, WorkerScratch::new, |scratch, (node, jobs)| {
-                // The per-worker job lists are already in arrival order, so
-                // WorkloadPlan::new's sort is a no-op pass.
-                let plan = WorkloadPlan::new(jobs);
-                let sim =
-                    WorkerSim::with_scratch(node, plan, policy.build(), std::mem::take(scratch));
-                let (result, recycled) = sim.run_recycling();
-                *scratch = recycled;
-                result
-            });
-
+        let mut assignments = Vec::with_capacity(plan.jobs.len());
+        let per_worker = self.place_jobs(plan.jobs, |job, target| {
+            assignments.push((job.label.clone(), target));
+        });
+        let workers = self
+            .drive_sessions(per_worker, |_| FullRecorder::new())
+            .into_iter()
+            .map(RunResult::from)
+            .collect();
         ClusterResult {
             workers,
             assignments,
         }
+    }
+
+    /// Run the cluster with a custom per-worker [`Recorder`] (the factory
+    /// receives the worker index).
+    pub fn run_recorded<R, F>(mut self, plan: WorkloadPlan, make: F) -> ClusterRun<R::Output>
+    where
+        R: Recorder,
+        R::Output: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let mut placements = Vec::with_capacity(plan.jobs.len());
+        let per_worker = self.place_jobs(plan.jobs, |_, target| placements.push(target));
+        let workers = self.drive_sessions(per_worker, make);
+        ClusterRun {
+            workers,
+            placements,
+        }
+    }
+
+    /// Run the cluster headless: label-free completions and makespan only.
+    ///
+    /// This is the 10k-worker configuration — no usage/limit traces are
+    /// collected or even scheduled, no labels are cloned, and the result
+    /// holds O(completions) memory instead of O(workers × series).  Per
+    /// simulated worker it stays within the ≲20-allocation budget pinned by
+    /// `crates/cluster/tests/headless_allocs.rs` and the committed
+    /// `cluster/headless/*` bench rows.
+    pub fn run_headless(self, plan: WorkloadPlan) -> ClusterRun<CompletionStats> {
+        self.run_recorded(plan, |_| CompletionsOnly::new())
     }
 
     /// The legacy execution path: one OS thread per worker.
@@ -147,18 +282,34 @@ impl<P: PlacementStrategy> Manager<P> {
     /// spawning thread if any worker simulation panics — and actually
     /// spawns `workers` OS threads, so don't call it with a 1000-node
     /// cluster.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Manager::run / run_owned (sharded, bit-identical) instead"
+    )]
     pub fn run_spawn_per_worker(mut self, plan: &WorkloadPlan) -> ClusterResult {
-        let (per_worker, assignments) = self.place_jobs(plan.jobs.clone());
+        let mut assignments = Vec::with_capacity(plan.jobs.len());
+        let per_worker = self.place_jobs(plan.jobs.clone(), |job, target| {
+            assignments.push((job.label.clone(), target));
+        });
         let policy = self.policy;
         let nodes = self.nodes;
+        let images = self.images;
         let workers: Vec<RunResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = per_worker
                 .into_iter()
                 .zip(&nodes)
                 .map(|(jobs, &node)| {
+                    let images = images.clone();
                     scope.spawn(move || {
                         let plan = WorkloadPlan::new(jobs);
-                        WorkerSim::new(node, plan, policy.build()).run()
+                        let result = Session::builder()
+                            .node(node)
+                            .plan(plan)
+                            .policy_box(policy.build())
+                            .images(images)
+                            .build()
+                            .run();
+                        RunResult::from(result)
                     })
                 })
                 .collect();
@@ -239,6 +390,57 @@ mod tests {
             );
         }
         assert!(result.completion_of("nonexistent").is_none());
+    }
+
+    #[test]
+    fn headless_run_matches_full_run_under_na() {
+        // The NA baseline ignores measurements, so removing the sampling
+        // events cannot change the fluid dynamics: headless and full agree
+        // to the engine's 1 µs completion-check margin.  (Under FlowCon the
+        // two are only statistically equivalent — fewer integration steps
+        // draw a different eval-noise stream.)
+        let plan = WorkloadPlan::random_n(12, 5);
+        let build = || Manager::new(3, node(), PolicyKind::Baseline, RoundRobin::default());
+        let full = build().run(&plan);
+        let headless = build().run_headless(plan.clone());
+        assert_eq!(headless.completed_jobs(), 12);
+        assert_eq!(headless.placements.len(), 12);
+        // Placement is identical (labels dropped, indices kept).
+        let full_targets: Vec<usize> = full.assignments.iter().map(|&(_, w)| w).collect();
+        assert_eq!(headless.placements, full_targets);
+        let diff = (headless.makespan_secs() - full.makespan_secs()).abs();
+        assert!(diff < 1e-3, "makespan diverged by {diff}s");
+        // Headless schedules no sampling events at all.
+        let full_events: u64 = full.workers.iter().map(|w| w.events_processed).sum();
+        assert!(headless.events_processed() < full_events);
+        assert!(headless.mean_completion_secs().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn headless_flowcon_conserves_jobs_at_plausible_makespan() {
+        let plan = WorkloadPlan::random_n(12, 5);
+        let build = |kind: PolicyKind| Manager::new(3, node(), kind, RoundRobin::default());
+        let fc = PolicyKind::FlowCon(FlowConConfig::default());
+        let full = build(fc).run(&plan);
+        let headless = build(fc).run_headless(plan);
+        assert_eq!(headless.completed_jobs(), 12);
+        // Different eval-noise stream, same physics scale: within a few %.
+        let rel = (headless.makespan_secs() - full.makespan_secs()).abs() / full.makespan_secs();
+        assert!(rel < 0.05, "headless makespan off by {:.1}%", rel * 100.0);
+    }
+
+    #[test]
+    fn recorded_run_passes_worker_indices_to_the_factory() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let plan = WorkloadPlan::random_n(6, 2);
+        let seen = AtomicU64::new(0);
+        let run = Manager::new(3, node(), PolicyKind::Baseline, RoundRobin::default())
+            .run_recorded(plan, |idx| {
+                seen.fetch_or(1 << idx, Ordering::Relaxed);
+                CompletionsOnly::new()
+            });
+        assert_eq!(run.workers.len(), 3);
+        assert_eq!(seen.load(Ordering::Relaxed), 0b111, "every index seen");
     }
 
     #[test]

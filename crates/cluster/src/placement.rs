@@ -63,7 +63,7 @@ impl PlacementStrategy for Spread {
 }
 
 /// Least total declared work first — a resource-aware spread (in the spirit
-/// of the authors' earlier DRAPS placement work, reference [28]).
+/// of the authors' earlier DRAPS placement work, reference \[28]).
 #[derive(Debug, Default, Clone)]
 pub struct LeastLoaded;
 

@@ -79,6 +79,7 @@ fn sharded_executor_is_bit_identical_to_spawn_per_worker() {
             RoundRobin::default(),
         )
     };
+    #[allow(deprecated)] // the legacy path is exactly what we compare against
     let spawned = build().run_spawn_per_worker(&plan);
     let sharded = build().run(&plan);
 

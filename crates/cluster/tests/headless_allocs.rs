@@ -1,0 +1,126 @@
+//! The headless allocation budget: a `CompletionsOnly` cluster run must
+//! cost at most **20 heap allocations per simulated worker** (marginal).
+//!
+//! PR 2 measured ~113 allocs/worker on the full-recording path — dominated
+//! by a fresh `Daemon` + `ImageRegistry::with_dl_defaults()` per worker and
+//! the per-job `RunSummary` series.  The session redesign shares one image
+//! registry per cluster, disables the per-container stats window, recycles
+//! the engine's event heap through `WorkerScratch`, moves plan labels
+//! instead of cloning them, and (headless) never schedules sampling events
+//! or clones a label — this test is the wire that keeps it that way.
+//!
+//! The budget is asserted on the *marginal* cost between two cluster sizes
+//! so fixed per-run overhead (shard thread spawns, result vectors, the
+//! allocator's warm-up) cancels out; counting is process-wide because the
+//! executor's shard threads do the actual work.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use flowcon_cluster::{Manager, PolicyKind, RoundRobin};
+use flowcon_core::config::{FlowConConfig, NodeConfig};
+use flowcon_dl::workload::WorkloadPlan;
+
+/// The headless allocs/worker ceiling (the ISSUE-3 acceptance budget).
+const ALLOCS_PER_WORKER_BUDGET: f64 = 20.0;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+fn count_if_enabled() {
+    if COUNTING.load(Ordering::Relaxed) {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_if_enabled();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_if_enabled();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_if_enabled();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn manager(workers: usize) -> Manager<RoundRobin> {
+    Manager::new(
+        workers,
+        NodeConfig::default().with_seed(0xF10C),
+        PolicyKind::FlowCon(FlowConConfig::default()),
+        RoundRobin::default(),
+    )
+}
+
+/// Process-wide allocations of one headless run (plan pre-built outside
+/// the counting window).
+fn allocs_of_headless_run(workers: usize, plan: WorkloadPlan) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let run = manager(workers).run_headless(plan);
+    assert_eq!(run.completed_jobs(), workers * 2, "jobs conserved");
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn headless_cluster_run_stays_within_the_allocs_per_worker_budget() {
+    const SMALL: usize = 64;
+    const LARGE: usize = 320;
+    let small_plan = WorkloadPlan::random_n(SMALL * 2, 0xC1A5);
+    let large_plan = WorkloadPlan::random_n(LARGE * 2, 0xC1A5);
+
+    // Warm up once: process-wide one-time costs (the shared image
+    // registry's OnceLock, thread-local runtime state) must not bill the
+    // measured runs.
+    manager(SMALL).run_headless(small_plan.clone());
+
+    COUNTING.store(true, Ordering::Relaxed);
+    let small = allocs_of_headless_run(SMALL, small_plan);
+    let large = allocs_of_headless_run(LARGE, large_plan);
+    COUNTING.store(false, Ordering::Relaxed);
+
+    let marginal = (large.saturating_sub(small)) as f64 / (LARGE - SMALL) as f64;
+    assert!(
+        marginal <= ALLOCS_PER_WORKER_BUDGET,
+        "headless marginal cost {marginal:.1} allocs/worker exceeds the \
+         {ALLOCS_PER_WORKER_BUDGET} budget ({small} allocs at {SMALL} workers, \
+         {large} at {LARGE})"
+    );
+    // Sanity on the absolute number too: fixed overhead (thread spawns,
+    // result vectors) must stay small next to the per-worker work.
+    let absolute = large as f64 / LARGE as f64;
+    assert!(
+        absolute <= 3.0 * ALLOCS_PER_WORKER_BUDGET,
+        "absolute headless cost {absolute:.1} allocs/worker is out of scale"
+    );
+}
+
+#[test]
+fn headless_memory_is_o_completions() {
+    // 512 workers × 2 jobs: the retained result is one `Completion` (3
+    // words) per job plus one `usize` placement per job — no series, no
+    // labels.  This asserts the *shape*, the budget test above asserts the
+    // churn.
+    let workers = 512;
+    let plan = WorkloadPlan::random_n(workers * 2, 9);
+    let run = manager(workers).run_headless(plan);
+    assert_eq!(run.workers.len(), workers);
+    assert_eq!(run.placements.len(), workers * 2);
+    let retained: usize = run.workers.iter().map(|w| w.output.completions.len()).sum();
+    assert_eq!(retained, workers * 2);
+}

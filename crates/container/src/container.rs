@@ -1,5 +1,7 @@
 //! The container object.
 
+use std::sync::Arc;
+
 use flowcon_sim::time::SimTime;
 
 use crate::error::ContainerError;
@@ -16,7 +18,9 @@ use crate::workload::{Workload, WorkloadStatus};
 /// while experiments attach `flowcon-dl` training jobs.
 pub struct Container<W> {
     id: ContainerId,
-    image: Image,
+    /// Shared with the registry the container was started from: launching a
+    /// container never clones the image's name strings.
+    image: Arc<Image>,
     state: ContainerState,
     limits: ResourceLimits,
     stats: ContainerStats,
@@ -28,16 +32,19 @@ pub struct Container<W> {
 
 impl<W: Workload> Container<W> {
     /// Create a container in the `Created` state.
+    ///
+    /// Accepts an owned [`Image`] or a shared `Arc<Image>` (the daemon
+    /// passes the registry's shared copy so no strings are cloned).
     pub fn new(
         id: ContainerId,
-        image: Image,
+        image: impl Into<Arc<Image>>,
         workload: W,
         limits: ResourceLimits,
         created_at: SimTime,
     ) -> Self {
         Container {
             id,
-            image,
+            image: image.into(),
             state: ContainerState::Created,
             limits,
             stats: ContainerStats::default(),
@@ -81,6 +88,12 @@ impl<W: Workload> Container<W> {
     /// Mutable usage accounting (driven by the daemon's `advance`).
     pub(crate) fn stats_mut(&mut self) -> &mut ContainerStats {
         &mut self.stats
+    }
+
+    /// Configure the stats sample-window capacity (`0` disables sampling;
+    /// see [`ContainerStats::set_window_cap`]).
+    pub fn set_stats_window(&mut self, cap: usize) {
+        self.stats.set_window_cap(cap);
     }
 
     /// The attached workload.

@@ -8,6 +8,8 @@
 //! workload progress, usage accounting and lifecycle state, emitting events
 //! the FlowCon listeners consume.
 
+use std::sync::Arc;
+
 use flowcon_sim::time::SimTime;
 
 use crate::container::Container;
@@ -22,11 +24,18 @@ use crate::stats::ContainerStats;
 use crate::workload::{Workload, WorkloadStatus};
 
 /// The daemon: image registry + container pool + event log.
+///
+/// The registry rides behind an `Arc` so one immutable image catalog can
+/// back every daemon in a cluster (`Daemon::with_shared_images`) instead of
+/// being rebuilt per worker.
 pub struct Daemon<W> {
-    images: ImageRegistry,
+    images: Arc<ImageRegistry>,
     pool: ContainerPool<W>,
     ids: IdAllocator,
     events: EventLog,
+    /// Sample-window capacity given to containers this daemon starts
+    /// (`0` disables per-sample history; see [`ContainerStats::new`]).
+    stats_window: usize,
     /// Containers that exited, retained for inspection (docker keeps stopped
     /// containers around until `rm`).
     graveyard: ContainerPool<W>,
@@ -34,20 +43,39 @@ pub struct Daemon<W> {
 
 impl<W: Workload> Default for Daemon<W> {
     fn default() -> Self {
-        Self::new(ImageRegistry::with_dl_defaults())
+        Self::with_shared_images(crate::image::shared_dl_defaults())
     }
 }
 
 impl<W: Workload> Daemon<W> {
-    /// A daemon with the given image registry.
+    /// A daemon owning its own image registry.
     pub fn new(images: ImageRegistry) -> Self {
+        Self::with_shared_images(Arc::new(images))
+    }
+
+    /// A daemon sharing an immutable image registry (one catalog per
+    /// cluster, not one per worker).
+    pub fn with_shared_images(images: Arc<ImageRegistry>) -> Self {
         Daemon {
             images,
             pool: ContainerPool::new(),
             ids: IdAllocator::new(),
             events: EventLog::new(),
+            stats_window: 4096,
             graveyard: ContainerPool::new(),
         }
+    }
+
+    /// Set the per-container stats sample-window capacity for containers
+    /// started after this call (`0` disables the window; cumulative
+    /// accounting is unaffected).
+    pub fn set_stats_window(&mut self, cap: usize) {
+        self.stats_window = cap;
+    }
+
+    /// The image registry this daemon resolves `docker run` references in.
+    pub fn images(&self) -> &ImageRegistry {
+        &self.images
     }
 
     /// `docker run -d <image>`: create and immediately start a container.
@@ -60,11 +88,11 @@ impl<W: Workload> Daemon<W> {
     ) -> Result<ContainerId, ContainerError> {
         let image = self
             .images
-            .get(image_ref)
-            .cloned()
+            .get_shared(image_ref)
             .ok_or_else(|| ContainerError::NoSuchImage(image_ref.to_string()))?;
         let id = self.ids.allocate();
         let mut container = Container::new(id, image, workload, limits, now);
+        container.set_stats_window(self.stats_window);
         self.events.push(ContainerEvent::Created { id, at: now });
         container
             .transition(ContainerState::Running, now)
@@ -121,8 +149,17 @@ impl<W: Workload> Daemon<W> {
     }
 
     /// `docker ps`: ids of running containers.
+    ///
+    /// Allocates a fresh `Vec`; iteration-only callers should prefer
+    /// [`Daemon::ps_iter`].
     pub fn ps(&self) -> Vec<ContainerId> {
-        self.pool.running_ids()
+        self.ps_iter().collect()
+    }
+
+    /// `docker ps` without the allocation: iterate running container ids in
+    /// id order.
+    pub fn ps_iter(&self) -> impl Iterator<Item = ContainerId> + '_ {
+        self.pool.running_ids_iter()
     }
 
     /// `docker exec`: run a closure against a live container's workload
@@ -371,7 +408,7 @@ mod tests {
         // 10 seconds at rate 0.5, full efficiency -> exactly 5 cpu-seconds.
         let exited = d.advance(t(10), &[id], &[0.5], &[1.0], 10.0);
         assert_eq!(exited, vec![id]);
-        assert!(d.ps().is_empty());
+        assert!(d.ps_iter().next().is_none());
         let (label, completion) = d.completion_record(id).unwrap();
         assert_eq!(label, "vae");
         assert!((completion - 10.0).abs() < 1e-9);
@@ -420,7 +457,7 @@ mod tests {
             )
             .unwrap();
         d.stop(id, t(3)).unwrap();
-        assert!(d.ps().is_empty());
+        assert!(d.ps_iter().next().is_none());
         let c = d.inspect(id).unwrap();
         assert_eq!(c.state(), ContainerState::Exited(137));
         assert!(d.stop(id, t(4)).is_err(), "already gone from live pool");

@@ -5,9 +5,19 @@
 //! <DL_job>`.  The catalog here is a small name→image map used by workload
 //! generators to label containers the way the paper labels jobs, e.g.
 //! "MNIST (Tensorflow)".
+//!
+//! A registry is immutable once built, so one instance can back an entire
+//! cluster: [`Daemon`](crate::daemon::Daemon)s hold an
+//! `Arc<ImageRegistry>`, and [`shared_dl_defaults`] hands out one
+//! process-wide copy of the paper's default catalog instead of
+//! re-allocating it per worker (the PR-2 profile showed a fresh
+//! `with_dl_defaults` per simulated worker dominating cluster fixed
+//! overhead).
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
 
 /// An immutable image description.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,8 +46,20 @@ impl Image {
     }
 
     /// Canonical `name:tag` reference string.
+    ///
+    /// Allocates a fresh `String` per call; hot paths that already own a
+    /// buffer should prefer [`Image::write_reference`] (or the `Display`
+    /// impl inside a larger `write!`).
     pub fn reference(&self) -> String {
-        format!("{}:{}", self.name, self.tag)
+        let mut out = String::with_capacity(self.name.len() + 1 + self.tag.len());
+        self.write_reference(&mut out);
+        out
+    }
+
+    /// Append the canonical `name:tag` reference to `out` without
+    /// allocating a fresh `String` (beyond growing `out` if needed).
+    pub fn write_reference(&self, out: &mut String) {
+        write!(out, "{self}").expect("writing to a String never fails");
     }
 }
 
@@ -48,9 +70,12 @@ impl fmt::Display for Image {
 }
 
 /// A local image store, keyed by reference.
+///
+/// Images are stored behind `Arc`s so a daemon can hand a started container
+/// its image without cloning the name strings ([`ImageRegistry::get_shared`]).
 #[derive(Debug, Default, Clone)]
 pub struct ImageRegistry {
-    images: BTreeMap<String, Image>,
+    images: BTreeMap<String, Arc<Image>>,
 }
 
 impl ImageRegistry {
@@ -60,6 +85,9 @@ impl ImageRegistry {
     }
 
     /// A registry preloaded with the framework images the paper uses.
+    ///
+    /// Allocates a fresh catalog; cluster-scale callers should prefer
+    /// [`shared_dl_defaults`], which builds this once per process.
     pub fn with_dl_defaults() -> Self {
         let mut r = Self::new();
         r.pull(Image::new("pytorch/pytorch", "latest"));
@@ -70,12 +98,17 @@ impl ImageRegistry {
 
     /// Add (or replace) an image.
     pub fn pull(&mut self, image: Image) {
-        self.images.insert(image.reference(), image);
+        self.images.insert(image.reference(), Arc::new(image));
     }
 
     /// Look up an image by `name:tag` reference.
     pub fn get(&self, reference: &str) -> Option<&Image> {
-        self.images.get(reference)
+        self.images.get(reference).map(|i| &**i)
+    }
+
+    /// Look up an image by reference, sharing ownership (no string clones).
+    pub fn get_shared(&self, reference: &str) -> Option<Arc<Image>> {
+        self.images.get(reference).cloned()
     }
 
     /// True if the reference exists locally.
@@ -95,8 +128,22 @@ impl ImageRegistry {
 
     /// Iterate over images in reference order.
     pub fn iter(&self) -> impl Iterator<Item = &Image> {
-        self.images.values()
+        self.images.values().map(|i| &**i)
     }
+}
+
+/// The process-wide shared copy of [`ImageRegistry::with_dl_defaults`].
+///
+/// Built on first use and reference-counted from then on: a 10k-worker
+/// cluster pays for the default catalog once, not 10k times.  The registry
+/// behind the `Arc` is immutable; callers that need a different catalog
+/// build their own `Arc<ImageRegistry>` and pass it to
+/// [`Daemon::with_shared_images`](crate::daemon::Daemon::with_shared_images).
+pub fn shared_dl_defaults() -> Arc<ImageRegistry> {
+    static SHARED: OnceLock<Arc<ImageRegistry>> = OnceLock::new();
+    SHARED
+        .get_or_init(|| Arc::new(ImageRegistry::with_dl_defaults()))
+        .clone()
 }
 
 #[cfg(test)]
@@ -136,5 +183,31 @@ mod tests {
     #[test]
     fn display_is_reference() {
         assert_eq!(Image::new("x", "y").to_string(), "x:y");
+    }
+
+    #[test]
+    fn write_reference_appends_without_clobbering() {
+        let img = Image::new("pytorch/pytorch", "latest");
+        let mut buf = String::from("image=");
+        img.write_reference(&mut buf);
+        assert_eq!(buf, "image=pytorch/pytorch:latest");
+        assert_eq!(img.reference(), "pytorch/pytorch:latest");
+    }
+
+    #[test]
+    fn shared_defaults_is_one_instance() {
+        let a = shared_dl_defaults();
+        let b = shared_dl_defaults();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.contains("keras/keras:latest"));
+    }
+
+    #[test]
+    fn get_shared_aliases_the_stored_image() {
+        let r = ImageRegistry::with_dl_defaults();
+        let a = r.get_shared("pytorch/pytorch:latest").unwrap();
+        let b = r.get_shared("pytorch/pytorch:latest").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "no string clones on lookup");
+        assert!(r.get_shared("missing:latest").is_none());
     }
 }

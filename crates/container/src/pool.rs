@@ -78,12 +78,19 @@ impl<W: Workload> ContainerPool<W> {
     }
 
     /// Ids of containers currently in the `Running` state, in id order.
+    ///
+    /// Allocates a fresh `Vec`; iteration-only callers should prefer
+    /// [`ContainerPool::running_ids_iter`].
     pub fn running_ids(&self) -> Vec<ContainerId> {
+        self.running_ids_iter().collect()
+    }
+
+    /// Iterate over running container ids in id order without allocating.
+    pub fn running_ids_iter(&self) -> impl Iterator<Item = ContainerId> + '_ {
         self.containers
             .values()
             .filter(|c| c.state().is_runnable())
             .map(|c| c.id())
-            .collect()
     }
 
     /// Number of running containers.

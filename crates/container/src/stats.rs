@@ -43,13 +43,31 @@ impl Default for ContainerStats {
 
 impl ContainerStats {
     /// Stats with a given sample-window capacity.
+    ///
+    /// A capacity of `0` disables the sample window entirely: cumulative
+    /// accounting still runs, but no per-sample history is retained and
+    /// [`ContainerStats::average_over`] always returns `None`.  The worker
+    /// simulation runs with the window disabled — its growth-efficiency
+    /// math uses cumulative deltas, and its usage traces are recorded by
+    /// the session's `Recorder` — so a simulated container costs no
+    /// per-sample heap growth.
     pub fn new(window_cap: usize) -> Self {
         ContainerStats {
             cumulative: ResourceVec::ZERO,
             current: ResourceVec::ZERO,
             window: VecDeque::new(),
-            window_cap: window_cap.max(2),
+            window_cap,
             busy_seconds: 0.0,
+        }
+    }
+
+    /// Change the sample-window capacity (`0` disables sampling).
+    ///
+    /// Shrinking drops the oldest retained samples.
+    pub fn set_window_cap(&mut self, window_cap: usize) {
+        self.window_cap = window_cap;
+        while self.window.len() > window_cap {
+            self.window.pop_front();
         }
     }
 
@@ -60,6 +78,9 @@ impl ContainerStats {
         self.cumulative += rates.scale(dt_secs);
         self.current = rates;
         self.busy_seconds += dt_secs;
+        if self.window_cap == 0 {
+            return;
+        }
         if self.window.len() == self.window_cap {
             self.window.pop_front();
         }
@@ -158,6 +179,21 @@ mod tests {
         assert_eq!(st.window_len(), 4);
         // Old samples evicted: interval covering only evicted samples is None.
         assert_eq!(st.average_over(ResourceKind::Cpu, t(0), t(5)), None);
+    }
+
+    #[test]
+    fn zero_cap_disables_the_window_but_not_accounting() {
+        let mut st = ContainerStats::new(0);
+        for i in 0..10 {
+            st.integrate(t(i), ResourceVec::cpu(0.5), 1.0);
+        }
+        assert_eq!(st.window_len(), 0, "no samples retained");
+        assert_eq!(st.average_over(ResourceKind::Cpu, t(0), t(10)), None);
+        assert!((st.cpu_seconds() - 5.0).abs() < 1e-12, "cumulative intact");
+        // Re-enabling starts sampling from now on.
+        st.set_window_cap(4);
+        st.integrate(t(10), ResourceVec::cpu(0.5), 1.0);
+        assert_eq!(st.window_len(), 1);
     }
 
     #[test]

@@ -161,7 +161,7 @@ fn reap_collects_externally_finished_workloads() {
     assert_eq!(d.ps(), vec![a], "not yet reaped");
     let reaped = d.reap(t(5));
     assert_eq!(reaped, vec![a]);
-    assert!(d.ps().is_empty());
+    assert!(d.ps_iter().next().is_none());
     assert_eq!(d.inspect(a).unwrap().state(), ContainerState::Exited(0));
     assert!(d.reap(t(6)).is_empty(), "reap is idempotent");
 }
@@ -183,7 +183,7 @@ fn graveyard_retains_full_history() {
     }
     let rates = vec![0.2; 5];
     d.advance(t(10), &ids, &rates, &[1.0], 5.0);
-    assert!(d.ps().is_empty());
+    assert!(d.ps_iter().next().is_none());
     assert_eq!(d.graveyard().len(), 5);
     for id in ids {
         assert!(d.completion_record(id).is_some());

@@ -22,6 +22,13 @@
 //! ([`policy::FairSharePolicy`], "NA") and two ablation policies.
 //! [`worker`] provides the deterministic fluid simulation of one worker
 //! node that every experiment runs on.
+//!
+//! Entry point: [`session::Session::builder`] — a fluent builder over node,
+//! plan, policy, shared image registry, failure injections, and a pluggable
+//! [`recorder::Recorder`] that decides at compile time what the run
+//! observes (full paper traces, headless completions-only, or sampled).
+//! The historical `WorkerSim` constructors are deprecated shims over the
+//! same machinery.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,10 +40,14 @@ pub mod lists;
 pub mod metric;
 pub mod monitor;
 pub mod policy;
+pub mod recorder;
+pub mod session;
 pub mod worker;
 
 pub use config::{FlowConConfig, NodeConfig};
 pub use lists::{ListKind, Lists};
 pub use metric::{growth_efficiency, progress_score, GrowthMeasurement};
 pub use policy::{FairSharePolicy, FlowConPolicy, ResourcePolicy, StaticEqualPolicy};
+pub use recorder::{CompletionsOnly, FullRecorder, Recorder, SamplingRecorder};
+pub use session::{Session, SessionBuilder, SessionResult};
 pub use worker::{RunResult, WorkerScratch, WorkerSim};

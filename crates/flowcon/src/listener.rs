@@ -15,8 +15,6 @@
 //! "lightweight background-listeners track the container states in
 //! real-time" (§4.3) without polling.
 
-use std::collections::BTreeSet;
-
 use flowcon_container::ContainerId;
 
 use crate::lists::Lists;
@@ -46,8 +44,10 @@ impl ListenerOutcome {
 /// The Worker Monitor's listener state (Algorithm 2).
 #[derive(Debug, Default, Clone)]
 pub struct Listener {
-    /// Pool membership at the previous iteration.
-    known: BTreeSet<ContainerId>,
+    /// Pool membership at the previous iteration, sorted ascending (the
+    /// pool always reports ids in id order, so the diff is a single merge
+    /// walk and steady-state observation is allocation-free).
+    known: Vec<ContainerId>,
     /// Iteration counter `i`.
     iteration: u64,
 }
@@ -63,33 +63,80 @@ impl Listener {
         self.iteration
     }
 
+    /// Allocation-free observation: update `lists` for every arrival and
+    /// departure and return whether anything changed (Algorithm 2's
+    /// interrupt).  This is the hot-path entry point the FlowCon policy
+    /// uses; [`Listener::observe`] reports the same outcome with the
+    /// arrival/departure sets materialized.
+    ///
+    /// `pool_ids` must be the ids of every container currently in the
+    /// pool, in ascending id order (how the pool iterates).
+    pub fn observe_interrupt(&mut self, pool_ids: &[ContainerId], lists: &mut Lists) -> bool {
+        self.iteration += 1;
+        debug_assert!(
+            pool_ids.windows(2).all(|w| w[0] < w[1]),
+            "pool ids must arrive sorted ascending"
+        );
+        // Merge-walk the sorted previous and current memberships.
+        let mut changed = false;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.known.len() || j < pool_ids.len() {
+            match (self.known.get(i).copied(), pool_ids.get(j).copied()) {
+                (Some(k), Some(p)) if k == p => {
+                    i += 1;
+                    j += 1;
+                }
+                // Lines 10–15: c < 0, purge finished containers.
+                (Some(k), Some(p)) if k < p => {
+                    lists.remove(k);
+                    changed = true;
+                    i += 1;
+                }
+                (Some(k), None) => {
+                    lists.remove(k);
+                    changed = true;
+                    i += 1;
+                }
+                // Lines 5–7: c > 0, put unknown containers into NL.
+                (_, Some(p)) => {
+                    lists.insert_new(p);
+                    changed = true;
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        if changed {
+            // Reuses the snapshot buffer's capacity from here on.
+            self.known.clear();
+            self.known.extend_from_slice(pool_ids);
+        }
+        changed
+    }
+
     /// Observe the current pool membership and update `lists` accordingly.
     ///
     /// `pool_ids` must be the ids of every container currently in the pool
-    /// (Algorithm 2's `T(i)` is their count).  Handles simultaneous
-    /// arrivals and departures in one call (the paper's loop would observe
-    /// them over two iterations; the net effect is identical).
+    /// in ascending id order (Algorithm 2's `T(i)` is their count).
+    /// Handles simultaneous arrivals and departures in one call (the
+    /// paper's loop would observe them over two iterations; the net effect
+    /// is identical).  Allocates the arrival/departure sets; interrupt-only
+    /// callers should prefer [`Listener::observe_interrupt`].
     pub fn observe(&mut self, pool_ids: &[ContainerId], lists: &mut Lists) -> ListenerOutcome {
-        self.iteration += 1;
-        let current: BTreeSet<ContainerId> = pool_ids.iter().copied().collect();
-
-        let arrived: Vec<ContainerId> = current.difference(&self.known).copied().collect();
-        let departed: Vec<ContainerId> = self.known.difference(&current).copied().collect();
-
-        if arrived.is_empty() && departed.is_empty() {
+        let arrived: Vec<ContainerId> = pool_ids
+            .iter()
+            .copied()
+            .filter(|p| self.known.binary_search(p).is_err())
+            .collect();
+        let departed: Vec<ContainerId> = self
+            .known
+            .iter()
+            .copied()
+            .filter(|k| pool_ids.binary_search(k).is_err())
+            .collect();
+        if !self.observe_interrupt(pool_ids, lists) {
             return ListenerOutcome::quiet();
         }
-
-        // Lines 5–7: c > 0, put the unknown containers into NL.
-        for &id in &arrived {
-            lists.insert_new(id);
-        }
-        // Lines 10–15: c < 0, purge finished containers from every list.
-        for &id in &departed {
-            lists.remove(id);
-        }
-        self.known = current;
-
         // Lines 8 & 16: reset itval and trigger Algorithm 1.
         ListenerOutcome {
             arrived,

@@ -158,12 +158,14 @@ impl ResourcePolicy for FlowConPolicy {
     }
 
     fn on_pool_change(&mut self, _now: SimTime, pool_ids: &[ContainerId]) -> bool {
-        let outcome = self.listener.observe(pool_ids, &mut self.lists);
-        if outcome.interrupt {
+        // Allocation-free membership diff (the arrival/departure sets are
+        // not needed here, only the interrupt decision).
+        let interrupt = self.listener.observe_interrupt(pool_ids, &mut self.lists);
+        if interrupt {
             // Algorithm 2 lines 8/16: reset itval, breaking the back-off.
             self.itval = self.config.initial_interval;
         }
-        outcome.interrupt
+        interrupt
     }
 }
 

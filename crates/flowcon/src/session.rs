@@ -1,0 +1,318 @@
+//! The one entry point: a fluent, recorder-generic worker session.
+//!
+//! Pre-redesign, the crate's entry surface was a zoo —
+//! `WorkerSim::{new, with_scratch, with_failure, run, run_recycling}`, free
+//! `run_flowcon` / `run_baseline` — every one of which hard-wired a full
+//! [`RunSummary`] into the hot path.  A [`Session`] replaces all of them:
+//!
+//! ```
+//! use flowcon_core::config::{FlowConConfig, NodeConfig};
+//! use flowcon_core::policy::FlowConPolicy;
+//! use flowcon_core::recorder::CompletionsOnly;
+//! use flowcon_core::session::Session;
+//! use flowcon_dl::workload::WorkloadPlan;
+//!
+//! // Full observability (the default recorder):
+//! let result = Session::builder()
+//!     .node(NodeConfig::default())
+//!     .plan(WorkloadPlan::fixed_three())
+//!     .policy(FlowConPolicy::new(FlowConConfig::default()))
+//!     .build()
+//!     .run();
+//! assert_eq!(result.output.completions.len(), 3);
+//!
+//! // Headless: completions and makespan only, ≲20 allocs per worker.
+//! let stats = Session::builder()
+//!     .plan(WorkloadPlan::fixed_three())
+//!     .recorder(CompletionsOnly::new())
+//!     .build()
+//!     .run();
+//! assert_eq!(stats.output.len(), 3);
+//! ```
+//!
+//! # Migration from the deprecated entry points
+//!
+//! | Old (deprecated) | New |
+//! |---|---|
+//! | `WorkerSim::new(node, plan, policy)` | `Session::builder().node(node).plan(plan).policy_box(policy).build()` |
+//! | `WorkerSim::with_scratch(n, p, pol, s)` | `… .scratch(s) …` |
+//! | `sim.with_failure(label, at, code)` | `… .failure(label, at, code) …` |
+//! | `sim.run() -> RunResult` | `session.run() -> SessionResult<RunSummary>` (`result.summary` → `result.output`) |
+//! | `sim.run_recycling()` | `session.run_recycling()` |
+//! | `run_flowcon(node, &plan, config)` | `… .policy(FlowConPolicy::new(config)) …` |
+//! | `run_baseline(node, &plan)` | `… .policy(FairSharePolicy::new()) …` |
+//! | always-on `RunSummary` | `.recorder(FullRecorder::new())` (default), [`CompletionsOnly`], [`SamplingRecorder`] |
+//! | fresh `ImageRegistry` per worker | shared by default; override with `.images(arc_registry)` |
+//!
+//! With the default [`FullRecorder`], a session's output is bit-identical
+//! to the pre-redesign path (pinned by
+//! `crates/flowcon/tests/session_api.rs`).  The cluster layer builds one
+//! session per worker on the sharded executor, threading a recycled
+//! [`WorkerScratch`] and one shared image registry through all of them.
+//!
+//! [`RunSummary`]: flowcon_metrics::summary::RunSummary
+//! [`FullRecorder`]: crate::recorder::FullRecorder
+//! [`CompletionsOnly`]: crate::recorder::CompletionsOnly
+//! [`SamplingRecorder`]: crate::recorder::SamplingRecorder
+
+use std::sync::Arc;
+
+use flowcon_container::image::shared_dl_defaults;
+use flowcon_container::ImageRegistry;
+use flowcon_dl::workload::WorkloadPlan;
+use flowcon_sim::time::SimTime;
+
+use crate::config::NodeConfig;
+use crate::policy::{FairSharePolicy, ResourcePolicy};
+use crate::recorder::{FullRecorder, Recorder};
+use crate::worker::{FailureInjection, WorkerScratch, WorkerSim};
+
+/// The outcome of a [`Session`] run.
+#[derive(Debug, Clone)]
+pub struct SessionResult<T> {
+    /// Whatever the session's [`Recorder`] produced: a
+    /// [`RunSummary`](flowcon_metrics::summary::RunSummary) for
+    /// [`FullRecorder`], label-free
+    /// [`CompletionStats`](flowcon_metrics::summary::CompletionStats) for
+    /// [`CompletionsOnly`](crate::recorder::CompletionsOnly).
+    pub output: T,
+    /// Total simulated events processed (performance accounting).
+    pub events_processed: u64,
+    /// Estimated scheduler overhead in CPU-seconds
+    /// (`algorithm_runs × NodeConfig::algo_cost_cpu_secs`).
+    pub scheduler_overhead_cpu_secs: f64,
+}
+
+/// Fluent configuration for one worker session.
+///
+/// Defaults: [`NodeConfig::default`], an empty plan, the NA baseline
+/// policy ([`FairSharePolicy`]), the process-shared default image registry,
+/// a [`FullRecorder`], fresh scratch, and no failure injections.
+pub struct SessionBuilder<R: Recorder = FullRecorder> {
+    node: NodeConfig,
+    plan: WorkloadPlan,
+    policy: Box<dyn ResourcePolicy>,
+    images: Arc<ImageRegistry>,
+    recorder: R,
+    scratch: WorkerScratch,
+    failures: Vec<FailureInjection>,
+}
+
+impl Default for SessionBuilder<FullRecorder> {
+    fn default() -> Self {
+        SessionBuilder {
+            node: NodeConfig::default(),
+            plan: WorkloadPlan::new(Vec::new()),
+            policy: Box::new(FairSharePolicy::new()),
+            images: shared_dl_defaults(),
+            recorder: FullRecorder::new(),
+            scratch: WorkerScratch::new(),
+            failures: Vec::new(),
+        }
+    }
+}
+
+impl<R: Recorder> SessionBuilder<R> {
+    /// The simulated node (capacity, contention model, seed).
+    pub fn node(mut self, node: NodeConfig) -> Self {
+        self.node = node;
+        self
+    }
+
+    /// The workload plan to execute.
+    pub fn plan(mut self, plan: WorkloadPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// The resource policy driving reconfiguration (defaults to the NA
+    /// baseline).
+    pub fn policy(self, policy: impl ResourcePolicy + 'static) -> Self {
+        self.policy_box(Box::new(policy))
+    }
+
+    /// Like [`SessionBuilder::policy`] for an already-boxed policy (what
+    /// the cluster layer's `PolicyKind::build` produces).
+    pub fn policy_box(mut self, policy: Box<dyn ResourcePolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Share an image registry across sessions (one catalog per cluster).
+    /// Defaults to the process-wide
+    /// [`shared_dl_defaults`].
+    pub fn images(mut self, images: Arc<ImageRegistry>) -> Self {
+        self.images = images;
+        self
+    }
+
+    /// Choose what the session records; see [`crate::recorder`].
+    pub fn recorder<R2: Recorder>(self, recorder: R2) -> SessionBuilder<R2> {
+        SessionBuilder {
+            node: self.node,
+            plan: self.plan,
+            policy: self.policy,
+            images: self.images,
+            recorder,
+            scratch: self.scratch,
+            failures: self.failures,
+        }
+    }
+
+    /// Reuse hot-path buffers recycled from a previous session
+    /// ([`Session::run_recycling`]).
+    pub fn scratch(mut self, scratch: WorkerScratch) -> Self {
+        self.scratch = scratch;
+        self
+    }
+
+    /// Schedule a fault: the job with `label` crashes at `at` with
+    /// `exit_code` (the Finished-Cons listener must release its resources
+    /// exactly as for a clean exit).
+    pub fn failure(mut self, label: impl Into<String>, at: SimTime, exit_code: i32) -> Self {
+        self.failures.push(FailureInjection {
+            label: label.into(),
+            at,
+            exit_code,
+        });
+        self
+    }
+
+    /// Assemble the session.
+    pub fn build(self) -> Session<R> {
+        Session {
+            sim: WorkerSim::assemble(
+                self.node,
+                self.plan,
+                self.policy,
+                self.images,
+                self.recorder,
+                self.scratch,
+                self.failures,
+            ),
+        }
+    }
+}
+
+/// A fully-configured worker session, ready to run.
+pub struct Session<R: Recorder = FullRecorder> {
+    sim: WorkerSim<R>,
+}
+
+impl Session<FullRecorder> {
+    /// Start configuring a session (defaults: NA policy, empty plan, shared
+    /// default images, [`FullRecorder`]).
+    pub fn builder() -> SessionBuilder<FullRecorder> {
+        SessionBuilder::default()
+    }
+}
+
+impl<R: Recorder> Session<R> {
+    /// Run the plan to completion.
+    pub fn run(self) -> SessionResult<R::Output> {
+        self.run_recycling().0
+    }
+
+    /// Run the plan to completion, handing the hot-path scratch back so the
+    /// caller can thread it into the next session's
+    /// [`SessionBuilder::scratch`].
+    pub fn run_recycling(self) -> (SessionResult<R::Output>, WorkerScratch) {
+        self.sim.run_session()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlowConConfig;
+    use crate::policy::FlowConPolicy;
+    use crate::recorder::{CompletionsOnly, SamplingRecorder};
+
+    #[test]
+    fn default_session_is_an_empty_na_run() {
+        let result = Session::builder().build().run();
+        assert!(result.output.completions.is_empty());
+        assert_eq!(result.output.policy, "NA");
+        // Exactly the t=0 sample tick and the t=20 trace tick fire.
+        assert_eq!(result.events_processed, 2);
+    }
+
+    #[test]
+    fn builder_wires_every_knob() {
+        let result = Session::builder()
+            .node(NodeConfig::default().with_seed(7))
+            .plan(WorkloadPlan::fixed_three())
+            .policy(FlowConPolicy::new(FlowConConfig::with_params(0.05, 20)))
+            .images(shared_dl_defaults())
+            .failure("VAE (Pytorch)", SimTime::from_secs(100), 137)
+            .build()
+            .run();
+        assert_eq!(result.output.policy, "FlowCon-5%-20");
+        assert_eq!(result.output.completions.len(), 3);
+        let vae = result
+            .output
+            .completions
+            .iter()
+            .find(|c| c.label == "VAE (Pytorch)")
+            .unwrap();
+        assert_eq!(vae.exit_code, 137, "injected failure");
+    }
+
+    #[test]
+    fn headless_session_returns_label_free_stats() {
+        let full = Session::builder()
+            .plan(WorkloadPlan::fixed_three())
+            .build()
+            .run();
+        let headless = Session::builder()
+            .plan(WorkloadPlan::fixed_three())
+            .recorder(CompletionsOnly::new())
+            .build()
+            .run();
+        assert_eq!(headless.output.len(), 3);
+        // Headless schedules no sample/trace events: strictly fewer events.
+        assert!(headless.events_processed < full.events_processed);
+        // Same physics: makespan agrees to the engine's 1 µs margin.
+        let diff = (headless.output.makespan_secs() - full.output.makespan_secs()).abs();
+        assert!(diff < 1e-3, "makespan diverged by {diff}s");
+    }
+
+    #[test]
+    fn sampling_recorder_decimates_but_preserves_completions() {
+        let full = Session::builder()
+            .plan(WorkloadPlan::fixed_three())
+            .build()
+            .run();
+        let sampled = Session::builder()
+            .plan(WorkloadPlan::fixed_three())
+            .recorder(SamplingRecorder::every(5))
+            .build()
+            .run();
+        // Sample events still fire, so dynamics are bit-identical.
+        assert_eq!(full.output.completions, sampled.output.completions);
+        assert_eq!(full.events_processed, sampled.events_processed);
+        let full_pts = full.output.cpu_usage.get("VAE (Pytorch)").unwrap().len();
+        let sampled_pts = sampled.output.cpu_usage.get("VAE (Pytorch)").unwrap().len();
+        assert!(
+            sampled_pts <= full_pts / 4,
+            "expected ~5x decimation, got {sampled_pts} of {full_pts}"
+        );
+        assert!(sampled_pts > 0);
+    }
+
+    #[test]
+    fn scratch_recycling_is_bit_identical() {
+        let plan = WorkloadPlan::random_five(3);
+        let build = |scratch: WorkerScratch| {
+            Session::builder()
+                .plan(plan.clone())
+                .policy(FlowConPolicy::new(FlowConConfig::default()))
+                .scratch(scratch)
+                .build()
+        };
+        let (first, scratch) = build(WorkerScratch::new()).run_recycling();
+        let (second, _) = build(scratch).run_recycling();
+        assert_eq!(first.output.completions, second.output.completions);
+        assert_eq!(first.events_processed, second.events_processed);
+    }
+}

@@ -10,19 +10,28 @@
 //! * projected job **completions** (recomputed whenever rates change),
 //! * **policy ticks** (the Executor's interval, with back-off/reset),
 //! * **sample ticks** (1 s usage/limit traces) and **trace ticks**
-//!   (growth-efficiency traces at a fixed interval for Figs. 13–14).
+//!   (growth-efficiency traces at a fixed interval for Figs. 13–14) —
+//!   scheduled only when the session's [`Recorder`] wants them.
 //!
 //! Every run is reproducible from `NodeConfig::seed`.
+//!
+//! [`WorkerSim`] is monomorphized over its [`Recorder`], and its historical
+//! constructors are deprecated shims: build workers through
+//! [`crate::session::Session`] instead.
 
+use std::sync::Arc;
+
+use flowcon_container::image::shared_dl_defaults;
 use flowcon_container::{
     ContainerId, Daemon, ImageRegistry, ResourceLimits, UpdateOptions, Workload,
 };
 use flowcon_dl::models::ModelSpec;
 use flowcon_dl::workload::WorkloadPlan;
 use flowcon_dl::TrainingJob;
-use flowcon_metrics::summary::{CompletionRecord, RunSummary};
+use flowcon_metrics::summary::RunSummary;
 use flowcon_sim::alloc::{waterfill_soft_into, AllocRequest, WaterfillScratch};
 use flowcon_sim::engine::{Scheduler, SimEngine, Simulation};
+use flowcon_sim::event::EventQueue;
 use flowcon_sim::rng::SimRng;
 use flowcon_sim::time::{SimDuration, SimTime};
 
@@ -30,13 +39,15 @@ use crate::config::NodeConfig;
 use crate::metric::GrowthMeasurement;
 use crate::monitor::ContainerMonitor;
 use crate::policy::ResourcePolicy;
+use crate::recorder::{FullRecorder, Recorder, RunMeta};
+use crate::session::SessionResult;
 
 /// Interval between growth-efficiency trace measurements (Figs. 13–14).
 const TRACE_INTERVAL: SimDuration = SimDuration::from_secs(20);
 
 /// Events driving the worker simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum WorkerEvent {
+pub(crate) enum WorkerEvent {
     /// The `idx`-th job of the plan arrives.
     Arrival(usize),
     /// A projected completion; `gen` invalidates stale projections.
@@ -62,7 +73,12 @@ pub struct FailureInjection {
     pub exit_code: i32,
 }
 
-/// The outcome of a worker run.
+/// The outcome of a worker run on the legacy (pre-session) entry points.
+///
+/// New code receives a [`SessionResult`] from
+/// [`Session::run`](crate::session::Session::run) instead; this shape is
+/// kept for the deprecated `WorkerSim` shims and the cluster layer's
+/// summary-carrying `ClusterResult`.
 #[derive(Debug, Clone)]
 pub struct RunResult {
     /// Everything the paper reports: completions, makespan, traces.
@@ -74,15 +90,27 @@ pub struct RunResult {
     pub scheduler_overhead_cpu_secs: f64,
 }
 
+impl From<SessionResult<RunSummary>> for RunResult {
+    /// Repackage a full-recorder session result (the shims and the cluster
+    /// manager translate between the two shapes).
+    fn from(result: SessionResult<RunSummary>) -> Self {
+        RunResult {
+            summary: result.output,
+            events_processed: result.events_processed,
+            scheduler_overhead_cpu_secs: result.scheduler_overhead_cpu_secs,
+        }
+    }
+}
+
 /// The reusable hot-path buffers of one worker simulation.
 ///
 /// Everything in here is recomputed from scratch by the simulation (rates
 /// at every `recompute_rates`, measurement and update buffers at every
 /// tick), so only the *capacity* carries meaning between runs.  The sharded
 /// cluster executor keeps one `WorkerScratch` per OS thread and recycles it
-/// across the hundreds of `WorkerSim`s that shard drives, so worker state
-/// is reused instead of reallocated per simulation
-/// ([`WorkerSim::run_recycling`]).
+/// across the hundreds of worker sessions that shard drives, so worker
+/// state is reused instead of reallocated per simulation
+/// ([`Session::run_recycling`](crate::session::Session::run_recycling)).
 #[derive(Debug, Default)]
 pub struct WorkerScratch {
     /// Ids of containers whose rates are fixed since the last recompute,
@@ -106,6 +134,9 @@ pub struct WorkerScratch {
     pool_ids: Vec<ContainerId>,
     /// Policy-decision updates buffer ([`ResourcePolicy::reconfigure_into`]).
     updates: Vec<(ContainerId, f64)>,
+    /// Recycled engine event heap ([`SimEngine::from_queue`]): the queue is
+    /// allocated once per executor shard, not once per simulation.
+    queue: EventQueue<WorkerEvent>,
 }
 
 impl WorkerScratch {
@@ -140,8 +171,14 @@ impl WorkerScratch {
     }
 }
 
-/// One simulated worker node executing a workload plan under a policy.
-pub struct WorkerSim {
+/// One simulated worker node executing a workload plan under a policy,
+/// observed by a [`Recorder`].
+///
+/// Construct through [`Session::builder`](crate::session::Session::builder);
+/// the inherent constructors below are deprecated shims kept for one
+/// release (their output is bit-compared against the session path in
+/// `crates/flowcon/tests/session_api.rs`).
+pub struct WorkerSim<R: Recorder = FullRecorder> {
     node: NodeConfig,
     plan: WorkloadPlan,
     policy: Box<dyn ResourcePolicy>,
@@ -164,39 +201,38 @@ pub struct WorkerSim {
     policy_monitor: ContainerMonitor,
     trace_monitor: ContainerMonitor,
 
-    summary: RunSummary,
+    recorder: R,
     update_calls: u64,
     algorithm_runs: u64,
     failures: Vec<FailureInjection>,
 }
 
-impl WorkerSim {
-    /// Build a worker for `plan` under `policy`.
-    pub fn new(node: NodeConfig, plan: WorkloadPlan, policy: Box<dyn ResourcePolicy>) -> Self {
-        Self::with_scratch(node, plan, policy, WorkerScratch::new())
-    }
-
-    /// Build a worker reusing `scratch` from a previous simulation.
-    ///
-    /// The scratch is reset (buffers cleared, capacities kept), so results
-    /// are bit-identical to [`WorkerSim::new`]; only the allocations to
-    /// grow the buffers are saved.
-    pub fn with_scratch(
+impl<R: Recorder> WorkerSim<R> {
+    /// Assemble a fully-configured worker (the session builder's output).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
         node: NodeConfig,
         plan: WorkloadPlan,
         policy: Box<dyn ResourcePolicy>,
+        images: Arc<ImageRegistry>,
+        recorder: R,
         mut scratch: WorkerScratch,
+        failures: Vec<FailureInjection>,
     ) -> Self {
-        let summary = RunSummary::new(policy.name());
         let arrivals_pending = plan.len();
         // Jobs on a worker never exceed the plan size, so pre-sizing the
         // scratch buffers makes even the first tick allocation-free.
         scratch.reset_for(plan.len());
+        let mut daemon = Daemon::with_shared_images(images);
+        // The worker's growth math uses cumulative deltas and its usage
+        // traces go through the recorder, so the per-container stats sample
+        // window would only burn memory: disable it.
+        daemon.set_stats_window(0);
         WorkerSim {
             node,
             plan,
             policy,
-            daemon: Daemon::new(ImageRegistry::with_dl_defaults()),
+            daemon,
             rng: SimRng::new(node.seed),
             last_advance: SimTime::ZERO,
             scratch,
@@ -205,54 +241,47 @@ impl WorkerSim {
             arrivals_pending,
             policy_monitor: ContainerMonitor::new(),
             trace_monitor: ContainerMonitor::new(),
-            summary,
+            recorder,
             update_calls: 0,
             algorithm_runs: 0,
-            failures: Vec::new(),
+            failures,
         }
     }
 
-    /// Schedule a fault: the job with `label` crashes at `at` with
-    /// `exit_code` (the Finished-Cons listener must release its resources
-    /// exactly as for a clean exit).
-    pub fn with_failure(mut self, label: impl Into<String>, at: SimTime, exit_code: i32) -> Self {
-        self.failures.push(FailureInjection {
-            label: label.into(),
-            at,
-            exit_code,
-        });
-        self
-    }
-
-    /// Run the plan to completion and return the results.
-    pub fn run(self) -> RunResult {
-        self.run_recycling().0
-    }
-
-    /// Run the plan to completion, handing the hot-path scratch back so the
-    /// caller can thread it into the next [`WorkerSim::with_scratch`].
-    pub fn run_recycling(self) -> (RunResult, WorkerScratch) {
-        let mut engine: SimEngine<WorkerShell> = SimEngine::new();
+    /// Run the plan to completion, handing the hot-path scratch back for
+    /// the next session.
+    pub(crate) fn run_session(mut self) -> (SessionResult<R::Output>, WorkerScratch) {
+        let mut engine: SimEngine<WorkerShell<R>> =
+            SimEngine::from_queue(std::mem::take(&mut self.scratch.queue));
         for (idx, job) in self.plan.jobs.iter().enumerate() {
             engine.prime(job.arrival, WorkerEvent::Arrival(idx));
         }
-        engine.prime(SimTime::ZERO, WorkerEvent::SampleTick);
-        engine.prime(TRACE_INTERVAL.into_time(), WorkerEvent::TraceTick);
+        if R::RECORDS_SAMPLES {
+            engine.prime(SimTime::ZERO, WorkerEvent::SampleTick);
+        }
+        if R::RECORDS_GROWTH {
+            engine.prime(TRACE_INTERVAL.into_time(), WorkerEvent::TraceTick);
+        }
         for (idx, f) in self.failures.iter().enumerate() {
             engine.prime(f.at, WorkerEvent::InjectFailure(idx));
         }
         let mut shell = WorkerShell(self);
         engine.run_to_completion(&mut shell);
-        let mut worker = shell.0;
-        worker.summary.update_calls = worker.update_calls;
-        worker.summary.algorithm_runs = worker.algorithm_runs;
-        let result = RunResult {
+        let worker = shell.0;
+        let output = worker.recorder.finish(RunMeta {
+            policy: worker.policy.as_ref(),
+            algorithm_runs: worker.algorithm_runs,
+            update_calls: worker.update_calls,
+        });
+        let result = SessionResult {
+            output,
+            events_processed: engine.events_processed(),
             scheduler_overhead_cpu_secs: worker.algorithm_runs as f64
                 * worker.node.algo_cost_cpu_secs,
-            summary: worker.summary,
-            events_processed: engine.events_processed(),
         };
-        (result, worker.scratch)
+        let mut scratch = worker.scratch;
+        scratch.queue = engine.into_queue();
+        (result, scratch)
     }
 
     /// True once every job has arrived and the pool is empty.
@@ -361,12 +390,8 @@ impl WorkerSim {
                     flowcon_container::ContainerState::Exited(code) => code,
                     _ => 0,
                 };
-                self.summary.completions.push(CompletionRecord {
-                    label: c.workload().label().to_string(),
-                    arrival: c.created_at(),
-                    finished: now,
-                    exit_code: code,
-                });
+                self.recorder
+                    .record_completion(c.workload().label(), c.created_at(), now, code);
             }
         }
         self.daemon.pool().ids_into(&mut self.scratch.pool_ids);
@@ -429,12 +454,12 @@ impl WorkerSim {
             if let Some(c) = self.daemon.pool().get(id) {
                 // Borrow the label in place: a steady-state sample tick must
                 // not allocate (`series_mut` only clones for unseen labels).
-                let label = c.workload().label();
-                self.summary.cpu_usage.series_mut(label).push(now, rate);
-                self.summary
-                    .limits
-                    .series_mut(label)
-                    .push(now, c.limits().cpu_limit());
+                self.recorder.record_sample(
+                    now,
+                    c.workload().label(),
+                    rate,
+                    c.limits().cpu_limit(),
+                );
             }
         }
     }
@@ -445,11 +470,7 @@ impl WorkerSim {
         for m in &self.scratch.trace_measures {
             let Some(g) = m.growth() else { continue };
             if let Some(c) = self.daemon.pool().get(m.id) {
-                let label = c.workload().label();
-                self.summary
-                    .growth_efficiency
-                    .series_mut(label)
-                    .push(now, g);
+                self.recorder.record_growth(now, c.workload().label(), g);
             }
         }
     }
@@ -461,10 +482,13 @@ impl WorkerSim {
                 let exited = self.advance_to(now);
                 let interrupted_by_exit = self.process_exits(now, &exited);
 
-                let request = self.plan.jobs[idx].clone();
+                // The plan is owned by the simulation and each job arrives
+                // exactly once: move the label out instead of cloning it.
+                let request = &mut self.plan.jobs[idx];
                 let spec = ModelSpec::of(request.model);
                 let image = spec.framework.image();
-                let job = TrainingJob::with_label(spec, request.label, &mut self.rng);
+                let label = std::mem::take(&mut request.label);
+                let job = TrainingJob::with_label(spec, label, &mut self.rng);
                 self.daemon
                     .run(image, job, ResourceLimits::unlimited(), now)
                     .expect("default registry contains framework images");
@@ -518,7 +542,9 @@ impl WorkerSim {
                     self.recompute_rates();
                     self.schedule_completion(sched);
                 }
-                self.record_samples(now);
+                if self.recorder.sample_tick(now) {
+                    self.record_samples(now);
+                }
                 if !self.is_done() {
                     sched.after(self.node.sample_interval, WorkerEvent::SampleTick);
                 }
@@ -532,7 +558,9 @@ impl WorkerSim {
                     self.recompute_rates();
                     self.schedule_completion(sched);
                 }
-                self.record_growth_traces(now);
+                if self.recorder.growth_tick(now) {
+                    self.record_growth_traces(now);
+                }
                 if !self.is_done() {
                     sched.after(TRACE_INTERVAL, WorkerEvent::TraceTick);
                 }
@@ -565,10 +593,79 @@ impl WorkerSim {
     }
 }
 
-/// Newtype so `Simulation` can be implemented without exposing internals.
-struct WorkerShell(WorkerSim);
+/// The deprecated pre-session surface, kept for one release.
+///
+/// Each shim routes through the exact machinery
+/// [`Session`](crate::session::Session) uses, so results are bit-identical
+/// to the new API (asserted by `crates/flowcon/tests/session_api.rs`).
+impl WorkerSim<FullRecorder> {
+    /// Build a worker for `plan` under `policy`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use flowcon_core::session::Session::builder() instead"
+    )]
+    pub fn new(node: NodeConfig, plan: WorkloadPlan, policy: Box<dyn ResourcePolicy>) -> Self {
+        WorkerSim::assemble(
+            node,
+            plan,
+            policy,
+            shared_dl_defaults(),
+            FullRecorder::new(),
+            WorkerScratch::new(),
+            Vec::new(),
+        )
+    }
 
-impl Simulation for WorkerShell {
+    /// Build a worker reusing `scratch` from a previous simulation.
+    #[deprecated(since = "0.1.0", note = "use Session::builder().scratch(..) instead")]
+    pub fn with_scratch(
+        node: NodeConfig,
+        plan: WorkloadPlan,
+        policy: Box<dyn ResourcePolicy>,
+        scratch: WorkerScratch,
+    ) -> Self {
+        WorkerSim::assemble(
+            node,
+            plan,
+            policy,
+            shared_dl_defaults(),
+            FullRecorder::new(),
+            scratch,
+            Vec::new(),
+        )
+    }
+
+    /// Schedule a fault: the job with `label` crashes at `at` with
+    /// `exit_code`.
+    #[deprecated(since = "0.1.0", note = "use Session::builder().failure(..) instead")]
+    pub fn with_failure(mut self, label: impl Into<String>, at: SimTime, exit_code: i32) -> Self {
+        self.failures.push(FailureInjection {
+            label: label.into(),
+            at,
+            exit_code,
+        });
+        self
+    }
+
+    /// Run the plan to completion and return the results.
+    #[deprecated(since = "0.1.0", note = "use Session::run() instead")]
+    pub fn run(self) -> RunResult {
+        RunResult::from(self.run_session().0)
+    }
+
+    /// Run the plan to completion, handing the hot-path scratch back so the
+    /// caller can thread it into the next worker.
+    #[deprecated(since = "0.1.0", note = "use Session::run_recycling() instead")]
+    pub fn run_recycling(self) -> (RunResult, WorkerScratch) {
+        let (result, scratch) = self.run_session();
+        (RunResult::from(result), scratch)
+    }
+}
+
+/// Newtype so `Simulation` can be implemented without exposing internals.
+struct WorkerShell<R: Recorder>(WorkerSim<R>);
+
+impl<R: Recorder> Simulation for WorkerShell<R> {
     type Event = WorkerEvent;
     fn handle(&mut self, event: WorkerEvent, sched: &mut Scheduler<'_, WorkerEvent>) {
         self.0.handle(event, sched);
@@ -587,44 +684,78 @@ impl IntoTime for SimDuration {
 }
 
 /// Convenience: run `plan` under FlowCon with the given parameters.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Session::builder().policy(FlowConPolicy::new(config)) instead"
+)]
 pub fn run_flowcon(
     node: NodeConfig,
     plan: &WorkloadPlan,
     config: crate::config::FlowConConfig,
 ) -> RunResult {
-    WorkerSim::new(
-        node,
-        plan.clone(),
-        Box::new(crate::policy::FlowConPolicy::new(config)),
-    )
-    .run()
+    let result = crate::session::Session::builder()
+        .node(node)
+        .plan(plan.clone())
+        .policy(crate::policy::FlowConPolicy::new(config))
+        .build()
+        .run();
+    RunResult::from(result)
 }
 
 /// Convenience: run `plan` under the NA baseline.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Session::builder().policy(FairSharePolicy::new()) instead"
+)]
 pub fn run_baseline(node: NodeConfig, plan: &WorkloadPlan) -> RunResult {
-    WorkerSim::new(
-        node,
-        plan.clone(),
-        Box::new(crate::policy::FairSharePolicy::new()),
-    )
-    .run()
+    let result = crate::session::Session::builder()
+        .node(node)
+        .plan(plan.clone())
+        .policy(crate::policy::FairSharePolicy::new())
+        .build()
+        .run();
+    RunResult::from(result)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::FlowConConfig;
+    use crate::policy::{FairSharePolicy, FlowConPolicy};
+    use crate::session::{Session, SessionResult};
 
     fn node() -> NodeConfig {
         NodeConfig::default()
     }
 
+    fn flowcon(
+        node: NodeConfig,
+        plan: &WorkloadPlan,
+        config: FlowConConfig,
+    ) -> SessionResult<RunSummary> {
+        Session::builder()
+            .node(node)
+            .plan(plan.clone())
+            .policy(FlowConPolicy::new(config))
+            .build()
+            .run()
+    }
+
+    fn baseline(node: NodeConfig, plan: &WorkloadPlan) -> SessionResult<RunSummary> {
+        Session::builder()
+            .node(node)
+            .plan(plan.clone())
+            .policy(FairSharePolicy::new())
+            .build()
+            .run()
+    }
+
     #[test]
     fn single_job_runs_to_completion_under_na() {
         let plan = WorkloadPlan::random_from(&[flowcon_dl::ModelId::MnistTf], 1);
-        let result = run_baseline(node(), &plan);
-        assert_eq!(result.summary.completions.len(), 1);
-        let c = &result.summary.completions[0];
+        let result = baseline(node(), &plan);
+        assert_eq!(result.output.completions.len(), 1);
+        let c = &result.output.completions[0];
         assert_eq!(c.exit_code, 0);
         // Alone at demand 0.75, ~27 cpu-s of work: completion ≈ 36 s (±jitter).
         let secs = c.completion_secs();
@@ -634,8 +765,8 @@ mod tests {
     #[test]
     fn fixed_three_under_na_matches_paper_scale() {
         let plan = WorkloadPlan::fixed_three();
-        let result = run_baseline(node(), &plan);
-        let s = &result.summary;
+        let result = baseline(node(), &plan);
+        let s = &result.output;
         assert_eq!(s.completions.len(), 3);
         let makespan = s.makespan_secs();
         // §5.3: NA makespan ≈ 394 s.  Allow the fluid model ±10%.
@@ -648,45 +779,55 @@ mod tests {
     #[test]
     fn flowcon_speeds_up_the_late_short_job() {
         let plan = WorkloadPlan::fixed_three();
-        let na = run_baseline(node(), &plan);
-        let fc = run_flowcon(node(), &plan, FlowConConfig::with_params(0.05, 20));
+        let na = baseline(node(), &plan);
+        let fc = flowcon(node(), &plan, FlowConConfig::with_params(0.05, 20));
         let red = fc
-            .summary
-            .reduction_vs(&na.summary, "MNIST (Tensorflow)")
+            .output
+            .reduction_vs(&na.output, "MNIST (Tensorflow)")
             .unwrap();
         assert!(
             red > 10.0,
             "expected a double-digit completion-time reduction, got {red:.1}%"
         );
         // Makespan must not regress materially (§5.3: FlowCon improves 1-5%).
-        let makespan_impr = fc.summary.makespan_improvement_vs(&na.summary);
+        let makespan_impr = fc.output.makespan_improvement_vs(&na.output);
         assert!(makespan_impr > -3.0, "makespan change {makespan_impr:.1}%");
     }
 
     #[test]
     fn runs_are_deterministic() {
         let plan = WorkloadPlan::random_five(11);
-        let a = run_flowcon(node(), &plan, FlowConConfig::default());
-        let b = run_flowcon(node(), &plan, FlowConConfig::default());
-        assert_eq!(a.summary.completions, b.summary.completions);
+        let a = flowcon(node(), &plan, FlowConConfig::default());
+        let b = flowcon(node(), &plan, FlowConConfig::default());
+        assert_eq!(a.output.completions, b.output.completions);
         assert_eq!(a.events_processed, b.events_processed);
     }
 
     #[test]
     fn all_jobs_complete_cleanly_at_scale() {
         let plan = WorkloadPlan::random_n(15, 3);
-        let result = run_flowcon(node(), &plan, FlowConConfig::with_params(0.10, 40));
-        assert_eq!(result.summary.completions.len(), 15);
-        assert!(result.summary.completions.iter().all(|c| c.exit_code == 0));
+        let result = flowcon(node(), &plan, FlowConConfig::with_params(0.10, 40));
+        assert_eq!(result.output.completions.len(), 15);
+        assert!(result.output.completions.iter().all(|c| c.exit_code == 0));
     }
 
     #[test]
     fn traces_are_recorded() {
         let plan = WorkloadPlan::fixed_three();
-        let fc = run_flowcon(node(), &plan, FlowConConfig::default());
-        assert_eq!(fc.summary.cpu_usage.len(), 3, "one usage series per job");
-        assert!(!fc.summary.growth_efficiency.is_empty());
-        assert!(fc.summary.update_calls > 0);
-        assert!(fc.summary.algorithm_runs > 0);
+        let fc = flowcon(node(), &plan, FlowConConfig::default());
+        assert_eq!(fc.output.cpu_usage.len(), 3, "one usage series per job");
+        assert!(!fc.output.growth_efficiency.is_empty());
+        assert!(fc.output.update_calls > 0);
+        assert!(fc.output.algorithm_runs > 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_free_helpers_still_work() {
+        let plan = WorkloadPlan::fixed_three();
+        let old = run_baseline(node(), &plan);
+        let new = baseline(node(), &plan);
+        assert_eq!(old.summary.completions, new.output.completions);
+        assert_eq!(old.events_processed, new.events_processed);
     }
 }

@@ -1,0 +1,146 @@
+//! The session redesign's compatibility contract: a `Session` with the
+//! default `FullRecorder` is **bit-identical** to the pre-redesign
+//! `WorkerSim` entry points on seeded plans — completions, every trace
+//! point, counters, and event counts.
+
+#![allow(deprecated)] // the deprecated shims are exactly what we pin here
+
+use flowcon_core::config::{FlowConConfig, NodeConfig};
+use flowcon_core::policy::{FairSharePolicy, FlowConPolicy};
+use flowcon_core::session::Session;
+use flowcon_core::worker::{run_baseline, run_flowcon, RunResult, WorkerSim};
+use flowcon_dl::workload::WorkloadPlan;
+use flowcon_metrics::summary::RunSummary;
+use flowcon_sim::time::SimTime;
+
+/// Full structural equality of two summaries, series points included.
+fn assert_summaries_identical(a: &RunSummary, b: &RunSummary) {
+    assert_eq!(a.policy, b.policy);
+    assert_eq!(a.completions, b.completions);
+    assert_eq!(a.algorithm_runs, b.algorithm_runs);
+    assert_eq!(a.update_calls, b.update_calls);
+    // RunSummary derives PartialEq, but compare the traces explicitly too
+    // so a divergence names the series instead of printing two dumps.
+    for (ours, theirs, what) in [
+        (&a.cpu_usage, &b.cpu_usage, "cpu_usage"),
+        (&a.limits, &b.limits, "limits"),
+        (&a.growth_efficiency, &b.growth_efficiency, "growth"),
+    ] {
+        for (label, series) in ours.iter() {
+            assert_eq!(
+                Some(series.points()),
+                theirs.get(label).map(|s| s.points()),
+                "{what} trace of {label} diverged"
+            );
+        }
+        assert_eq!(ours.len(), theirs.len(), "{what} series count");
+    }
+    assert_eq!(a, b, "summaries structurally unequal");
+}
+
+#[test]
+fn session_is_bit_identical_to_workersim_run() {
+    for seed in [3u64, 11, 0xF10C] {
+        let plan = WorkloadPlan::random_n(10, seed);
+        let node = NodeConfig::default().with_seed(seed);
+        let old: RunResult = WorkerSim::new(
+            node,
+            plan.clone(),
+            Box::new(FlowConPolicy::new(FlowConConfig::default())),
+        )
+        .run();
+        let new = Session::builder()
+            .node(node)
+            .plan(plan)
+            .policy(FlowConPolicy::new(FlowConConfig::default()))
+            .build()
+            .run();
+        assert_summaries_identical(&old.summary, &new.output);
+        assert_eq!(old.events_processed, new.events_processed);
+        assert_eq!(
+            old.scheduler_overhead_cpu_secs.to_bits(),
+            new.scheduler_overhead_cpu_secs.to_bits()
+        );
+    }
+}
+
+#[test]
+fn session_is_bit_identical_to_free_helpers() {
+    let plan = WorkloadPlan::fixed_three();
+    let node = NodeConfig::default();
+
+    let old_fc = run_flowcon(node, &plan, FlowConConfig::with_params(0.05, 20));
+    let new_fc = Session::builder()
+        .node(node)
+        .plan(plan.clone())
+        .policy(FlowConPolicy::new(FlowConConfig::with_params(0.05, 20)))
+        .build()
+        .run();
+    assert_summaries_identical(&old_fc.summary, &new_fc.output);
+
+    let old_na = run_baseline(node, &plan);
+    let new_na = Session::builder()
+        .node(node)
+        .plan(plan)
+        .policy(FairSharePolicy::new())
+        .build()
+        .run();
+    assert_summaries_identical(&old_na.summary, &new_na.output);
+    assert_eq!(old_na.events_processed, new_na.events_processed);
+}
+
+#[test]
+fn session_failure_injection_matches_with_failure() {
+    let plan = WorkloadPlan::fixed_three();
+    let at = SimTime::from_secs(100);
+    let old = WorkerSim::new(
+        NodeConfig::default(),
+        plan.clone(),
+        Box::new(FlowConPolicy::new(FlowConConfig::default())),
+    )
+    .with_failure("VAE (Pytorch)", at, 137)
+    .run();
+    let new = Session::builder()
+        .plan(plan)
+        .policy(FlowConPolicy::new(FlowConConfig::default()))
+        .failure("VAE (Pytorch)", at, 137)
+        .build()
+        .run();
+    assert_summaries_identical(&old.summary, &new.output);
+    assert_eq!(old.events_processed, new.events_processed);
+}
+
+#[test]
+fn session_scratch_path_matches_with_scratch() {
+    let plan = WorkloadPlan::random_five(7);
+    let make_policy = || Box::new(FlowConPolicy::new(FlowConConfig::default()));
+
+    // Old: run twice recycling the scratch through the deprecated API.
+    let (first_old, scratch_old) =
+        WorkerSim::new(NodeConfig::default(), plan.clone(), make_policy()).run_recycling();
+    let second_old = WorkerSim::with_scratch(
+        NodeConfig::default(),
+        plan.clone(),
+        make_policy(),
+        scratch_old,
+    )
+    .run();
+
+    // New: same through the session builder.
+    let (first_new, scratch_new) = Session::builder()
+        .plan(plan.clone())
+        .policy_box(make_policy())
+        .build()
+        .run_recycling();
+    let second_new = Session::builder()
+        .plan(plan)
+        .policy_box(make_policy())
+        .scratch(scratch_new)
+        .build()
+        .run();
+
+    assert_summaries_identical(&first_old.summary, &first_new.output);
+    assert_summaries_identical(&second_old.summary, &second_new.output);
+    // Recycling never changes results either.
+    assert_summaries_identical(&first_old.summary, &second_old.summary);
+}

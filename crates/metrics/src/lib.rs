@@ -25,5 +25,5 @@ pub mod stats;
 pub mod summary;
 pub mod timeseries;
 
-pub use summary::{CompletionRecord, RunSummary};
+pub use summary::{Completion, CompletionRecord, CompletionStats, RunSummary};
 pub use timeseries::{MultiSeries, TimeSeries};

@@ -5,10 +5,27 @@
 //! growth-efficiency traces, and scheduler overhead counters.  Comparison
 //! helpers compute the derived quantities the paper quotes (Table 2's
 //! completion-time reductions, overlap between jobs, win/loss counts).
+//!
+//! Both summary types are built through recorder-facing `record_*` methods:
+//! the session layer's `Recorder` implementations (`flowcon-core`) push
+//! completions, usage samples and growth points here instead of reaching
+//! into the fields, so summary construction lives in one place.
+//! [`CompletionStats`] is the headless counterpart — label-free completion
+//! records only, the O(completions) output of a `CompletionsOnly` recorder.
 
 use flowcon_sim::time::SimTime;
 
 use crate::timeseries::MultiSeries;
+
+/// The makespan over a stream of per-job (or per-worker) finish times in
+/// seconds: "the total length of the schedule for all the jobs" (§5.2).
+///
+/// The single canonical implementation — [`RunSummary::makespan_secs`],
+/// [`CompletionStats::makespan_secs`] and the cluster layer's
+/// `ClusterResult::makespan_secs` all delegate here.
+pub fn makespan_over(finish_secs: impl IntoIterator<Item = f64>) -> f64 {
+    finish_secs.into_iter().fold(0.0, f64::max)
+}
 
 /// Completion record of one job.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,8 +48,83 @@ impl CompletionRecord {
     }
 }
 
+/// A label-free completion record: the minimal datum the paper's headline
+/// metrics (per-job completion time, makespan) need.
+///
+/// This is what a headless `CompletionsOnly` recorder keeps per job — no
+/// label clone, no traces — so a 10k-worker cluster run retains
+/// O(completions) memory instead of O(workers × series).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Exit time.
+    pub finished: SimTime,
+    /// Exit code (0 = converged).
+    pub exit_code: i32,
+}
+
+impl Completion {
+    /// Completion time in seconds (exit − arrival).
+    pub fn completion_secs(&self) -> f64 {
+        self.finished.saturating_since(self.arrival).as_secs_f64()
+    }
+}
+
+/// The headless run summary: completions and scheduler counters, nothing
+/// else.  Produced by the session layer's `CompletionsOnly` recorder.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompletionStats {
+    /// Label-free per-job completion records, in exit-processing order.
+    pub completions: Vec<Completion>,
+    /// Number of times the policy's algorithm ran.
+    pub algorithm_runs: u64,
+    /// Number of `docker update` calls issued.
+    pub update_calls: u64,
+}
+
+impl CompletionStats {
+    /// Record one completed job (recorder-facing construction).
+    pub fn record_completion(&mut self, arrival: SimTime, finished: SimTime, exit_code: i32) {
+        self.completions.push(Completion {
+            arrival,
+            finished,
+            exit_code,
+        });
+    }
+
+    /// Number of completed jobs.
+    pub fn len(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// True if no job completed.
+    pub fn is_empty(&self) -> bool {
+        self.completions.is_empty()
+    }
+
+    /// The makespan (latest exit over all jobs); delegates to
+    /// [`makespan_over`].
+    pub fn makespan_secs(&self) -> f64 {
+        makespan_over(self.completions.iter().map(|c| c.finished.as_secs_f64()))
+    }
+
+    /// Mean per-job completion time, or `None` if nothing completed.
+    pub fn mean_completion_secs(&self) -> Option<f64> {
+        if self.completions.is_empty() {
+            return None;
+        }
+        let sum: f64 = self
+            .completions
+            .iter()
+            .map(Completion::completion_secs)
+            .sum();
+        Some(sum / self.completions.len() as f64)
+    }
+}
+
 /// Everything measured in one experiment run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunSummary {
     /// Policy name (`FlowCon-5%-20`, `NA`, ...).
     pub policy: String,
@@ -59,13 +151,44 @@ impl RunSummary {
         }
     }
 
+    /// Record one completed job (recorder-facing construction).
+    ///
+    /// The label is cloned here and nowhere else on the full-recording
+    /// path; headless recorders use [`CompletionStats::record_completion`]
+    /// instead and never clone it.
+    pub fn record_completion(
+        &mut self,
+        label: &str,
+        arrival: SimTime,
+        finished: SimTime,
+        exit_code: i32,
+    ) {
+        self.completions.push(CompletionRecord {
+            label: label.to_string(),
+            arrival,
+            finished,
+            exit_code,
+        });
+    }
+
+    /// Record one usage/limit sample pair for `label` (recorder-facing
+    /// construction): pushes onto the `cpu_usage` and `limits` traces.
+    pub fn record_usage_sample(&mut self, now: SimTime, label: &str, usage: f64, limit: f64) {
+        self.cpu_usage.series_mut(label).push(now, usage);
+        self.limits.series_mut(label).push(now, limit);
+    }
+
+    /// Record one growth-efficiency point for `label` (recorder-facing
+    /// construction).
+    pub fn record_growth(&mut self, now: SimTime, label: &str, growth: f64) {
+        self.growth_efficiency.series_mut(label).push(now, growth);
+    }
+
     /// The makespan: "the total length of the schedule for all the jobs"
-    /// (§5.2) — the latest exit time over all jobs.
+    /// (§5.2) — the latest exit time over all jobs; delegates to
+    /// [`makespan_over`].
     pub fn makespan_secs(&self) -> f64 {
-        self.completions
-            .iter()
-            .map(|c| c.finished.as_secs_f64())
-            .fold(0.0, f64::max)
+        makespan_over(self.completions.iter().map(|c| c.finished.as_secs_f64()))
     }
 
     /// Completion time of the job with `label`.
@@ -203,6 +326,46 @@ mod tests {
             vec![rec("1", 0, 120), rec("2", 0, 200), rec("3", 0, 100)],
         );
         assert_eq!(fc.wins_losses_vs(&na), (2, 1));
+    }
+
+    #[test]
+    fn completion_stats_mirrors_run_summary_makespan() {
+        let mut stats = CompletionStats::default();
+        let mut summary = RunSummary::new("NA");
+        for (label, a, f) in [("a", 0u64, 390u64), ("b", 40, 270), ("c", 80, 165)] {
+            stats.record_completion(SimTime::from_secs(a), SimTime::from_secs(f), 0);
+            summary.record_completion(label, SimTime::from_secs(a), SimTime::from_secs(f), 0);
+        }
+        // One canonical makespan implementation behind both types.
+        assert_eq!(
+            stats.makespan_secs().to_bits(),
+            summary.makespan_secs().to_bits()
+        );
+        assert_eq!(stats.len(), 3);
+        assert!(!stats.is_empty());
+        let mean = stats.mean_completion_secs().unwrap();
+        assert!((mean - (390.0 + 230.0 + 85.0) / 3.0).abs() < 1e-9, "{mean}");
+        assert_eq!(CompletionStats::default().mean_completion_secs(), None);
+    }
+
+    #[test]
+    fn recorder_facing_construction_matches_manual() {
+        let mut s = RunSummary::new("FlowCon");
+        s.record_usage_sample(SimTime::from_secs(1), "job", 0.5, 1.0);
+        s.record_usage_sample(SimTime::from_secs(2), "job", 0.25, 0.4);
+        s.record_growth(SimTime::from_secs(2), "job", 0.01);
+        assert_eq!(
+            s.cpu_usage.get("job").unwrap().points(),
+            &[(1.0, 0.5), (2.0, 0.25)]
+        );
+        assert_eq!(
+            s.limits.get("job").unwrap().points(),
+            &[(1.0, 1.0), (2.0, 0.4)]
+        );
+        assert_eq!(
+            s.growth_efficiency.get("job").unwrap().points(),
+            &[(2.0, 0.01)]
+        );
     }
 
     #[test]

@@ -102,7 +102,7 @@ impl TimeSeries {
 }
 
 /// A set of labelled series sharing a time axis (one per job, typically).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MultiSeries {
     series: Vec<(String, TimeSeries)>,
 }

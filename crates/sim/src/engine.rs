@@ -86,12 +86,31 @@ impl<S: Simulation> Default for SimEngine<S> {
 impl<S: Simulation> SimEngine<S> {
     /// A fresh engine at t=0 with the default event budget.
     pub fn new() -> Self {
+        Self::from_queue(EventQueue::new())
+    }
+
+    /// A fresh engine at t=0 reusing `queue`'s heap allocation.
+    ///
+    /// The queue is cleared of any pending events; only its capacity (and
+    /// its monotone sequence counter, which preserves FIFO tie-breaking) is
+    /// carried over.  Callers that drive many short simulations back to
+    /// back — the sharded cluster executor runs hundreds per shard — thread
+    /// one queue through [`SimEngine::into_queue`] so the event heap is
+    /// allocated once per shard instead of once per simulation.
+    pub fn from_queue(mut queue: EventQueue<S::Event>) -> Self {
+        queue.clear();
         SimEngine {
-            queue: EventQueue::new(),
+            queue,
             now: SimTime::ZERO,
             events_processed: 0,
             max_events: 50_000_000,
         }
+    }
+
+    /// Tear down the engine, handing back the event queue for reuse by a
+    /// later [`SimEngine::from_queue`].
+    pub fn into_queue(self) -> EventQueue<S::Event> {
+        self.queue
     }
 
     /// Override the run-away event budget.
@@ -230,6 +249,29 @@ mod tests {
         let outcome = engine.run_to_completion(&mut sim);
         assert_eq!(outcome, RunOutcome::EventBudgetExhausted);
         assert_eq!(engine.events_processed(), 5);
+    }
+
+    #[test]
+    fn recycled_queue_reproduces_fresh_run() {
+        let run = |engine: &mut SimEngine<Ticker>| {
+            let mut sim = Ticker {
+                remaining: 3,
+                fired_at: vec![],
+            };
+            engine.prime(SimTime::ZERO, TickEvent::Tick);
+            engine.run_to_completion(&mut sim);
+            (engine.events_processed(), sim.fired_at)
+        };
+        let mut fresh = SimEngine::new();
+        let fresh_out = run(&mut fresh);
+        // Recycle through a queue that still holds stale pending events:
+        // from_queue must clear them.
+        let mut dirty = EventQueue::new();
+        dirty.schedule(SimTime::from_secs(999), TickEvent::Tick);
+        let mut recycled = SimEngine::from_queue(dirty);
+        let recycled_out = run(&mut recycled);
+        assert_eq!(fresh_out, recycled_out);
+        assert!(recycled.into_queue().is_empty());
     }
 
     struct Stopper;

@@ -44,6 +44,16 @@ pub struct EventQueue<E> {
     scheduled_total: u64,
 }
 
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_seq", &self.next_seq)
+            .field("scheduled_total", &self.scheduled_total)
+            .finish()
+    }
+}
+
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()

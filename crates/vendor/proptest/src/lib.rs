@@ -1,5 +1,5 @@
 //! Offline subset of `proptest` covering the API this workspace's property
-//! tests use: the [`Strategy`] trait (with `prop_map`), range and tuple
+//! tests use: the `Strategy` trait (with `prop_map`), range and tuple
 //! strategies, `collection::vec` / `collection::btree_set`,
 //! `option::weighted`, and the `proptest!` / `prop_assert*` macros.
 //!

@@ -14,7 +14,7 @@ use flowcon_container::ContainerId;
 use flowcon_core::config::{FlowConConfig, NodeConfig};
 use flowcon_core::metric::GrowthMeasurement;
 use flowcon_core::policy::{FairSharePolicy, FlowConPolicy, ResourcePolicy};
-use flowcon_core::worker::WorkerSim;
+use flowcon_core::session::Session;
 use flowcon_dl::workload::WorkloadPlan;
 use flowcon_sim::time::{SimDuration, SimTime};
 
@@ -83,9 +83,14 @@ fn main() {
     println!("policy        makespan (s)   mean completion (s)");
     println!("--------------------------------------------------");
     for policy in policies {
-        let result = WorkerSim::new(node, plan.clone(), policy).run();
+        let result = Session::builder()
+            .node(node)
+            .plan(plan.clone())
+            .policy_box(policy)
+            .build()
+            .run();
         let completions: Vec<f64> = result
-            .summary
+            .output
             .completions
             .iter()
             .map(|c| c.completion_secs())
@@ -93,8 +98,8 @@ fn main() {
         let mean = completions.iter().sum::<f64>() / completions.len() as f64;
         println!(
             "{:<13} {:>10.1} {:>16.1}",
-            result.summary.policy,
-            result.summary.makespan_secs(),
+            result.output.policy,
+            result.output.makespan_secs(),
             mean
         );
     }

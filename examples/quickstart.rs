@@ -6,7 +6,8 @@
 //! ```
 
 use flowcon_core::config::{FlowConConfig, NodeConfig};
-use flowcon_core::worker::{run_baseline, run_flowcon};
+use flowcon_core::policy::{FairSharePolicy, FlowConPolicy};
+use flowcon_core::session::Session;
 use flowcon_dl::workload::WorkloadPlan;
 
 fn main() {
@@ -17,12 +18,24 @@ fn main() {
     let plan = WorkloadPlan::fixed_three();
 
     // FlowCon with the paper's sweet spot: alpha = 5%, itval = 20 s.
-    let flowcon = run_flowcon(node, &plan, FlowConConfig::with_params(0.05, 20));
-    let baseline = run_baseline(node, &plan);
+    // A Session is the one entry point: node + plan + policy (+ optional
+    // recorder/images/failures), then run.
+    let flowcon = Session::builder()
+        .node(node)
+        .plan(plan.clone())
+        .policy(FlowConPolicy::new(FlowConConfig::with_params(0.05, 20)))
+        .build()
+        .run();
+    let baseline = Session::builder()
+        .node(node)
+        .plan(plan)
+        .policy(FairSharePolicy::new())
+        .build()
+        .run();
 
     println!("policy          job                        completion (s)");
     println!("---------------------------------------------------------");
-    for summary in [&flowcon.summary, &baseline.summary] {
+    for summary in [&flowcon.output, &baseline.output] {
         for c in &summary.completions {
             println!(
                 "{:<15} {:<26} {:>8.1}",
@@ -34,16 +47,16 @@ fn main() {
     }
     println!(
         "\nmakespan: FlowCon {:.1}s vs NA {:.1}s ({:+.1}%)",
-        flowcon.summary.makespan_secs(),
-        baseline.summary.makespan_secs(),
-        flowcon.summary.makespan_improvement_vs(&baseline.summary)
+        flowcon.output.makespan_secs(),
+        baseline.output.makespan_secs(),
+        flowcon.output.makespan_improvement_vs(&baseline.output)
     );
     let job = "MNIST (Tensorflow)";
-    if let Some(red) = flowcon.summary.reduction_vs(&baseline.summary, job) {
+    if let Some(red) = flowcon.output.reduction_vs(&baseline.output, job) {
         println!("{job} completes {red:.1}% faster under FlowCon");
     }
     println!(
         "scheduler: {} Algorithm-1 runs, {} docker-update calls",
-        flowcon.summary.algorithm_runs, flowcon.summary.update_calls
+        flowcon.output.algorithm_runs, flowcon.output.update_calls
     );
 }

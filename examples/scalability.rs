@@ -1,5 +1,7 @@
 //! The §5.5 scalability study: 10 and 15 randomly submitted jobs
-//! (Figs. 12 and 17), with the growth-efficiency exemplars of Figs. 13–14.
+//! (Figs. 12 and 17), with the growth-efficiency exemplars of Figs. 13–14 —
+//! plus the beyond-the-paper scale demo: a 2048-worker cluster driven
+//! headless (CompletionsOnly recorder, O(completions) memory).
 //!
 //! ```sh
 //! cargo run --release --example scalability
@@ -7,6 +9,9 @@
 
 use flowcon_bench::experiments::{default_node, scale, DEFAULT_SEED};
 use flowcon_bench::report::completion_table;
+use flowcon_cluster::{Manager, PolicyKind, RoundRobin};
+use flowcon_core::config::FlowConConfig;
+use flowcon_dl::workload::WorkloadPlan;
 
 fn main() {
     let node = default_node();
@@ -32,4 +37,29 @@ fn main() {
         let (loser, winner) = cmp.exemplars();
         println!("Fig. 13/14 exemplars: loser = {loser}, winner = {winner}");
     }
+
+    // Beyond the paper: a cluster three orders of magnitude past the
+    // testbed, run headless.  No traces, no labels — just completions.
+    let workers = 2048;
+    let plan = WorkloadPlan::random_n(workers * 2, DEFAULT_SEED);
+    let start = std::time::Instant::now();
+    let run = Manager::new(
+        workers,
+        node,
+        PolicyKind::FlowCon(FlowConConfig::default()),
+        RoundRobin::default(),
+    )
+    .run_headless(plan);
+    println!(
+        "\n## Headless cluster: {workers} workers, {} jobs\n",
+        run.placements.len()
+    );
+    println!(
+        "completed {} jobs, makespan {:.1}s, mean completion {:.1}s, {} sim events in {:.0} ms wall",
+        run.completed_jobs(),
+        run.makespan_secs(),
+        run.mean_completion_secs().unwrap_or(f64::NAN),
+        run.events_processed(),
+        start.elapsed().as_secs_f64() * 1e3,
+    );
 }

@@ -1,10 +1,9 @@
 //! Reproducibility: identical seeds give bit-identical experiment results,
 //! different seeds differ — across every layer.
 
-use flowcon_bench::experiments::{fixed, random, scale};
+use flowcon_bench::experiments::{fixed, flowcon_run as run_flowcon, random, scale};
 use flowcon_cluster::{Manager, PolicyKind, Spread};
 use flowcon_core::config::{FlowConConfig, NodeConfig};
-use flowcon_core::worker::run_flowcon;
 use flowcon_dl::workload::WorkloadPlan;
 
 fn node(seed: u64) -> NodeConfig {
@@ -16,15 +15,15 @@ fn worker_runs_reproduce_bitwise() {
     let plan = WorkloadPlan::random_n(10, 9);
     let a = run_flowcon(node(1), &plan, FlowConConfig::default());
     let b = run_flowcon(node(1), &plan, FlowConConfig::default());
-    assert_eq!(a.summary.completions, b.summary.completions);
-    assert_eq!(a.summary.algorithm_runs, b.summary.algorithm_runs);
-    assert_eq!(a.summary.update_calls, b.summary.update_calls);
+    assert_eq!(a.output.completions, b.output.completions);
+    assert_eq!(a.output.algorithm_runs, b.output.algorithm_runs);
+    assert_eq!(a.output.update_calls, b.output.update_calls);
     assert_eq!(a.events_processed, b.events_processed);
     // Full trace equality, not just summaries.
-    for (label, series) in a.summary.cpu_usage.iter() {
+    for (label, series) in a.output.cpu_usage.iter() {
         assert_eq!(
             Some(series.points()),
-            b.summary.cpu_usage.get(label).map(|s| s.points()),
+            b.output.cpu_usage.get(label).map(|s| s.points()),
             "cpu trace of {label} diverged"
         );
     }
@@ -37,7 +36,7 @@ fn different_seeds_differ() {
     let b = run_flowcon(node(2), &plan, FlowConConfig::default());
     // Same plan, different node seed -> different job-size jitter ->
     // different completions.
-    assert_ne!(a.summary.completions, b.summary.completions);
+    assert_ne!(a.output.completions, b.output.completions);
 }
 
 #[test]
@@ -51,7 +50,7 @@ fn parallel_sweeps_equal_serial_reruns() {
         FlowConConfig::with_params(0.05, 30),
     );
     let cell = &sweep.cells[1]; // itval = 30
-    assert_eq!(cell.summary.completions, alone.summary.completions);
+    assert_eq!(cell.summary.completions, alone.output.completions);
 }
 
 #[test]

@@ -3,18 +3,42 @@
 
 use flowcon_cluster::{Manager, PolicyKind, RoundRobin, Spread};
 use flowcon_core::config::{FlowConConfig, NodeConfig};
-use flowcon_core::worker::{run_baseline, run_flowcon, WorkerSim};
+use flowcon_core::policy::{FairSharePolicy, FlowConPolicy};
+use flowcon_core::session::{Session, SessionResult};
 use flowcon_dl::models::{ModelSpec, ALL_MODELS};
 use flowcon_dl::workload::WorkloadPlan;
 use flowcon_metrics::export::{completions_csv, series_csv};
+use flowcon_metrics::summary::RunSummary;
+
+fn run_flowcon(
+    node: NodeConfig,
+    plan: &WorkloadPlan,
+    config: FlowConConfig,
+) -> SessionResult<RunSummary> {
+    Session::builder()
+        .node(node)
+        .plan(plan.clone())
+        .policy(FlowConPolicy::new(config))
+        .build()
+        .run()
+}
+
+fn run_baseline(node: NodeConfig, plan: &WorkloadPlan) -> SessionResult<RunSummary> {
+    Session::builder()
+        .node(node)
+        .plan(plan.clone())
+        .policy(FairSharePolicy::new())
+        .build()
+        .run()
+}
 
 #[test]
 fn every_catalog_model_trains_to_completion() {
     for &model in &ALL_MODELS {
         let plan = WorkloadPlan::random_from(&[model], 5);
         let result = run_baseline(NodeConfig::default(), &plan);
-        assert_eq!(result.summary.completions.len(), 1, "{model:?}");
-        let c = &result.summary.completions[0];
+        assert_eq!(result.output.completions.len(), 1, "{model:?}");
+        let c = &result.output.completions[0];
         assert_eq!(c.exit_code, 0, "{model:?}");
         // Alone, completion ≈ total_work / demand (no contention).
         let spec = ModelSpec::of(model);
@@ -39,15 +63,19 @@ fn all_policies_complete_the_same_workload() {
             floor: 0.05,
         },
     ] {
-        let result = WorkerSim::new(NodeConfig::default(), plan.clone(), policy.build()).run();
+        let result = Session::builder()
+            .plan(plan.clone())
+            .policy_box(policy.build())
+            .build()
+            .run();
         assert_eq!(
-            result.summary.completions.len(),
+            result.output.completions.len(),
             8,
             "{} dropped jobs",
             policy.name()
         );
         assert!(
-            result.summary.completions.iter().all(|c| c.exit_code == 0),
+            result.output.completions.iter().all(|c| c.exit_code == 0),
             "{} had failures",
             policy.name()
         );
@@ -89,7 +117,7 @@ fn csv_exports_are_well_formed() {
         &plan,
         FlowConConfig::with_params(0.05, 20),
     )
-    .summary;
+    .output;
     let csv = completions_csv(&[&fc]);
     let lines: Vec<&str> = csv.lines().collect();
     assert_eq!(lines.len(), 1 + 3, "header + one row per job");
@@ -112,12 +140,12 @@ fn overhead_counters_track_backoff() {
     // number of algorithm runs must be far below naive itval ticking.
     let plan = WorkloadPlan::random_from(&[flowcon_dl::ModelId::Vae], 3);
     let fc = run_flowcon(NodeConfig::default(), &plan, FlowConConfig::default());
-    let makespan = fc.summary.makespan_secs();
+    let makespan = fc.output.makespan_secs();
     let naive_ticks = (makespan / 20.0) as u64;
     assert!(
-        fc.summary.algorithm_runs < naive_ticks,
+        fc.output.algorithm_runs < naive_ticks,
         "back-off should cut runs: {} vs naive {naive_ticks}",
-        fc.summary.algorithm_runs
+        fc.output.algorithm_runs
     );
     assert!(fc.scheduler_overhead_cpu_secs >= 0.0);
 }

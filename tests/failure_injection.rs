@@ -2,23 +2,27 @@
 //! Finished-Cons listener, their resources released, and the rest of the
 //! workload must proceed — under both FlowCon and NA.
 
-use flowcon_core::config::{FlowConConfig, NodeConfig};
+use flowcon_core::config::FlowConConfig;
 use flowcon_core::policy::{FairSharePolicy, FlowConPolicy};
-use flowcon_core::worker::WorkerSim;
+use flowcon_core::session::SessionBuilder;
 use flowcon_dl::workload::WorkloadPlan;
 use flowcon_sim::time::SimTime;
 
-fn flowcon() -> Box<FlowConPolicy> {
-    Box::new(FlowConPolicy::new(FlowConConfig::default()))
+/// A session builder preconfigured with the default FlowCon policy.
+fn flowcon(plan: WorkloadPlan) -> SessionBuilder {
+    flowcon_core::session::Session::builder()
+        .plan(plan)
+        .policy(FlowConPolicy::new(FlowConConfig::default()))
 }
 
 #[test]
 fn crashed_job_reports_its_exit_code() {
     let plan = WorkloadPlan::fixed_three();
-    let result = WorkerSim::new(NodeConfig::default(), plan, flowcon())
-        .with_failure("VAE (Pytorch)", SimTime::from_secs(100), 137)
+    let result = flowcon(plan)
+        .failure("VAE (Pytorch)", SimTime::from_secs(100), 137)
+        .build()
         .run();
-    let s = &result.summary;
+    let s = &result.output;
     assert_eq!(s.completions.len(), 3, "all three containers exit");
     let vae = s
         .completions
@@ -44,25 +48,22 @@ fn survivors_speed_up_after_a_crash() {
     // Killing the long VAE at t=100 frees most of the node; MNIST-PyTorch
     // (which would otherwise share until ~220 s) must finish earlier.
     let plan = WorkloadPlan::fixed_three();
-    let healthy = WorkerSim::new(
-        NodeConfig::default(),
-        plan.clone(),
-        Box::new(FairSharePolicy::new()),
-    )
-    .run();
-    let crashed = WorkerSim::new(
-        NodeConfig::default(),
-        plan,
-        Box::new(FairSharePolicy::new()),
-    )
-    .with_failure("VAE (Pytorch)", SimTime::from_secs(100), 137)
-    .run();
+    let na = |plan: WorkloadPlan| {
+        flowcon_core::session::Session::builder()
+            .plan(plan)
+            .policy(FairSharePolicy::new())
+    };
+    let healthy = na(plan.clone()).build().run();
+    let crashed = na(plan)
+        .failure("VAE (Pytorch)", SimTime::from_secs(100), 137)
+        .build()
+        .run();
     let healthy_mnist = healthy
-        .summary
+        .output
         .completion_of("MNIST (Pytorch)")
         .expect("completes");
     let crashed_mnist = crashed
-        .summary
+        .output
         .completion_of("MNIST (Pytorch)")
         .expect("completes");
     assert!(
@@ -77,12 +78,13 @@ fn crash_of_a_watched_container_does_not_wedge_flowcon() {
     // and later reconfigurations must not reference it.
     let plan = WorkloadPlan::random_five(3);
     let victim = plan.jobs[0].label.clone();
-    let result = WorkerSim::new(NodeConfig::default(), plan, flowcon())
-        .with_failure(&victim, SimTime::from_secs(300), 139)
+    let result = flowcon(plan)
+        .failure(&victim, SimTime::from_secs(300), 139)
+        .build()
         .run();
-    assert_eq!(result.summary.completions.len(), 5);
+    assert_eq!(result.output.completions.len(), 5);
     let crashed = result
-        .summary
+        .output
         .completions
         .iter()
         .find(|c| c.label == victim)
@@ -90,7 +92,7 @@ fn crash_of_a_watched_container_does_not_wedge_flowcon() {
     assert_eq!(crashed.exit_code, 139);
     // The run terminates (this assertion is the absence of a hang) and the
     // makespan is still dominated by a real job, not the crash.
-    assert!(result.summary.makespan_secs() > 300.0);
+    assert!(result.output.makespan_secs() > 300.0);
 }
 
 #[test]
@@ -98,12 +100,13 @@ fn failure_before_first_measurement_is_handled() {
     // Crash a job during warm-up (it has never produced an eval value):
     // the fresh-container path of Algorithm 1 must tolerate the removal.
     let plan = WorkloadPlan::fixed_three();
-    let result = WorkerSim::new(NodeConfig::default(), plan, flowcon())
-        .with_failure("MNIST (Tensorflow)", SimTime::from_secs(81), 1)
+    let result = flowcon(plan)
+        .failure("MNIST (Tensorflow)", SimTime::from_secs(81), 1)
+        .build()
         .run();
-    assert_eq!(result.summary.completions.len(), 3);
+    assert_eq!(result.output.completions.len(), 3);
     let mnist = result
-        .summary
+        .output
         .completions
         .iter()
         .find(|c| c.label == "MNIST (Tensorflow)")
@@ -115,9 +118,10 @@ fn failure_before_first_measurement_is_handled() {
 #[test]
 fn failure_targeting_unknown_label_is_a_noop() {
     let plan = WorkloadPlan::fixed_three();
-    let result = WorkerSim::new(NodeConfig::default(), plan, flowcon())
-        .with_failure("No Such Job", SimTime::from_secs(50), 9)
+    let result = flowcon(plan)
+        .failure("No Such Job", SimTime::from_secs(50), 9)
+        .build()
         .run();
-    assert_eq!(result.summary.completions.len(), 3);
-    assert!(result.summary.completions.iter().all(|c| c.exit_code == 0));
+    assert_eq!(result.output.completions.len(), 3);
+    assert!(result.output.completions.iter().all(|c| c.exit_code == 0));
 }

@@ -2,16 +2,17 @@
 //! criteria from DESIGN.md).  These are the tests that say "the
 //! reproduction reproduces".
 
-use flowcon_bench::experiments::{default_node, fig1, fixed, random, scale, DEFAULT_SEED};
+use flowcon_bench::experiments::{
+    baseline_run, default_node, fig1, fixed, flowcon_run, random, scale, DEFAULT_SEED,
+};
 use flowcon_core::config::FlowConConfig;
-use flowcon_core::worker::{run_baseline, run_flowcon};
 use flowcon_dl::workload::WorkloadPlan;
 
 /// §5.3 anchor: the NA baseline lands on the paper's absolute numbers.
 #[test]
 fn na_baseline_matches_paper_anchors() {
     let plan = WorkloadPlan::fixed_three();
-    let na = run_baseline(default_node(), &plan).summary;
+    let na = baseline_run(default_node(), &plan).output;
     let makespan = na.makespan_secs();
     assert!(
         (makespan - 394.0).abs() < 394.0 * 0.05,
@@ -29,12 +30,12 @@ fn na_baseline_matches_paper_anchors() {
 #[test]
 fn headline_reduction_without_makespan_sacrifice() {
     let plan = WorkloadPlan::fixed_three();
-    let na = run_baseline(default_node(), &plan).summary;
+    let na = baseline_run(default_node(), &plan).output;
     let best = fixed::ALPHAS
         .iter()
         .map(|&alpha| {
             let fc =
-                run_flowcon(default_node(), &plan, FlowConConfig::with_params(alpha, 20)).summary;
+                flowcon_run(default_node(), &plan, FlowConConfig::with_params(alpha, 20)).output;
             let red = fc.reduction_vs(&na, "MNIST (Tensorflow)").unwrap();
             let makespan_ok = fc.makespan_improvement_vs(&na) > -2.0;
             (red, makespan_ok)
