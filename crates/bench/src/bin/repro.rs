@@ -4,6 +4,9 @@
 //! repro [experiment ...]
 //! repro bench [--out FILE] [--check BASELINE.json]
 //! repro cluster [--workers N] [--jobs J] [--seed S] [--headless]
+//! repro trace --file PATH | --synthetic {poisson,bursty,diurnal}
+//!             [--jobs N] [--rate R] [--seed S] [--workers N]
+//!             [--policy {flowcon,na}] [--thin P] [--compress X] [--emit PATH]
 //!
 //! experiments:
 //!   table1 fig1 fig3 fig4 fig5 fig6 table2 fig7 fig8 fig9 fig10 fig11
@@ -22,6 +25,15 @@
 //! `CompletionsOnly` recorder — no usage/limit traces, no label clones,
 //! O(completions) memory — which is the supported way to drive 10k-worker
 //! clusters (`repro cluster --workers 10240 --headless`).
+//!
+//! `repro trace` replays an arrival trace (`--file`, CSV or JSONL — see
+//! the flowcon-workload crate docs for the format) or a synthetic arrival
+//! process (`--synthetic`).  With `--workers 1` (default) it runs one
+//! full-observability session and prints the completion table; with more
+//! workers it streams per-worker plan slices off a `PlanSource` into a
+//! headless cluster.  `--thin`/`--compress` subsample and time-compress a
+//! trace file; `--emit PATH` writes the workload as a JSONL trace instead
+//! of running it (how `traces/bursty_large.jsonl` was produced).
 //! ```
 //!
 //! Output: paper-style tables and ASCII charts on stdout; CSV artifacts
@@ -88,6 +100,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("cluster") {
         run_cluster(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        run_trace(&args[1..]);
         return;
     }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
@@ -373,6 +389,203 @@ fn run_cluster(args: &[String]) {
         ],
     ];
     print!("{}", text_table(&["metric", "value"], &rows));
+}
+
+/// `repro trace`: replay an arrival-trace file or a synthetic arrival
+/// process end to end (see the module docs for the flags).
+fn run_trace(args: &[String]) {
+    use flowcon_bench::experiments::trace as exp;
+    use flowcon_cluster::PolicyKind;
+    use flowcon_core::config::{FlowConConfig, NodeConfig};
+    use flowcon_workload::{ArrivalTrace, BoundTrace, SyntheticSource, TraceCatalog, TraceSource};
+
+    let file = flag_value(args, "--file");
+    let synthetic = flag_value(args, "--synthetic");
+    if file.is_some() == synthetic.is_some() {
+        eprintln!(
+            "trace wants exactly one of --file PATH or --synthetic {{poisson,bursty,diurnal}}"
+        );
+        std::process::exit(2);
+    }
+    let parse_num = |name: &str, default: u64| {
+        flag_value(args, name).map_or(default, |v| {
+            v.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("{name} wants a number, got {v}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let parse_f64 = |name: &str| {
+        flag_value(args, name).map(|v| {
+            v.parse::<f64>().unwrap_or_else(|_| {
+                eprintln!("{name} wants a number, got {v}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let workers = parse_num("--workers", 1) as usize;
+    let seed = parse_num("--seed", flowcon_bench::experiments::DEFAULT_SEED);
+    let emit = flag_value(args, "--emit");
+    let policy = match flag_value(args, "--policy").as_deref() {
+        None | Some("flowcon") => PolicyKind::FlowCon(FlowConConfig::default()),
+        Some("na") => PolicyKind::Baseline,
+        Some(other) => {
+            eprintln!("--policy wants flowcon or na, got {other}");
+            std::process::exit(2);
+        }
+    };
+    // Mode-specific flags are hard errors in the wrong mode: silently
+    // ignoring `--compress` would report results for the wrong workload.
+    let only_with = |flag: &str, mode: &str, allowed: bool| {
+        if !allowed && args.iter().any(|a| a == flag) {
+            eprintln!("{flag} only applies to {mode} workloads");
+            std::process::exit(2);
+        }
+    };
+    only_with("--thin", "--file", file.is_some());
+    only_with("--compress", "--file", file.is_some());
+    only_with("--jobs", "--synthetic", synthetic.is_some());
+    only_with("--rate", "--synthetic", synthetic.is_some());
+    // Cluster replays are headless: bind without labels so streaming a
+    // 10k-worker cluster allocates no label strings.  Emission always
+    // keeps labels — a transformed trace must not lose its job ids.
+    let labeled = workers == 1 || emit.is_some();
+
+    // Resolve the workload: a bound trace (file) or a synthetic template
+    // (materialized only where a whole plan is actually needed).
+    enum Load {
+        File(BoundTrace),
+        Synthetic(flowcon_workload::Synthetic),
+    }
+    let (what, load) = if let Some(path) = &file {
+        let doc = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read trace {path}: {e}");
+            std::process::exit(2);
+        });
+        let trace = match ArrivalTrace::parse(&doc) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let mut catalog = TraceCatalog::table1();
+        if let Some(keep) = parse_f64("--thin") {
+            catalog = catalog.thin(keep, seed);
+        }
+        if let Some(factor) = parse_f64("--compress") {
+            catalog = catalog.compress(factor);
+        }
+        if !labeled {
+            catalog = catalog.unlabeled();
+        }
+        match catalog.bind(&trace) {
+            Ok(b) => (format!("trace {path}"), Load::File(b)),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        let jobs = parse_num("--jobs", 50) as usize;
+        let rate = parse_f64("--rate").unwrap_or(0.1);
+        let name = synthetic.as_deref().expect("checked above");
+        let Some(template) = exp::preset(name, rate, jobs, seed) else {
+            eprintln!("--synthetic wants poisson, bursty or diurnal, got {name}");
+            std::process::exit(2);
+        };
+        (
+            format!("synthetic {name} (rate {rate}/s)"),
+            Load::Synthetic(template),
+        )
+    };
+
+    if let Some(path) = emit {
+        let bound = match &load {
+            Load::File(bound) => bound.clone(),
+            Load::Synthetic(template) => BoundTrace::from_plan(template.plan()),
+        };
+        match std::fs::write(&path, bound.to_jsonl()) {
+            Ok(()) => println!("wrote {} arrivals to {path}", bound.len()),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
+    let node = NodeConfig::default().with_seed(seed);
+    if workers == 1 {
+        let bound = match &load {
+            Load::File(bound) => bound.clone(),
+            Load::Synthetic(template) => BoundTrace::from_plan(template.plan()),
+        };
+        section(&format!(
+            "Trace replay: {what}, 1 worker, {} jobs",
+            bound.len()
+        ));
+        let start = std::time::Instant::now();
+        let result = exp::replay_session(&bound, node, policy);
+        let wall = start.elapsed();
+        let labels: Vec<String> = result
+            .output
+            .completions
+            .iter()
+            .map(|c| c.label.clone())
+            .collect();
+        print!("{}", completion_table(&[&result.output], &labels));
+        println!(
+            "makespan {:.1}s, {} events, wall {:.1} ms",
+            result.output.makespan_secs(),
+            result.events_processed,
+            wall.as_secs_f64() * 1e3
+        );
+    } else {
+        section(&format!(
+            "Trace replay: {what}, {workers}-worker headless cluster"
+        ));
+        let start = std::time::Instant::now();
+        let run = match load {
+            Load::File(bound) => {
+                let source = TraceSource::new(bound, workers);
+                exp::replay_cluster(&source, workers, node, policy)
+            }
+            Load::Synthetic(template) => {
+                // Synthetic cluster mode streams independent per-worker
+                // plans: --jobs becomes jobs per worker.
+                let source = SyntheticSource::new(template.process, template.jobs, template.seed)
+                    .unlabeled();
+                exp::replay_cluster(&source, workers, node, policy)
+            }
+        };
+        let wall = start.elapsed();
+        let rows = vec![
+            vec!["workers".to_string(), workers.to_string()],
+            vec![
+                "jobs completed".to_string(),
+                run.completed_jobs().to_string(),
+            ],
+            vec![
+                "cluster makespan (sim s)".to_string(),
+                format!("{:.1}", run.makespan_secs()),
+            ],
+            vec![
+                "mean completion (sim s)".to_string(),
+                run.mean_completion_secs()
+                    .map_or("-".into(), |m| format!("{m:.1}")),
+            ],
+            vec![
+                "events processed".to_string(),
+                run.events_processed().to_string(),
+            ],
+            vec![
+                "wall time (ms)".to_string(),
+                format!("{:.1}", wall.as_secs_f64() * 1e3),
+            ],
+        ];
+        print!("{}", text_table(&["metric", "value"], &rows));
+    }
 }
 
 fn table1() {

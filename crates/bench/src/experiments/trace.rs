@@ -1,0 +1,159 @@
+//! The trace-replay experiment: arrival traces and synthetic arrival
+//! processes run through the same session/cluster harness as every paper
+//! figure.
+//!
+//! `repro trace` is the CLI front; this module holds the reusable pieces —
+//! the committed example traces, replay helpers for the single-worker
+//! (full observability) and cluster (headless, `PlanSource`-driven)
+//! configurations, and the synthetic-process presets the CLI and the perf
+//! suite share.
+
+use flowcon_cluster::{ClusterRun, Manager, PolicyKind, RoundRobin};
+use flowcon_core::config::NodeConfig;
+use flowcon_core::session::{Session, SessionResult};
+use flowcon_metrics::summary::{CompletionStats, RunSummary};
+use flowcon_workload::{
+    ArrivalProcess, ArrivalTrace, BoundTrace, PlanSource, Synthetic, TraceCatalog, TraceError,
+};
+
+/// The committed paper-faithful example trace (§5.3's fixed schedule as a
+/// CSV arrival trace).
+pub const PAPER_FIXED_CSV: &str = include_str!("../../../../traces/paper_fixed.csv");
+
+/// The committed large bursty example trace (600 arrivals from the
+/// [`bursty_preset`] MMPP, emitted as JSONL by `repro trace --emit`).
+pub const BURSTY_LARGE_JSONL: &str = include_str!("../../../../traces/bursty_large.jsonl");
+
+/// Parse + bind a trace document with the default Table-1 catalog.
+pub fn bind_default(doc: &str) -> Result<BoundTrace, TraceError> {
+    let trace = ArrivalTrace::parse(doc)?;
+    TraceCatalog::table1().bind(&trace)
+}
+
+/// Replay a bound trace on one worker under `policy`, with full
+/// observability.
+pub fn replay_session(
+    bound: &BoundTrace,
+    node: NodeConfig,
+    policy: PolicyKind,
+) -> SessionResult<RunSummary> {
+    Session::builder()
+        .node(node)
+        .plan(bound)
+        .policy_box(policy.build())
+        .build()
+        .run()
+}
+
+/// Replay a plan source on a headless cluster of `workers` nodes.
+pub fn replay_cluster<S: PlanSource + ?Sized>(
+    source: &S,
+    workers: usize,
+    node: NodeConfig,
+    policy: PolicyKind,
+) -> ClusterRun<CompletionStats> {
+    Manager::new(workers, node, policy, RoundRobin::default()).run_source(source)
+}
+
+/// The CLI's poisson preset: `rate` jobs/s over the Table-1 mix.
+pub fn poisson_preset(rate: f64, jobs: usize, seed: u64) -> Synthetic {
+    Synthetic::new(ArrivalProcess::poisson(rate), jobs, seed)
+}
+
+/// The CLI's bursty preset: bursts at 4× the target mean rate, on 25% of
+/// the time (25 s on / 75 s off), silent between bursts — long-run mean
+/// `rate`.
+pub fn bursty_preset(rate: f64, jobs: usize, seed: u64) -> Synthetic {
+    Synthetic::new(
+        ArrivalProcess::bursty(4.0 * rate, 0.0, 25.0, 75.0),
+        jobs,
+        seed,
+    )
+}
+
+/// The CLI's diurnal preset: mean `rate`, 80% swing, 200 s period (the
+/// paper's submission window as one "day").
+pub fn diurnal_preset(rate: f64, jobs: usize, seed: u64) -> Synthetic {
+    Synthetic::new(ArrivalProcess::diurnal(rate, 0.8, 200.0), jobs, seed)
+}
+
+/// Resolve a preset by CLI name.
+pub fn preset(name: &str, rate: f64, jobs: usize, seed: u64) -> Option<Synthetic> {
+    match name {
+        "poisson" => Some(poisson_preset(rate, jobs, seed)),
+        "bursty" => Some(bursty_preset(rate, jobs, seed)),
+        "diurnal" => Some(diurnal_preset(rate, jobs, seed)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::default_node;
+    use flowcon_core::config::FlowConConfig;
+    use flowcon_dl::workload::WorkloadPlan;
+
+    #[test]
+    fn paper_trace_replays_like_the_fixed_three_plan() {
+        let bound = bind_default(PAPER_FIXED_CSV).expect("committed trace parses");
+        let plan: WorkloadPlan = (&bound).into();
+        let reference = WorkloadPlan::fixed_three();
+        assert_eq!(plan.jobs.len(), reference.jobs.len());
+        for (a, b) in plan.jobs.iter().zip(&reference.jobs) {
+            assert_eq!(
+                (a.label.as_str(), a.model, a.arrival),
+                (b.label.as_str(), b.model, b.arrival)
+            );
+        }
+        // And the replay itself is bit-identical to running fixed_three().
+        let via_trace = replay_session(
+            &bound,
+            default_node(),
+            PolicyKind::FlowCon(FlowConConfig::default()),
+        );
+        let direct = Session::builder()
+            .node(default_node())
+            .plan(reference)
+            .policy_box(PolicyKind::FlowCon(FlowConConfig::default()).build())
+            .build()
+            .run();
+        assert_eq!(via_trace.output.completions, direct.output.completions);
+        assert_eq!(via_trace.events_processed, direct.events_processed);
+    }
+
+    #[test]
+    fn bursty_large_trace_is_committed_and_replayable() {
+        let bound = bind_default(BURSTY_LARGE_JSONL).expect("committed trace parses");
+        assert_eq!(bound.len(), 600, "the committed trace holds 600 arrivals");
+        // Replay a thinned, compressed slice across a small headless
+        // cluster to keep the test fast.
+        let trace = ArrivalTrace::parse(BURSTY_LARGE_JSONL).unwrap();
+        let thinned = TraceCatalog::table1()
+            .unlabeled()
+            .thin(0.1, 7)
+            .compress(4.0)
+            .bind(&trace)
+            .unwrap();
+        let jobs = thinned.len();
+        assert!(jobs > 20, "thinning kept {jobs}");
+        let source = flowcon_workload::TraceSource::new(thinned, 8);
+        let run = replay_cluster(
+            &source,
+            8,
+            default_node(),
+            PolicyKind::FlowCon(FlowConConfig::default()),
+        );
+        assert_eq!(run.completed_jobs(), jobs);
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for name in ["poisson", "bursty", "diurnal"] {
+            let s = preset(name, 0.1, 10, 1).unwrap();
+            assert_eq!(s.process.name(), name);
+            assert_eq!(s.plan().len(), 10);
+        }
+        assert!(preset("weibull", 0.1, 10, 1).is_none());
+    }
+}

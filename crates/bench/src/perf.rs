@@ -13,7 +13,7 @@
 
 use std::time::{Duration, Instant};
 
-use flowcon_cluster::{Manager, PolicyKind, RoundRobin};
+use flowcon_cluster::{Manager, PolicyKind, RoundRobin, TraceSource};
 use flowcon_container::ContainerId;
 use flowcon_core::algorithm::run_algorithm1;
 use flowcon_core::config::{FlowConConfig, NodeConfig};
@@ -471,6 +471,172 @@ pub fn run_micro_suite(counter: Option<AllocCounter<'_>>) -> Vec<PerfResult> {
         );
     }
 
+    // --- trace subsystem: parser + catalog binding ---
+    // Parsing is zero-copy (rows borrow the document); binding allocates
+    // the job vector and labels.  The committed 600-row bursty JSONL is
+    // the realistic case; allocs/op is flat in document size by design.
+    {
+        use crate::experiments::trace as exp;
+        let doc = exp::BURSTY_LARGE_JSONL;
+        let ns = time_ns(
+            || {
+                std::hint::black_box(exp::bind_default(std::hint::black_box(doc)).unwrap());
+            },
+            budget,
+        );
+        let allocs = allocs_per_op_iters(counter, 200, || {
+            std::hint::black_box(exp::bind_default(std::hint::black_box(doc)).unwrap());
+        });
+        push("trace/parse_bind/bursty600", ns, allocs, None);
+    }
+
+    // --- trace subsystem: end-to-end replay of the paper trace ---
+    // The trace-driven twin of worker/flowcon_fixed_three: parse + bind
+    // live outside the loop (measured above); the row times the replay.
+    {
+        use crate::experiments::trace as exp;
+        let bound = exp::bind_default(exp::PAPER_FIXED_CSV).unwrap();
+        let node = NodeConfig::default().with_seed(CLUSTER_BENCH_NODE_SEED);
+        let mut events = 0u64;
+        let ns = time_ns(
+            || {
+                let result = exp::replay_session(
+                    &bound,
+                    node,
+                    PolicyKind::FlowCon(FlowConConfig::default()),
+                );
+                events = result.events_processed;
+                std::hint::black_box(result.output.completions.len());
+            },
+            Duration::from_secs(2),
+        );
+        push(
+            "trace/replay/paper_flowcon",
+            ns,
+            None,
+            Some(events as f64 / (ns / 1e9)),
+        );
+    }
+
+    // --- trace subsystem: synthetic generation + session run ---
+    {
+        use crate::experiments::trace as exp;
+        let synthetic = exp::poisson_preset(0.1, 15, CLUSTER_BENCH_PLAN_SEED);
+        let node = NodeConfig::default().with_seed(CLUSTER_BENCH_NODE_SEED);
+        let mut events = 0u64;
+        let ns = time_ns(
+            || {
+                let result = Session::builder()
+                    .node(node)
+                    .plan(&synthetic)
+                    .policy(FlowConPolicy::new(FlowConConfig::default()))
+                    .build()
+                    .run();
+                events = result.events_processed;
+                std::hint::black_box(result.output.completions.len());
+            },
+            Duration::from_secs(2),
+        );
+        push(
+            "trace/synthetic/poisson_n15",
+            ns,
+            None,
+            Some(events as f64 / (ns / 1e9)),
+        );
+    }
+
+    // --- cluster: 10k workers streamed off one trace (PlanSource) ---
+    // The acceptance configuration of the trace subsystem: a 10240-worker
+    // headless cluster pulling per-worker slices of one shared, unlabeled
+    // arrival trace.  allocs_per_op is per worker and includes plan
+    // construction (that is the point of a streaming source); the ≤ 20
+    // budget is also pinned by `crates/cluster/tests/headless_allocs.rs`.
+    {
+        let workers = 10240usize;
+        let plan = WorkloadPlan::random_n(workers * 2, CLUSTER_BENCH_PLAN_SEED);
+        let source = TraceSource::new(
+            flowcon_workload::BoundTrace::from_plan(plan).unlabeled(),
+            workers,
+        );
+        let node = NodeConfig::default().with_seed(CLUSTER_BENCH_NODE_SEED);
+        let manager = || {
+            Manager::new(
+                workers,
+                node,
+                PolicyKind::FlowCon(FlowConConfig::default()),
+                RoundRobin::default(),
+            )
+        };
+        let mut events = 0u64;
+        let ns = time_ns(
+            || {
+                let run = manager().run_source(&source);
+                events = run.events_processed();
+                std::hint::black_box(run.completed_jobs());
+            },
+            Duration::from_millis(1200),
+        );
+        let allocs = allocs_per_op_iters(counter, 3, || {
+            std::hint::black_box(manager().run_source(&source).completed_jobs());
+        })
+        .map(|per_run| per_run / workers as f64);
+        push(
+            &format!("cluster/trace_source/w{workers}"),
+            ns,
+            allocs,
+            Some(events as f64 / (ns / 1e9)),
+        );
+    }
+
+    // --- rt: real threads under the token-bucket governor ---
+    // A tiny wall-clock run (two ~40 ms jobs, FlowCon reconfiguring every
+    // 100 ms) so real-thread mode is regression-gated beside the sim rows.
+    // events/s here is *completions per wall second* and depends on the
+    // machine's clock, so `rt/` rows are presence-gated only (excluded
+    // from the relative throughput check like `cluster/`).
+    {
+        use flowcon_rt::{RtConfig, RtJob, RtRuntime};
+        use flowcon_sim::time::SimDuration as SimDur;
+        let small_job = |label: &str, seed: u64| {
+            let mut spec = flowcon_dl::ModelSpec::of(flowcon_dl::ModelId::Gru);
+            spec.total_work = 0.04;
+            spec.demand = 1.0;
+            let mut rng = SimRng::new(seed);
+            flowcon_dl::TrainingJob::with_label(spec, label, &mut rng)
+        };
+        let mut completed = 0usize;
+        let ns = time_ns(
+            || {
+                let config = FlowConConfig {
+                    initial_interval: SimDur::from_millis(100),
+                    ..FlowConConfig::default()
+                };
+                let runtime =
+                    RtRuntime::new(RtConfig::default(), Box::new(FlowConPolicy::new(config)));
+                let summary = runtime.run(vec![
+                    RtJob {
+                        job: small_job("rt-a", 1),
+                        arrival: Duration::ZERO,
+                    },
+                    RtJob {
+                        job: small_job("rt-b", 2),
+                        arrival: Duration::from_millis(10),
+                    },
+                ]);
+                completed = summary.completions.len();
+                std::hint::black_box(completed);
+            },
+            Duration::from_millis(600),
+        );
+        assert_eq!(completed, 2, "rt bench must complete both jobs");
+        push(
+            "rt/governor/flowcon_tiny",
+            ns,
+            None,
+            Some(completed as f64 / (ns / 1e9)),
+        );
+    }
+
     out
 }
 
@@ -561,10 +727,12 @@ pub const EVENTS_REGRESSION_TOLERANCE: f64 = 0.25;
 /// cluster throughput scales with the runner's *core count* (the sharded
 /// executor uses `available_parallelism` threads), so a baseline committed
 /// from an 8-core box would permanently fail a 4-vCPU CI runner on
-/// unchanged code.  These rows stay gated by presence and by their
-/// machine-independent allocs/worker figure (see
+/// unchanged code, and `rt/` rows run real threads against the wall clock,
+/// so their "events/s" (completions per wall second) tracks the machine,
+/// not the code.  These rows stay gated by presence and — where measured —
+/// by their machine-independent allocs/worker figure (see
 /// [`ALLOCS_REGRESSION_TOLERANCE`]).
-pub const THROUGHPUT_GATE_EXCLUDE_PREFIXES: [&str; 1] = ["cluster/"];
+pub const THROUGHPUT_GATE_EXCLUDE_PREFIXES: [&str; 2] = ["cluster/", "rt/"];
 
 /// Maximum tolerated relative growth of `allocs_per_op` vs the baseline
 /// (25%), applied to every row measuring allocations in both runs (with a

@@ -15,8 +15,9 @@
 //! * [`executor`] — the sharded executor: a bounded shared-cursor pool
 //!   with per-shard reusable state, so 1000-worker clusters run on
 //!   `available_parallelism` OS threads.
-//! * [`manager`] — the manager: splits a workload plan across workers and
-//!   drives every worker simulation on the sharded executor.
+//! * [`manager`] — the manager: splits a workload plan across workers (or
+//!   streams per-worker plans off a [`PlanSource`]) and drives every
+//!   worker simulation on the sharded executor.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,3 +30,6 @@ pub mod policy_kind;
 pub use manager::{ClusterResult, ClusterRun, Manager};
 pub use placement::{LeastLoaded, PlacementStrategy, RoundRobin, Spread};
 pub use policy_kind::PolicyKind;
+// The streaming plan-source surface, re-exported so cluster callers don't
+// need a direct flowcon-workload dependency for the common path.
+pub use flowcon_workload::source::{PlanSource, SyntheticSource, TraceSource};

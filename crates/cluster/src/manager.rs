@@ -16,6 +16,13 @@
 //! completions only — O(completions) memory, which is what makes
 //! 10k-worker clusters practical — and [`Manager::run_recorded`] accepts
 //! any [`Recorder`] factory.
+//!
+//! Workloads arrive either as one materialized [`WorkloadPlan`] the
+//! manager places job by job, or as a streaming
+//! [`PlanSource`] ([`Manager::run_source`] /
+//! [`Manager::run_source_recorded`]): each executor shard pulls the plan
+//! of the worker it is about to simulate, so one arrival trace drives the
+//! whole cluster without 10k plans ever existing at once.
 
 use std::sync::Arc;
 
@@ -27,6 +34,7 @@ use flowcon_core::session::{Session, SessionResult};
 use flowcon_core::worker::{RunResult, WorkerScratch};
 use flowcon_dl::workload::{JobRequest, WorkloadPlan};
 use flowcon_metrics::summary::{makespan_over, CompletionStats};
+use flowcon_workload::source::PlanSource;
 
 use crate::executor;
 use crate::placement::{record_assignment, PlacementStrategy, WorkerLoad};
@@ -274,6 +282,62 @@ impl<P: PlacementStrategy> Manager<P> {
         self.run_recorded(plan, |_| CompletionsOnly::new())
     }
 
+    /// Run the cluster off a streaming [`PlanSource`] with a custom
+    /// per-worker [`Recorder`] factory.
+    ///
+    /// Instead of accepting one materialized plan and placing its jobs,
+    /// each executor shard asks the source for the plan of the worker it
+    /// is about to simulate (`source.next_plan(worker)`), runs it, and
+    /// drops it — at no point do all per-worker plans exist at once, which
+    /// is what lets one arrival trace drive a 10k-worker cluster in
+    /// O(trace) + O(completions) memory.  The job→worker mapping is owned
+    /// by the source (deterministic per `worker_id`), so the result
+    /// carries no placement log ([`ClusterRun::placements`] is empty).
+    pub fn run_source_recorded<S, R, F>(self, source: &S, make: F) -> ClusterRun<R::Output>
+    where
+        S: PlanSource + ?Sized,
+        R: Recorder,
+        R::Output: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let policy = self.policy;
+        let images = self.images;
+        let work: Vec<(usize, NodeConfig)> = self.nodes.iter().copied().enumerate().collect();
+        let workers = executor::map_sharded(
+            work,
+            || (WorkerScratch::new(), images.clone()),
+            |(scratch, images), (idx, node)| {
+                let session = Session::builder()
+                    .node(node)
+                    .plan(source.next_plan(idx))
+                    .policy_box(policy.build())
+                    .images(images.clone())
+                    .recorder(make(idx))
+                    .scratch(std::mem::take(scratch))
+                    .build();
+                let (result, recycled) = session.run_recycling();
+                *scratch = recycled;
+                result
+            },
+        );
+        ClusterRun {
+            workers,
+            placements: Vec::new(),
+        }
+    }
+
+    /// Run the cluster headless off a streaming [`PlanSource`]: label-free
+    /// completions only, the 10k-worker trace-replay configuration
+    /// (`repro trace --file <trace> --workers 10240`).
+    ///
+    /// Stays within the ≤ 20 allocs/worker headless budget when the source
+    /// produces unlabeled plans (pinned by
+    /// `crates/cluster/tests/headless_allocs.rs` and the committed
+    /// `cluster/trace_source/*` bench rows).
+    pub fn run_source<S: PlanSource + ?Sized>(self, source: &S) -> ClusterRun<CompletionStats> {
+        self.run_source_recorded(source, |_| CompletionsOnly::new())
+    }
+
     /// The legacy execution path: one OS thread per worker.
     ///
     /// Kept (a) as the reference the sharded executor is bit-compared
@@ -447,5 +511,35 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = Manager::new(0, node(), PolicyKind::Baseline, Spread);
+    }
+
+    #[test]
+    fn source_run_matches_the_equivalent_placed_run() {
+        use flowcon_workload::{BoundTrace, TraceSource};
+        // A trace source slicing round-robin is exactly RoundRobin
+        // placement of the same arrival-ordered plan, so the two paths
+        // must complete the same jobs at the same makespan.
+        let plan = WorkloadPlan::random_n(12, 5);
+        let source = TraceSource::new(BoundTrace::from_plan(plan.clone()), 3);
+        let build = || Manager::new(3, node(), PolicyKind::Baseline, RoundRobin::default());
+        let placed = build().run_headless(plan);
+        let streamed = build().run_source(&source);
+        assert_eq!(streamed.completed_jobs(), 12);
+        assert!(streamed.placements.is_empty(), "the source owns placement");
+        for (a, b) in placed.workers.iter().zip(&streamed.workers) {
+            assert_eq!(a.output, b.output, "per-worker stats diverged");
+            assert_eq!(a.events_processed, b.events_processed);
+        }
+    }
+
+    #[test]
+    fn synthetic_source_drives_every_worker() {
+        use flowcon_workload::{ArrivalProcess, SyntheticSource};
+        let source = SyntheticSource::new(ArrivalProcess::poisson(0.05), 2, 7).unlabeled();
+        let run = Manager::new(4, node(), PolicyKind::Baseline, RoundRobin::default())
+            .run_source(&source);
+        assert_eq!(run.workers.len(), 4);
+        assert_eq!(run.completed_jobs(), 8);
+        assert!(run.makespan_secs() > 0.0);
     }
 }

@@ -16,13 +16,21 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use flowcon_cluster::{Manager, PolicyKind, RoundRobin};
 use flowcon_core::config::{FlowConConfig, NodeConfig};
 use flowcon_dl::workload::WorkloadPlan;
+use flowcon_workload::{ArrivalProcess, SyntheticSource, TraceSource};
 
 /// The headless allocs/worker ceiling (the ISSUE-3 acceptance budget).
 const ALLOCS_PER_WORKER_BUDGET: f64 = 20.0;
+
+/// Tests in this binary run on parallel threads, but the allocation
+/// counter is process-wide: every test that toggles `COUNTING` (or that
+/// allocates heavily) holds this lock so no stray allocations bill a
+/// counting window.
+static COUNT_WINDOW: Mutex<()> = Mutex::new(());
 
 struct CountingAllocator;
 
@@ -79,6 +87,7 @@ fn allocs_of_headless_run(workers: usize, plan: WorkloadPlan) -> u64 {
 
 #[test]
 fn headless_cluster_run_stays_within_the_allocs_per_worker_budget() {
+    let _window = COUNT_WINDOW.lock().unwrap();
     const SMALL: usize = 64;
     const LARGE: usize = 320;
     let small_plan = WorkloadPlan::random_n(SMALL * 2, 0xC1A5);
@@ -110,8 +119,90 @@ fn headless_cluster_run_stays_within_the_allocs_per_worker_budget() {
     );
 }
 
+/// Process-wide allocations of one source-driven headless run.
+fn allocs_of_source_run(workers: usize, jobs_per_worker: usize) -> u64 {
+    // An unlabeled synthetic source: plan construction happens *inside*
+    // the measured run (that is the point of a streaming source), so the
+    // per-plan vector and arrival draws are part of the budget.
+    let source =
+        SyntheticSource::new(ArrivalProcess::poisson(0.05), jobs_per_worker, 0xC1A5).unlabeled();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let run = manager(workers).run_source(&source);
+    assert_eq!(
+        run.completed_jobs(),
+        workers * jobs_per_worker,
+        "jobs conserved"
+    );
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn plan_source_driven_cluster_stays_within_the_same_budget() {
+    let _window = COUNT_WINDOW.lock().unwrap();
+    const SMALL: usize = 64;
+    const LARGE: usize = 320;
+
+    allocs_of_source_run(SMALL, 2); // warm-up (OnceLock, thread-locals)
+
+    COUNTING.store(true, Ordering::Relaxed);
+    let small = allocs_of_source_run(SMALL, 2);
+    let large = allocs_of_source_run(LARGE, 2);
+    COUNTING.store(false, Ordering::Relaxed);
+
+    let marginal = (large.saturating_sub(small)) as f64 / (LARGE - SMALL) as f64;
+    assert!(
+        marginal <= ALLOCS_PER_WORKER_BUDGET,
+        "source-driven marginal cost {marginal:.1} allocs/worker exceeds the \
+         {ALLOCS_PER_WORKER_BUDGET} budget ({small} allocs at {SMALL} workers, \
+         {large} at {LARGE})"
+    );
+}
+
+#[test]
+fn ten_k_worker_trace_replay_stays_within_budget() {
+    let _window = COUNT_WINDOW.lock().unwrap();
+    // The ISSUE-4 acceptance configuration: a 10240-worker headless
+    // cluster driven by one shared (unlabeled) arrival trace through a
+    // `TraceSource`.  The budget is asserted on the marginal cost between
+    // 2048 and 10240 workers so fixed per-run overhead cancels out.
+    const SMALL: usize = 2048;
+    const LARGE: usize = 10240;
+    let make_source = |workers: usize| {
+        // Built outside any counting window; `unlabeled` drops the labels
+        // so slicing clones are allocation-free.
+        let plan = WorkloadPlan::random_n(workers * 2, 0xC1A5);
+        TraceSource::new(
+            flowcon_workload::BoundTrace::from_plan(plan).unlabeled(),
+            workers,
+        )
+    };
+    let small_source = make_source(SMALL);
+    let large_source = make_source(LARGE);
+
+    manager(SMALL).run_headless(WorkloadPlan::random_n(SMALL * 2, 0xC1A5)); // warm-up
+
+    let measure = |workers: usize, source: &TraceSource| {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let run = manager(workers).run_source(source);
+        assert_eq!(run.completed_jobs(), workers * 2, "jobs conserved");
+        ALLOCATIONS.load(Ordering::Relaxed) - before
+    };
+    COUNTING.store(true, Ordering::Relaxed);
+    let small = measure(SMALL, &small_source);
+    let large = measure(LARGE, &large_source);
+    COUNTING.store(false, Ordering::Relaxed);
+
+    let marginal = (large.saturating_sub(small)) as f64 / (LARGE - SMALL) as f64;
+    assert!(
+        marginal <= ALLOCS_PER_WORKER_BUDGET,
+        "10k trace replay costs {marginal:.1} allocs/worker, budget is \
+         {ALLOCS_PER_WORKER_BUDGET} ({small} allocs at {SMALL} workers, {large} at {LARGE})"
+    );
+}
+
 #[test]
 fn headless_memory_is_o_completions() {
+    let _window = COUNT_WINDOW.lock().unwrap();
     // 512 workers × 2 jobs: the retained result is one `Completion` (3
     // words) per job plus one `usize` placement per job — no series, no
     // labels.  This asserts the *shape*, the budget test above asserts the

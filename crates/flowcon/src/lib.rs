@@ -27,8 +27,9 @@
 //! plan, policy, shared image registry, failure injections, and a pluggable
 //! [`recorder::Recorder`] that decides at compile time what the run
 //! observes (full paper traces, headless completions-only, or sampled).
-//! The historical `WorkerSim` constructors are deprecated shims over the
-//! same machinery.
+//! It is the *only* entry point: the historical `WorkerSim` constructors
+//! shipped one release as deprecated shims and have been removed (see the
+//! migration table in [`session`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -50,4 +51,4 @@ pub use metric::{growth_efficiency, progress_score, GrowthMeasurement};
 pub use policy::{FairSharePolicy, FlowConPolicy, ResourcePolicy, StaticEqualPolicy};
 pub use recorder::{CompletionsOnly, FullRecorder, Recorder, SamplingRecorder};
 pub use session::{Session, SessionBuilder, SessionResult};
-pub use worker::{RunResult, WorkerScratch, WorkerSim};
+pub use worker::{RunResult, WorkerScratch};

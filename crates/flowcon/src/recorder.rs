@@ -16,8 +16,8 @@
 //! Three recorders ship:
 //!
 //! * [`FullRecorder`] — today's behavior, bit-identical to the
-//!   pre-redesign `WorkerSim::run` output (asserted by
-//!   `crates/flowcon/tests/session_api.rs`).
+//!   pre-redesign `WorkerSim::run` output (asserted while the deprecated
+//!   shims lived; they are gone now).
 //! * [`CompletionsOnly`] — headless: label-free [`CompletionStats`] only,
 //!   O(completions) memory, ≲20 allocations per simulated worker.
 //! * [`SamplingRecorder`] — every-k-th-tick decimation of any inner

@@ -30,9 +30,13 @@
 //! assert_eq!(stats.output.len(), 3);
 //! ```
 //!
-//! # Migration from the deprecated entry points
+//! # Migration from the removed entry points
 //!
-//! | Old (deprecated) | New |
+//! The pre-session entry points shipped one release as `#[deprecated]`
+//! shims (bit-compared against this path while they lived) and have been
+//! **removed**.  If you are updating old code:
+//!
+//! | Removed | New |
 //! |---|---|
 //! | `WorkerSim::new(node, plan, policy)` | `Session::builder().node(node).plan(plan).policy_box(policy).build()` |
 //! | `WorkerSim::with_scratch(n, p, pol, s)` | `… .scratch(s) …` |
@@ -44,11 +48,11 @@
 //! | always-on `RunSummary` | `.recorder(FullRecorder::new())` (default), [`CompletionsOnly`], [`SamplingRecorder`] |
 //! | fresh `ImageRegistry` per worker | shared by default; override with `.images(arc_registry)` |
 //!
-//! With the default [`FullRecorder`], a session's output is bit-identical
-//! to the pre-redesign path (pinned by
-//! `crates/flowcon/tests/session_api.rs`).  The cluster layer builds one
-//! session per worker on the sharded executor, threading a recycled
-//! [`WorkerScratch`] and one shared image registry through all of them.
+//! The cluster layer builds one session per worker on the sharded
+//! executor, threading a recycled [`WorkerScratch`] and one shared image
+//! registry through all of them.  [`SessionBuilder::plan`] accepts
+//! anything convertible into a `WorkloadPlan`, including the
+//! `flowcon-workload` trace and synthetic-arrival sources.
 //!
 //! [`RunSummary`]: flowcon_metrics::summary::RunSummary
 //! [`FullRecorder`]: crate::recorder::FullRecorder
@@ -120,8 +124,12 @@ impl<R: Recorder> SessionBuilder<R> {
     }
 
     /// The workload plan to execute.
-    pub fn plan(mut self, plan: WorkloadPlan) -> Self {
-        self.plan = plan;
+    ///
+    /// Accepts anything convertible into a [`WorkloadPlan`] — a plan
+    /// itself, or the `flowcon-workload` sources (a catalog-bound arrival
+    /// trace, a synthetic arrival process, ...).
+    pub fn plan(mut self, plan: impl Into<WorkloadPlan>) -> Self {
+        self.plan = plan.into();
         self
     }
 

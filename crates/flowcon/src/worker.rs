@@ -15,13 +15,14 @@
 //!
 //! Every run is reproducible from `NodeConfig::seed`.
 //!
-//! [`WorkerSim`] is monomorphized over its [`Recorder`], and its historical
-//! constructors are deprecated shims: build workers through
-//! [`crate::session::Session`] instead.
+//! `WorkerSim` is monomorphized over its [`Recorder`] and is internal
+//! machinery: workers are built and run exclusively through
+//! [`crate::session::Session`].  (The pre-session `WorkerSim::*` and
+//! `run_flowcon`/`run_baseline` entry points shipped one release as
+//! deprecated shims and are gone.)
 
 use std::sync::Arc;
 
-use flowcon_container::image::shared_dl_defaults;
 use flowcon_container::{
     ContainerId, Daemon, ImageRegistry, ResourceLimits, UpdateOptions, Workload,
 };
@@ -73,12 +74,12 @@ pub struct FailureInjection {
     pub exit_code: i32,
 }
 
-/// The outcome of a worker run on the legacy (pre-session) entry points.
+/// A full-observability run result: a [`RunSummary`] plus the session's
+/// performance counters.
 ///
-/// New code receives a [`SessionResult`] from
-/// [`Session::run`](crate::session::Session::run) instead; this shape is
-/// kept for the deprecated `WorkerSim` shims and the cluster layer's
-/// summary-carrying `ClusterResult`.
+/// Sessions return a [`SessionResult`] from
+/// [`Session::run`](crate::session::Session::run); this shape is kept for
+/// the cluster layer's summary-carrying `ClusterResult`.
 #[derive(Debug, Clone)]
 pub struct RunResult {
     /// Everything the paper reports: completions, makespan, traces.
@@ -91,8 +92,8 @@ pub struct RunResult {
 }
 
 impl From<SessionResult<RunSummary>> for RunResult {
-    /// Repackage a full-recorder session result (the shims and the cluster
-    /// manager translate between the two shapes).
+    /// Repackage a full-recorder session result (the cluster manager
+    /// translates between the two shapes).
     fn from(result: SessionResult<RunSummary>) -> Self {
         RunResult {
             summary: result.output,
@@ -174,11 +175,9 @@ impl WorkerScratch {
 /// One simulated worker node executing a workload plan under a policy,
 /// observed by a [`Recorder`].
 ///
-/// Construct through [`Session::builder`](crate::session::Session::builder);
-/// the inherent constructors below are deprecated shims kept for one
-/// release (their output is bit-compared against the session path in
-/// `crates/flowcon/tests/session_api.rs`).
-pub struct WorkerSim<R: Recorder = FullRecorder> {
+/// Crate-internal: construct and run through
+/// [`Session::builder`](crate::session::Session::builder).
+pub(crate) struct WorkerSim<R: Recorder = FullRecorder> {
     node: NodeConfig,
     plan: WorkloadPlan,
     policy: Box<dyn ResourcePolicy>,
@@ -593,75 +592,6 @@ impl<R: Recorder> WorkerSim<R> {
     }
 }
 
-/// The deprecated pre-session surface, kept for one release.
-///
-/// Each shim routes through the exact machinery
-/// [`Session`](crate::session::Session) uses, so results are bit-identical
-/// to the new API (asserted by `crates/flowcon/tests/session_api.rs`).
-impl WorkerSim<FullRecorder> {
-    /// Build a worker for `plan` under `policy`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use flowcon_core::session::Session::builder() instead"
-    )]
-    pub fn new(node: NodeConfig, plan: WorkloadPlan, policy: Box<dyn ResourcePolicy>) -> Self {
-        WorkerSim::assemble(
-            node,
-            plan,
-            policy,
-            shared_dl_defaults(),
-            FullRecorder::new(),
-            WorkerScratch::new(),
-            Vec::new(),
-        )
-    }
-
-    /// Build a worker reusing `scratch` from a previous simulation.
-    #[deprecated(since = "0.1.0", note = "use Session::builder().scratch(..) instead")]
-    pub fn with_scratch(
-        node: NodeConfig,
-        plan: WorkloadPlan,
-        policy: Box<dyn ResourcePolicy>,
-        scratch: WorkerScratch,
-    ) -> Self {
-        WorkerSim::assemble(
-            node,
-            plan,
-            policy,
-            shared_dl_defaults(),
-            FullRecorder::new(),
-            scratch,
-            Vec::new(),
-        )
-    }
-
-    /// Schedule a fault: the job with `label` crashes at `at` with
-    /// `exit_code`.
-    #[deprecated(since = "0.1.0", note = "use Session::builder().failure(..) instead")]
-    pub fn with_failure(mut self, label: impl Into<String>, at: SimTime, exit_code: i32) -> Self {
-        self.failures.push(FailureInjection {
-            label: label.into(),
-            at,
-            exit_code,
-        });
-        self
-    }
-
-    /// Run the plan to completion and return the results.
-    #[deprecated(since = "0.1.0", note = "use Session::run() instead")]
-    pub fn run(self) -> RunResult {
-        RunResult::from(self.run_session().0)
-    }
-
-    /// Run the plan to completion, handing the hot-path scratch back so the
-    /// caller can thread it into the next worker.
-    #[deprecated(since = "0.1.0", note = "use Session::run_recycling() instead")]
-    pub fn run_recycling(self) -> (RunResult, WorkerScratch) {
-        let (result, scratch) = self.run_session();
-        (RunResult::from(result), scratch)
-    }
-}
-
 /// Newtype so `Simulation` can be implemented without exposing internals.
 struct WorkerShell<R: Recorder>(WorkerSim<R>);
 
@@ -681,40 +611,6 @@ impl IntoTime for SimDuration {
     fn into_time(self) -> SimTime {
         SimTime::ZERO + self
     }
-}
-
-/// Convenience: run `plan` under FlowCon with the given parameters.
-#[deprecated(
-    since = "0.1.0",
-    note = "use Session::builder().policy(FlowConPolicy::new(config)) instead"
-)]
-pub fn run_flowcon(
-    node: NodeConfig,
-    plan: &WorkloadPlan,
-    config: crate::config::FlowConConfig,
-) -> RunResult {
-    let result = crate::session::Session::builder()
-        .node(node)
-        .plan(plan.clone())
-        .policy(crate::policy::FlowConPolicy::new(config))
-        .build()
-        .run();
-    RunResult::from(result)
-}
-
-/// Convenience: run `plan` under the NA baseline.
-#[deprecated(
-    since = "0.1.0",
-    note = "use Session::builder().policy(FairSharePolicy::new()) instead"
-)]
-pub fn run_baseline(node: NodeConfig, plan: &WorkloadPlan) -> RunResult {
-    let result = crate::session::Session::builder()
-        .node(node)
-        .plan(plan.clone())
-        .policy(crate::policy::FairSharePolicy::new())
-        .build()
-        .run();
-    RunResult::from(result)
 }
 
 #[cfg(test)]
@@ -819,15 +715,5 @@ mod tests {
         assert!(!fc.output.growth_efficiency.is_empty());
         assert!(fc.output.update_calls > 0);
         assert!(fc.output.algorithm_runs > 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_free_helpers_still_work() {
-        let plan = WorkloadPlan::fixed_three();
-        let old = run_baseline(node(), &plan);
-        let new = baseline(node(), &plan);
-        assert_eq!(old.summary.completions, new.output.completions);
-        assert_eq!(old.events_processed, new.events_processed);
     }
 }

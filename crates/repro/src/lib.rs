@@ -15,3 +15,4 @@ pub use flowcon_dl as dl;
 pub use flowcon_metrics as metrics;
 pub use flowcon_rt as rt;
 pub use flowcon_sim as sim;
+pub use flowcon_workload as workload;

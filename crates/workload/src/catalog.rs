@@ -1,0 +1,372 @@
+//! Binding trace rows onto the model catalog.
+//!
+//! A trace speaks in **classes** — model names (`vae`, `mnist-tf`, ...) or
+//! resource-demand classes (`small`/`medium`/`large`) — while the simulator
+//! runs calibrated [`ModelId`]s.  A [`TraceCatalog`] owns that mapping plus
+//! the replay knobs real traces need:
+//!
+//! * **thinning** — keep each row with probability `p`, decided by a
+//!   seeded `SimRng` so the same trace + seed always keeps the same rows
+//!   (replaying a week of arrivals at 10% load);
+//! * **time compression** — divide submission times by a factor
+//!   (replaying a day-long trace inside the paper's 200 s window);
+//! * **labeling** — off for headless 10k-worker replays, where a label
+//!   `String` per job would be the single largest allocation source.
+
+use flowcon_dl::models::ModelId;
+use flowcon_dl::workload::{JobRequest, WorkloadPlan};
+use flowcon_sim::rng::SimRng;
+use flowcon_sim::time::SimTime;
+
+use crate::trace::{ArrivalTrace, TraceError};
+
+/// Maps trace classes onto calibrated models and applies replay transforms.
+#[derive(Debug, Clone)]
+pub struct TraceCatalog {
+    /// Lower-cased class name → model.
+    classes: Vec<(String, ModelId)>,
+    /// Model used for classes with no mapping; `None` makes them an error.
+    fallback: Option<ModelId>,
+    /// Keep probability in `(0, 1]` and the seed deciding which rows stay.
+    keep: f64,
+    thin_seed: u64,
+    /// Submission times are divided by this factor (`> 0`).
+    compression: f64,
+    /// Whether bound jobs carry the trace's `job_id` as their label.
+    labeled: bool,
+}
+
+impl TraceCatalog {
+    /// A catalog with no class mappings (add them with
+    /// [`TraceCatalog::map_class`] / [`TraceCatalog::fallback`]).
+    pub fn empty() -> Self {
+        TraceCatalog {
+            classes: Vec::new(),
+            fallback: None,
+            keep: 1.0,
+            thin_seed: 0,
+            compression: 1.0,
+            labeled: true,
+        }
+    }
+
+    /// The default catalog: every Table-1 model under its canonical name
+    /// and common aliases, plus the `small`/`medium`/`large`
+    /// resource-demand classes (mapped to the short MNIST-TF, the medium
+    /// GRU, and the long VAE respectively).
+    pub fn table1() -> Self {
+        use ModelId::*;
+        let mut cat = TraceCatalog::empty();
+        for (name, model) in [
+            ("vae", Vae),
+            ("vae-tf", VaeTf),
+            ("vaet", VaeTf),
+            ("mnist", MnistTorch),
+            ("mnist-torch", MnistTorch),
+            ("mnist-tf", MnistTf),
+            ("lstm-cfc", LstmCfc),
+            ("cfc", LstmCfc),
+            ("lstm-crf", LstmCrf),
+            ("bi-rnn", BiRnn),
+            ("birnn", BiRnn),
+            ("gru", Gru),
+            ("rnn-gru", Gru),
+            ("logreg", LogReg),
+            ("logistic-regression", LogReg),
+            // Resource-demand classes for traces that only record job size.
+            ("small", MnistTf),
+            ("medium", Gru),
+            ("large", Vae),
+        ] {
+            cat = cat.map_class(name, model);
+        }
+        cat
+    }
+
+    /// Map `class` (case-insensitive) onto `model`, replacing any earlier
+    /// mapping of the same class.
+    pub fn map_class(mut self, class: impl Into<String>, model: ModelId) -> Self {
+        let key = class.into().to_ascii_lowercase();
+        self.classes.retain(|(c, _)| *c != key);
+        self.classes.push((key, model));
+        self
+    }
+
+    /// Bind unmapped classes to `model` instead of failing.
+    pub fn fallback(mut self, model: ModelId) -> Self {
+        self.fallback = Some(model);
+        self
+    }
+
+    /// Keep each row with probability `keep` (in `(0, 1]`), decided by a
+    /// `SimRng` stream from `seed` — deterministic per trace + seed.
+    pub fn thin(mut self, keep: f64, seed: u64) -> Self {
+        assert!(
+            keep > 0.0 && keep <= 1.0,
+            "thinning keep probability must be in (0, 1], got {keep}"
+        );
+        self.keep = keep;
+        self.thin_seed = seed;
+        self
+    }
+
+    /// Divide every submission time by `factor` (`> 0`): `compress(60.0)`
+    /// replays an hour-long trace in one simulated minute.
+    pub fn compress(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "compression factor must be finite and > 0, got {factor}"
+        );
+        self.compression = factor;
+        self
+    }
+
+    /// Drop job labels from bound rows (headless replays: no label
+    /// `String` is ever allocated; completions are label-free anyway).
+    pub fn unlabeled(mut self) -> Self {
+        self.labeled = false;
+        self
+    }
+
+    /// Resolve a class name to its model.
+    pub fn resolve(&self, class: &str) -> Option<ModelId> {
+        self.classes
+            .iter()
+            .find(|(c, _)| c.eq_ignore_ascii_case(class))
+            .map(|&(_, m)| m)
+            .or(self.fallback)
+    }
+
+    /// Bind a parsed trace: resolve every class, apply thinning and time
+    /// compression, and return the replayable [`BoundTrace`].
+    pub fn bind(&self, trace: &ArrivalTrace<'_>) -> Result<BoundTrace, TraceError> {
+        let mut rng = SimRng::new(self.thin_seed);
+        let mut jobs = Vec::with_capacity(trace.len());
+        for (i, row) in trace.rows().iter().enumerate() {
+            // Draw per row *before* resolving so the kept subset for a
+            // given seed does not depend on the mapping.
+            let keep = self.keep >= 1.0 || rng.f64() < self.keep;
+            if !keep {
+                continue;
+            }
+            let model = self
+                .resolve(row.class)
+                .ok_or_else(|| TraceError::UnknownClass {
+                    class: row.class.to_string(),
+                    row: i + 1,
+                })?;
+            jobs.push(JobRequest {
+                label: if self.labeled {
+                    row.job_id.to_string()
+                } else {
+                    String::new()
+                },
+                model,
+                arrival: SimTime::from_secs_f64(row.submit_secs / self.compression),
+            });
+        }
+        Ok(BoundTrace { jobs })
+    }
+}
+
+/// The canonical trace-file class name of a model (every name resolves
+/// back through [`TraceCatalog::table1`], so emission and parsing are
+/// inverse).
+pub fn class_name(model: ModelId) -> &'static str {
+    match model {
+        ModelId::Vae => "vae",
+        ModelId::VaeTf => "vae-tf",
+        ModelId::MnistTorch => "mnist-torch",
+        ModelId::MnistTf => "mnist-tf",
+        ModelId::LstmCfc => "lstm-cfc",
+        ModelId::LstmCrf => "lstm-crf",
+        ModelId::BiRnn => "bi-rnn",
+        ModelId::Gru => "gru",
+        ModelId::LogReg => "logreg",
+    }
+}
+
+impl Default for TraceCatalog {
+    /// Same as [`TraceCatalog::table1`].
+    fn default() -> Self {
+        TraceCatalog::table1()
+    }
+}
+
+/// A trace bound onto the model catalog: concrete jobs in arrival order,
+/// ready to replay (convert into a `WorkloadPlan` or slice across a
+/// cluster through a [`TraceSource`](crate::TraceSource)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundTrace {
+    /// Bound jobs, sorted by arrival (binding preserves the parsed trace's
+    /// stable submission order; compression is monotone).
+    pub jobs: Vec<JobRequest>,
+}
+
+impl BoundTrace {
+    /// Wrap an existing plan as a bound trace (the plan is already sorted).
+    pub fn from_plan(plan: WorkloadPlan) -> Self {
+        BoundTrace { jobs: plan.jobs }
+    }
+
+    /// Number of bound jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when nothing survived binding.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Drop every job label in place (labels become empty, so cloning a
+    /// slice of this trace — e.g. through a
+    /// [`TraceSource`](crate::TraceSource) — allocates no label strings).
+    /// The post-bind counterpart of [`TraceCatalog::unlabeled`], for
+    /// traces bound or built elsewhere.
+    pub fn unlabeled(mut self) -> Self {
+        for job in &mut self.jobs {
+            job.label = String::new();
+        }
+        self
+    }
+
+    /// Emit the bound jobs as a JSONL arrival trace (canonical class
+    /// names; unlabeled jobs get synthesized `job-<k>` ids).  The output
+    /// parses back through [`ArrivalTrace::parse`] and rebinds through
+    /// [`TraceCatalog::table1`] to the same jobs — this is how the
+    /// committed example traces were generated.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (i, job) in self.jobs.iter().enumerate() {
+            let fallback;
+            let id = if job.label.is_empty() {
+                fallback = format!("job-{}", i + 1);
+                &fallback
+            } else {
+                &job.label
+            };
+            out.push_str(&format!(
+                "{{\"job_id\": \"{}\", \"model\": \"{}\", \"submit_secs\": {}}}\n",
+                id,
+                class_name(job.model),
+                job.arrival.as_secs_f64()
+            ));
+        }
+        out
+    }
+}
+
+impl From<BoundTrace> for WorkloadPlan {
+    /// A bound trace is already in arrival order, so the plan's sort only
+    /// breaks equal-arrival ties by label (a near-no-op pass).
+    fn from(bound: BoundTrace) -> Self {
+        WorkloadPlan::new(bound.jobs)
+    }
+}
+
+impl From<&BoundTrace> for WorkloadPlan {
+    fn from(bound: &BoundTrace) -> Self {
+        WorkloadPlan::new(bound.jobs.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::ArrivalTrace;
+
+    #[test]
+    fn binds_the_paper_fixed_schedule() {
+        let doc =
+            "VAE (Pytorch),vae,0\nMNIST (Pytorch),mnist-torch,40\nMNIST (Tensorflow),mnist-tf,80\n";
+        let trace = ArrivalTrace::parse(doc).unwrap();
+        let plan: WorkloadPlan = TraceCatalog::table1().bind(&trace).unwrap().into();
+        let reference = WorkloadPlan::fixed_three();
+        assert_eq!(plan.jobs.len(), 3);
+        for (a, b) in plan.jobs.iter().zip(&reference.jobs) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.model, b.model);
+            assert_eq!(a.arrival, b.arrival);
+        }
+    }
+
+    #[test]
+    fn unknown_class_is_an_error_without_fallback() {
+        let trace = ArrivalTrace::parse("j1,resnet-50,0\n").unwrap();
+        let err = TraceCatalog::table1().bind(&trace).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::UnknownClass {
+                class: "resnet-50".into(),
+                row: 1
+            }
+        );
+        let bound = TraceCatalog::table1()
+            .fallback(ModelId::Gru)
+            .bind(&trace)
+            .unwrap();
+        assert_eq!(bound.jobs[0].model, ModelId::Gru);
+    }
+
+    #[test]
+    fn class_resolution_is_case_insensitive() {
+        let cat = TraceCatalog::table1();
+        assert_eq!(cat.resolve("VAE"), Some(ModelId::Vae));
+        assert_eq!(cat.resolve("Mnist-TF"), Some(ModelId::MnistTf));
+        assert_eq!(cat.resolve("nope"), None);
+    }
+
+    #[test]
+    fn thinning_is_deterministic_and_roughly_proportional() {
+        let doc: String = (0..1000).map(|i| format!("j{i},gru,{i}\n")).collect();
+        let trace = ArrivalTrace::parse(&doc).unwrap();
+        let a = TraceCatalog::table1().thin(0.3, 7).bind(&trace).unwrap();
+        let b = TraceCatalog::table1().thin(0.3, 7).bind(&trace).unwrap();
+        assert_eq!(a, b, "same seed keeps the same rows");
+        let c = TraceCatalog::table1().thin(0.3, 8).bind(&trace).unwrap();
+        assert_ne!(a, c, "different seed keeps different rows");
+        assert!((200..400).contains(&a.len()), "kept {} of 1000", a.len());
+    }
+
+    #[test]
+    fn compression_divides_submission_times() {
+        let trace = ArrivalTrace::parse("j1,gru,120\n").unwrap();
+        let bound = TraceCatalog::table1().compress(60.0).bind(&trace).unwrap();
+        assert_eq!(bound.jobs[0].arrival, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn unlabeled_binding_drops_job_ids() {
+        let trace = ArrivalTrace::parse("j1,gru,0\n").unwrap();
+        let bound = TraceCatalog::table1().unlabeled().bind(&trace).unwrap();
+        assert_eq!(bound.jobs[0].label, "");
+    }
+
+    #[test]
+    fn emission_rebinds_to_the_same_jobs() {
+        use flowcon_dl::models::ALL_MODELS;
+        let bound = BoundTrace {
+            jobs: ALL_MODELS
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| JobRequest {
+                    label: format!("Job-{}", i + 1),
+                    model: m,
+                    arrival: SimTime::from_secs_f64(i as f64 * 2.5),
+                })
+                .collect(),
+        };
+        let jsonl = bound.to_jsonl();
+        let reparsed = ArrivalTrace::parse(&jsonl).unwrap();
+        let rebound = TraceCatalog::table1().bind(&reparsed).unwrap();
+        assert_eq!(rebound, bound);
+    }
+
+    #[test]
+    fn empty_trace_binds_to_an_empty_plan() {
+        let trace = ArrivalTrace::parse("").unwrap();
+        let plan: WorkloadPlan = TraceCatalog::table1().bind(&trace).unwrap().into();
+        assert!(plan.is_empty());
+    }
+}

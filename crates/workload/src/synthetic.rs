@@ -1,0 +1,321 @@
+//! Synthetic arrival processes: Poisson, bursty on/off (MMPP-style), and
+//! diurnal-rate generators.
+//!
+//! All randomness flows through `flowcon_sim::rng::SimRng`, so a process +
+//! seed is a complete, bit-reproducible description of a workload — the
+//! same contract the rest of the workspace keeps for simulations.
+
+use flowcon_dl::models::{ModelId, TABLE1_MODELS};
+use flowcon_dl::workload::{JobRequest, WorkloadPlan};
+use flowcon_sim::rng::SimRng;
+use flowcon_sim::time::SimTime;
+
+/// A stochastic arrival process generating job submission times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson arrivals: i.i.d. exponential inter-arrival gaps
+    /// at `rate` jobs per second.
+    Poisson {
+        /// Mean arrival rate in jobs per second (`> 0`).
+        rate: f64,
+    },
+    /// Bursty on/off arrivals (a two-state Markov-modulated Poisson
+    /// process): the process alternates between an *on* state emitting at
+    /// `rate_on` and an *off* state emitting at `rate_off` (often 0), with
+    /// exponentially distributed dwell times.
+    Bursty {
+        /// Arrival rate during bursts, jobs per second (`> 0`).
+        rate_on: f64,
+        /// Arrival rate between bursts, jobs per second (`>= 0`).
+        rate_off: f64,
+        /// Mean burst length in seconds (`> 0`).
+        mean_on_secs: f64,
+        /// Mean quiet-period length in seconds (`> 0`).
+        mean_off_secs: f64,
+    },
+    /// Diurnal arrivals: an inhomogeneous Poisson process whose rate
+    /// follows `mean_rate · (1 + amplitude · sin(2πt/period))`, sampled by
+    /// thinning against the peak rate.
+    Diurnal {
+        /// Mean arrival rate over a full period, jobs per second (`> 0`).
+        mean_rate: f64,
+        /// Relative swing around the mean, in `[0, 1]`.
+        amplitude: f64,
+        /// Period of the rate cycle in seconds (`> 0`).
+        period_secs: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Poisson arrivals at `rate` jobs/second.
+    pub fn poisson(rate: f64) -> Self {
+        assert!(rate > 0.0, "poisson rate must be > 0, got {rate}");
+        ArrivalProcess::Poisson { rate }
+    }
+
+    /// Bursty on/off arrivals (see [`ArrivalProcess::Bursty`]).
+    pub fn bursty(rate_on: f64, rate_off: f64, mean_on_secs: f64, mean_off_secs: f64) -> Self {
+        assert!(rate_on > 0.0, "burst rate must be > 0, got {rate_on}");
+        assert!(rate_off >= 0.0, "off rate must be >= 0, got {rate_off}");
+        assert!(
+            mean_on_secs > 0.0 && mean_off_secs > 0.0,
+            "dwell means must be > 0, got on {mean_on_secs} / off {mean_off_secs}"
+        );
+        ArrivalProcess::Bursty {
+            rate_on,
+            rate_off,
+            mean_on_secs,
+            mean_off_secs,
+        }
+    }
+
+    /// Diurnal arrivals (see [`ArrivalProcess::Diurnal`]).
+    pub fn diurnal(mean_rate: f64, amplitude: f64, period_secs: f64) -> Self {
+        assert!(mean_rate > 0.0, "mean rate must be > 0, got {mean_rate}");
+        assert!(
+            (0.0..=1.0).contains(&amplitude),
+            "amplitude must be in [0, 1], got {amplitude}"
+        );
+        assert!(period_secs > 0.0, "period must be > 0, got {period_secs}");
+        ArrivalProcess::Diurnal {
+            mean_rate,
+            amplitude,
+            period_secs,
+        }
+    }
+
+    /// Short process name (`poisson`/`bursty`/`diurnal`) for CLIs and
+    /// reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Bursty { .. } => "bursty",
+            ArrivalProcess::Diurnal { .. } => "diurnal",
+        }
+    }
+
+    /// Sample the first `n` arrival times of the process, in order.
+    pub fn sample_arrivals(&self, n: usize, rng: &mut SimRng) -> Vec<SimTime> {
+        let mut out = Vec::with_capacity(n);
+        match *self {
+            ArrivalProcess::Poisson { rate } => {
+                let mut t = 0.0;
+                for _ in 0..n {
+                    t += rng.exponential(rate);
+                    out.push(SimTime::from_secs_f64(t));
+                }
+            }
+            ArrivalProcess::Bursty {
+                rate_on,
+                rate_off,
+                mean_on_secs,
+                mean_off_secs,
+            } => {
+                // Start inside a burst; alternate exponential dwells.
+                let mut t = 0.0;
+                let mut on = true;
+                let mut dwell_left = rng.exponential(1.0 / mean_on_secs);
+                while out.len() < n {
+                    let rate = if on { rate_on } else { rate_off };
+                    // A zero-rate state emits nothing: skip to the switch.
+                    let gap = if rate > 0.0 {
+                        rng.exponential(rate)
+                    } else {
+                        f64::INFINITY
+                    };
+                    if gap < dwell_left {
+                        dwell_left -= gap;
+                        t += gap;
+                        out.push(SimTime::from_secs_f64(t));
+                    } else {
+                        t += dwell_left;
+                        on = !on;
+                        let mean = if on { mean_on_secs } else { mean_off_secs };
+                        dwell_left = rng.exponential(1.0 / mean);
+                    }
+                }
+            }
+            ArrivalProcess::Diurnal {
+                mean_rate,
+                amplitude,
+                period_secs,
+            } => {
+                // Thinning (Lewis & Shedler): propose at the peak rate,
+                // accept with probability rate(t)/peak.
+                let peak = mean_rate * (1.0 + amplitude);
+                let mut t = 0.0;
+                while out.len() < n {
+                    t += rng.exponential(peak);
+                    let phase = 2.0 * std::f64::consts::PI * t / period_secs;
+                    let rate = mean_rate * (1.0 + amplitude * phase.sin());
+                    if rng.f64() * peak < rate {
+                        out.push(SimTime::from_secs_f64(t));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A complete synthetic workload description: process + model mix + size +
+/// seed.  Convertible straight into a `WorkloadPlan`
+/// (`Session::builder().plan(synthetic)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Synthetic {
+    /// The arrival process.
+    pub process: ArrivalProcess,
+    /// Models assigned to arrivals round-robin (defaults to Table 1).
+    pub models: Vec<ModelId>,
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// RNG seed; same seed ⇒ same plan, bit for bit.
+    pub seed: u64,
+}
+
+impl Synthetic {
+    /// A synthetic workload over the Table-1 model mix.
+    pub fn new(process: ArrivalProcess, jobs: usize, seed: u64) -> Self {
+        Synthetic {
+            process,
+            models: TABLE1_MODELS.to_vec(),
+            jobs,
+            seed,
+        }
+    }
+
+    /// Use an explicit model mix (assigned to arrivals round-robin).
+    pub fn with_models(mut self, models: Vec<ModelId>) -> Self {
+        assert!(!models.is_empty(), "the model mix cannot be empty");
+        self.models = models;
+        self
+    }
+
+    /// Generate the plan: arrivals from the process, models round-robin,
+    /// labels `Job-<k>` in arrival order (the workspace convention).
+    pub fn plan(&self) -> WorkloadPlan {
+        self.plan_with(&mut SimRng::new(self.seed), true)
+    }
+
+    /// Generate with a caller-provided RNG stream and optional labels
+    /// (unlabeled plans allocate no label strings — the headless path).
+    pub(crate) fn plan_with(&self, rng: &mut SimRng, labeled: bool) -> WorkloadPlan {
+        let arrivals = self.process.sample_arrivals(self.jobs, rng);
+        let jobs: Vec<JobRequest> = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| JobRequest {
+                label: if labeled {
+                    format!("Job-{}", i + 1)
+                } else {
+                    String::new()
+                },
+                model: self.models[i % self.models.len()],
+                arrival,
+            })
+            .collect();
+        // Arrivals are generated in order; the constructor sort is a no-op
+        // pass that keeps the invariant explicit.
+        WorkloadPlan::new(jobs)
+    }
+}
+
+impl From<Synthetic> for WorkloadPlan {
+    fn from(synthetic: Synthetic) -> Self {
+        synthetic.plan()
+    }
+}
+
+impl From<&Synthetic> for WorkloadPlan {
+    fn from(synthetic: &Synthetic) -> Self {
+        synthetic.plan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_gap(times: &[SimTime]) -> f64 {
+        times.last().unwrap().as_secs_f64() / times.len() as f64
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_respected() {
+        let mut rng = SimRng::new(1);
+        let times = ArrivalProcess::poisson(0.5).sample_arrivals(4000, &mut rng);
+        assert_eq!(times.len(), 4000);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        let gap = mean_gap(&times);
+        assert!((1.7..2.3).contains(&gap), "mean gap {gap} for rate 0.5");
+    }
+
+    #[test]
+    fn bursty_is_burstier_than_poisson_at_equal_mean_rate() {
+        // Squared coefficient of variation of inter-arrival gaps: 1 for
+        // Poisson, > 1 for an on/off MMPP with a silent off state.
+        let cv2 = |times: &[SimTime]| {
+            let gaps: Vec<f64> = times
+                .windows(2)
+                .map(|w| w[1].as_secs_f64() - w[0].as_secs_f64())
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let mut rng = SimRng::new(5);
+        // On half the time at rate 2 ⇒ long-run mean rate 1.
+        let bursty = ArrivalProcess::bursty(2.0, 0.0, 10.0, 10.0).sample_arrivals(4000, &mut rng);
+        let mut rng = SimRng::new(5);
+        let poisson = ArrivalProcess::poisson(1.0).sample_arrivals(4000, &mut rng);
+        assert!(
+            cv2(&bursty) > 1.5 * cv2(&poisson),
+            "bursty CV² {:.2} vs poisson {:.2}",
+            cv2(&bursty),
+            cv2(&poisson)
+        );
+    }
+
+    #[test]
+    fn diurnal_peaks_and_troughs_follow_the_cycle() {
+        let mut rng = SimRng::new(9);
+        let period = 100.0;
+        let times = ArrivalProcess::diurnal(1.0, 0.9, period).sample_arrivals(8000, &mut rng);
+        // Bucket arrivals by phase quarter: the first quarter (rising sine)
+        // must see far more arrivals than the third (trough).
+        let mut quarters = [0u32; 4];
+        for t in &times {
+            let phase = (t.as_secs_f64() % period) / period;
+            quarters[(phase * 4.0) as usize % 4] += 1;
+        }
+        assert!(
+            quarters[0] as f64 > 2.0 * quarters[2] as f64,
+            "quarters {quarters:?}"
+        );
+    }
+
+    #[test]
+    fn synthetic_plans_are_seed_deterministic() {
+        let s = Synthetic::new(ArrivalProcess::poisson(0.1), 20, 42);
+        assert_eq!(s.plan(), s.plan());
+        let other = Synthetic::new(ArrivalProcess::poisson(0.1), 20, 43);
+        assert_ne!(s.plan(), other.plan());
+    }
+
+    #[test]
+    fn synthetic_plan_follows_workspace_conventions() {
+        let plan = Synthetic::new(ArrivalProcess::poisson(0.2), 10, 3).plan();
+        assert_eq!(plan.len(), 10);
+        for (i, job) in plan.jobs.iter().enumerate() {
+            assert_eq!(job.label, format!("Job-{}", i + 1));
+            assert_eq!(job.model, TABLE1_MODELS[i % TABLE1_MODELS.len()]);
+        }
+        assert!(plan.jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be > 0")]
+    fn zero_rate_poisson_is_rejected() {
+        ArrivalProcess::poisson(0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Trace-driven workloads end to end: parse an arrival trace, bind it
+//! onto the model catalog, replay it under FlowCon and NA, then stream a
+//! synthetic arrival process across a headless cluster.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use flowcon_repro::cluster::{Manager, PolicyKind, RoundRobin};
+use flowcon_repro::core::config::{FlowConConfig, NodeConfig};
+use flowcon_repro::core::session::Session;
+use flowcon_repro::workload::{ArrivalProcess, ArrivalTrace, SyntheticSource, TraceCatalog};
+
+/// The committed paper-faithful trace (§5.3's fixed schedule).
+const PAPER_TRACE: &str = include_str!("../traces/paper_fixed.csv");
+
+fn main() {
+    // 1. Parse + bind: trace classes (`vae`, `mnist-tf`, ...) resolve to
+    //    the calibrated Table-1 models.
+    let trace = ArrivalTrace::parse(PAPER_TRACE).expect("committed trace parses");
+    let bound = TraceCatalog::table1()
+        .bind(&trace)
+        .expect("all classes known");
+    println!("parsed {} arrivals from the paper trace", bound.len());
+
+    // 2. Replay on one worker under both policies.  `.plan()` accepts the
+    //    bound trace directly.
+    let node = NodeConfig::default().with_seed(0xF10C);
+    let run = |policy: PolicyKind| {
+        Session::builder()
+            .node(node)
+            .plan(&bound)
+            .policy_box(policy.build())
+            .build()
+            .run()
+    };
+    let fc = run(PolicyKind::FlowCon(FlowConConfig::default()));
+    let na = run(PolicyKind::Baseline);
+    println!("\n{:<22} {:>10} {:>10}", "job", "FlowCon", "NA");
+    for c in &fc.output.completions {
+        let na_secs = na.output.completion_of(&c.label).unwrap_or(f64::NAN);
+        println!(
+            "{:<22} {:>9.1}s {:>9.1}s",
+            c.label,
+            c.completion_secs(),
+            na_secs
+        );
+    }
+    println!(
+        "{:<22} {:>9.1}s {:>9.1}s",
+        "makespan",
+        fc.output.makespan_secs(),
+        na.output.makespan_secs()
+    );
+
+    // 3. Stream a bursty synthetic process across a headless cluster: the
+    //    PlanSource hands each worker its own deterministic plan slice —
+    //    no per-worker plans are materialized up front.
+    let workers = 256;
+    let source =
+        SyntheticSource::new(ArrivalProcess::bursty(0.4, 0.0, 25.0, 75.0), 2, 0xB025).unlabeled();
+    let cluster = Manager::new(
+        workers,
+        node,
+        PolicyKind::FlowCon(FlowConConfig::default()),
+        RoundRobin::default(),
+    )
+    .run_source(&source);
+    println!(
+        "\nbursty cluster: {} workers, {} jobs completed, makespan {:.1}s, {} events",
+        workers,
+        cluster.completed_jobs(),
+        cluster.makespan_secs(),
+        cluster.events_processed()
+    );
+    assert_eq!(cluster.completed_jobs(), workers * 2);
+}
