@@ -7,6 +7,9 @@
 //! repro trace --file PATH | --synthetic {poisson,bursty,diurnal}
 //!             [--jobs N] [--rate R] [--seed S] [--workers N]
 //!             [--policy {flowcon,na}] [--thin P] [--compress X] [--emit PATH]
+//! repro stream --synthetic {poisson,bursty,diurnal} | --file PATH [--cycle]
+//!              [--until SECS] [--jobs N] [--rate R] [--seed S] [--workers N]
+//!              [--policy {flowcon,na}] [--headless] [--hints]
 //!
 //! experiments:
 //!   table1 fig1 fig3 fig4 fig5 fig6 table2 fig7 fig8 fig9 fig10 fig11
@@ -34,6 +37,18 @@
 //! headless cluster.  `--thin`/`--compress` subsample and time-compress a
 //! trace file; `--emit PATH` writes the workload as a JSONL trace instead
 //! of running it (how `traces/bursty_large.jsonl` was produced).
+//!
+//! `repro stream` runs **open-loop**: jobs keep arriving while the policy
+//! reconfigures, pulled live from an unbounded per-worker `JobStream` — a
+//! synthetic arrival process (`--synthetic`, per-worker `--rate` jobs/s)
+//! or a trace file (`--file`; `--cycle` replays it cyclically, `--hints`
+//! binds duration hints).  The run needs a horizon: `--until SECS`
+//! (admission window in simulated seconds) and/or `--jobs N` (cap per
+//! worker); admitted jobs always drain.  Output is the steady-state table:
+//! arrival vs. completion rate, mean queue depth, utilization.  The
+//! acceptance configuration `repro stream --synthetic poisson --workers
+//! 1024 --until 3600 --headless` is committed as the
+//! `stream/open_loop/w1024` bench row.
 //! ```
 //!
 //! Output: paper-style tables and ASCII charts on stdout; CSV artifacts
@@ -104,6 +119,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("trace") {
         run_trace(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("stream") {
+        run_stream(&args[1..]);
         return;
     }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
@@ -586,6 +605,232 @@ fn run_trace(args: &[String]) {
         ];
         print!("{}", text_table(&["metric", "value"], &rows));
     }
+}
+
+/// `repro stream`: run an open-loop arrival stream end to end (see the
+/// module docs for the flags).
+fn run_stream(args: &[String]) {
+    use flowcon_bench::experiments::stream as exp;
+    use flowcon_cluster::{Horizon, PolicyKind, StreamSource, TraceStreamSource};
+    use flowcon_core::config::{FlowConConfig, NodeConfig};
+    use flowcon_sim::time::SimTime;
+    use flowcon_workload::{ArrivalTrace, TraceCatalog};
+
+    let file = flag_value(args, "--file");
+    let synthetic = flag_value(args, "--synthetic");
+    if file.is_some() == synthetic.is_some() {
+        eprintln!(
+            "stream wants exactly one of --file PATH or --synthetic {{poisson,bursty,diurnal}}"
+        );
+        std::process::exit(2);
+    }
+    let parse_num = |name: &str, default: u64| {
+        flag_value(args, name).map_or(default, |v| {
+            v.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("{name} wants a number, got {v}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let parse_f64 = |name: &str| {
+        flag_value(args, name).map(|v| {
+            v.parse::<f64>().unwrap_or_else(|_| {
+                eprintln!("{name} wants a number, got {v}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let workers = parse_num("--workers", 1) as usize;
+    let seed = parse_num("--seed", flowcon_bench::experiments::DEFAULT_SEED);
+    let policy = match flag_value(args, "--policy").as_deref() {
+        None | Some("flowcon") => PolicyKind::FlowCon(FlowConConfig::default()),
+        Some("na") => PolicyKind::Baseline,
+        Some(other) => {
+            eprintln!("--policy wants flowcon or na, got {other}");
+            std::process::exit(2);
+        }
+    };
+    // Mode-specific flags are hard errors in the wrong mode.
+    let only_with = |flag: &str, mode: &str, allowed: bool| {
+        if !allowed && args.iter().any(|a| a == flag) {
+            eprintln!("{flag} only applies to {mode} workloads");
+            std::process::exit(2);
+        }
+    };
+    only_with("--rate", "--synthetic", synthetic.is_some());
+    only_with("--cycle", "--file", file.is_some());
+    only_with("--hints", "--file", file.is_some());
+
+    // The horizon: --until (admission window, simulated seconds) and/or
+    // --jobs (per-worker admission cap).  An unbounded open-loop run
+    // would never terminate, so at least one is mandatory.
+    let until = parse_f64("--until");
+    let max_jobs = flag_value(args, "--jobs").map(|v| {
+        v.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("--jobs wants a number, got {v}");
+            std::process::exit(2);
+        })
+    });
+    if until.is_none() && max_jobs.is_none() {
+        eprintln!("stream needs a horizon: --until SECS and/or --jobs N");
+        std::process::exit(2);
+    }
+    let horizon = Horizon {
+        until: until.map(SimTime::from_secs_f64),
+        max_jobs,
+    };
+    // Cluster streams run headless (accepting the flag explicitly too);
+    // a single worker records the full paper traces.
+    let headless = workers > 1 || args.iter().any(|a| a == "--headless");
+
+    // Resolve the stream source.
+    enum Source {
+        Synthetic(flowcon_workload::SyntheticStreamSource),
+        Trace(TraceStreamSource),
+    }
+    let (what, source) = if let Some(name) = &synthetic {
+        let rate = parse_f64("--rate").unwrap_or(exp::DEFAULT_STREAM_RATE);
+        let Some(mut src) = exp::stream_preset(name, rate, seed) else {
+            eprintln!("--synthetic wants poisson, bursty or diurnal, got {name}");
+            std::process::exit(2);
+        };
+        if headless {
+            src = src.unlabeled();
+        }
+        (
+            format!("synthetic {name} ({rate}/s per worker)"),
+            Source::Synthetic(src),
+        )
+    } else {
+        let path = file.as_deref().expect("checked above");
+        let doc = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read trace {path}: {e}");
+            std::process::exit(2);
+        });
+        let trace = match ArrivalTrace::parse(&doc) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let mut catalog = TraceCatalog::table1();
+        if args.iter().any(|a| a == "--hints") {
+            catalog = catalog.with_duration_hints();
+        }
+        if headless {
+            catalog = catalog.unlabeled();
+        }
+        let bound = match catalog.bind(&trace) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let mut src = TraceStreamSource::new(bound, workers);
+        let mut what = format!("trace {path}");
+        if args.iter().any(|a| a == "--cycle") {
+            src = src.cyclic();
+            what.push_str(" (cyclic)");
+        }
+        (what, Source::Trace(src))
+    };
+
+    let node = NodeConfig::default().with_seed(seed);
+    let describe_horizon = {
+        let mut parts = Vec::new();
+        if let Some(t) = horizon.until {
+            parts.push(format!("until {t}"));
+        }
+        if let Some(n) = horizon.max_jobs {
+            parts.push(format!("{n} jobs/worker"));
+        }
+        parts.join(", ")
+    };
+
+    let start = std::time::Instant::now();
+    let (totals, events, full) = if workers == 1 && !headless {
+        let result = match source {
+            Source::Synthetic(src) => exp::stream_session(src.stream_for(0), horizon, node, policy),
+            Source::Trace(src) => exp::stream_session(src.stream_for(0), horizon, node, policy),
+        };
+        (result.stream, result.events_processed, Some(result.output))
+    } else {
+        let run = match source {
+            Source::Synthetic(src) => exp::stream_cluster(&src, workers, horizon, node, policy),
+            Source::Trace(src) => exp::stream_cluster(&src, workers, horizon, node, policy),
+        };
+        (run.stream_totals(), run.events_processed(), None)
+    };
+    let wall = start.elapsed();
+
+    section(&format!(
+        "Open-loop stream: {what}, {workers} worker{}, {describe_horizon}",
+        if workers == 1 { "" } else { "s" }
+    ));
+    if let Some(summary) = &full {
+        // List completions positionally, not by label lookup: a cyclic
+        // replay legitimately admits the same label several times, and a
+        // by-label table would repeat the first instance's time.
+        let rows: Vec<Vec<String>> = summary
+            .completions
+            .iter()
+            .map(|c| {
+                vec![
+                    c.label.clone(),
+                    format!("{:.1}", c.arrival.as_secs_f64()),
+                    format!("{:.1}", c.completion_secs()),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            text_table(
+                &["job (exit order)", "arrival (s)", "completion (s)"],
+                &rows
+            )
+        );
+    }
+    print!("{}", stream_stats_table(&totals, events, wall));
+}
+
+/// The steady-state metrics table every `repro stream` mode prints.
+fn stream_stats_table(
+    s: &flowcon_metrics::stream::StreamStats,
+    events: u64,
+    wall: std::time::Duration,
+) -> String {
+    let rows = vec![
+        vec!["jobs submitted".to_string(), s.submitted.to_string()],
+        vec!["jobs completed".to_string(), s.completed.to_string()],
+        vec![
+            "run duration (sim s)".to_string(),
+            format!("{:.1}", s.duration_secs),
+        ],
+        vec![
+            "arrival rate (jobs/s)".to_string(),
+            format!("{:.4}", s.arrival_rate()),
+        ],
+        vec![
+            "completion rate (jobs/s)".to_string(),
+            format!("{:.4}", s.completion_rate()),
+        ],
+        vec![
+            "mean queue depth (jobs)".to_string(),
+            format!("{:.3}", s.mean_queue_depth()),
+        ],
+        vec![
+            "utilization".to_string(),
+            format!("{:.1}%", 100.0 * s.utilization()),
+        ],
+        vec!["events processed".to_string(), events.to_string()],
+        vec![
+            "wall time (ms)".to_string(),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+        ],
+    ];
+    text_table(&["metric", "value"], &rows)
 }
 
 fn table1() {

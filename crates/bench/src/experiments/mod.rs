@@ -5,6 +5,7 @@ pub mod fig1;
 pub mod fixed;
 pub mod random;
 pub mod scale;
+pub mod stream;
 pub mod trace;
 
 use flowcon_core::config::{FlowConConfig, NodeConfig};

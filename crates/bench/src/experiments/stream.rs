@@ -1,0 +1,105 @@
+//! The open-loop streaming experiment: unbounded arrival streams driving
+//! live workers until a horizon.
+//!
+//! `repro stream` is the CLI front; this module holds the reusable pieces
+//! — stream-source presets matching `repro trace`'s synthetic presets, and
+//! replay helpers for the single-worker (full observability) and cluster
+//! (headless) open-loop configurations the CLI and the perf suite share.
+
+use flowcon_cluster::{Horizon, Manager, OpenLoopRun, PolicyKind, RoundRobin, StreamSource};
+use flowcon_core::config::NodeConfig;
+use flowcon_core::session::{Session, StreamResult};
+use flowcon_metrics::summary::{CompletionStats, RunSummary};
+use flowcon_workload::stream::JobStream;
+use flowcon_workload::SyntheticStreamSource;
+
+use crate::experiments::trace;
+
+/// The default per-worker arrival rate of `repro stream` (jobs/second).
+///
+/// Chosen so the acceptance configuration — `--until 3600` — admits
+/// ~1.8 jobs per worker, the same per-worker work as every committed
+/// `cluster/*` bench row (2 jobs/worker), which is what makes the
+/// `stream/open_loop/w1024` allocs/worker figure comparable to the
+/// headless budget it is gated against.
+pub const DEFAULT_STREAM_RATE: f64 = 0.0005;
+
+/// Resolve a synthetic stream-source preset by CLI name
+/// (`poisson`/`bursty`/`diurnal`, per-worker `rate` jobs/s) — the
+/// open-loop counterpart of [`trace::preset`].
+pub fn stream_preset(name: &str, rate: f64, seed: u64) -> Option<SyntheticStreamSource> {
+    // Reuse the trace presets' process parameterizations so `repro trace
+    // --synthetic X` and `repro stream --synthetic X` drive the same
+    // arrival processes.
+    let process = trace::preset(name, rate, 0, seed)?.process;
+    Some(SyntheticStreamSource::new(process, seed))
+}
+
+/// Run one worker open-loop with full observability.
+pub fn stream_session<J: JobStream>(
+    stream: J,
+    horizon: Horizon,
+    node: NodeConfig,
+    policy: PolicyKind,
+) -> StreamResult<RunSummary> {
+    Session::builder()
+        .node(node)
+        .policy_box(policy.build())
+        .build()
+        .run_stream(stream, horizon)
+}
+
+/// Run a headless open-loop cluster of `workers` nodes off `source`.
+pub fn stream_cluster<S: StreamSource + ?Sized>(
+    source: &S,
+    workers: usize,
+    horizon: Horizon,
+    node: NodeConfig,
+    policy: PolicyKind,
+) -> OpenLoopRun<CompletionStats> {
+    Manager::new(workers, node, policy, RoundRobin::default()).run_open_loop(source, horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::default_node;
+    use flowcon_core::config::FlowConConfig;
+
+    #[test]
+    fn stream_presets_mirror_the_trace_presets() {
+        for name in ["poisson", "bursty", "diurnal"] {
+            let source = stream_preset(name, 0.1, 7).expect(name);
+            assert_eq!(source.process().name(), name);
+            let expected = trace::preset(name, 0.1, 0, 7).unwrap().process;
+            assert_eq!(source.process(), expected);
+        }
+        assert!(stream_preset("weibull", 0.1, 7).is_none());
+    }
+
+    #[test]
+    fn open_loop_session_and_cluster_helpers_run_end_to_end() {
+        let source = stream_preset("poisson", 0.05, 3).unwrap();
+        let horizon = Horizon::jobs(4);
+        let session = stream_session(
+            source.stream_for(0),
+            horizon,
+            default_node(),
+            PolicyKind::FlowCon(FlowConConfig::default()),
+        );
+        assert_eq!(session.stream.submitted, 4);
+        assert_eq!(session.output.completions.len(), 4);
+
+        let run = stream_cluster(
+            &source.unlabeled(),
+            8,
+            horizon,
+            default_node(),
+            PolicyKind::Baseline,
+        );
+        assert_eq!(run.submitted_jobs(), 32);
+        assert_eq!(run.completed_jobs(), 32);
+        let totals = run.stream_totals();
+        assert!(totals.utilization() > 0.0 && totals.utilization() <= 1.0);
+    }
+}

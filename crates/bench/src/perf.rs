@@ -13,7 +13,7 @@
 
 use std::time::{Duration, Instant};
 
-use flowcon_cluster::{Manager, PolicyKind, RoundRobin, TraceSource};
+use flowcon_cluster::{Horizon, Manager, PolicyKind, RoundRobin, StreamSource, TraceSource};
 use flowcon_container::ContainerId;
 use flowcon_core::algorithm::run_algorithm1;
 use flowcon_core::config::{FlowConConfig, NodeConfig};
@@ -28,6 +28,7 @@ use flowcon_sim::alloc::{
 use flowcon_sim::engine::{Scheduler, SimEngine, Simulation};
 use flowcon_sim::rng::SimRng;
 use flowcon_sim::time::{SimDuration, SimTime};
+use flowcon_workload::{ArrivalProcess, SyntheticStreamSource};
 
 /// One micro-benchmark's aggregated result.
 #[derive(Debug, Clone)]
@@ -588,6 +589,84 @@ pub fn run_micro_suite(counter: Option<AllocCounter<'_>>) -> Vec<PerfResult> {
         );
     }
 
+    // --- open-loop: one worker session fed by a live Poisson stream ---
+    // The open-loop twin of worker/flowcon_fixed_three: arrivals are
+    // pulled from the stream and admitted mid-run (full recorder, 10 jobs
+    // at 0.05/s), so the row times stream sampling + mid-run admission +
+    // the drain, end to end.  Single-threaded, so events/s stays in the
+    // relative throughput gate.
+    {
+        let node = NodeConfig::default().with_seed(CLUSTER_BENCH_NODE_SEED);
+        let source =
+            SyntheticStreamSource::new(ArrivalProcess::poisson(0.05), CLUSTER_BENCH_PLAN_SEED);
+        let horizon = Horizon::jobs(10);
+        let mut events = 0u64;
+        let ns = time_ns(
+            || {
+                let result = Session::builder()
+                    .node(node)
+                    .policy(FlowConPolicy::new(FlowConConfig::default()))
+                    .build()
+                    .run_stream(source.stream_for(0), horizon);
+                events = result.events_processed;
+                std::hint::black_box(result.stream.completed);
+            },
+            Duration::from_secs(2),
+        );
+        push(
+            "stream/session/poisson_j10",
+            ns,
+            None,
+            Some(events as f64 / (ns / 1e9)),
+        );
+    }
+
+    // --- open-loop: 1024-worker headless cluster (the acceptance row) ---
+    // `repro stream --synthetic poisson --workers 1024 --until 3600
+    // --headless` exactly: per-worker unbounded Poisson streams at the
+    // CLI's default rate (0.0005/s ⇒ ~1.8 jobs/worker over the hour —
+    // the same per-worker work as every other cluster row), admitted
+    // mid-run on the sharded executor.  allocs_per_op is per worker and
+    // must stay within the ≤ 20 headless budget (also pinned by
+    // `crates/cluster/tests/headless_allocs.rs`); throughput scales with
+    // core count, so the row is excluded from the relative events/s gate
+    // like every `cluster/` row.
+    {
+        let workers = 1024usize;
+        let node = NodeConfig::default().with_seed(CLUSTER_BENCH_NODE_SEED);
+        let source =
+            SyntheticStreamSource::new(ArrivalProcess::poisson(0.0005), CLUSTER_BENCH_PLAN_SEED)
+                .unlabeled();
+        let horizon = Horizon::until(SimTime::from_secs(3600));
+        let manager = || {
+            Manager::new(
+                workers,
+                node,
+                PolicyKind::FlowCon(FlowConConfig::default()),
+                RoundRobin::default(),
+            )
+        };
+        let mut events = 0u64;
+        let ns = time_ns(
+            || {
+                let run = manager().run_open_loop(&source, horizon);
+                events = run.events_processed();
+                std::hint::black_box(run.completed_jobs());
+            },
+            Duration::from_millis(1200),
+        );
+        let allocs = allocs_per_op_iters(counter, 3, || {
+            std::hint::black_box(manager().run_open_loop(&source, horizon).completed_jobs());
+        })
+        .map(|per_run| per_run / workers as f64);
+        push(
+            &format!("stream/open_loop/w{workers}"),
+            ns,
+            allocs,
+            Some(events as f64 / (ns / 1e9)),
+        );
+    }
+
     // --- rt: real threads under the token-bucket governor ---
     // A tiny wall-clock run (two ~40 ms jobs, FlowCon reconfiguring every
     // 100 ms) so real-thread mode is regression-gated beside the sim rows.
@@ -724,15 +803,16 @@ pub const ZERO_ALLOC_PREFIXES: [&str; 3] = [
 pub const EVENTS_REGRESSION_TOLERANCE: f64 = 0.25;
 
 /// Benchmark-name prefixes excluded from the **relative** events/s check:
-/// cluster throughput scales with the runner's *core count* (the sharded
-/// executor uses `available_parallelism` threads), so a baseline committed
-/// from an 8-core box would permanently fail a 4-vCPU CI runner on
-/// unchanged code, and `rt/` rows run real threads against the wall clock,
-/// so their "events/s" (completions per wall second) tracks the machine,
-/// not the code.  These rows stay gated by presence and — where measured —
-/// by their machine-independent allocs/worker figure (see
+/// cluster throughput (closed `cluster/` rows and the open-loop
+/// `stream/open_loop/` row) scales with the runner's *core count* (the
+/// sharded executor uses `available_parallelism` threads), so a baseline
+/// committed from an 8-core box would permanently fail a 4-vCPU CI runner
+/// on unchanged code, and `rt/` rows run real threads against the wall
+/// clock, so their "events/s" (completions per wall second) tracks the
+/// machine, not the code.  These rows stay gated by presence and — where
+/// measured — by their machine-independent allocs/worker figure (see
 /// [`ALLOCS_REGRESSION_TOLERANCE`]).
-pub const THROUGHPUT_GATE_EXCLUDE_PREFIXES: [&str; 2] = ["cluster/", "rt/"];
+pub const THROUGHPUT_GATE_EXCLUDE_PREFIXES: [&str; 3] = ["cluster/", "rt/", "stream/open_loop/"];
 
 /// Maximum tolerated relative growth of `allocs_per_op` vs the baseline
 /// (25%), applied to every row measuring allocations in both runs (with a
@@ -1007,6 +1087,17 @@ mod tests {
         let current = vec![result("cluster/sharded/w1024", Some(113.0), Some(6.7e6))];
         assert!(check_regression(&current, &baseline).is_empty());
         assert_eq!(check_regression(&[], &baseline).len(), 1);
+        // The open-loop cluster row rides the same exclusion (it runs on
+        // the sharded executor) — but stays gated on allocs/worker.
+        let baseline = vec![result("stream/open_loop/w1024", Some(17.0), Some(6.8e6))];
+        let slower = vec![result("stream/open_loop/w1024", Some(17.0), Some(9.1e5))];
+        assert!(check_regression(&slower, &baseline).is_empty());
+        let leaking = vec![result("stream/open_loop/w1024", Some(140.0), Some(6.8e6))];
+        assert_eq!(check_regression(&leaking, &baseline).len(), 1);
+        // The single-worker open-loop session row is NOT excluded.
+        let baseline = vec![result("stream/session/poisson_j10", None, Some(6.0e6))];
+        let regressed = vec![result("stream/session/poisson_j10", None, Some(3.0e6))];
+        assert_eq!(check_regression(&regressed, &baseline).len(), 1);
     }
 
     #[test]

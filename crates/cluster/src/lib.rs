@@ -17,7 +17,8 @@
 //!   `available_parallelism` OS threads.
 //! * [`manager`] — the manager: splits a workload plan across workers (or
 //!   streams per-worker plans off a [`PlanSource`]) and drives every
-//!   worker simulation on the sharded executor.
+//!   worker simulation on the sharded executor; open-loop clusters run
+//!   off a [`StreamSource`] through [`manager::Manager::run_open_loop`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,9 +28,12 @@ pub mod manager;
 pub mod placement;
 pub mod policy_kind;
 
-pub use manager::{ClusterResult, ClusterRun, Manager};
+pub use manager::{ClusterResult, ClusterRun, Manager, OpenLoopRun};
 pub use placement::{LeastLoaded, PlacementStrategy, RoundRobin, Spread};
 pub use policy_kind::PolicyKind;
-// The streaming plan-source surface, re-exported so cluster callers don't
-// need a direct flowcon-workload dependency for the common path.
+// The streaming plan/stream-source surface, re-exported so cluster callers
+// don't need a direct flowcon-workload dependency for the common path.
 pub use flowcon_workload::source::{PlanSource, SyntheticSource, TraceSource};
+pub use flowcon_workload::stream::{
+    Horizon, JobStream, StreamSource, SyntheticStreamSource, TraceStreamSource,
+};

@@ -23,6 +23,15 @@
 //! [`Manager::run_source_recorded`]): each executor shard pulls the plan
 //! of the worker it is about to simulate, so one arrival trace drives the
 //! whole cluster without 10k plans ever existing at once.
+//!
+//! Both of those are *closed* workloads — the job set is fixed before any
+//! worker starts.  [`Manager::run_open_loop`] is the **open-loop** mode:
+//! each worker pulls an unbounded [`JobStream`] off a [`StreamSource`] and
+//! admits arrivals mid-run until a [`Horizon`] trips, reporting
+//! steady-state [`StreamStats`] (arrival vs. completion rate, queue depth,
+//! utilization) instead of just a makespan.
+//!
+//! [`JobStream`]: flowcon_workload::stream::JobStream
 
 use std::sync::Arc;
 
@@ -30,11 +39,13 @@ use flowcon_container::image::shared_dl_defaults;
 use flowcon_container::ImageRegistry;
 use flowcon_core::config::NodeConfig;
 use flowcon_core::recorder::{CompletionsOnly, FullRecorder, Recorder};
-use flowcon_core::session::{Session, SessionResult};
+use flowcon_core::session::{Session, SessionResult, StreamResult};
 use flowcon_core::worker::{RunResult, WorkerScratch};
 use flowcon_dl::workload::{JobRequest, WorkloadPlan};
+use flowcon_metrics::stream::StreamStats;
 use flowcon_metrics::summary::{makespan_over, CompletionStats};
 use flowcon_workload::source::PlanSource;
+use flowcon_workload::stream::{Horizon, StreamSource};
 
 use crate::executor;
 use crate::placement::{record_assignment, PlacementStrategy, WorkerLoad};
@@ -121,6 +132,60 @@ impl ClusterRun<CompletionStats> {
             .map(|c| c.completion_secs())
             .sum();
         Some(sum / n as f64)
+    }
+}
+
+/// Result of an open-loop cluster run ([`Manager::run_open_loop`]).
+///
+/// Like [`ClusterRun`] there is no placement log — the job→worker mapping
+/// is owned by the [`StreamSource`] (deterministic per `worker_id`) — and
+/// each per-worker result additionally carries its steady-state
+/// [`StreamStats`].
+#[derive(Debug)]
+pub struct OpenLoopRun<T> {
+    /// Per-worker open-loop session results, indexed by worker.
+    pub workers: Vec<StreamResult<T>>,
+}
+
+impl<T> OpenLoopRun<T> {
+    /// Total simulated events across all workers.
+    pub fn events_processed(&self) -> u64 {
+        self.workers.iter().map(|w| w.events_processed).sum()
+    }
+
+    /// Cluster-wide steady-state totals: per-worker [`StreamStats`] merged
+    /// (counts and integrals summed, the observation window extended to
+    /// the latest worker).
+    pub fn stream_totals(&self) -> StreamStats {
+        let mut total = StreamStats::default();
+        for w in &self.workers {
+            total.merge(&w.stream);
+        }
+        total
+    }
+
+    /// Jobs admitted across the cluster before the horizon.
+    pub fn submitted_jobs(&self) -> usize {
+        self.workers
+            .iter()
+            .map(|w| w.stream.submitted as usize)
+            .sum()
+    }
+
+    /// Jobs completed across the cluster.
+    pub fn completed_jobs(&self) -> usize {
+        self.workers
+            .iter()
+            .map(|w| w.stream.completed as usize)
+            .sum()
+    }
+}
+
+impl OpenLoopRun<CompletionStats> {
+    /// Cluster makespan (canonical [`makespan_over`] fold) — the drain
+    /// point of the slowest worker.
+    pub fn makespan_secs(&self) -> f64 {
+        makespan_over(self.workers.iter().map(|w| w.output.makespan_secs()))
     }
 }
 
@@ -338,6 +403,71 @@ impl<P: PlacementStrategy> Manager<P> {
         self.run_source_recorded(source, |_| CompletionsOnly::new())
     }
 
+    /// Run the cluster **open-loop** with a custom per-worker [`Recorder`]
+    /// factory: every worker pulls its own [`JobStream`] off `source`
+    /// (`source.stream_for(worker)`, a pure function of the worker id) and
+    /// admits arrivals mid-run until `horizon` trips, then drains.
+    ///
+    /// The sharded executor drives the workers exactly as in the closed
+    /// modes — one recycled [`WorkerScratch`] per shard, one shared image
+    /// registry — and because each stream is deterministic per worker, the
+    /// run is bit-identical to a sequential loop over
+    /// `Session::run_stream` regardless of sharding or interleaving
+    /// (pinned by `crates/cluster/tests/open_loop.rs`).
+    ///
+    /// [`JobStream`]: flowcon_workload::stream::JobStream
+    pub fn run_open_loop_recorded<S, R, F>(
+        self,
+        source: &S,
+        horizon: Horizon,
+        make: F,
+    ) -> OpenLoopRun<R::Output>
+    where
+        S: StreamSource + ?Sized,
+        R: Recorder,
+        R::Output: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let policy = self.policy;
+        let images = self.images;
+        let work: Vec<(usize, NodeConfig)> = self.nodes.iter().copied().enumerate().collect();
+        let workers = executor::map_sharded(
+            work,
+            || (WorkerScratch::new(), images.clone()),
+            |(scratch, images), (idx, node)| {
+                let session = Session::builder()
+                    .node(node)
+                    .policy_box(policy.build())
+                    .images(images.clone())
+                    .recorder(make(idx))
+                    .scratch(std::mem::take(scratch))
+                    .build();
+                let (result, recycled) =
+                    session.run_stream_recycling(source.stream_for(idx), horizon);
+                *scratch = recycled;
+                result
+            },
+        );
+        OpenLoopRun { workers }
+    }
+
+    /// Run the cluster **open-loop and headless**: label-free completions
+    /// plus steady-state [`StreamStats`] per worker — the
+    /// `repro stream --workers 1024 --until 3600 --headless`
+    /// configuration.
+    ///
+    /// Stays within the ≤ 20 allocs/worker headless budget when the source
+    /// yields unlabeled jobs (pinned by
+    /// `crates/cluster/tests/headless_allocs.rs` and the committed
+    /// `stream/open_loop/*` bench rows).
+    pub fn run_open_loop<S: StreamSource + ?Sized>(
+        self,
+        source: &S,
+        horizon: Horizon,
+    ) -> OpenLoopRun<CompletionStats> {
+        self.run_open_loop_recorded(source, horizon, |_| CompletionsOnly::new())
+    }
+
     /// The legacy execution path: one OS thread per worker.
     ///
     /// Kept (a) as the reference the sharded executor is bit-compared
@@ -530,6 +660,38 @@ mod tests {
             assert_eq!(a.output, b.output, "per-worker stats diverged");
             assert_eq!(a.events_processed, b.events_processed);
         }
+    }
+
+    #[test]
+    fn open_loop_cluster_drives_every_worker_to_the_horizon() {
+        use flowcon_workload::{ArrivalProcess, SyntheticStreamSource};
+        let source = SyntheticStreamSource::new(ArrivalProcess::poisson(0.05), 7).unlabeled();
+        let horizon = Horizon::jobs(2);
+        let run = Manager::new(4, node(), PolicyKind::Baseline, RoundRobin::default())
+            .run_open_loop(&source, horizon);
+        assert_eq!(run.workers.len(), 4);
+        assert_eq!(run.submitted_jobs(), 8);
+        assert_eq!(run.completed_jobs(), 8, "every admitted job drains");
+        assert!(run.makespan_secs() > 0.0);
+        let totals = run.stream_totals();
+        assert_eq!(totals.submitted, 8);
+        assert!(totals.utilization() > 0.0 && totals.utilization() <= 1.0);
+        assert!(totals.mean_queue_depth() > 0.0);
+    }
+
+    #[test]
+    fn open_loop_cluster_accepts_cyclic_trace_sources() {
+        use flowcon_workload::TraceStreamSource;
+        // A 6-job plan cycled across 3 workers: each worker replays its
+        // 2-row slice repeatedly until the 5-job-per-worker horizon.
+        let plan = WorkloadPlan::random_n(6, 11);
+        let source =
+            TraceStreamSource::new(flowcon_workload::BoundTrace::from_plan(plan).unlabeled(), 3)
+                .cyclic();
+        let run = Manager::new(3, node(), PolicyKind::Baseline, RoundRobin::default())
+            .run_open_loop(&source, Horizon::jobs(5));
+        assert_eq!(run.submitted_jobs(), 15, "cyclic replay is unbounded");
+        assert_eq!(run.completed_jobs(), 15);
     }
 
     #[test]

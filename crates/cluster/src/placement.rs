@@ -99,11 +99,7 @@ mod tests {
     use flowcon_sim::time::SimTime;
 
     fn job(model: ModelId) -> JobRequest {
-        JobRequest {
-            label: "j".into(),
-            model,
-            arrival: SimTime::ZERO,
-        }
+        JobRequest::new("j", model, SimTime::ZERO)
     }
 
     #[test]

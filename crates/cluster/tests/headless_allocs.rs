@@ -18,10 +18,11 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use flowcon_cluster::{Manager, PolicyKind, RoundRobin};
+use flowcon_cluster::{Horizon, Manager, PolicyKind, RoundRobin};
 use flowcon_core::config::{FlowConConfig, NodeConfig};
 use flowcon_dl::workload::WorkloadPlan;
-use flowcon_workload::{ArrivalProcess, SyntheticSource, TraceSource};
+use flowcon_sim::time::SimTime;
+use flowcon_workload::{ArrivalProcess, SyntheticSource, SyntheticStreamSource, TraceSource};
 
 /// The headless allocs/worker ceiling (the ISSUE-3 acceptance budget).
 const ALLOCS_PER_WORKER_BUDGET: f64 = 20.0;
@@ -153,6 +154,45 @@ fn plan_source_driven_cluster_stays_within_the_same_budget() {
     assert!(
         marginal <= ALLOCS_PER_WORKER_BUDGET,
         "source-driven marginal cost {marginal:.1} allocs/worker exceeds the \
+         {ALLOCS_PER_WORKER_BUDGET} budget ({small} allocs at {SMALL} workers, \
+         {large} at {LARGE})"
+    );
+}
+
+/// Process-wide allocations of one open-loop headless run: each worker
+/// pulls an unbounded Poisson stream and admits ~2 jobs before the
+/// horizon, so job admission, stream sampling, *and* the one-ahead pull
+/// all bill the counting window.
+fn allocs_of_open_loop_run(workers: usize) -> u64 {
+    let source = SyntheticStreamSource::new(ArrivalProcess::poisson(0.0005), 0xC1A5).unlabeled();
+    // The `repro stream` acceptance shape: rate × until ≈ 1.8 jobs/worker
+    // expected, hard-capped at 2 so the workload is identical per worker
+    // count (the marginal math needs equal per-worker work).
+    let horizon = Horizon::until(SimTime::from_secs(3600)).and_jobs(2);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let run = manager(workers).run_open_loop(&source, horizon);
+    assert_eq!(run.completed_jobs(), run.submitted_jobs(), "drained");
+    assert!(run.submitted_jobs() > workers, "arrivals actually flow");
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn open_loop_cluster_stays_within_the_same_budget() {
+    let _window = COUNT_WINDOW.lock().unwrap();
+    const SMALL: usize = 64;
+    const LARGE: usize = 320;
+
+    allocs_of_open_loop_run(SMALL); // warm-up (OnceLock, thread-locals)
+
+    COUNTING.store(true, Ordering::Relaxed);
+    let small = allocs_of_open_loop_run(SMALL);
+    let large = allocs_of_open_loop_run(LARGE);
+    COUNTING.store(false, Ordering::Relaxed);
+
+    let marginal = (large.saturating_sub(small)) as f64 / (LARGE - SMALL) as f64;
+    assert!(
+        marginal <= ALLOCS_PER_WORKER_BUDGET,
+        "open-loop marginal cost {marginal:.1} allocs/worker exceeds the \
          {ALLOCS_PER_WORKER_BUDGET} budget ({small} allocs at {SMALL} workers, \
          {large} at {LARGE})"
     );

@@ -147,6 +147,20 @@ impl ModelSpec {
         self.eval.magnitude() * self.eval_curve().slope(0.0) / self.total_work
     }
 
+    /// This spec with `total_work` multiplied by `work_scale` — the one
+    /// definition of a "work-scaled spec" (duration-hint-aware binding):
+    /// only the work changes, every other calibrated property (demand
+    /// ceiling, convergence curves, noise) stays intact, so a scaled job
+    /// is the same model trained for more or fewer epochs.
+    pub fn scaled_by(mut self, work_scale: f64) -> ModelSpec {
+        assert!(
+            work_scale.is_finite() && work_scale > 0.0,
+            "work_scale must be finite and > 0, got {work_scale}"
+        );
+        self.total_work *= work_scale;
+        self
+    }
+
     /// Look up the calibrated spec for a model.
     pub fn of(id: ModelId) -> ModelSpec {
         use EvalKind::*;

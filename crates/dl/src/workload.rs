@@ -14,7 +14,7 @@ use flowcon_sim::time::SimTime;
 
 use crate::models::{ModelId, ModelSpec, TABLE1_MODELS};
 
-/// One job submission: which model, when.
+/// One job submission: which model, when, and (optionally) how much work.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobRequest {
     /// Instance label, e.g. `Job-3` (random workloads) or the model label.
@@ -23,6 +23,42 @@ pub struct JobRequest {
     pub model: ModelId,
     /// Submission time.
     pub arrival: SimTime,
+    /// Multiplier on the model's calibrated `total_work` (1.0 = the
+    /// catalog value).  Duration-hint-aware trace binding sets this so a
+    /// bound job's nominal solo duration matches the trace's
+    /// `duration_hint_secs`; see [`JobRequest::scaled_spec`].
+    pub work_scale: f64,
+}
+
+impl JobRequest {
+    /// A request for `model` arriving at `arrival`, at the model's
+    /// calibrated work (`work_scale` 1.0).
+    pub fn new(label: impl Into<String>, model: ModelId, arrival: SimTime) -> Self {
+        JobRequest {
+            label: label.into(),
+            model,
+            arrival,
+            work_scale: 1.0,
+        }
+    }
+
+    /// Override the work multiplier (finite, `> 0`).
+    pub fn with_work_scale(mut self, scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "work_scale must be finite and > 0, got {scale}"
+        );
+        self.work_scale = scale;
+        self
+    }
+
+    /// The model spec this request runs: the catalog entry with
+    /// `total_work` multiplied by [`JobRequest::work_scale`]
+    /// (via [`ModelSpec::scaled_by`], the canonical definition) — exactly
+    /// what a wall-clock duration recorded in a cluster trace describes.
+    pub fn scaled_spec(&self) -> ModelSpec {
+        ModelSpec::of(self.model).scaled_by(self.work_scale)
+    }
 }
 
 /// An ordered set of job submissions.
@@ -52,21 +88,21 @@ impl WorkloadPlan {
     /// §5.3's fixed schedule: VAE@0s, MNIST-PyTorch@40s, MNIST-TF@80s.
     pub fn fixed_three() -> Self {
         WorkloadPlan::new(vec![
-            JobRequest {
-                label: ModelSpec::of(ModelId::Vae).label(),
-                model: ModelId::Vae,
-                arrival: SimTime::from_secs(0),
-            },
-            JobRequest {
-                label: ModelSpec::of(ModelId::MnistTorch).label(),
-                model: ModelId::MnistTorch,
-                arrival: SimTime::from_secs(40),
-            },
-            JobRequest {
-                label: ModelSpec::of(ModelId::MnistTf).label(),
-                model: ModelId::MnistTf,
-                arrival: SimTime::from_secs(80),
-            },
+            JobRequest::new(
+                ModelSpec::of(ModelId::Vae).label(),
+                ModelId::Vae,
+                SimTime::from_secs(0),
+            ),
+            JobRequest::new(
+                ModelSpec::of(ModelId::MnistTorch).label(),
+                ModelId::MnistTorch,
+                SimTime::from_secs(40),
+            ),
+            JobRequest::new(
+                ModelSpec::of(ModelId::MnistTf).label(),
+                ModelId::MnistTf,
+                SimTime::from_secs(80),
+            ),
         ])
     }
 
@@ -106,11 +142,7 @@ impl WorkloadPlan {
         let jobs = arrivals
             .into_iter()
             .enumerate()
-            .map(|(i, (arrival, model))| JobRequest {
-                label: format!("Job-{}", i + 1),
-                model,
-                arrival,
-            })
+            .map(|(i, (arrival, model))| JobRequest::new(format!("Job-{}", i + 1), model, arrival))
             .collect();
         WorkloadPlan { jobs }
     }
@@ -127,11 +159,7 @@ impl WorkloadPlan {
         WorkloadPlan::new(
             MODELS
                 .iter()
-                .map(|&m| JobRequest {
-                    label: ModelSpec::of(m).label(),
-                    model: m,
-                    arrival: SimTime::ZERO,
-                })
+                .map(|&m| JobRequest::new(ModelSpec::of(m).label(), m, SimTime::ZERO))
                 .collect(),
         )
     }
@@ -196,6 +224,25 @@ mod tests {
     fn plans_are_seed_deterministic() {
         assert_eq!(WorkloadPlan::random_n(10, 5), WorkloadPlan::random_n(10, 5));
         assert_ne!(WorkloadPlan::random_n(10, 5), WorkloadPlan::random_n(10, 6));
+    }
+
+    #[test]
+    fn work_scale_defaults_to_calibrated_and_scales_only_total_work() {
+        let base = JobRequest::new("j", ModelId::Gru, SimTime::ZERO);
+        assert_eq!(base.work_scale, 1.0);
+        let spec = ModelSpec::of(ModelId::Gru);
+        assert_eq!(base.scaled_spec(), spec);
+        let scaled = base.clone().with_work_scale(2.5);
+        let s = scaled.scaled_spec();
+        assert!((s.total_work - 2.5 * spec.total_work).abs() < 1e-12);
+        assert_eq!(s.demand, spec.demand, "only the work is scaled");
+        assert_eq!(s.curve, spec.curve);
+    }
+
+    #[test]
+    #[should_panic(expected = "work_scale must be finite")]
+    fn non_positive_work_scale_is_rejected() {
+        let _ = JobRequest::new("j", ModelId::Gru, SimTime::ZERO).with_work_scale(0.0);
     }
 
     #[test]

@@ -29,7 +29,9 @@
 //! observes (full paper traces, headless completions-only, or sampled).
 //! It is the *only* entry point: the historical `WorkerSim` constructors
 //! shipped one release as deprecated shims and have been removed (see the
-//! migration table in [`session`]).
+//! migration table in [`session`]).  Closed (plan-driven) runs go through
+//! [`session::Session::run`]; **open-loop** runs — jobs streaming in while
+//! the policy reconfigures — through [`session::Session::run_stream`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -41,7 +43,12 @@ pub mod lists;
 pub mod metric;
 pub mod monitor;
 pub mod policy;
+// The public API surface a new user meets first (and its documentation-
+// heavy migration/open-loop specs) must stay fully documented: missing
+// docs are hard errors here, not warnings like the rest of the crate.
+#[deny(missing_docs)]
 pub mod recorder;
+#[deny(missing_docs)]
 pub mod session;
 pub mod worker;
 
@@ -50,5 +57,5 @@ pub use lists::{ListKind, Lists};
 pub use metric::{growth_efficiency, progress_score, GrowthMeasurement};
 pub use policy::{FairSharePolicy, FlowConPolicy, ResourcePolicy, StaticEqualPolicy};
 pub use recorder::{CompletionsOnly, FullRecorder, Recorder, SamplingRecorder};
-pub use session::{Session, SessionBuilder, SessionResult};
+pub use session::{Session, SessionBuilder, SessionResult, StreamResult};
 pub use worker::{RunResult, WorkerScratch};

@@ -54,6 +54,35 @@
 //! anything convertible into a `WorkloadPlan`, including the
 //! `flowcon-workload` trace and synthetic-arrival sources.
 //!
+//! # Open-loop sessions
+//!
+//! A plan is a *closed* workload: the job set is fixed before the run.
+//! [`Session::run_stream`] instead drives the same worker **open-loop**
+//! from a pull-based [`JobStream`] — jobs are admitted mid-run while the
+//! policy reconfigures, admission stops at a [`Horizon`] (`--until` sim
+//! time and/or `--jobs` count), and the run drains.  The result carries
+//! steady-state [`StreamStats`] (arrival vs. completion rate, mean queue
+//! depth, utilization) beside the recorder output:
+//!
+//! ```
+//! use flowcon_core::recorder::CompletionsOnly;
+//! use flowcon_core::session::Session;
+//! use flowcon_workload::stream::{Horizon, StreamSource};
+//! use flowcon_workload::{ArrivalProcess, SyntheticStreamSource};
+//!
+//! let source = SyntheticStreamSource::new(ArrivalProcess::poisson(0.05), 7).unlabeled();
+//! let result = Session::builder()
+//!     .recorder(CompletionsOnly::new())
+//!     .build()
+//!     .run_stream(source.stream_for(0), Horizon::jobs(4));
+//! assert_eq!(result.stream.submitted, 4);
+//! assert_eq!(result.output.len(), 4, "admitted jobs drain to completion");
+//! assert!(result.stream.utilization() > 0.0);
+//! ```
+//!
+//! See the `flowcon_workload::stream` module docs for the full open-loop
+//! specification.
+//!
 //! [`RunSummary`]: flowcon_metrics::summary::RunSummary
 //! [`FullRecorder`]: crate::recorder::FullRecorder
 //! [`CompletionsOnly`]: crate::recorder::CompletionsOnly
@@ -64,7 +93,9 @@ use std::sync::Arc;
 use flowcon_container::image::shared_dl_defaults;
 use flowcon_container::ImageRegistry;
 use flowcon_dl::workload::WorkloadPlan;
+use flowcon_metrics::stream::StreamStats;
 use flowcon_sim::time::SimTime;
+use flowcon_workload::stream::{Horizon, JobStream};
 
 use crate::config::NodeConfig;
 use crate::policy::{FairSharePolicy, ResourcePolicy};
@@ -85,6 +116,23 @@ pub struct SessionResult<T> {
     /// Estimated scheduler overhead in CPU-seconds
     /// (`algorithm_runs × NodeConfig::algo_cost_cpu_secs`).
     pub scheduler_overhead_cpu_secs: f64,
+}
+
+/// The outcome of an open-loop [`Session::run_stream`] run: the recorder's
+/// output plus the steady-state [`StreamStats`] the run accumulated.
+#[derive(Debug, Clone)]
+pub struct StreamResult<T> {
+    /// Whatever the session's [`Recorder`] produced (see
+    /// [`SessionResult::output`]).
+    pub output: T,
+    /// Total simulated events processed (performance accounting).
+    pub events_processed: u64,
+    /// Estimated scheduler overhead in CPU-seconds
+    /// (`algorithm_runs × NodeConfig::algo_cost_cpu_secs`).
+    pub scheduler_overhead_cpu_secs: f64,
+    /// Steady-state accounting: arrival/completion rates, time-weighted
+    /// mean queue depth, utilization.
+    pub stream: StreamStats,
 }
 
 /// Fluent configuration for one worker session.
@@ -227,6 +275,35 @@ impl<R: Recorder> Session<R> {
     pub fn run_recycling(self) -> (SessionResult<R::Output>, WorkerScratch) {
         self.sim.run_session()
     }
+
+    /// Run **open-loop**: admit jobs pulled from `stream` while `horizon`
+    /// allows, then drain.
+    ///
+    /// Instead of executing a pre-built plan, the simulation pulls one job
+    /// ahead from the [`JobStream`] and admits each arrival *mid-run*,
+    /// while the policy keeps reconfiguring — the paper's elastic scheme
+    /// under sustained load.  The session must have been built without a
+    /// plan (jobs come exclusively from the stream); any configured
+    /// recorder works unchanged.  Returns the recorder output plus
+    /// steady-state [`StreamStats`] (arrival vs. completion rate, mean
+    /// queue depth, utilization).
+    ///
+    /// `horizon` needs at least one bound ([`Horizon::until`] /
+    /// [`Horizon::jobs`]); jobs admitted before it always run to
+    /// completion.
+    pub fn run_stream<J: JobStream>(self, stream: J, horizon: Horizon) -> StreamResult<R::Output> {
+        self.run_stream_recycling(stream, horizon).0
+    }
+
+    /// [`Session::run_stream`], handing the hot-path scratch back for the
+    /// next session (the sharded open-loop cluster path).
+    pub fn run_stream_recycling<J: JobStream>(
+        self,
+        stream: J,
+        horizon: Horizon,
+    ) -> (StreamResult<R::Output>, WorkerScratch) {
+        self.sim.run_session_stream(stream, horizon)
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +383,88 @@ mod tests {
             "expected ~5x decimation, got {sampled_pts} of {full_pts}"
         );
         assert!(sampled_pts > 0);
+    }
+
+    #[test]
+    fn open_loop_session_admits_until_the_jobs_horizon_and_drains() {
+        use flowcon_workload::stream::StreamSource;
+        use flowcon_workload::{ArrivalProcess, SyntheticStreamSource};
+        let source = SyntheticStreamSource::new(ArrivalProcess::poisson(0.05), 42);
+        let result = Session::builder()
+            .policy(FlowConPolicy::new(FlowConConfig::default()))
+            .build()
+            .run_stream(source.stream_for(0), Horizon::jobs(6));
+        assert_eq!(result.stream.submitted, 6);
+        assert_eq!(result.stream.completed, 6, "admitted jobs drain");
+        assert_eq!(result.output.completions.len(), 6);
+        // Completions are in exit order; every admitted job is among them.
+        let mut labels: Vec<&str> = result
+            .output
+            .completions
+            .iter()
+            .map(|c| c.label.as_str())
+            .collect();
+        labels.sort();
+        assert_eq!(
+            labels,
+            ["Job-1", "Job-2", "Job-3", "Job-4", "Job-5", "Job-6"]
+        );
+        let s = result.stream;
+        assert!(s.duration_secs > 0.0);
+        assert!(s.utilization() > 0.0 && s.utilization() <= 1.0);
+        assert!(s.mean_queue_depth() > 0.0);
+        assert!(s.completion_rate() <= s.arrival_rate() + 1e-12);
+    }
+
+    #[test]
+    fn open_loop_until_horizon_stops_admission_not_running_jobs() {
+        use flowcon_workload::stream::StreamSource;
+        use flowcon_workload::{ArrivalProcess, SyntheticStreamSource};
+        let source = SyntheticStreamSource::new(ArrivalProcess::poisson(0.1), 9);
+        let until = SimTime::from_secs(120);
+        let result = Session::builder()
+            .build()
+            .run_stream(source.stream_for(0), Horizon::until(until));
+        assert!(result.stream.submitted > 0);
+        assert_eq!(result.stream.completed, result.stream.submitted);
+        for c in &result.output.completions {
+            assert!(c.arrival <= until, "no admissions past the horizon");
+        }
+        // The drain runs past the horizon: jobs admitted late still finish.
+        assert!(result.stream.duration_secs >= until.as_secs_f64());
+    }
+
+    #[test]
+    fn open_loop_runs_are_seed_deterministic() {
+        use flowcon_workload::stream::StreamSource;
+        use flowcon_workload::{ArrivalProcess, SyntheticStreamSource};
+        let run = || {
+            let source =
+                SyntheticStreamSource::new(ArrivalProcess::bursty(0.5, 0.0, 20.0, 40.0), 3);
+            Session::builder()
+                .policy(FlowConPolicy::new(FlowConConfig::default()))
+                .build()
+                .run_stream(source.stream_for(0), Horizon::jobs(8))
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.output.completions, b.output.completions);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.stream, b.stream);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a horizon")]
+    fn unbounded_open_loop_runs_are_rejected() {
+        use flowcon_workload::stream::StreamSource;
+        use flowcon_workload::{ArrivalProcess, SyntheticStreamSource};
+        let source = SyntheticStreamSource::new(ArrivalProcess::poisson(0.1), 1);
+        let _ = Session::builder().build().run_stream(
+            source.stream_for(0),
+            Horizon {
+                until: None,
+                max_jobs: None,
+            },
+        );
     }
 
     #[test]

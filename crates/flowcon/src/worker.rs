@@ -29,19 +29,22 @@ use flowcon_container::{
 use flowcon_dl::models::ModelSpec;
 use flowcon_dl::workload::WorkloadPlan;
 use flowcon_dl::TrainingJob;
+use flowcon_metrics::stream::StreamStats;
 use flowcon_metrics::summary::RunSummary;
 use flowcon_sim::alloc::{waterfill_soft_into, AllocRequest, WaterfillScratch};
 use flowcon_sim::engine::{Scheduler, SimEngine, Simulation};
 use flowcon_sim::event::EventQueue;
 use flowcon_sim::rng::SimRng;
+use flowcon_sim::stats::TimeWeighted;
 use flowcon_sim::time::{SimDuration, SimTime};
+use flowcon_workload::stream::{Horizon, JobStream, StreamedJob};
 
 use crate::config::NodeConfig;
 use crate::metric::GrowthMeasurement;
 use crate::monitor::ContainerMonitor;
 use crate::policy::ResourcePolicy;
 use crate::recorder::{FullRecorder, Recorder, RunMeta};
-use crate::session::SessionResult;
+use crate::session::{SessionResult, StreamResult};
 
 /// Interval between growth-efficiency trace measurements (Figs. 13–14).
 const TRACE_INTERVAL: SimDuration = SimDuration::from_secs(20);
@@ -51,6 +54,10 @@ const TRACE_INTERVAL: SimDuration = SimDuration::from_secs(20);
 pub(crate) enum WorkerEvent {
     /// The `idx`-th job of the plan arrives.
     Arrival(usize),
+    /// The pending open-loop streamed job arrives (handled by the
+    /// [`OpenLoopShell`], which owns the stream; exactly one such event is
+    /// in flight at a time).
+    StreamArrival,
     /// A projected completion; `gen` invalidates stale projections.
     CompletionCheck(u64),
     /// The Executor's periodic tick; `gen` invalidates pre-empted ticks.
@@ -204,6 +211,20 @@ pub(crate) struct WorkerSim<R: Recorder = FullRecorder> {
     update_calls: u64,
     algorithm_runs: u64,
     failures: Vec<FailureInjection>,
+
+    // --- steady-state accounting (open-loop metrics; two FMAs per fluid
+    // --- advance, no allocation, bit-neutral for plan-driven runs) ---
+    /// Σ of the current allocator rates (refreshed by `recompute_rates`).
+    rate_sum: f64,
+    /// `∫ Σrates · dt` — the utilization numerator.
+    busy: TimeWeighted,
+    /// `∫ pool size · dt` — the mean-queue-depth numerator.
+    queue: TimeWeighted,
+    /// Containers that exited so far (open-loop completion counter).
+    exits_total: u64,
+    /// Open-loop mode: a streamed arrival is still pending, so the run is
+    /// not done even while the pool is empty.
+    stream_active: bool,
 }
 
 impl<R: Recorder> WorkerSim<R> {
@@ -244,6 +265,11 @@ impl<R: Recorder> WorkerSim<R> {
             update_calls: 0,
             algorithm_runs: 0,
             failures,
+            rate_sum: 0.0,
+            busy: TimeWeighted::new(),
+            queue: TimeWeighted::new(),
+            exits_total: 0,
+            stream_active: false,
         }
     }
 
@@ -283,9 +309,84 @@ impl<R: Recorder> WorkerSim<R> {
         (result, scratch)
     }
 
-    /// True once every job has arrived and the pool is empty.
+    /// Run **open-loop**: admit jobs pulled from `stream` while `horizon`
+    /// allows, then drain, handing the scratch back for the next session.
+    ///
+    /// The simulation pulls exactly one job ahead of the clock: the
+    /// pending arrival is a scheduled [`WorkerEvent::StreamArrival`]; when
+    /// it fires the job is admitted mid-run and the next one is pulled.
+    /// No plan is ever materialized.  Jobs admitted before the horizon run
+    /// to completion; the run ends when the stream is exhausted (or the
+    /// horizon trips) and the pool drains.
+    pub(crate) fn run_session_stream<J: JobStream>(
+        mut self,
+        stream: J,
+        horizon: Horizon,
+    ) -> (StreamResult<R::Output>, WorkerScratch) {
+        assert!(
+            horizon.is_bounded(),
+            "an open-loop run needs a horizon (until and/or max jobs) — \
+             an unbounded stream would never terminate"
+        );
+        assert!(
+            self.plan.is_empty(),
+            "open-loop sessions take jobs from the stream, not a plan"
+        );
+        let mut engine: SimEngine<OpenLoopShell<R, J>> =
+            SimEngine::from_queue(std::mem::take(&mut self.scratch.queue));
+        if R::RECORDS_SAMPLES {
+            engine.prime(SimTime::ZERO, WorkerEvent::SampleTick);
+        }
+        if R::RECORDS_GROWTH {
+            engine.prime(TRACE_INTERVAL.into_time(), WorkerEvent::TraceTick);
+        }
+        for (idx, f) in self.failures.iter().enumerate() {
+            engine.prime(f.at, WorkerEvent::InjectFailure(idx));
+        }
+        let mut shell = OpenLoopShell {
+            worker: self,
+            stream,
+            horizon,
+            pending: None,
+            submitted: 0,
+        };
+        if let Some(at) = shell.pull_next() {
+            engine.prime(at, WorkerEvent::StreamArrival);
+        }
+        engine.run_to_completion(&mut shell);
+        let OpenLoopShell {
+            worker, submitted, ..
+        } = shell;
+        let duration_secs = engine.now().as_secs_f64();
+        let stream_stats = StreamStats {
+            submitted,
+            completed: worker.exits_total,
+            duration_secs,
+            busy_cpu_secs: worker.busy.area(),
+            queue_job_secs: worker.queue.area(),
+            capacity_cpu_secs: worker.node.capacity * duration_secs,
+        };
+        let output = worker.recorder.finish(RunMeta {
+            policy: worker.policy.as_ref(),
+            algorithm_runs: worker.algorithm_runs,
+            update_calls: worker.update_calls,
+        });
+        let result = StreamResult {
+            output,
+            events_processed: engine.events_processed(),
+            scheduler_overhead_cpu_secs: worker.algorithm_runs as f64
+                * worker.node.algo_cost_cpu_secs,
+            stream: stream_stats,
+        };
+        let mut scratch = worker.scratch;
+        scratch.queue = engine.into_queue();
+        (result, scratch)
+    }
+
+    /// True once every job has arrived (plan *and* stream) and the pool is
+    /// empty.
     fn is_done(&self) -> bool {
-        self.arrivals_pending == 0 && self.daemon.pool().is_empty()
+        self.arrivals_pending == 0 && !self.stream_active && self.daemon.pool().is_empty()
     }
 
     /// Integrate the fluid state from `last_advance` to `now`.
@@ -295,6 +396,11 @@ impl<R: Recorder> WorkerSim<R> {
     fn advance_to(&mut self, now: SimTime) -> Vec<ContainerId> {
         let dt = now.saturating_since(self.last_advance).as_secs_f64();
         self.last_advance = now;
+        // Steady-state integrals: rates and pool size are constant between
+        // events, so each step contributes one rectangle.
+        self.busy.accumulate(self.rate_sum, dt);
+        self.queue
+            .accumulate(self.scratch.rate_ids.len() as f64, dt);
         if dt <= 0.0 || self.scratch.rate_ids.is_empty() {
             return Vec::new();
         }
@@ -348,6 +454,7 @@ impl<R: Recorder> WorkerSim<R> {
                 let shaped = limit < 0.999;
                 self.node.contention.container_efficiency(n, shaped)
             }));
+        self.rate_sum = self.scratch.rate_vals.iter().sum();
         self.completion_gen += 1;
     }
 
@@ -381,6 +488,7 @@ impl<R: Recorder> WorkerSim<R> {
         if exited.is_empty() {
             return false;
         }
+        self.exits_total += exited.len() as u64;
         for &id in exited {
             self.policy_monitor.forget(id);
             self.trace_monitor.forget(id);
@@ -474,6 +582,43 @@ impl<R: Recorder> WorkerSim<R> {
         }
     }
 
+    /// Admit one job into the pool at `now` and run the shared arrival
+    /// protocol: notify the policy, start (or pre-empt) the executor
+    /// chain, recompute rates, and reproject the next completion.
+    ///
+    /// Shared by plan arrivals ([`WorkerEvent::Arrival`], which moves the
+    /// job out of the owned plan) and open-loop streamed arrivals
+    /// ([`WorkerEvent::StreamArrival`], admitted mid-run by the
+    /// [`OpenLoopShell`]).
+    fn admit_job(
+        &mut self,
+        now: SimTime,
+        spec: ModelSpec,
+        label: String,
+        interrupted_by_exit: bool,
+        sched: &mut Scheduler<'_, WorkerEvent>,
+    ) {
+        let image = spec.framework.image();
+        let job = TrainingJob::with_label(spec, label, &mut self.rng);
+        self.daemon
+            .run(image, job, ResourceLimits::unlimited(), now)
+            .expect("default registry contains framework images");
+
+        self.daemon.pool().ids_into(&mut self.scratch.pool_ids);
+        let interrupt = self.policy.on_pool_change(now, &self.scratch.pool_ids);
+        if interrupt || interrupted_by_exit {
+            let next = self.run_reconfigure(now);
+            self.schedule_tick(sched, next);
+        } else if self.daemon.pool().len() == 1 {
+            // First job under a tick-less policy still needs the
+            // executor chain started (if the policy has one).
+            let initial = self.policy.initial_interval();
+            self.schedule_tick(sched, initial);
+        }
+        self.recompute_rates();
+        self.schedule_completion(sched);
+    }
+
     fn handle(&mut self, event: WorkerEvent, sched: &mut Scheduler<'_, WorkerEvent>) {
         let now = sched.now();
         match event {
@@ -484,28 +629,13 @@ impl<R: Recorder> WorkerSim<R> {
                 // The plan is owned by the simulation and each job arrives
                 // exactly once: move the label out instead of cloning it.
                 let request = &mut self.plan.jobs[idx];
-                let spec = ModelSpec::of(request.model);
-                let image = spec.framework.image();
+                let spec = request.scaled_spec();
                 let label = std::mem::take(&mut request.label);
-                let job = TrainingJob::with_label(spec, label, &mut self.rng);
-                self.daemon
-                    .run(image, job, ResourceLimits::unlimited(), now)
-                    .expect("default registry contains framework images");
                 self.arrivals_pending -= 1;
-
-                self.daemon.pool().ids_into(&mut self.scratch.pool_ids);
-                let interrupt = self.policy.on_pool_change(now, &self.scratch.pool_ids);
-                if interrupt || interrupted_by_exit {
-                    let next = self.run_reconfigure(now);
-                    self.schedule_tick(sched, next);
-                } else if self.daemon.pool().len() == 1 {
-                    // First job under a tick-less policy still needs the
-                    // executor chain started (if the policy has one).
-                    let initial = self.policy.initial_interval();
-                    self.schedule_tick(sched, initial);
-                }
-                self.recompute_rates();
-                self.schedule_completion(sched);
+                self.admit_job(now, spec, label, interrupted_by_exit, sched);
+            }
+            WorkerEvent::StreamArrival => {
+                unreachable!("stream arrivals are dispatched by the open-loop shell")
             }
             WorkerEvent::CompletionCheck(gen) => {
                 if gen != self.completion_gen {
@@ -599,6 +729,82 @@ impl<R: Recorder> Simulation for WorkerShell<R> {
     type Event = WorkerEvent;
     fn handle(&mut self, event: WorkerEvent, sched: &mut Scheduler<'_, WorkerEvent>) {
         self.0.handle(event, sched);
+    }
+}
+
+/// The open-loop driver: a [`WorkerSim`] plus the [`JobStream`] feeding it.
+///
+/// Owns the one-job lookahead: `pending` is the job whose
+/// [`WorkerEvent::StreamArrival`] is currently scheduled.  Every other
+/// event is delegated to the worker unchanged, so open-loop and
+/// plan-driven runs share the entire simulation body.
+struct OpenLoopShell<R: Recorder, J: JobStream> {
+    worker: WorkerSim<R>,
+    stream: J,
+    horizon: Horizon,
+    pending: Option<StreamedJob>,
+    submitted: u64,
+}
+
+impl<R: Recorder, J: JobStream> OpenLoopShell<R, J> {
+    /// Pull the next admissible job into `pending` and return its arrival
+    /// time, or mark the stream spent (`stream_active = false`) when the
+    /// stream ends or the horizon trips.
+    ///
+    /// One pull per admission: a job the horizon rejects is dropped, not
+    /// buffered — the run is over at that point by definition.
+    fn pull_next(&mut self) -> Option<SimTime> {
+        debug_assert!(self.pending.is_none(), "one lookahead job at a time");
+        let admissible = self
+            .stream
+            .next_job()
+            .filter(|job| self.horizon.admits(self.submitted as usize, job.arrival));
+        match admissible {
+            Some(job) => {
+                let at = job.arrival;
+                self.pending = Some(job);
+                self.worker.stream_active = true;
+                Some(at)
+            }
+            None => {
+                self.worker.stream_active = false;
+                None
+            }
+        }
+    }
+}
+
+impl<R: Recorder, J: JobStream> Simulation for OpenLoopShell<R, J> {
+    type Event = WorkerEvent;
+
+    fn handle(&mut self, event: WorkerEvent, sched: &mut Scheduler<'_, WorkerEvent>) {
+        let WorkerEvent::StreamArrival = event else {
+            self.worker.handle(event, sched);
+            return;
+        };
+        let now = sched.now();
+        let job = self.pending.take().expect("a streamed arrival is pending");
+        debug_assert!(job.arrival == now, "stream arrival fired off schedule");
+        let exited = self.worker.advance_to(now);
+        let interrupted_by_exit = self.worker.process_exits(now, &exited);
+        self.submitted += 1;
+        // Schedule the lookahead *before* admitting: admission consults
+        // `is_done` (via tick scheduling), which must already know whether
+        // more arrivals are coming.
+        if let Some(at) = self.pull_next() {
+            assert!(
+                at >= now,
+                "job streams must yield monotone arrivals ({at} after {now})"
+            );
+            sched.at(at, WorkerEvent::StreamArrival);
+        }
+        self.worker.admit_job(
+            now,
+            job.scaled_spec(),
+            job.label,
+            interrupted_by_exit,
+            sched,
+        );
     }
 }
 

@@ -52,10 +52,12 @@ fn simultaneous_arrivals_all_complete() {
     // Eight jobs land at the exact same instant: one listener interrupt per
     // arrival, all in the same event timestamp.
     let jobs: Vec<JobRequest> = (0..8)
-        .map(|i| JobRequest {
-            label: format!("burst-{i}"),
-            model: ModelId::MnistTf,
-            arrival: SimTime::from_secs(5),
+        .map(|i| {
+            JobRequest::new(
+                format!("burst-{i}"),
+                ModelId::MnistTf,
+                SimTime::from_secs(5),
+            )
         })
         .collect();
     let plan = WorkloadPlan::new(jobs);
@@ -79,11 +81,7 @@ fn back_to_back_arrivals_reset_the_executor_each_time() {
     // Arrivals 1 s apart repeatedly interrupt the interval; the executor
     // must keep functioning and every job must finish.
     let jobs: Vec<JobRequest> = (0..6)
-        .map(|i| JobRequest {
-            label: format!("rapid-{i}"),
-            model: ModelId::Gru,
-            arrival: SimTime::from_secs(i),
-        })
+        .map(|i| JobRequest::new(format!("rapid-{i}"), ModelId::Gru, SimTime::from_secs(i)))
         .collect();
     let plan = WorkloadPlan::new(jobs);
     let result = run_flowcon(node(), &plan, FlowConConfig::with_params(0.05, 20));

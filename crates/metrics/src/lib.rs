@@ -12,6 +12,8 @@
 //! * [`summary`] — per-run summaries: completion times, makespan, overlap
 //!   accounting, and FlowCon-vs-NA comparisons (Table 2's reductions).
 //! * [`stats`] — descriptive statistics helpers.
+//! * [`stream`] — steady-state statistics of **open-loop** runs (arrival
+//!   vs. completion rate, time-weighted queue depth, utilization).
 //! * [`chart`] — ASCII line/bar charts so `repro` output is readable in a
 //!   terminal.
 //! * [`export`] — CSV writing (hand-rolled; the format is trivial).
@@ -22,8 +24,10 @@
 pub mod chart;
 pub mod export;
 pub mod stats;
+pub mod stream;
 pub mod summary;
 pub mod timeseries;
 
+pub use stream::StreamStats;
 pub use summary::{Completion, CompletionRecord, CompletionStats, RunSummary};
 pub use timeseries::{MultiSeries, TimeSeries};

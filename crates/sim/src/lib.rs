@@ -24,6 +24,8 @@
 //!   capacity it cannot use is redistributed to others.
 //! * [`contention`] — the interference model that makes concurrency
 //!   imperfect (the mechanism behind the paper's 1–5% makespan win).
+//! * [`stats`] — time-weighted accumulation for piecewise-constant signals
+//!   (the open-loop steady-state metrics: mean queue depth, utilization).
 //!
 //! Everything in this crate is pure and deterministic: no wall-clock, no
 //! I/O, no global state.
@@ -37,6 +39,7 @@ pub mod engine;
 pub mod event;
 pub mod resources;
 pub mod rng;
+pub mod stats;
 pub mod time;
 
 pub use alloc::{waterfill, AllocRequest, Allocation};
@@ -45,4 +48,5 @@ pub use engine::{RunOutcome, SimEngine, Simulation};
 pub use event::EventQueue;
 pub use resources::{ResourceKind, ResourceVec, RESOURCE_KINDS};
 pub use rng::SimRng;
+pub use stats::TimeWeighted;
 pub use time::{SimDuration, SimTime};

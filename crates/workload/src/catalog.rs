@@ -11,9 +11,17 @@
 //! * **time compression** — divide submission times by a factor
 //!   (replaying a day-long trace inside the paper's 200 s window);
 //! * **labeling** — off for headless 10k-worker replays, where a label
-//!   `String` per job would be the single largest allocation source.
+//!   `String` per job would be the single largest allocation source;
+//! * **duration-hint-aware binding** — opt-in
+//!   ([`TraceCatalog::with_duration_hints`]): a row carrying a
+//!   `duration_hint_secs` binds with its `total_work` scaled so the job's
+//!   *nominal solo duration* (`total_work / demand` on a capacity-1 node)
+//!   matches the hint, instead of the catalog's calibrated length.  Real
+//!   cluster traces record how long each job ran; this is what makes a
+//!   replay honor those lengths while keeping every other calibrated model
+//!   property (demand ceiling, convergence shape, noise).
 
-use flowcon_dl::models::ModelId;
+use flowcon_dl::models::{ModelId, ModelSpec};
 use flowcon_dl::workload::{JobRequest, WorkloadPlan};
 use flowcon_sim::rng::SimRng;
 use flowcon_sim::time::SimTime;
@@ -34,6 +42,8 @@ pub struct TraceCatalog {
     compression: f64,
     /// Whether bound jobs carry the trace's `job_id` as their label.
     labeled: bool,
+    /// Whether `duration_hint_secs` scales the bound job's `total_work`.
+    honor_hints: bool,
 }
 
 impl TraceCatalog {
@@ -47,6 +57,7 @@ impl TraceCatalog {
             thin_seed: 0,
             compression: 1.0,
             labeled: true,
+            honor_hints: false,
         }
     }
 
@@ -128,6 +139,21 @@ impl TraceCatalog {
         self
     }
 
+    /// Honor `duration_hint_secs`: a hinted row binds with its
+    /// `total_work` scaled so the job's nominal solo duration —
+    /// `total_work / demand` on an uncontended capacity-1 node — equals
+    /// the hint.  Unhinted rows keep the calibrated work.
+    ///
+    /// The hint is divided by the [`TraceCatalog::compress`] factor along
+    /// with the submission times, so a compressed replay shortens its jobs
+    /// by the same ratio it squeezes their arrivals.  (Contention and the
+    /// per-instance ±3% work jitter still apply at simulation time: the
+    /// hint pins the *nominal* length, not the realized completion.)
+    pub fn with_duration_hints(mut self) -> Self {
+        self.honor_hints = true;
+        self
+    }
+
     /// Resolve a class name to its model.
     pub fn resolve(&self, class: &str) -> Option<ModelId> {
         self.classes
@@ -155,18 +181,49 @@ impl TraceCatalog {
                     class: row.class.to_string(),
                     row: i + 1,
                 })?;
-            jobs.push(JobRequest {
-                label: if self.labeled {
+            let mut job = JobRequest::new(
+                if self.labeled {
                     row.job_id.to_string()
                 } else {
                     String::new()
                 },
                 model,
-                arrival: SimTime::from_secs_f64(row.submit_secs / self.compression),
-            });
+                SimTime::from_secs_f64(row.submit_secs / self.compression),
+            );
+            if self.honor_hints {
+                if let Some(hint) = row.duration_hint_secs {
+                    job = job.with_work_scale(work_scale_for(model, hint / self.compression));
+                }
+            }
+            jobs.push(job);
         }
         Ok(BoundTrace { jobs })
     }
+}
+
+/// The work multiplier that makes `model`'s nominal solo duration equal
+/// `hint_secs`.
+///
+/// On an uncontended capacity-1 node a job at its demand ceiling finishes
+/// in `total_work / demand` seconds, so the scale is
+/// `hint · demand / total_work`.  [`nominal_duration_secs`] is the exact
+/// inverse: scaling by this factor and asking for the nominal duration
+/// returns the hint.
+pub fn work_scale_for(model: ModelId, hint_secs: f64) -> f64 {
+    assert!(
+        hint_secs.is_finite() && hint_secs > 0.0,
+        "duration hint must be finite and > 0, got {hint_secs}"
+    );
+    let spec = ModelSpec::of(model);
+    hint_secs * spec.demand / spec.total_work
+}
+
+/// The nominal solo duration of a bound job in seconds: scaled
+/// `total_work / demand` on an uncontended capacity-1 node (the quantity
+/// duration-hint-aware binding pins to the trace's hint).
+pub fn nominal_duration_secs(job: &JobRequest) -> f64 {
+    let spec = job.scaled_spec();
+    spec.total_work / spec.demand
 }
 
 /// The canonical trace-file class name of a model (every name resolves
@@ -236,6 +293,11 @@ impl BoundTrace {
     /// parses back through [`ArrivalTrace::parse`] and rebinds through
     /// [`TraceCatalog::table1`] to the same jobs — this is how the
     /// committed example traces were generated.
+    ///
+    /// Jobs whose work was scaled away from the calibrated value emit a
+    /// `duration_hint_secs` equal to their nominal solo duration, so a
+    /// hint-aware rebind ([`TraceCatalog::with_duration_hints`])
+    /// reconstructs the same `work_scale`.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for (i, job) in self.jobs.iter().enumerate() {
@@ -247,11 +309,18 @@ impl BoundTrace {
                 &job.label
             };
             out.push_str(&format!(
-                "{{\"job_id\": \"{}\", \"model\": \"{}\", \"submit_secs\": {}}}\n",
+                "{{\"job_id\": \"{}\", \"model\": \"{}\", \"submit_secs\": {}",
                 id,
                 class_name(job.model),
                 job.arrival.as_secs_f64()
             ));
+            if job.work_scale != 1.0 {
+                out.push_str(&format!(
+                    ", \"duration_hint_secs\": {}",
+                    nominal_duration_secs(job)
+                ));
+            }
+            out.push_str("}\n");
         }
         out
     }
@@ -350,16 +419,66 @@ mod tests {
             jobs: ALL_MODELS
                 .iter()
                 .enumerate()
-                .map(|(i, &m)| JobRequest {
-                    label: format!("Job-{}", i + 1),
-                    model: m,
-                    arrival: SimTime::from_secs_f64(i as f64 * 2.5),
+                .map(|(i, &m)| {
+                    JobRequest::new(
+                        format!("Job-{}", i + 1),
+                        m,
+                        SimTime::from_secs_f64(i as f64 * 2.5),
+                    )
                 })
                 .collect(),
         };
         let jsonl = bound.to_jsonl();
         let reparsed = ArrivalTrace::parse(&jsonl).unwrap();
         let rebound = TraceCatalog::table1().bind(&reparsed).unwrap();
+        assert_eq!(rebound, bound);
+    }
+
+    #[test]
+    fn duration_hints_scale_total_work_only_when_honored() {
+        let doc = "hinted,gru,0,160\nplain,gru,5\n";
+        let trace = ArrivalTrace::parse(doc).unwrap();
+        // Default binding ignores hints: both jobs at calibrated work.
+        let plain = TraceCatalog::table1().bind(&trace).unwrap();
+        assert!(plain.jobs.iter().all(|j| j.work_scale == 1.0));
+        // Hint-aware binding pins the hinted job's nominal solo duration.
+        let bound = TraceCatalog::table1()
+            .with_duration_hints()
+            .bind(&trace)
+            .unwrap();
+        let hinted = &bound.jobs[0];
+        let spec = ModelSpec::of(ModelId::Gru);
+        let expect = 160.0 * spec.demand / spec.total_work;
+        assert!((hinted.work_scale - expect).abs() < 1e-12);
+        assert!((nominal_duration_secs(hinted) - 160.0).abs() < 1e-9);
+        assert_eq!(bound.jobs[1].work_scale, 1.0, "unhinted row untouched");
+    }
+
+    #[test]
+    fn compression_shortens_hinted_durations_with_the_clock() {
+        let doc = "j1,gru,120,160\n";
+        let trace = ArrivalTrace::parse(doc).unwrap();
+        let bound = TraceCatalog::table1()
+            .with_duration_hints()
+            .compress(4.0)
+            .bind(&trace)
+            .unwrap();
+        assert_eq!(bound.jobs[0].arrival, SimTime::from_secs(30));
+        assert!((nominal_duration_secs(&bound.jobs[0]) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hinted_emission_rebinds_to_the_same_scales() {
+        let doc = "a,vae,0,394\nb,mnist-tf,80,84.7\nc,gru,90\n";
+        let trace = ArrivalTrace::parse(doc).unwrap();
+        let bound = TraceCatalog::table1()
+            .with_duration_hints()
+            .bind(&trace)
+            .unwrap();
+        let rebound = TraceCatalog::table1()
+            .with_duration_hints()
+            .bind(&ArrivalTrace::parse(&bound.to_jsonl()).unwrap())
+            .unwrap();
         assert_eq!(rebound, bound);
     }
 

@@ -19,6 +19,14 @@
 //!   (`next_plan(worker_id) -> WorkloadPlan`): one trace or process drives
 //!   a 10k-worker cluster with per-worker deterministic slices, without
 //!   materializing 10k plans up front.
+//! * [`stream`] — **open-loop** job streams: the pull-based, possibly
+//!   unbounded [`JobStream`] (synthetic processes sampled incrementally,
+//!   cyclic trace replay), the per-worker [`StreamSource`] factory, and
+//!   the [`Horizon`] that bounds an open-loop run (`--until` / `--jobs`).
+//!   Where a [`PlanSource`] still fixes each worker's job set up front, a
+//!   stream feeds arrivals into a *live* simulation — jobs are admitted
+//!   mid-run while FlowCon reconfigures.  See the [`stream`] module docs
+//!   for the full open-loop specification.
 //!
 //! # Arrival-trace file format
 //!
@@ -51,7 +59,7 @@
 //! | `job_id` | yes | non-empty label for the job; must not contain `,` or `"` and must not start with `{` or `#` (so every row stays representable in both wire formats — serialization round-trips by construction) |
 //! | `model` | yes | model or resource-demand **class**, resolved by the [`TraceCatalog`] (case-insensitive; e.g. `vae`, `mnist-tf`, or demand classes `small`/`medium`/`large`; same character restrictions as `job_id`) |
 //! | `submit_secs` | yes | submission time in seconds, finite and `>= 0` |
-//! | `duration_hint_secs` | no | expected duration in seconds, finite and `> 0` when present (a replay aid for tooling; the simulation derives real durations from the bound model) |
+//! | `duration_hint_secs` | no | expected duration in seconds, finite and `> 0` when present.  Ignored by default; under [`TraceCatalog::with_duration_hints`] a hinted row binds with its `total_work` scaled so the job's nominal solo duration matches the hint |
 //!
 //! A first CSV line whose `job_id` field is literally `job_id` is treated
 //! as a header and skipped.  Rows may appear **out of submission order**;
@@ -70,15 +78,19 @@
 //! assert_eq!(plan.jobs[0].label, "j0"); // sorted by submit time
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod catalog;
 pub mod source;
+pub mod stream;
 pub mod synthetic;
 pub mod trace;
 
 pub use catalog::{BoundTrace, TraceCatalog};
 pub use source::{PlanSource, SyntheticSource, TraceSource};
-pub use synthetic::{ArrivalProcess, Synthetic};
+pub use stream::{
+    Horizon, JobStream, StreamSource, StreamedJob, SyntheticStreamSource, TraceStreamSource,
+};
+pub use synthetic::{ArrivalProcess, ArrivalSampler, Synthetic};
 pub use trace::{ArrivalTrace, TraceError, TraceRow};

@@ -210,11 +210,11 @@ mod tests {
     #[test]
     fn closure_sources_work() {
         let source = |w: usize| {
-            WorkloadPlan::new(vec![JobRequest {
-                label: format!("w{w}"),
-                model: ModelId::Gru,
-                arrival: SimTime::ZERO,
-            }])
+            WorkloadPlan::new(vec![JobRequest::new(
+                format!("w{w}"),
+                ModelId::Gru,
+                SimTime::ZERO,
+            )])
         };
         assert_eq!(PlanSource::next_plan(&source, 3).jobs[0].label, "w3");
     }

@@ -94,16 +94,59 @@ impl ArrivalProcess {
         }
     }
 
+    /// An incremental sampler of this process: arrivals one at a time,
+    /// without deciding up front how many will be drawn.
+    ///
+    /// This is the open-loop primitive — a
+    /// [`JobStream`](crate::stream::JobStream) pulls one arrival per job
+    /// admission, unboundedly.  [`ArrivalProcess::sample_arrivals`] is the
+    /// batch wrapper over the same state machine, so a sampler and a batch
+    /// draw produce bit-identical sequences from the same RNG stream.
+    pub fn sampler(&self) -> ArrivalSampler {
+        ArrivalSampler {
+            process: *self,
+            t: 0.0,
+            on: true,
+            dwell_left: 0.0,
+            primed: false,
+        }
+    }
+
     /// Sample the first `n` arrival times of the process, in order.
     pub fn sample_arrivals(&self, n: usize, rng: &mut SimRng) -> Vec<SimTime> {
-        let mut out = Vec::with_capacity(n);
-        match *self {
+        let mut sampler = self.sampler();
+        (0..n).map(|_| sampler.next_arrival(rng)).collect()
+    }
+}
+
+/// Incremental arrival-sampling state for one [`ArrivalProcess`].
+///
+/// Created by [`ArrivalProcess::sampler`]; each
+/// [`ArrivalSampler::next_arrival`] call draws exactly the randomness the
+/// next arrival needs, so the sequence is identical whether arrivals are
+/// drawn in one batch or pulled one at a time over the life of an
+/// open-loop run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalSampler {
+    process: ArrivalProcess,
+    /// Current process time in seconds.
+    t: f64,
+    /// Bursty: whether the MMPP is in its *on* state.
+    on: bool,
+    /// Bursty: seconds left in the current dwell.
+    dwell_left: f64,
+    /// Bursty: whether the initial dwell has been drawn yet (the draw
+    /// needs the RNG, which the sampler does not own).
+    primed: bool,
+}
+
+impl ArrivalSampler {
+    /// The next arrival time, strictly advancing the process clock.
+    pub fn next_arrival(&mut self, rng: &mut SimRng) -> SimTime {
+        match self.process {
             ArrivalProcess::Poisson { rate } => {
-                let mut t = 0.0;
-                for _ in 0..n {
-                    t += rng.exponential(rate);
-                    out.push(SimTime::from_secs_f64(t));
-                }
+                self.t += rng.exponential(rate);
+                SimTime::from_secs_f64(self.t)
             }
             ArrivalProcess::Bursty {
                 rate_on,
@@ -112,27 +155,27 @@ impl ArrivalProcess {
                 mean_off_secs,
             } => {
                 // Start inside a burst; alternate exponential dwells.
-                let mut t = 0.0;
-                let mut on = true;
-                let mut dwell_left = rng.exponential(1.0 / mean_on_secs);
-                while out.len() < n {
-                    let rate = if on { rate_on } else { rate_off };
+                if !self.primed {
+                    self.dwell_left = rng.exponential(1.0 / mean_on_secs);
+                    self.primed = true;
+                }
+                loop {
+                    let rate = if self.on { rate_on } else { rate_off };
                     // A zero-rate state emits nothing: skip to the switch.
                     let gap = if rate > 0.0 {
                         rng.exponential(rate)
                     } else {
                         f64::INFINITY
                     };
-                    if gap < dwell_left {
-                        dwell_left -= gap;
-                        t += gap;
-                        out.push(SimTime::from_secs_f64(t));
-                    } else {
-                        t += dwell_left;
-                        on = !on;
-                        let mean = if on { mean_on_secs } else { mean_off_secs };
-                        dwell_left = rng.exponential(1.0 / mean);
+                    if gap < self.dwell_left {
+                        self.dwell_left -= gap;
+                        self.t += gap;
+                        return SimTime::from_secs_f64(self.t);
                     }
+                    self.t += self.dwell_left;
+                    self.on = !self.on;
+                    let mean = if self.on { mean_on_secs } else { mean_off_secs };
+                    self.dwell_left = rng.exponential(1.0 / mean);
                 }
             }
             ArrivalProcess::Diurnal {
@@ -143,18 +186,16 @@ impl ArrivalProcess {
                 // Thinning (Lewis & Shedler): propose at the peak rate,
                 // accept with probability rate(t)/peak.
                 let peak = mean_rate * (1.0 + amplitude);
-                let mut t = 0.0;
-                while out.len() < n {
-                    t += rng.exponential(peak);
-                    let phase = 2.0 * std::f64::consts::PI * t / period_secs;
+                loop {
+                    self.t += rng.exponential(peak);
+                    let phase = 2.0 * std::f64::consts::PI * self.t / period_secs;
                     let rate = mean_rate * (1.0 + amplitude * phase.sin());
                     if rng.f64() * peak < rate {
-                        out.push(SimTime::from_secs_f64(t));
+                        return SimTime::from_secs_f64(self.t);
                     }
                 }
             }
         }
-        out
     }
 }
 
@@ -204,14 +245,16 @@ impl Synthetic {
         let jobs: Vec<JobRequest> = arrivals
             .into_iter()
             .enumerate()
-            .map(|(i, arrival)| JobRequest {
-                label: if labeled {
-                    format!("Job-{}", i + 1)
-                } else {
-                    String::new()
-                },
-                model: self.models[i % self.models.len()],
-                arrival,
+            .map(|(i, arrival)| {
+                JobRequest::new(
+                    if labeled {
+                        format!("Job-{}", i + 1)
+                    } else {
+                        String::new()
+                    },
+                    self.models[i % self.models.len()],
+                    arrival,
+                )
             })
             .collect();
         // Arrivals are generated in order; the constructor sort is a no-op
@@ -317,5 +360,25 @@ mod tests {
     #[should_panic(expected = "rate must be > 0")]
     fn zero_rate_poisson_is_rejected() {
         ArrivalProcess::poisson(0.0);
+    }
+
+    #[test]
+    fn incremental_sampler_matches_batch_sampling_bit_for_bit() {
+        // The open-loop stream pulls arrivals one at a time; the plan path
+        // draws them in a batch.  Both must walk the same RNG stream.
+        for process in [
+            ArrivalProcess::poisson(0.3),
+            ArrivalProcess::bursty(1.5, 0.1, 12.0, 30.0),
+            ArrivalProcess::diurnal(0.8, 0.6, 150.0),
+        ] {
+            let mut rng = SimRng::new(77);
+            let batch = process.sample_arrivals(500, &mut rng);
+            let mut rng = SimRng::new(77);
+            let mut sampler = process.sampler();
+            let incremental: Vec<SimTime> =
+                (0..500).map(|_| sampler.next_arrival(&mut rng)).collect();
+            assert_eq!(batch, incremental, "{process:?}");
+            assert!(incremental.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        }
     }
 }

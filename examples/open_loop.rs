@@ -1,0 +1,89 @@
+//! Open-loop workloads end to end: a Poisson arrival stream feeding a
+//! 64-worker headless cluster until a time horizon, then a single fully
+//! observed worker under sustained load, then duration-hint-aware trace
+//! binding.
+//!
+//! ```sh
+//! cargo run --release --example open_loop
+//! ```
+
+use flowcon_repro::cluster::{Horizon, Manager, PolicyKind, RoundRobin, StreamSource};
+use flowcon_repro::core::config::{FlowConConfig, NodeConfig};
+use flowcon_repro::core::session::Session;
+use flowcon_repro::sim::time::SimTime;
+use flowcon_repro::workload::catalog::nominal_duration_secs;
+use flowcon_repro::workload::{ArrivalProcess, ArrivalTrace, SyntheticStreamSource, TraceCatalog};
+
+fn main() {
+    // 1. Open-loop cluster: 64 workers, each pulling its own unbounded
+    //    Poisson stream (0.01 jobs/s per worker), admissions stop at
+    //    t = 600 s, admitted jobs drain.  No plan is ever materialized —
+    //    arrivals are injected into live simulations.
+    let node = NodeConfig::default().with_seed(0xF10C);
+    let workers = 64;
+    let source = SyntheticStreamSource::new(ArrivalProcess::poisson(0.01), 0xC1A5).unlabeled();
+    let horizon = Horizon::until(SimTime::from_secs(600));
+    let run = Manager::new(
+        workers,
+        node,
+        PolicyKind::FlowCon(FlowConConfig::default()),
+        RoundRobin::default(),
+    )
+    .run_open_loop(&source, horizon);
+
+    let totals = run.stream_totals();
+    println!(
+        "open-loop cluster: {workers} workers, {} submitted / {} completed",
+        totals.submitted, totals.completed
+    );
+    println!(
+        "  arrival {:.4} jobs/s vs completion {:.4} jobs/s, mean queue {:.1} jobs, utilization {:.1}%",
+        totals.arrival_rate(),
+        totals.completion_rate(),
+        totals.mean_queue_depth(),
+        100.0 * totals.utilization()
+    );
+    assert_eq!(totals.completed, totals.submitted, "admitted jobs drain");
+    assert!(totals.submitted > 0, "a 600 s window admits jobs");
+    assert!(totals.utilization() > 0.0 && totals.utilization() <= 1.0);
+
+    // 2. One worker, fully observed: the same session machinery records
+    //    the complete paper traces while jobs stream in mid-run.
+    let single = SyntheticStreamSource::new(ArrivalProcess::poisson(0.02), 7);
+    let result = Session::builder()
+        .node(node)
+        .policy(flowcon_repro::core::policy::FlowConPolicy::new(
+            FlowConConfig::default(),
+        ))
+        .build()
+        .run_stream(single.stream_for(0), Horizon::jobs(5));
+    println!(
+        "\nsingle worker: {} completions, makespan {:.1}s, {} usage series",
+        result.output.completions.len(),
+        result.output.makespan_secs(),
+        result.output.cpu_usage.len()
+    );
+    assert_eq!(result.output.completions.len(), 5);
+
+    // 3. Duration-hint-aware binding: the committed paper trace hints the
+    //    §5.3 NA completion times; binding with hints pins each job's
+    //    nominal solo duration to them.
+    let doc =
+        std::fs::read_to_string("traces/paper_fixed.csv").expect("run from the repository root");
+    let trace = ArrivalTrace::parse(&doc).expect("committed trace parses");
+    let hinted = TraceCatalog::table1()
+        .with_duration_hints()
+        .bind(&trace)
+        .expect("all classes known");
+    println!();
+    for job in &hinted.jobs {
+        println!(
+            "{:<22} work_scale {:.3}, nominal solo duration {:.1}s",
+            job.label,
+            job.work_scale,
+            nominal_duration_secs(job)
+        );
+    }
+    let vae = &hinted.jobs[0];
+    assert!((nominal_duration_secs(vae) - 394.0).abs() < 1e-6);
+}
