@@ -14,7 +14,7 @@ fn measurements(n: usize, seed: u64) -> Vec<GrowthMeasurement> {
     let mut rng = SimRng::new(seed);
     (0..n)
         .map(|i| GrowthMeasurement {
-            id: ContainerId::from_raw(i as u64),
+            id: ContainerId::from_raw(i as u32),
             progress: (rng.f64() > 0.1).then(|| rng.range_f64(0.0, 0.4)),
             avg_usage: flowcon_sim::ResourceVec::cpu(rng.range_f64(0.05, 1.0)),
             cpu_limit: rng.range_f64(0.05, 1.0),

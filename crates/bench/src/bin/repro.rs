@@ -4,6 +4,9 @@
 //! repro [experiment ...]
 //! repro bench [--out FILE] [--check BASELINE.json]
 //! repro cluster [--workers N] [--jobs J] [--seed S] [--headless]
+//!               [--queue {heap,calendar}]
+//! repro profile [--workers N] [--jobs J] [--seed S]
+//!               [--queue {heap,calendar}]
 //! repro trace --file PATH | --synthetic {poisson,bursty,diurnal}
 //!             [--jobs N] [--rate R] [--seed S] [--workers N]
 //!             [--policy {flowcon,na}] [--thin P] [--compress X] [--emit PATH]
@@ -27,7 +30,17 @@
 //! prints the scale numbers.  With `--headless` the workers run a
 //! `CompletionsOnly` recorder — no usage/limit traces, no label clones,
 //! O(completions) memory — which is the supported way to drive 10k-worker
-//! clusters (`repro cluster --workers 10240 --headless`).
+//! clusters (`repro cluster --workers 10240 --headless`).  Headless runs
+//! go through the dense arena path; `--queue` picks its event-queue
+//! implementation (binary heap or calendar buckets — bit-identical
+//! results, different constants).
+//!
+//! `repro profile` is the density harness: one headless cluster run with
+//! per-stage wall time (plan build, placement, simulation), allocations
+//! per stage (this binary's counting allocator), allocs/worker for the
+//! simulation stage, and peak RSS (`VmHWM` from `/proc/self/status`).
+//! The ISSUE-6 acceptance numbers (`repro profile --workers 1000000`)
+//! come from this subcommand.
 //!
 //! `repro trace` replays an arrival trace (`--file`, CSV or JSONL — see
 //! the flowcon-workload crate docs for the format) or a synthetic arrival
@@ -115,6 +128,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("cluster") {
         run_cluster(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("profile") {
+        run_profile(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("trace") {
@@ -343,6 +360,17 @@ fn run_cluster(args: &[String]) {
     let jobs = parse_num("--jobs").unwrap_or(2 * workers as u64) as usize;
     let seed = parse_num("--seed").unwrap_or(perf::CLUSTER_BENCH_PLAN_SEED);
     let headless = args.iter().any(|a| a == "--headless");
+    // A zero is almost always a typo'd or miscomputed script variable;
+    // running an empty cluster "successfully" would hide it.
+    if workers == 0 {
+        eprintln!("--workers must be at least 1: a cluster with no workers cannot run jobs");
+        std::process::exit(2);
+    }
+    if jobs == 0 {
+        eprintln!("--jobs must be at least 1: an empty plan simulates nothing");
+        std::process::exit(2);
+    }
+    let queue = parse_queue_kind(args, headless);
 
     let shards = executor::shard_count(workers);
     let mode = if headless { "headless" } else { "full" };
@@ -360,7 +388,7 @@ fn run_cluster(args: &[String]) {
     let start = std::time::Instant::now();
     // (placed, completed, makespan, events)
     let (placed, completed, makespan, events) = if headless {
-        let run = manager.run_headless(plan);
+        let run = manager.run_headless_with(plan, queue);
         (
             run.placements.len(),
             run.completed_jobs(),
@@ -390,6 +418,14 @@ fn run_cluster(args: &[String]) {
             }
             .to_string(),
         ],
+        vec![
+            "event queue".to_string(),
+            if headless {
+                format!("{queue:?}").to_lowercase()
+            } else {
+                "-".into()
+            },
+        ],
         vec!["OS threads (shards)".to_string(), shards.to_string()],
         vec!["jobs placed".to_string(), placed.to_string()],
         vec!["jobs completed".to_string(), completed.to_string()],
@@ -405,6 +441,153 @@ fn run_cluster(args: &[String]) {
         vec![
             "events/s (wall)".to_string(),
             format!("{:.0}", events as f64 / wall.as_secs_f64()),
+        ],
+    ];
+    print!("{}", text_table(&["metric", "value"], &rows));
+}
+
+/// Parse `--queue {heap,calendar}` (default heap).  The flag selects the
+/// dense path's event-queue implementation, so it only makes sense on a
+/// headless run — silently ignoring it elsewhere would misreport what was
+/// measured.
+fn parse_queue_kind(args: &[String], headless: bool) -> flowcon_cluster::QueueKind {
+    use flowcon_cluster::QueueKind;
+    if !headless && args.iter().any(|a| a == "--queue") {
+        eprintln!("--queue only applies to --headless runs (the dense path owns the event queue)");
+        std::process::exit(2);
+    }
+    match flag_value(args, "--queue") {
+        None => QueueKind::default(),
+        Some(v) => QueueKind::parse(&v).unwrap_or_else(|| {
+            eprintln!("--queue wants heap or calendar, got {v}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Peak resident set size in kiB (`VmHWM` from `/proc/self/status`), or
+/// `None` off Linux.
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// `repro profile [--workers N] [--jobs J] [--seed S] [--queue Q]`: the
+/// density harness — one headless cluster run clocked per stage (plan
+/// build, placement, simulation), with allocation counts from the counting
+/// allocator and peak RSS from the kernel.
+///
+/// Defaults match `repro cluster --headless` (2 jobs/worker, the committed
+/// bench seeds) at 100k workers, so the printed numbers line up with the
+/// `cluster/headless/w100000` bench row.
+fn run_profile(args: &[String]) {
+    use flowcon_cluster::{executor, Manager, PolicyKind, RoundRobin};
+    use flowcon_core::config::{FlowConConfig, NodeConfig};
+    use flowcon_dl::workload::WorkloadPlan;
+    use std::time::Instant;
+
+    let parse_num = |name: &str| {
+        flag_value(args, name).map(|v| {
+            v.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("{name} wants a number, got {v}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let workers = parse_num("--workers").unwrap_or(100_000) as usize;
+    let jobs = parse_num("--jobs").unwrap_or(2 * workers as u64) as usize;
+    let seed = parse_num("--seed").unwrap_or(perf::CLUSTER_BENCH_PLAN_SEED);
+    if workers == 0 {
+        eprintln!("--workers must be at least 1: a cluster with no workers cannot run jobs");
+        std::process::exit(2);
+    }
+    if jobs == 0 {
+        eprintln!("--jobs must be at least 1: an empty plan simulates nothing");
+        std::process::exit(2);
+    }
+    let queue = parse_queue_kind(args, true);
+
+    let shards = executor::shard_count(workers);
+    section(&format!(
+        "Density profile: {workers} workers, {jobs} jobs, {shards} OS threads, {} queue",
+        format!("{queue:?}").to_lowercase()
+    ));
+
+    COUNTING.store(true, Ordering::Relaxed);
+    let allocs = || ALLOCATIONS.load(Ordering::Relaxed);
+
+    let (a0, t0) = (allocs(), Instant::now());
+    let plan = WorkloadPlan::random_n(jobs, seed);
+    let (plan_secs, plan_allocs) = (t0.elapsed().as_secs_f64(), allocs() - a0);
+
+    // Manager construction (the per-worker NodeConfig vector) is part of
+    // standing the cluster up, so it bills the placement stage.
+    let (a1, t1) = (allocs(), Instant::now());
+    let node = NodeConfig::default().with_seed(perf::CLUSTER_BENCH_NODE_SEED);
+    let manager = Manager::new(
+        workers,
+        node,
+        PolicyKind::FlowCon(FlowConConfig::default()),
+        RoundRobin::default(),
+    );
+    let placed = manager.place_headless(plan);
+    let (place_secs, place_allocs) = (t1.elapsed().as_secs_f64(), allocs() - a1);
+
+    let (a2, t2) = (allocs(), Instant::now());
+    let run = placed.run(queue);
+    let (sim_secs, sim_allocs) = (t2.elapsed().as_secs_f64(), allocs() - a2);
+    COUNTING.store(false, Ordering::Relaxed);
+
+    let per_worker = |n: u64| n as f64 / workers as f64;
+    let stage_rows: Vec<Vec<String>> = [
+        ("plan build", plan_secs, plan_allocs),
+        ("placement", place_secs, place_allocs),
+        ("simulation", sim_secs, sim_allocs),
+        (
+            "total",
+            plan_secs + place_secs + sim_secs,
+            plan_allocs + place_allocs + sim_allocs,
+        ),
+    ]
+    .iter()
+    .map(|&(name, secs, a)| {
+        vec![
+            name.to_string(),
+            format!("{:.1}", secs * 1e3),
+            a.to_string(),
+            format!("{:.2}", per_worker(a)),
+        ]
+    })
+    .collect();
+    print!(
+        "{}",
+        text_table(
+            &["stage", "time (ms)", "allocs", "allocs/worker"],
+            &stage_rows
+        )
+    );
+
+    let events = run.events_processed();
+    let rows = vec![
+        vec![
+            "jobs completed".to_string(),
+            run.completed_jobs().to_string(),
+        ],
+        vec!["events processed".to_string(), events.to_string()],
+        vec![
+            "events/s (wall)".to_string(),
+            format!("{:.0}", events as f64 / sim_secs),
+        ],
+        vec![
+            // The ISSUE-6 acceptance number: the marginal cluster cost —
+            // placement + simulation, the plan is the caller's input.
+            "allocs/worker (place + simulate)".to_string(),
+            format!("{:.2}", per_worker(place_allocs + sim_allocs)),
+        ],
+        vec![
+            "peak RSS (MiB)".to_string(),
+            peak_rss_kib().map_or("-".into(), |kib| format!("{:.1}", kib as f64 / 1024.0)),
         ],
     ];
     print!("{}", text_table(&["metric", "value"], &rows));
@@ -641,6 +824,10 @@ fn run_stream(args: &[String]) {
         })
     };
     let workers = parse_num("--workers", 1) as usize;
+    if workers == 0 {
+        eprintln!("--workers must be at least 1: a cluster with no workers cannot run jobs");
+        std::process::exit(2);
+    }
     let seed = parse_num("--seed", flowcon_bench::experiments::DEFAULT_SEED);
     let policy = match flag_value(args, "--policy").as_deref() {
         None | Some("flowcon") => PolicyKind::FlowCon(FlowConConfig::default()),
@@ -671,6 +858,12 @@ fn run_stream(args: &[String]) {
             std::process::exit(2);
         })
     });
+    // `--jobs 0` would "run" a stream that admits nothing — a degenerate
+    // horizon that is always a script bug, never a workload.
+    if max_jobs == Some(0) {
+        eprintln!("--jobs must be at least 1: a zero-job horizon admits nothing");
+        std::process::exit(2);
+    }
     if until.is_none() && max_jobs.is_none() {
         eprintln!("stream needs a horizon: --until SECS and/or --jobs N");
         std::process::exit(2);

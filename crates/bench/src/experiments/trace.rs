@@ -30,6 +30,21 @@ pub fn bind_default(doc: &str) -> Result<BoundTrace, TraceError> {
     TraceCatalog::table1().bind(&trace)
 }
 
+/// [`bind_default`] with a caller-owned catalog and output buffer: parsing
+/// is zero-copy and binding recycles `out`'s jobs (label `String`s keep
+/// their capacity), so a warm re-parse+rebind of the same document
+/// allocates only the transient row vector.  This is the shape the
+/// `trace/parse_bind/bursty600` bench row measures — a long-running replay
+/// service rebinding arriving trace documents.
+pub fn bind_default_into(
+    doc: &str,
+    catalog: &TraceCatalog,
+    out: &mut BoundTrace,
+) -> Result<(), TraceError> {
+    let trace = ArrivalTrace::parse(doc)?;
+    catalog.bind_into(&trace, out)
+}
+
 /// Replay a bound trace on one worker under `policy`, with full
 /// observability.
 pub fn replay_session(

@@ -28,7 +28,9 @@ pub mod manager;
 pub mod placement;
 pub mod policy_kind;
 
-pub use manager::{ClusterResult, ClusterRun, Manager, OpenLoopRun};
+pub use manager::{ClusterResult, ClusterRun, Manager, OpenLoopRun, PlacedHeadless};
+// The dense headless path's tunables, re-exported for the repro CLI.
+pub use flowcon_core::dense::QueueKind;
 pub use placement::{LeastLoaded, PlacementStrategy, RoundRobin, Spread};
 pub use policy_kind::PolicyKind;
 // The streaming plan/stream-source surface, re-exported so cluster callers

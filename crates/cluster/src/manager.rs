@@ -38,6 +38,7 @@ use std::sync::Arc;
 use flowcon_container::image::shared_dl_defaults;
 use flowcon_container::ImageRegistry;
 use flowcon_core::config::NodeConfig;
+use flowcon_core::dense::{run_headless_dense, DenseScratch, QueueKind};
 use flowcon_core::recorder::{CompletionsOnly, FullRecorder, Recorder};
 use flowcon_core::session::{Session, SessionResult, StreamResult};
 use flowcon_core::worker::{RunResult, WorkerScratch};
@@ -189,6 +190,42 @@ impl OpenLoopRun<CompletionStats> {
     }
 }
 
+/// A headless cluster with every job already placed, ready to simulate.
+///
+/// Produced by [`Manager::place_headless`]; [`PlacedHeadless::run`] drives
+/// the dense per-worker simulations.  Splitting the run at this boundary
+/// exists for profiling (`repro profile` clocks the two stages separately)
+/// — [`Manager::run_headless_with`] is the one-call form.
+#[derive(Debug)]
+pub struct PlacedHeadless {
+    nodes: Vec<NodeConfig>,
+    policy: PolicyKind,
+    /// All jobs in one arena, sorted by worker (CSR layout).
+    flat: Vec<JobRequest>,
+    /// `offsets[w]..offsets[w + 1]` slices worker `w`'s jobs out of `flat`.
+    offsets: Vec<usize>,
+    placements: Vec<usize>,
+}
+
+impl PlacedHeadless {
+    /// Simulate every worker on the sharded executor through the dense
+    /// headless path, with the given event-queue implementation.
+    pub fn run(self, queue: QueueKind) -> ClusterRun<CompletionStats> {
+        let policy = self.policy;
+        let work: Vec<(usize, NodeConfig)> = self.nodes.iter().copied().enumerate().collect();
+        let flat = &self.flat[..];
+        let offsets = &self.offsets[..];
+        let workers = executor::map_sharded(work, DenseScratch::new, |scratch, (idx, node)| {
+            let jobs = &flat[offsets[idx]..offsets[idx + 1]];
+            run_headless_dense(node, jobs, policy.build(), queue, scratch)
+        });
+        ClusterRun {
+            workers,
+            placements: self.placements,
+        }
+    }
+}
+
 /// The manager: placement + per-worker node configs + per-worker policy.
 pub struct Manager<P: PlacementStrategy> {
     nodes: Vec<NodeConfig>,
@@ -245,6 +282,39 @@ impl<P: PlacementStrategy> Manager<P> {
             per_worker[target].push(job);
         }
         per_worker
+    }
+
+    /// Flat (CSR-style) variant of [`Manager::place_jobs`] for the dense
+    /// headless path: instead of one `Vec` per worker — a million
+    /// allocations at a million workers — jobs land in a single arena
+    /// sorted by worker, with `offsets[w]..offsets[w + 1]` slicing worker
+    /// `w`'s jobs.  The sort is stable, so each worker sees its jobs in
+    /// exactly the order the nested layout would give it.
+    fn place_jobs_flat(
+        &mut self,
+        jobs: Vec<JobRequest>,
+        mut on_assign: impl FnMut(&JobRequest, usize),
+    ) -> (Vec<JobRequest>, Vec<usize>) {
+        let n = self.nodes.len();
+        let mut loads = vec![WorkerLoad::default(); n];
+        let mut tagged: Vec<(usize, JobRequest)> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let target = self.strategy.place(&job, &loads);
+            assert!(target < n, "strategy returned worker {target} of {n}");
+            record_assignment(&mut loads[target], &job);
+            on_assign(&job, target);
+            tagged.push((target, job));
+        }
+        tagged.sort_by_key(|&(target, _)| target);
+        let mut offsets = vec![0usize; n + 1];
+        for &(target, _) in &tagged {
+            offsets[target + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let flat = tagged.into_iter().map(|(_, job)| job).collect();
+        (flat, offsets)
     }
 
     /// Drive one session per worker on the sharded executor: at most
@@ -337,14 +407,50 @@ impl<P: PlacementStrategy> Manager<P> {
 
     /// Run the cluster headless: label-free completions and makespan only.
     ///
-    /// This is the 10k-worker configuration — no usage/limit traces are
-    /// collected or even scheduled, no labels are cloned, and the result
-    /// holds O(completions) memory instead of O(workers × series).  Per
-    /// simulated worker it stays within the ≲20-allocation budget pinned by
+    /// This is the million-worker configuration.  Placed plans run on the
+    /// **dense path** ([`flowcon_core::dense`]): flat shard-owned arenas
+    /// indexed by the `u32` container ids instead of per-worker
+    /// daemon/pool/monitor objects, bit-identical to the object path per
+    /// worker (same completions, same event count — pinned by
+    /// `source_run_matches_the_equivalent_placed_run` below and the tests
+    /// in `flowcon_core::dense`).  No usage/limit traces are collected or
+    /// even scheduled, no labels are cloned, and the result holds
+    /// O(completions) memory.  Per simulated worker it stays within the
+    /// < 10-allocation budget pinned by
     /// `crates/cluster/tests/headless_allocs.rs` and the committed
     /// `cluster/headless/*` bench rows.
     pub fn run_headless(self, plan: WorkloadPlan) -> ClusterRun<CompletionStats> {
-        self.run_recorded(plan, |_| CompletionsOnly::new())
+        self.run_headless_with(plan, QueueKind::default())
+    }
+
+    /// [`Manager::run_headless`] with an explicit event-queue choice
+    /// (`repro cluster --queue heap|calendar`).  Both queues dispatch in
+    /// identical `(time, FIFO)` order, so the results are bit-identical —
+    /// pinned by `crates/cluster/tests/executor_edges.rs`.
+    pub fn run_headless_with(
+        self,
+        plan: WorkloadPlan,
+        queue: QueueKind,
+    ) -> ClusterRun<CompletionStats> {
+        self.place_headless(plan).run(queue)
+    }
+
+    /// Place every job for a headless run without simulating anything yet.
+    ///
+    /// This is `run_headless_with` split at its stage boundary so callers
+    /// that care about where the time goes (`repro profile`) can clock
+    /// placement and simulation separately; [`PlacedHeadless::run`] is the
+    /// second half.
+    pub fn place_headless(mut self, plan: WorkloadPlan) -> PlacedHeadless {
+        let mut placements = Vec::with_capacity(plan.jobs.len());
+        let (flat, offsets) = self.place_jobs_flat(plan.jobs, |_, target| placements.push(target));
+        PlacedHeadless {
+            nodes: self.nodes,
+            policy: self.policy,
+            flat,
+            offsets,
+            placements,
+        }
     }
 
     /// Run the cluster off a streaming [`PlanSource`] with a custom

@@ -105,7 +105,7 @@ impl EventLog {
 mod tests {
     use super::*;
 
-    fn ev(i: u64, s: u64) -> ContainerEvent {
+    fn ev(i: u32, s: u64) -> ContainerEvent {
         ContainerEvent::Started {
             id: ContainerId::from_raw(i),
             at: SimTime::from_secs(s),

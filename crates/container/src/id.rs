@@ -2,31 +2,43 @@
 
 use std::fmt;
 
-/// A container id: a dense `u64` rendered as a short Docker-style hex hash.
+/// A container id: a dense `u32` index rendered as a short Docker-style
+/// hex hash.
 ///
 /// Ids are allocated sequentially by the daemon, which keeps experiment
-/// output stable across runs, but displayed as 12 hex digits so logs look
-/// like `docker ps` output.
+/// output stable across runs *and* makes the raw value usable as a direct
+/// array index in the dense (headless) cluster path.  Four bytes cover
+/// four billion containers per worker — far beyond any simulated session —
+/// and halve the footprint of every id-bearing record, which matters at
+/// one million workers.  Displayed as 12 hex digits so logs look like
+/// `docker ps` output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ContainerId(u64);
+pub struct ContainerId(u32);
 
 impl ContainerId {
     /// Construct from a raw integer (used by the daemon's allocator).
-    pub const fn from_raw(raw: u64) -> Self {
+    pub const fn from_raw(raw: u32) -> Self {
         ContainerId(raw)
     }
 
     /// The raw integer value.
-    pub const fn as_raw(self) -> u64 {
+    pub const fn as_raw(self) -> u32 {
         self.0
+    }
+
+    /// The raw value widened to a `usize` array index (dense path).
+    pub const fn index(self) -> usize {
+        self.0 as usize
     }
 
     /// Short hex rendering, like the 12-character ids `docker ps` shows.
     ///
     /// The raw id is mixed through a SplitMix64 finalizer so consecutive
-    /// containers don't produce visually adjacent hashes.
+    /// containers don't produce visually adjacent hashes.  The mix widens
+    /// to 64 bits first, so renderings are identical to the old `u64` ids
+    /// for every value a daemon actually allocates.
     pub fn short_hex(self) -> String {
-        let mut z = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = (self.0 as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
@@ -43,7 +55,7 @@ impl fmt::Display for ContainerId {
 /// Sequential id allocator owned by the daemon.
 #[derive(Debug, Default, Clone)]
 pub struct IdAllocator {
-    next: u64,
+    next: u32,
 }
 
 impl IdAllocator {
@@ -53,15 +65,22 @@ impl IdAllocator {
     }
 
     /// Allocate the next id.
+    ///
+    /// Panics on exhaustion of the 32-bit id space — over four billion
+    /// containers on one worker means the simulation configuration is
+    /// broken, not that wider ids are needed.
     pub fn allocate(&mut self) -> ContainerId {
         let id = ContainerId(self.next);
-        self.next += 1;
+        self.next = self
+            .next
+            .checked_add(1)
+            .expect("container id space exhausted");
         id
     }
 
     /// Number of ids handed out so far.
     pub fn allocated(&self) -> u64 {
-        self.next
+        self.next as u64
     }
 }
 
@@ -90,5 +109,18 @@ mod tests {
     fn display_matches_short_hex() {
         let id = ContainerId::from_raw(77);
         assert_eq!(id.to_string(), id.short_hex());
+    }
+
+    #[test]
+    fn id_is_four_bytes() {
+        // The dense cluster path depends on compact ids: a fat id would
+        // silently bloat every per-container record.
+        assert_eq!(std::mem::size_of::<ContainerId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<ContainerId>>(), 8);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(ContainerId::from_raw(41).index(), 41);
     }
 }

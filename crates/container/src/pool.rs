@@ -123,7 +123,7 @@ mod tests {
     use crate::workload::FixedWork;
     use flowcon_sim::time::SimTime;
 
-    fn container(raw: u64) -> Container<FixedWork> {
+    fn container(raw: u32) -> Container<FixedWork> {
         Container::new(
             ContainerId::from_raw(raw),
             Image::new("img", "latest"),
@@ -152,7 +152,7 @@ mod tests {
         for raw in [5, 1, 3, 2, 4] {
             pool.insert(container(raw));
         }
-        let ids: Vec<u64> = pool.iter().map(|c| c.id().as_raw()).collect();
+        let ids: Vec<u32> = pool.iter().map(|c| c.id().as_raw()).collect();
         assert_eq!(ids, vec![1, 2, 3, 4, 5]);
     }
 

@@ -36,26 +36,36 @@ impl TrainingJob {
     /// Per-instance total work is jittered by ±3% (dataset shuffling, I/O
     /// variance) so repeated instances of one model are not clones.
     pub fn new(spec: ModelSpec, rng: &mut SimRng) -> Self {
+        let mut job = Self::unlabeled(spec, rng);
+        job.label = job.spec.label();
+        job
+    }
+
+    /// Create a job with an explicit instance label (e.g. `Job-3`).
+    ///
+    /// An empty label is free: the dense headless path passes
+    /// `String::new()` so admitting a job performs no label allocation.
+    pub fn with_label(spec: ModelSpec, label: impl Into<String>, rng: &mut SimRng) -> Self {
+        let mut job = Self::unlabeled(spec, rng);
+        job.label = label.into();
+        job
+    }
+
+    /// Shared constructor: all the physics (RNG split, work jitter), no
+    /// label `String` yet.
+    fn unlabeled(spec: ModelSpec, rng: &mut SimRng) -> Self {
         let mut rng = rng.split();
         let jitter = 1.0 + 0.03 * (2.0 * rng.f64() - 1.0);
         let total_work = spec.total_work * jitter;
-        let label = spec.label();
         TrainingJob {
             spec,
-            label,
+            label: String::new(),
             total_work,
             done: 0.0,
             rng,
             last_eval: None,
             failed: None,
         }
-    }
-
-    /// Create a job with an explicit instance label (e.g. `Job-3`).
-    pub fn with_label(spec: ModelSpec, label: impl Into<String>, rng: &mut SimRng) -> Self {
-        let mut job = Self::new(spec, rng);
-        job.label = label.into();
-        job
     }
 
     /// The model spec this job trains.

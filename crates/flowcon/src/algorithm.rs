@@ -138,11 +138,11 @@ pub fn run_algorithm1_into(
 mod tests {
     use super::*;
 
-    fn id(raw: u64) -> ContainerId {
+    fn id(raw: u32) -> ContainerId {
         ContainerId::from_raw(raw)
     }
 
-    fn measure(raw: u64, growth: Option<f64>, limit: f64) -> GrowthMeasurement {
+    fn measure(raw: u32, growth: Option<f64>, limit: f64) -> GrowthMeasurement {
         // Encode the desired CPU growth as progress over avg usage 0.5.
         GrowthMeasurement {
             id: id(raw),

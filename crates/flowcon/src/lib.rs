@@ -38,6 +38,7 @@
 
 pub mod algorithm;
 pub mod config;
+pub mod dense;
 pub mod listener;
 pub mod lists;
 pub mod metric;
@@ -53,6 +54,7 @@ pub mod session;
 pub mod worker;
 
 pub use config::{FlowConConfig, NodeConfig};
+pub use dense::{run_headless_dense, DenseScratch, QueueKind};
 pub use lists::{ListKind, Lists};
 pub use metric::{growth_efficiency, progress_score, GrowthMeasurement};
 pub use policy::{FairSharePolicy, FlowConPolicy, ResourcePolicy, StaticEqualPolicy};

@@ -151,7 +151,7 @@ mod tests {
     use super::*;
     use crate::lists::ListKind;
 
-    fn id(raw: u64) -> ContainerId {
+    fn id(raw: u32) -> ContainerId {
         ContainerId::from_raw(raw)
     }
 

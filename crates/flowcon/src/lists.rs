@@ -147,7 +147,7 @@ impl Lists {
         self.slots
             .iter()
             .enumerate()
-            .filter_map(|(idx, slot)| slot.map(|k| (ContainerId::from_raw(idx as u64), k)))
+            .filter_map(|(idx, slot)| slot.map(|k| (ContainerId::from_raw(idx as u32), k)))
     }
 
     /// Ids in a given list, in id order.
@@ -163,7 +163,7 @@ impl Lists {
 mod tests {
     use super::*;
 
-    fn id(raw: u64) -> ContainerId {
+    fn id(raw: u32) -> ContainerId {
         ContainerId::from_raw(raw)
     }
 
@@ -275,7 +275,7 @@ mod tests {
             lists.insert_new(id(raw));
         }
         lists.observe(id(3), 0.0, 0.05);
-        let seen: Vec<u64> = lists.iter().map(|(i, _)| i.as_raw()).collect();
+        let seen: Vec<u32> = lists.iter().map(|(i, _)| i.as_raw()).collect();
         assert_eq!(seen, vec![1, 3, 5]);
     }
 }

@@ -320,11 +320,11 @@ mod tests {
     use super::*;
     use crate::lists::ListKind;
 
-    fn id(raw: u64) -> ContainerId {
+    fn id(raw: u32) -> ContainerId {
         ContainerId::from_raw(raw)
     }
 
-    fn measure(raw: u64, growth: Option<f64>, limit: f64) -> GrowthMeasurement {
+    fn measure(raw: u32, growth: Option<f64>, limit: f64) -> GrowthMeasurement {
         GrowthMeasurement {
             id: id(raw),
             progress: growth.map(|g| g * 0.5),

@@ -10,7 +10,7 @@ use flowcon_core::metric::GrowthMeasurement;
 use flowcon_sim::ResourceVec;
 use proptest::prelude::*;
 
-fn measurement(raw: u64, growth: Option<f64>, limit: f64) -> GrowthMeasurement {
+fn measurement(raw: u32, growth: Option<f64>, limit: f64) -> GrowthMeasurement {
     GrowthMeasurement {
         id: ContainerId::from_raw(raw),
         progress: growth.map(|g| g * 0.5),
@@ -27,7 +27,7 @@ fn arb_measures(max: usize) -> impl Strategy<Value = Vec<GrowthMeasurement>> {
     .prop_map(|rows| {
         rows.into_iter()
             .enumerate()
-            .map(|(i, (growth, limit))| measurement(i as u64, growth, limit))
+            .map(|(i, (growth, limit))| measurement(i as u32, growth, limit))
             .collect()
     })
 }
@@ -115,7 +115,7 @@ proptest! {
     /// one list, whatever the observation sequence.
     #[test]
     fn lists_partition_under_any_sequence(
-        seq in prop::collection::vec((0u64..8, 0.0f64..=0.5), 1..200),
+        seq in prop::collection::vec((0u32..8, 0.0f64..=0.5), 1..200),
         alpha in 0.01f64..=0.2,
     ) {
         let mut lists = Lists::new();
@@ -152,7 +152,7 @@ proptest! {
     #[test]
     fn listener_diff_is_exact(
         pools in prop::collection::vec(
-            prop::collection::btree_set(0u64..12, 0..8),
+            prop::collection::btree_set(0u32..12, 0..8),
             1..12
         ),
     ) {

@@ -67,11 +67,11 @@ fn allocations_during<R>(f: impl FnOnce() -> R) -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed) - before
 }
 
-fn id(raw: u64) -> ContainerId {
+fn id(raw: u32) -> ContainerId {
     ContainerId::from_raw(raw)
 }
 
-fn measure(raw: u64, growth: f64, limit: f64) -> GrowthMeasurement {
+fn measure(raw: u32, growth: f64, limit: f64) -> GrowthMeasurement {
     GrowthMeasurement {
         id: id(raw),
         progress: Some(growth * 0.5),
@@ -82,7 +82,7 @@ fn measure(raw: u64, growth: f64, limit: f64) -> GrowthMeasurement {
 
 #[test]
 fn flowcon_steady_state_reconfigure_is_allocation_free() {
-    const N: u64 = 64;
+    const N: u32 = 64;
     let mut policy = FlowConPolicy::new(FlowConConfig::default());
     let ids: Vec<ContainerId> = (0..N).map(id).collect();
     policy.on_pool_change(SimTime::ZERO, &ids);

@@ -125,7 +125,7 @@ impl RtRuntime {
         pending.reverse(); // pop() takes the earliest
 
         let mut active: BTreeMap<ContainerId, RtContainer> = BTreeMap::new();
-        let mut next_id: u64 = 0;
+        let mut next_id: u32 = 0;
 
         // Governor thread: refill every bucket at its current rate.
         let governor_targets: GovernorTargets = Arc::new(Mutex::new(Vec::new()));

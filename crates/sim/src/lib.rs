@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 pub mod alloc;
+pub mod calendar;
 pub mod contention;
 pub mod engine;
 pub mod event;
@@ -43,6 +44,7 @@ pub mod stats;
 pub mod time;
 
 pub use alloc::{waterfill, AllocRequest, Allocation};
+pub use calendar::CalendarQueue;
 pub use contention::ContentionModel;
 pub use engine::{RunOutcome, SimEngine, Simulation};
 pub use event::EventQueue;

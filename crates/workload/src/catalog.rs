@@ -97,7 +97,8 @@ impl TraceCatalog {
     /// Map `class` (case-insensitive) onto `model`, replacing any earlier
     /// mapping of the same class.
     pub fn map_class(mut self, class: impl Into<String>, model: ModelId) -> Self {
-        let key = class.into().to_ascii_lowercase();
+        let mut key = class.into();
+        key.make_ascii_lowercase();
         self.classes.retain(|(c, _)| *c != key);
         self.classes.push((key, model));
         self
@@ -166,8 +167,29 @@ impl TraceCatalog {
     /// Bind a parsed trace: resolve every class, apply thinning and time
     /// compression, and return the replayable [`BoundTrace`].
     pub fn bind(&self, trace: &ArrivalTrace<'_>) -> Result<BoundTrace, TraceError> {
+        let mut out = BoundTrace {
+            jobs: Vec::with_capacity(trace.len()),
+        };
+        self.bind_into(trace, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`TraceCatalog::bind`] into a caller-owned buffer.
+    ///
+    /// Jobs already in `out` are recycled in place — in particular their
+    /// label `String`s keep their capacity, so rebinding a same-shape
+    /// trace into a warm buffer allocates nothing per row (this is what
+    /// holds the `trace/parse_bind/bursty600` bench row near zero
+    /// allocs/op).  On success `out` holds exactly the bound jobs (stale
+    /// tail entries are truncated); on error its contents are unspecified.
+    pub fn bind_into(
+        &self,
+        trace: &ArrivalTrace<'_>,
+        out: &mut BoundTrace,
+    ) -> Result<(), TraceError> {
         let mut rng = SimRng::new(self.thin_seed);
-        let mut jobs = Vec::with_capacity(trace.len());
+        let jobs = &mut out.jobs;
+        let mut kept = 0usize;
         for (i, row) in trace.rows().iter().enumerate() {
             // Draw per row *before* resolving so the kept subset for a
             // given seed does not depend on the mapping.
@@ -181,23 +203,39 @@ impl TraceCatalog {
                     class: row.class.to_string(),
                     row: i + 1,
                 })?;
-            let mut job = JobRequest::new(
-                if self.labeled {
-                    row.job_id.to_string()
-                } else {
-                    String::new()
-                },
-                model,
-                SimTime::from_secs_f64(row.submit_secs / self.compression),
-            );
-            if self.honor_hints {
-                if let Some(hint) = row.duration_hint_secs {
-                    job = job.with_work_scale(work_scale_for(model, hint / self.compression));
+            let arrival = SimTime::from_secs_f64(row.submit_secs / self.compression);
+            let work_scale = match row.duration_hint_secs {
+                Some(hint) if self.honor_hints => work_scale_for(model, hint / self.compression),
+                _ => 1.0,
+            };
+            match jobs.get_mut(kept) {
+                Some(job) => {
+                    job.label.clear();
+                    if self.labeled {
+                        job.label.push_str(row.job_id);
+                    }
+                    job.model = model;
+                    job.arrival = arrival;
+                    job.work_scale = work_scale;
+                }
+                None => {
+                    let job = JobRequest::new(
+                        if self.labeled {
+                            row.job_id.to_string()
+                        } else {
+                            String::new()
+                        },
+                        model,
+                        arrival,
+                    )
+                    .with_work_scale(work_scale);
+                    jobs.push(job);
                 }
             }
-            jobs.push(job);
+            kept += 1;
         }
-        Ok(BoundTrace { jobs })
+        jobs.truncate(kept);
+        Ok(())
     }
 }
 
@@ -480,6 +518,33 @@ mod tests {
             .bind(&ArrivalTrace::parse(&bound.to_jsonl()).unwrap())
             .unwrap();
         assert_eq!(rebound, bound);
+    }
+
+    #[test]
+    fn bind_into_recycles_buffers_and_matches_bind() {
+        let doc = "a,vae,0,394\nb,mnist-tf,80,84.7\nc,gru,90\n";
+        let trace = ArrivalTrace::parse(doc).unwrap();
+        let cat = TraceCatalog::table1().with_duration_hints();
+        let fresh = cat.bind(&trace).unwrap();
+
+        let mut out = BoundTrace { jobs: Vec::new() };
+        cat.bind_into(&trace, &mut out).unwrap();
+        assert_eq!(out, fresh, "cold bind_into matches bind");
+
+        // Warm rebind of the same trace: recycled in place, same result.
+        cat.bind_into(&trace, &mut out).unwrap();
+        assert_eq!(out, fresh, "warm rebind matches");
+
+        // A smaller trace truncates the stale tail...
+        let small = ArrivalTrace::parse("x,gru,1\n").unwrap();
+        cat.bind_into(&small, &mut out).unwrap();
+        assert_eq!(out, cat.bind(&small).unwrap());
+
+        // ...and an unlabeled catalog clears recycled labels.
+        let plain = TraceCatalog::table1().unlabeled();
+        plain.bind_into(&trace, &mut out).unwrap();
+        assert_eq!(out, plain.bind(&trace).unwrap());
+        assert!(out.jobs.iter().all(|j| j.label.is_empty()));
     }
 
     #[test]

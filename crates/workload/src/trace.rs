@@ -288,7 +288,10 @@ impl<'a> ArrivalTrace<'a> {
     /// Parse a whole trace document (CSV, JSONL, or a mix; see the crate
     /// docs for the format spec).
     pub fn parse(doc: &'a str) -> Result<Self, TraceError> {
-        let mut rows = Vec::new();
+        // One counting pass up front sizes the row vector exactly once;
+        // comment/blank lines overcount slightly, which only wastes a few
+        // row slots — never a realloc.
+        let mut rows = Vec::with_capacity(doc.lines().count());
         let mut saw_data = false;
         for (i, raw) in doc.lines().enumerate() {
             let line = raw.trim();
