@@ -13,6 +13,9 @@
 //! repro stream --synthetic {poisson,bursty,diurnal} | --file PATH [--cycle]
 //!              [--until SECS] [--jobs N] [--rate R] [--seed S] [--workers N]
 //!              [--policy {flowcon,na}] [--headless] [--hints]
+//! repro sched [--policy {fifo,gandiva,tiresias}] [--compare]
+//!             [--workers N] [--jobs J] [--seed S] [--quantum SECS]
+//!             [--slots K] [--sequential]
 //!
 //! experiments:
 //!   table1 fig1 fig3 fig4 fig5 fig6 table2 fig7 fig8 fig9 fig10 fig11
@@ -62,6 +65,16 @@
 //! acceptance configuration `repro stream --synthetic poisson --workers
 //! 1024 --until 3600 --headless` is committed as the
 //! `stream/open_loop/w1024` bench row.
+//!
+//! `repro sched` runs the **online cluster scheduler**: one global manager
+//! owns the seeded workload as a shared arrival stream and makes live
+//! queueing/placement/preemption decisions at every `--quantum` barrier,
+//! with per-node FlowCon sims underneath (`--slots` jobs per node).
+//! `--policy` picks the discipline; `--compare` runs all three on the
+//! same workload and prints the per-policy comparison table (makespan,
+//! mean queueing delay, preemptions, migrations, utilization).  Runs are
+//! deterministic: same `--seed` ⇒ bit-identical decision log, sharded or
+//! `--sequential`.
 //! ```
 //!
 //! Output: paper-style tables and ASCII charts on stdout; CSV artifacts
@@ -140,6 +153,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("stream") {
         run_stream(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("sched") {
+        run_sched_cmd(&args[1..]);
         return;
     }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
@@ -344,9 +361,11 @@ fn check_gate(results: &[perf::PerfResult], baseline_path: &str, mode: &str) {
 /// bench case exactly, so any committed `BENCH_*.json` point can be
 /// reproduced by hand; `--seed` reseeds the workload plan.
 fn run_cluster(args: &[String]) {
-    use flowcon_cluster::{executor, Manager, PolicyKind, RoundRobin};
+    use flowcon_cluster::{executor, ClusterSession, PolicyKind};
     use flowcon_core::config::{FlowConConfig, NodeConfig};
+    use flowcon_core::recorder::FullRecorder;
     use flowcon_dl::workload::WorkloadPlan;
+    use flowcon_metrics::summary::makespan_over;
 
     let parse_num = |name: &str| {
         flag_value(args, name).map(|v| {
@@ -379,16 +398,16 @@ fn run_cluster(args: &[String]) {
     ));
     let plan = WorkloadPlan::random_n(jobs, seed);
     let node = NodeConfig::default().with_seed(perf::CLUSTER_BENCH_NODE_SEED);
-    let manager = Manager::new(
-        workers,
-        node,
-        PolicyKind::FlowCon(FlowConConfig::default()),
-        RoundRobin::default(),
-    );
+    let session = || {
+        ClusterSession::builder()
+            .nodes(workers, node)
+            .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+            .plan(plan.clone())
+    };
     let start = std::time::Instant::now();
     // (placed, completed, makespan, events)
     let (placed, completed, makespan, events) = if headless {
-        let run = manager.run_headless_with(plan, queue);
+        let run = session().queue(queue).build().run();
         (
             run.placements.len(),
             run.completed_jobs(),
@@ -396,14 +415,15 @@ fn run_cluster(args: &[String]) {
             run.events_processed(),
         )
     } else {
-        let result = manager.run_owned(plan);
-        let events = result.workers.iter().map(|w| w.events_processed).sum();
-        (
-            result.assignments.len(),
-            result.completed_jobs(),
-            result.makespan_secs(),
-            events,
-        )
+        let result = session().recorder(|_| FullRecorder::new()).build().run();
+        let events = result.events_processed();
+        let completed = result
+            .workers
+            .iter()
+            .map(|w| w.output.completions.len())
+            .sum::<usize>();
+        let makespan = makespan_over(result.workers.iter().map(|w| w.output.makespan_secs()));
+        (result.placements.len(), completed, makespan, events)
     };
     let wall = start.elapsed();
 
@@ -482,7 +502,7 @@ fn peak_rss_kib() -> Option<u64> {
 /// bench seeds) at 100k workers, so the printed numbers line up with the
 /// `cluster/headless/w100000` bench row.
 fn run_profile(args: &[String]) {
-    use flowcon_cluster::{executor, Manager, PolicyKind, RoundRobin};
+    use flowcon_cluster::{executor, ClusterSession, PolicyKind};
     use flowcon_core::config::{FlowConConfig, NodeConfig};
     use flowcon_dl::workload::WorkloadPlan;
     use std::time::Instant;
@@ -521,17 +541,16 @@ fn run_profile(args: &[String]) {
     let plan = WorkloadPlan::random_n(jobs, seed);
     let (plan_secs, plan_allocs) = (t0.elapsed().as_secs_f64(), allocs() - a0);
 
-    // Manager construction (the per-worker NodeConfig vector) is part of
+    // Session construction (the per-worker NodeConfig vector) is part of
     // standing the cluster up, so it bills the placement stage.
     let (a1, t1) = (allocs(), Instant::now());
     let node = NodeConfig::default().with_seed(perf::CLUSTER_BENCH_NODE_SEED);
-    let manager = Manager::new(
-        workers,
-        node,
-        PolicyKind::FlowCon(FlowConConfig::default()),
-        RoundRobin::default(),
-    );
-    let placed = manager.place_headless(plan);
+    let placed = ClusterSession::builder()
+        .nodes(workers, node)
+        .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+        .plan(plan)
+        .build()
+        .place();
     let (place_secs, place_allocs) = (t1.elapsed().as_secs_f64(), allocs() - a1);
 
     let (a2, t2) = (allocs(), Instant::now());
@@ -788,6 +807,123 @@ fn run_trace(args: &[String]) {
         ];
         print!("{}", text_table(&["metric", "value"], &rows));
     }
+}
+
+/// `repro sched [--policy P] [--compare] ...`: run the online cluster
+/// scheduler over a seeded random workload and print the per-policy
+/// outcome table (see the module docs for the flags).
+fn run_sched_cmd(args: &[String]) {
+    use flowcon_cluster::{ClusterSession, PolicyKind, SchedPolicyKind};
+    use flowcon_core::config::{FlowConConfig, NodeConfig};
+    use flowcon_dl::workload::WorkloadPlan;
+    use flowcon_sim::time::SimDuration;
+
+    let parse_num = |name: &str, default: u64| {
+        flag_value(args, name).map_or(default, |v| {
+            v.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("{name} wants a number, got {v}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let workers = parse_num("--workers", 16) as usize;
+    let jobs = parse_num("--jobs", 4 * workers as u64) as usize;
+    let seed = parse_num("--seed", perf::CLUSTER_BENCH_PLAN_SEED);
+    let slots = parse_num("--slots", 2) as usize;
+    let quantum = flag_value(args, "--quantum").map_or(10.0, |v| {
+        v.parse::<f64>().unwrap_or_else(|_| {
+            eprintln!("--quantum wants seconds, got {v}");
+            std::process::exit(2);
+        })
+    });
+    let sequential = args.iter().any(|a| a == "--sequential");
+    let compare = args.iter().any(|a| a == "--compare");
+    if workers == 0 {
+        eprintln!("--workers must be at least 1: a cluster with no workers cannot run jobs");
+        std::process::exit(2);
+    }
+    if jobs == 0 {
+        eprintln!("--jobs must be at least 1: an empty workload schedules nothing");
+        std::process::exit(2);
+    }
+    if quantum <= 0.0 {
+        eprintln!("--quantum must be positive");
+        std::process::exit(2);
+    }
+    if slots == 0 {
+        eprintln!("--slots must be at least 1: a node needs a job slot");
+        std::process::exit(2);
+    }
+    let kinds: Vec<SchedPolicyKind> = if compare {
+        SchedPolicyKind::ALL.to_vec()
+    } else {
+        let name = flag_value(args, "--policy").unwrap_or_else(|| "fifo".into());
+        match SchedPolicyKind::parse(&name) {
+            Some(kind) => vec![kind],
+            None => {
+                eprintln!("--policy wants fifo, gandiva or tiresias, got {name}");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    section(&format!(
+        "Online cluster scheduler: {workers} nodes x {slots} slots, {jobs} jobs, {quantum:.0}s quantum"
+    ));
+    let plan = WorkloadPlan::random_n(jobs, seed);
+    let node = NodeConfig::default().with_seed(perf::CLUSTER_BENCH_NODE_SEED);
+    let rows: Vec<Vec<String>> = kinds
+        .iter()
+        .map(|&kind| {
+            let out = ClusterSession::builder()
+                .nodes(workers, node)
+                .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+                .plan(plan.clone())
+                .scheduler(kind)
+                .quantum(SimDuration::from_secs_f64(quantum))
+                .slots_per_node(slots)
+                .sequential(sequential)
+                .build()
+                .run();
+            assert_eq!(
+                out.completed_jobs(),
+                out.submitted,
+                "{} lost jobs",
+                out.policy
+            );
+            // Every column is simulated-time derived, so the table is
+            // bit-identical across runs — the determinism the acceptance
+            // check diffs on.
+            vec![
+                out.policy.to_string(),
+                format!("{:.1}", out.makespan_secs()),
+                format!("{:.1}", out.mean_queueing_delay_secs()),
+                out.completed_jobs().to_string(),
+                out.preemptions.to_string(),
+                out.migrations.to_string(),
+                out.algorithm_runs.to_string(),
+                format!("{:.1}%", 100.0 * out.stream.utilization()),
+                format!("{:.3}", out.stream.mean_queue_depth()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        text_table(
+            &[
+                "policy",
+                "makespan (s)",
+                "mean q-delay (s)",
+                "done",
+                "preempt",
+                "migrate",
+                "rounds",
+                "util",
+                "mean depth"
+            ],
+            &rows
+        )
+    );
 }
 
 /// `repro stream`: run an open-loop arrival stream end to end (see the

@@ -6,7 +6,7 @@
 //! replay helpers for the single-worker (full observability) and cluster
 //! (headless) open-loop configurations the CLI and the perf suite share.
 
-use flowcon_cluster::{Horizon, Manager, OpenLoopRun, PolicyKind, RoundRobin, StreamSource};
+use flowcon_cluster::{ClusterOutcome, ClusterSession, DynStreamSource, Horizon, PolicyKind};
 use flowcon_core::config::NodeConfig;
 use flowcon_core::session::{Session, StreamResult};
 use flowcon_metrics::summary::{CompletionStats, RunSummary};
@@ -50,14 +50,19 @@ pub fn stream_session<J: JobStream>(
 }
 
 /// Run a headless open-loop cluster of `workers` nodes off `source`.
-pub fn stream_cluster<S: StreamSource + ?Sized>(
-    source: &S,
+pub fn stream_cluster(
+    source: &dyn DynStreamSource,
     workers: usize,
     horizon: Horizon,
     node: NodeConfig,
     policy: PolicyKind,
-) -> OpenLoopRun<CompletionStats> {
-    Manager::new(workers, node, policy, RoundRobin::default()).run_open_loop(source, horizon)
+) -> ClusterOutcome<CompletionStats> {
+    ClusterSession::builder()
+        .nodes(workers, node)
+        .policy(policy)
+        .stream(source, horizon)
+        .build()
+        .run()
 }
 
 #[cfg(test)]
@@ -65,6 +70,7 @@ mod tests {
     use super::*;
     use crate::experiments::default_node;
     use flowcon_core::config::FlowConConfig;
+    use flowcon_workload::StreamSource;
 
     #[test]
     fn stream_presets_mirror_the_trace_presets() {

@@ -8,7 +8,7 @@
 //! configurations, and the synthetic-process presets the CLI and the perf
 //! suite share.
 
-use flowcon_cluster::{ClusterRun, Manager, PolicyKind, RoundRobin};
+use flowcon_cluster::{ClusterOutcome, ClusterSession, PolicyKind};
 use flowcon_core::config::NodeConfig;
 use flowcon_core::session::{Session, SessionResult};
 use flowcon_metrics::summary::{CompletionStats, RunSummary};
@@ -61,13 +61,18 @@ pub fn replay_session(
 }
 
 /// Replay a plan source on a headless cluster of `workers` nodes.
-pub fn replay_cluster<S: PlanSource + ?Sized>(
-    source: &S,
+pub fn replay_cluster(
+    source: &dyn PlanSource,
     workers: usize,
     node: NodeConfig,
     policy: PolicyKind,
-) -> ClusterRun<CompletionStats> {
-    Manager::new(workers, node, policy, RoundRobin::default()).run_source(source)
+) -> ClusterOutcome<CompletionStats> {
+    ClusterSession::builder()
+        .nodes(workers, node)
+        .policy(policy)
+        .source(source)
+        .build()
+        .run()
 }
 
 /// The CLI's poisson preset: `rate` jobs/s over the Table-1 mix.

@@ -13,7 +13,7 @@
 
 use std::time::{Duration, Instant};
 
-use flowcon_cluster::{Horizon, Manager, PolicyKind, RoundRobin, StreamSource, TraceSource};
+use flowcon_cluster::{ClusterSession, Horizon, PolicyKind, SchedPolicyKind, TraceSource};
 use flowcon_container::ContainerId;
 use flowcon_core::algorithm::run_algorithm1;
 use flowcon_core::config::{FlowConConfig, NodeConfig};
@@ -28,7 +28,7 @@ use flowcon_sim::alloc::{
 use flowcon_sim::engine::{Scheduler, SimEngine, Simulation};
 use flowcon_sim::rng::SimRng;
 use flowcon_sim::time::{SimDuration, SimTime};
-use flowcon_workload::{ArrivalProcess, SyntheticStreamSource};
+use flowcon_workload::{ArrivalProcess, StreamSource, SyntheticStreamSource};
 
 /// One micro-benchmark's aggregated result.
 #[derive(Debug, Clone)]
@@ -436,18 +436,17 @@ pub fn run_micro_suite(counter: Option<AllocCounter<'_>>) -> Vec<PerfResult> {
     for workers in [4096usize, 10240] {
         let plan = WorkloadPlan::random_n(workers * 2, CLUSTER_BENCH_PLAN_SEED);
         let node = NodeConfig::default().with_seed(CLUSTER_BENCH_NODE_SEED);
-        let manager = || {
-            Manager::new(
-                workers,
-                node,
-                PolicyKind::FlowCon(FlowConConfig::default()),
-                RoundRobin::default(),
-            )
+        let session = |p: WorkloadPlan| {
+            ClusterSession::builder()
+                .nodes(workers, node)
+                .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+                .plan(p)
+                .build()
         };
         let mut events = 0u64;
         let ns = time_ns(
             || {
-                let run = manager().run_headless(plan.clone());
+                let run = session(plan.clone()).run();
                 events = run.events_processed();
                 std::hint::black_box(run.completed_jobs());
             },
@@ -461,7 +460,7 @@ pub fn run_micro_suite(counter: Option<AllocCounter<'_>>) -> Vec<PerfResult> {
         let mut plans: Vec<WorkloadPlan> = (0..4).map(|_| plan.clone()).collect();
         let allocs = allocs_per_op_iters(counter, 3, || {
             let p = plans.pop().expect("4 plans pre-cloned");
-            std::hint::black_box(manager().run_headless(p).completed_jobs());
+            std::hint::black_box(session(p).run().completed_jobs());
         })
         .map(|per_run| per_run / workers as f64);
         push(
@@ -486,13 +485,12 @@ pub fn run_micro_suite(counter: Option<AllocCounter<'_>>) -> Vec<PerfResult> {
         let node = NodeConfig::default().with_seed(CLUSTER_BENCH_NODE_SEED);
         let before = counter.map(|c| c());
         let start = Instant::now();
-        let manager = Manager::new(
-            workers,
-            node,
-            PolicyKind::FlowCon(FlowConConfig::default()),
-            RoundRobin::default(),
-        );
-        let run = manager.run_headless(plan);
+        let run = ClusterSession::builder()
+            .nodes(workers, node)
+            .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+            .plan(plan)
+            .build()
+            .run();
         let ns = start.elapsed().as_nanos() as f64;
         let events = run.events_processed();
         std::hint::black_box(run.completed_jobs());
@@ -605,25 +603,24 @@ pub fn run_micro_suite(counter: Option<AllocCounter<'_>>) -> Vec<PerfResult> {
             workers,
         );
         let node = NodeConfig::default().with_seed(CLUSTER_BENCH_NODE_SEED);
-        let manager = || {
-            Manager::new(
-                workers,
-                node,
-                PolicyKind::FlowCon(FlowConConfig::default()),
-                RoundRobin::default(),
-            )
+        let session = || {
+            ClusterSession::builder()
+                .nodes(workers, node)
+                .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+                .source(&source)
+                .build()
         };
         let mut events = 0u64;
         let ns = time_ns(
             || {
-                let run = manager().run_source(&source);
+                let run = session().run();
                 events = run.events_processed();
                 std::hint::black_box(run.completed_jobs());
             },
             Duration::from_millis(1200),
         );
         let allocs = allocs_per_op_iters(counter, 3, || {
-            std::hint::black_box(manager().run_source(&source).completed_jobs());
+            std::hint::black_box(session().run().completed_jobs());
         })
         .map(|per_run| per_run / workers as f64);
         push(
@@ -683,25 +680,24 @@ pub fn run_micro_suite(counter: Option<AllocCounter<'_>>) -> Vec<PerfResult> {
             SyntheticStreamSource::new(ArrivalProcess::poisson(0.0005), CLUSTER_BENCH_PLAN_SEED)
                 .unlabeled();
         let horizon = Horizon::until(SimTime::from_secs(3600));
-        let manager = || {
-            Manager::new(
-                workers,
-                node,
-                PolicyKind::FlowCon(FlowConConfig::default()),
-                RoundRobin::default(),
-            )
+        let session = || {
+            ClusterSession::builder()
+                .nodes(workers, node)
+                .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+                .stream(&source, horizon)
+                .build()
         };
         let mut events = 0u64;
         let ns = time_ns(
             || {
-                let run = manager().run_open_loop(&source, horizon);
+                let run = session().run();
                 events = run.events_processed();
                 std::hint::black_box(run.completed_jobs());
             },
             Duration::from_millis(1200),
         );
         let allocs = allocs_per_op_iters(counter, 3, || {
-            std::hint::black_box(manager().run_open_loop(&source, horizon).completed_jobs());
+            std::hint::black_box(session().run().completed_jobs());
         })
         .map(|per_run| per_run / workers as f64);
         push(
@@ -710,6 +706,41 @@ pub fn run_micro_suite(counter: Option<AllocCounter<'_>>) -> Vec<PerfResult> {
             allocs,
             Some(events as f64 / (ns / 1e9)),
         );
+    }
+
+    // --- sched: online cluster scheduler, all three disciplines ---
+    // `repro sched --compare` at bench scale: 1024 jobs queued/placed/
+    // preempted across a 64-node cluster by the global manager, one row
+    // per discipline run back to back (the CLI's --compare shape).  The
+    // op is admission + decision rounds + quantum-barrier advances, so
+    // events/s tracks core count like every other sharded row — the
+    // `sched/` prefix is excluded from the relative throughput gate and
+    // the row is held by presence (and wall time in the json for eyeball
+    // comparisons across disciplines).
+    {
+        let nodes = 64usize;
+        let jobs = 1024usize;
+        let plan = WorkloadPlan::random_n(jobs, CLUSTER_BENCH_PLAN_SEED);
+        let node = NodeConfig::default().with_seed(CLUSTER_BENCH_NODE_SEED);
+        let mut completed = 0usize;
+        let ns = time_ns(
+            || {
+                for kind in SchedPolicyKind::ALL {
+                    let out = ClusterSession::builder()
+                        .nodes(nodes, node)
+                        .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+                        .plan(plan.clone())
+                        .scheduler(kind)
+                        .build()
+                        .run();
+                    completed = out.completed_jobs();
+                    std::hint::black_box(out.decisions.len());
+                }
+            },
+            Duration::from_millis(1200),
+        );
+        assert_eq!(completed, jobs, "sched bench must drain its workload");
+        push(&format!("sched/compare/w{jobs}"), ns, None, None);
     }
 
     // --- rt: real threads under the token-bucket governor ---
@@ -779,14 +810,14 @@ fn cluster_case(workers: usize) -> (WorkloadPlan, impl Fn(&WorkloadPlan) -> u64)
     let plan = WorkloadPlan::random_n(workers * 2, CLUSTER_BENCH_PLAN_SEED);
     let node = NodeConfig::default().with_seed(CLUSTER_BENCH_NODE_SEED);
     let run = move |plan: &WorkloadPlan| {
-        let manager = Manager::new(
-            workers,
-            node,
-            PolicyKind::FlowCon(FlowConConfig::default()),
-            RoundRobin::default(),
-        );
-        let result = manager.run(plan);
-        result.workers.iter().map(|w| w.events_processed).sum()
+        let result = ClusterSession::builder()
+            .nodes(workers, node)
+            .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+            .plan(plan.clone())
+            .recorder(|_| flowcon_core::recorder::FullRecorder::new())
+            .build()
+            .run();
+        result.events_processed()
     };
     (plan, run)
 }
@@ -848,16 +879,17 @@ pub const ZERO_ALLOC_PREFIXES: [&str; 3] = [
 pub const EVENTS_REGRESSION_TOLERANCE: f64 = 0.25;
 
 /// Benchmark-name prefixes excluded from the **relative** events/s check:
-/// cluster throughput (closed `cluster/` rows and the open-loop
-/// `stream/open_loop/` row) scales with the runner's *core count* (the
-/// sharded executor uses `available_parallelism` threads), so a baseline
-/// committed from an 8-core box would permanently fail a 4-vCPU CI runner
-/// on unchanged code, and `rt/` rows run real threads against the wall
-/// clock, so their "events/s" (completions per wall second) tracks the
-/// machine, not the code.  These rows stay gated by presence and — where
-/// measured — by their machine-independent allocs/worker figure (see
-/// [`ALLOCS_REGRESSION_TOLERANCE`]).
-pub const THROUGHPUT_GATE_EXCLUDE_PREFIXES: [&str; 3] = ["cluster/", "rt/", "stream/open_loop/"];
+/// cluster throughput (closed `cluster/` rows, the scheduler `sched/` row,
+/// and the open-loop `stream/open_loop/` row) scales with the runner's
+/// *core count* (the sharded executor uses `available_parallelism`
+/// threads), so a baseline committed from an 8-core box would permanently
+/// fail a 4-vCPU CI runner on unchanged code, and `rt/` rows run real
+/// threads against the wall clock, so their "events/s" (completions per
+/// wall second) tracks the machine, not the code.  These rows stay gated
+/// by presence and — where measured — by their machine-independent
+/// allocs/worker figure (see [`ALLOCS_REGRESSION_TOLERANCE`]).
+pub const THROUGHPUT_GATE_EXCLUDE_PREFIXES: [&str; 4] =
+    ["cluster/", "rt/", "sched/", "stream/open_loop/"];
 
 /// Maximum tolerated relative growth of `allocs_per_op` vs the baseline
 /// (25%), applied to every row measuring allocations in both runs (with a

@@ -15,10 +15,15 @@
 //! * [`executor`] — the sharded executor: a bounded shared-cursor pool
 //!   with per-shard reusable state, so 1000-worker clusters run on
 //!   `available_parallelism` OS threads.
-//! * [`manager`] — the manager: splits a workload plan across workers (or
-//!   streams per-worker plans off a [`PlanSource`]) and drives every
-//!   worker simulation on the sharded executor; open-loop clusters run
-//!   off a [`StreamSource`] through [`manager::Manager::run_open_loop`].
+//! * [`manager`] — the legacy manager façade: every `run_*` entry point
+//!   is now a deprecated shim over [`session::ClusterSession`].
+//! * [`session`] — the front door: one builder covering closed plans,
+//!   streamed plan sources, open-loop job streams, pluggable recorders,
+//!   and the online scheduler.
+//! * [`sched`] — the cluster-wide online scheduler: a global admission
+//!   queue, pluggable disciplines ([`FifoPolicy`], [`GandivaPolicy`],
+//!   [`TiresiasPolicy`]), and node-local FlowCon sims advancing between
+//!   quantum barriers.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,8 +32,18 @@ pub mod executor;
 pub mod manager;
 pub mod placement;
 pub mod policy_kind;
+pub mod sched;
+pub mod session;
 
 pub use manager::{ClusterResult, ClusterRun, Manager, OpenLoopRun, PlacedHeadless};
+pub use sched::{
+    ClusterPolicy, ClusterView, Decision, FifoPolicy, GandivaPolicy, QueuedJobView, RunningJobView,
+    SchedAction, SchedConfig, SchedOutcome, SchedPolicyKind, TiresiasPolicy,
+};
+pub use session::{
+    BoxedStream, ClusterOutcome, ClusterSession, ClusterSessionBuilder, DynStreamSource, Headless,
+    Recorded, Sched,
+};
 // The dense headless path's tunables, re-exported for the repro CLI.
 pub use flowcon_core::dense::QueueKind;
 pub use placement::{LeastLoaded, PlacementStrategy, RoundRobin, Spread};

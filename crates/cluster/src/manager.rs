@@ -1,35 +1,12 @@
-//! The cluster manager.
+//! The legacy cluster manager façade.
 //!
-//! Accepts a workload plan, places each job on a worker (in arrival order,
-//! using a [`PlacementStrategy`]), then drives one
-//! [`Session`] per worker on the sharded
-//! [`crate::executor`] pool — at most `available_parallelism` OS threads
-//! regardless of cluster size, with one recycled [`WorkerScratch`] per
-//! shard and **one shared image registry for the whole cluster** (the PR-2
-//! profile showed a fresh registry per worker dominating fixed overhead).
-//! Workers are independent once jobs are assigned, exactly as in the
-//! paper's architecture where managers never participate in worker-side
-//! reconfiguration.
-//!
-//! Observability is chosen per run: [`Manager::run_owned`] records full
-//! summaries (today's behavior), [`Manager::run_headless`] keeps label-free
-//! completions only — O(completions) memory, which is what makes
-//! 10k-worker clusters practical — and [`Manager::run_recorded`] accepts
-//! any [`Recorder`] factory.
-//!
-//! Workloads arrive either as one materialized [`WorkloadPlan`] the
-//! manager places job by job, or as a streaming
-//! [`PlanSource`] ([`Manager::run_source`] /
-//! [`Manager::run_source_recorded`]): each executor shard pulls the plan
-//! of the worker it is about to simulate, so one arrival trace drives the
-//! whole cluster without 10k plans ever existing at once.
-//!
-//! Both of those are *closed* workloads — the job set is fixed before any
-//! worker starts.  [`Manager::run_open_loop`] is the **open-loop** mode:
-//! each worker pulls an unbounded [`JobStream`] off a [`StreamSource`] and
-//! admits arrivals mid-run until a [`Horizon`] trips, reporting
-//! steady-state [`StreamStats`] (arrival vs. completion rate, queue depth,
-//! utilization) instead of just a makespan.
+//! Every `run_*` entry point on [`Manager`] is now a thin `#[deprecated]`
+//! shim over [`ClusterSession`] — one
+//! builder covering placed plans, streaming plan sources, open-loop job
+//! streams, pluggable recorders, and the online scheduler.  See the
+//! migration table in [`crate::session`]; the result types here
+//! ([`ClusterResult`], [`ClusterRun`], [`OpenLoopRun`], [`PlacedHeadless`])
+//! are *not* deprecated — the shims and the builder share them.
 //!
 //! [`JobStream`]: flowcon_workload::stream::JobStream
 
@@ -39,9 +16,9 @@ use flowcon_container::image::shared_dl_defaults;
 use flowcon_container::ImageRegistry;
 use flowcon_core::config::NodeConfig;
 use flowcon_core::dense::{run_headless_dense, DenseScratch, QueueKind};
-use flowcon_core::recorder::{CompletionsOnly, FullRecorder, Recorder};
-use flowcon_core::session::{Session, SessionResult, StreamResult};
-use flowcon_core::worker::{RunResult, WorkerScratch};
+use flowcon_core::recorder::{FullRecorder, Recorder};
+use flowcon_core::session::{SessionResult, StreamResult};
+use flowcon_core::worker::RunResult;
 use flowcon_dl::workload::{JobRequest, WorkloadPlan};
 use flowcon_metrics::stream::StreamStats;
 use flowcon_metrics::summary::{makespan_over, CompletionStats};
@@ -49,8 +26,11 @@ use flowcon_workload::source::PlanSource;
 use flowcon_workload::stream::{Horizon, StreamSource};
 
 use crate::executor;
-use crate::placement::{record_assignment, PlacementStrategy, WorkerLoad};
+use crate::placement::PlacementStrategy;
 use crate::policy_kind::PolicyKind;
+use crate::session::{
+    AsDynStream, ClusterOutcome, ClusterSession, ClusterSessionBuilder, DynPlan, Headless,
+};
 
 /// Result of a full-observability cluster run.
 #[derive(Debug)]
@@ -81,15 +61,35 @@ impl ClusterResult {
 
     /// Completion time of a job by label, searching all workers; delegates
     /// to [`RunSummary::completion_of`](flowcon_metrics::summary::RunSummary::completion_of).
+    ///
+    /// This is a **linear scan** — O(total completions) per call, which
+    /// is fine for a handful of lookups.  Callers probing many labels
+    /// should build [`ClusterResult::completions_sorted`] once and
+    /// binary-search it per label instead.
     pub fn completion_of(&self, label: &str) -> Option<f64> {
         self.workers
             .iter()
             .find_map(|w| w.summary.completion_of(label))
     }
+
+    /// Every labeled completion as `(label, completion_secs)`, sorted by
+    /// label — the amortized counterpart of
+    /// [`ClusterResult::completion_of`].  Build it once, then each lookup
+    /// is `O(log n)`:
+    /// `sorted.binary_search_by(|(l, _)| l.cmp(&label)).map(|i| sorted[i].1)`.
+    pub fn completions_sorted(&self) -> Vec<(&str, f64)> {
+        let mut sorted: Vec<(&str, f64)> = self
+            .workers
+            .iter()
+            .flat_map(|w| w.summary.completions.iter())
+            .map(|c| (c.label.as_str(), c.completion_secs()))
+            .collect();
+        sorted.sort_by(|a, b| a.0.cmp(b.0));
+        sorted
+    }
 }
 
-/// Result of a recorder-generic cluster run ([`Manager::run_recorded`],
-/// [`Manager::run_headless`]).
+/// Result of a recorder-generic cluster run.
 ///
 /// Unlike [`ClusterResult`], the assignment log stores worker indices only
 /// (`placements[job]` in plan order) — no label clones, so a headless run
@@ -136,7 +136,7 @@ impl ClusterRun<CompletionStats> {
     }
 }
 
-/// Result of an open-loop cluster run ([`Manager::run_open_loop`]).
+/// Result of an open-loop cluster run.
 ///
 /// Like [`ClusterRun`] there is no placement log — the job→worker mapping
 /// is owned by the [`StreamSource`] (deterministic per `worker_id`) — and
@@ -192,19 +192,19 @@ impl OpenLoopRun<CompletionStats> {
 
 /// A headless cluster with every job already placed, ready to simulate.
 ///
-/// Produced by [`Manager::place_headless`]; [`PlacedHeadless::run`] drives
-/// the dense per-worker simulations.  Splitting the run at this boundary
-/// exists for profiling (`repro profile` clocks the two stages separately)
-/// — [`Manager::run_headless_with`] is the one-call form.
+/// Produced by [`ClusterSession::place`](crate::session::ClusterSession::place);
+/// [`PlacedHeadless::run`] drives the dense per-worker simulations.
+/// Splitting the run at this boundary exists for profiling
+/// (`repro profile` clocks the two stages separately).
 #[derive(Debug)]
 pub struct PlacedHeadless {
-    nodes: Vec<NodeConfig>,
-    policy: PolicyKind,
+    pub(crate) nodes: Vec<NodeConfig>,
+    pub(crate) policy: PolicyKind,
     /// All jobs in one arena, sorted by worker (CSR layout).
-    flat: Vec<JobRequest>,
+    pub(crate) flat: Vec<JobRequest>,
     /// `offsets[w]..offsets[w + 1]` slices worker `w`'s jobs out of `flat`.
-    offsets: Vec<usize>,
-    placements: Vec<usize>,
+    pub(crate) offsets: Vec<usize>,
+    pub(crate) placements: Vec<usize>,
 }
 
 impl PlacedHeadless {
@@ -227,6 +227,10 @@ impl PlacedHeadless {
 }
 
 /// The manager: placement + per-worker node configs + per-worker policy.
+///
+/// Construction still works (the config triple is a convenient bundle),
+/// but every run method is a deprecated shim over
+/// [`ClusterSession`].
 pub struct Manager<P: PlacementStrategy> {
     nodes: Vec<NodeConfig>,
     policy: PolicyKind,
@@ -262,208 +266,122 @@ impl<P: PlacementStrategy> Manager<P> {
         self.images = images;
         self
     }
+}
 
-    /// Place every job by moving it into its worker's plan (no per-job
-    /// clone), reporting each `(job, worker)` decision through `on_assign`.
-    fn place_jobs(
-        &mut self,
-        jobs: Vec<JobRequest>,
-        mut on_assign: impl FnMut(&JobRequest, usize),
-    ) -> Vec<Vec<JobRequest>> {
-        let n = self.nodes.len();
-        let mut loads = vec![WorkerLoad::default(); n];
-        let mut per_worker: Vec<Vec<JobRequest>> = vec![Vec::new(); n];
-
-        for job in jobs {
-            let target = self.strategy.place(&job, &loads);
-            assert!(target < n, "strategy returned worker {target} of {n}");
-            record_assignment(&mut loads[target], &job);
-            on_assign(&job, target);
-            per_worker[target].push(job);
-        }
-        per_worker
+impl<P: PlacementStrategy + 'static> Manager<P> {
+    /// The builder carrying this manager's exact configuration — what
+    /// every shim below delegates to.
+    fn into_builder(self) -> ClusterSessionBuilder<'static, Headless> {
+        ClusterSession::builder()
+            .node_configs(self.nodes)
+            .policy(self.policy)
+            .placement(self.strategy)
+            .images(self.images)
     }
 
-    /// Flat (CSR-style) variant of [`Manager::place_jobs`] for the dense
-    /// headless path: instead of one `Vec` per worker — a million
-    /// allocations at a million workers — jobs land in a single arena
-    /// sorted by worker, with `offsets[w]..offsets[w + 1]` slicing worker
-    /// `w`'s jobs.  The sort is stable, so each worker sees its jobs in
-    /// exactly the order the nested layout would give it.
-    fn place_jobs_flat(
-        &mut self,
-        jobs: Vec<JobRequest>,
-        mut on_assign: impl FnMut(&JobRequest, usize),
-    ) -> (Vec<JobRequest>, Vec<usize>) {
-        let n = self.nodes.len();
-        let mut loads = vec![WorkerLoad::default(); n];
-        let mut tagged: Vec<(usize, JobRequest)> = Vec::with_capacity(jobs.len());
-        for job in jobs {
-            let target = self.strategy.place(&job, &loads);
-            assert!(target < n, "strategy returned worker {target} of {n}");
-            record_assignment(&mut loads[target], &job);
-            on_assign(&job, target);
-            tagged.push((target, job));
+    fn run_owned_impl(self, plan: WorkloadPlan) -> ClusterResult {
+        let labels: Vec<String> = plan.jobs.iter().map(|j| j.label.clone()).collect();
+        let outcome = self
+            .into_builder()
+            .plan(plan)
+            .recorder(|_| FullRecorder::new())
+            .build()
+            .run();
+        let workers = outcome.workers.into_iter().map(RunResult::from).collect();
+        ClusterResult {
+            workers,
+            assignments: labels.into_iter().zip(outcome.placements).collect(),
         }
-        tagged.sort_by_key(|&(target, _)| target);
-        let mut offsets = vec![0usize; n + 1];
-        for &(target, _) in &tagged {
-            offsets[target + 1] += 1;
-        }
-        for i in 0..n {
-            offsets[i + 1] += offsets[i];
-        }
-        let flat = tagged.into_iter().map(|(_, job)| job).collect();
-        (flat, offsets)
-    }
-
-    /// Drive one session per worker on the sharded executor: at most
-    /// `available_parallelism` OS threads, each recycling one
-    /// [`WorkerScratch`] across the worker sessions it processes, all
-    /// sharing the manager's image registry.
-    fn drive_sessions<R, F>(
-        self,
-        per_worker: Vec<Vec<JobRequest>>,
-        make: F,
-    ) -> Vec<SessionResult<R::Output>>
-    where
-        R: Recorder,
-        R::Output: Send,
-        F: Fn(usize) -> R + Sync,
-    {
-        let policy = self.policy;
-        let images = self.images;
-        let work: Vec<(usize, NodeConfig, Vec<JobRequest>)> = self
-            .nodes
-            .iter()
-            .copied()
-            .zip(per_worker)
-            .enumerate()
-            .map(|(idx, (node, jobs))| (idx, node, jobs))
-            .collect();
-        executor::map_sharded(
-            work,
-            || (WorkerScratch::new(), images.clone()),
-            |(scratch, images), (idx, node, jobs)| {
-                // The per-worker job lists are already in arrival order, so
-                // WorkloadPlan::new's sort is a no-op pass.
-                let session = Session::builder()
-                    .node(node)
-                    .plan(WorkloadPlan::new(jobs))
-                    .policy_box(policy.build())
-                    .images(images.clone())
-                    .recorder(make(idx))
-                    .scratch(std::mem::take(scratch))
-                    .build();
-                let (result, recycled) = session.run_recycling();
-                *scratch = recycled;
-                result
-            },
-        )
     }
 
     /// Place every job, run every worker, and gather the results.
-    ///
-    /// Convenience wrapper over [`Manager::run_owned`] for callers that
-    /// keep the plan; clones it once.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
+    )]
     pub fn run(self, plan: &WorkloadPlan) -> ClusterResult {
-        self.run_owned(plan.clone())
+        self.run_owned_impl(plan.clone())
     }
 
     /// Place every job (moving it into its worker's plan), then run one
     /// full-observability session per worker.
-    pub fn run_owned(mut self, plan: WorkloadPlan) -> ClusterResult {
-        let mut assignments = Vec::with_capacity(plan.jobs.len());
-        let per_worker = self.place_jobs(plan.jobs, |job, target| {
-            assignments.push((job.label.clone(), target));
-        });
-        let workers = self
-            .drive_sessions(per_worker, |_| FullRecorder::new())
-            .into_iter()
-            .map(RunResult::from)
-            .collect();
-        ClusterResult {
-            workers,
-            assignments,
-        }
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
+    )]
+    pub fn run_owned(self, plan: WorkloadPlan) -> ClusterResult {
+        self.run_owned_impl(plan)
     }
 
     /// Run the cluster with a custom per-worker [`Recorder`] (the factory
     /// receives the worker index).
-    pub fn run_recorded<R, F>(mut self, plan: WorkloadPlan, make: F) -> ClusterRun<R::Output>
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
+    )]
+    pub fn run_recorded<R, F>(self, plan: WorkloadPlan, make: F) -> ClusterRun<R::Output>
     where
         R: Recorder,
         R::Output: Send,
         F: Fn(usize) -> R + Sync,
     {
-        let mut placements = Vec::with_capacity(plan.jobs.len());
-        let per_worker = self.place_jobs(plan.jobs, |_, target| placements.push(target));
-        let workers = self.drive_sessions(per_worker, make);
+        let outcome = self.into_builder().plan(plan).recorder(make).build().run();
         ClusterRun {
-            workers,
-            placements,
+            workers: outcome.workers,
+            placements: outcome.placements,
         }
     }
 
-    /// Run the cluster headless: label-free completions and makespan only.
-    ///
-    /// This is the million-worker configuration.  Placed plans run on the
-    /// **dense path** ([`flowcon_core::dense`]): flat shard-owned arenas
-    /// indexed by the `u32` container ids instead of per-worker
-    /// daemon/pool/monitor objects, bit-identical to the object path per
-    /// worker (same completions, same event count — pinned by
-    /// `source_run_matches_the_equivalent_placed_run` below and the tests
-    /// in `flowcon_core::dense`).  No usage/limit traces are collected or
-    /// even scheduled, no labels are cloned, and the result holds
-    /// O(completions) memory.  Per simulated worker it stays within the
-    /// < 10-allocation budget pinned by
-    /// `crates/cluster/tests/headless_allocs.rs` and the committed
-    /// `cluster/headless/*` bench rows.
-    pub fn run_headless(self, plan: WorkloadPlan) -> ClusterRun<CompletionStats> {
-        self.run_headless_with(plan, QueueKind::default())
+    fn run_headless_impl(
+        self,
+        plan: WorkloadPlan,
+        queue: QueueKind,
+    ) -> ClusterRun<CompletionStats> {
+        let outcome = self.into_builder().plan(plan).queue(queue).build().run();
+        ClusterRun {
+            workers: outcome.workers,
+            placements: outcome.placements,
+        }
     }
 
-    /// [`Manager::run_headless`] with an explicit event-queue choice
-    /// (`repro cluster --queue heap|calendar`).  Both queues dispatch in
-    /// identical `(time, FIFO)` order, so the results are bit-identical —
-    /// pinned by `crates/cluster/tests/executor_edges.rs`.
+    /// Run the cluster headless: label-free completions and makespan only
+    /// (the million-worker configuration; dense path, default queue).
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
+    )]
+    pub fn run_headless(self, plan: WorkloadPlan) -> ClusterRun<CompletionStats> {
+        self.run_headless_impl(plan, QueueKind::default())
+    }
+
+    /// [`Manager::run_headless`] with an explicit event-queue choice.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
+    )]
     pub fn run_headless_with(
         self,
         plan: WorkloadPlan,
         queue: QueueKind,
     ) -> ClusterRun<CompletionStats> {
-        self.place_headless(plan).run(queue)
+        self.run_headless_impl(plan, queue)
     }
 
     /// Place every job for a headless run without simulating anything yet.
-    ///
-    /// This is `run_headless_with` split at its stage boundary so callers
-    /// that care about where the time goes (`repro profile`) can clock
-    /// placement and simulation separately; [`PlacedHeadless::run`] is the
-    /// second half.
-    pub fn place_headless(mut self, plan: WorkloadPlan) -> PlacedHeadless {
-        let mut placements = Vec::with_capacity(plan.jobs.len());
-        let (flat, offsets) = self.place_jobs_flat(plan.jobs, |_, target| placements.push(target));
-        PlacedHeadless {
-            nodes: self.nodes,
-            policy: self.policy,
-            flat,
-            offsets,
-            placements,
-        }
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
+    )]
+    pub fn place_headless(self, plan: WorkloadPlan) -> PlacedHeadless {
+        self.into_builder().plan(plan).build().place()
     }
 
     /// Run the cluster off a streaming [`PlanSource`] with a custom
     /// per-worker [`Recorder`] factory.
-    ///
-    /// Instead of accepting one materialized plan and placing its jobs,
-    /// each executor shard asks the source for the plan of the worker it
-    /// is about to simulate (`source.next_plan(worker)`), runs it, and
-    /// drops it — at no point do all per-worker plans exist at once, which
-    /// is what lets one arrival trace drive a 10k-worker cluster in
-    /// O(trace) + O(completions) memory.  The job→worker mapping is owned
-    /// by the source (deterministic per `worker_id`), so the result
-    /// carries no placement log ([`ClusterRun::placements`] is empty).
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
+    )]
     pub fn run_source_recorded<S, R, F>(self, source: &S, make: F) -> ClusterRun<R::Output>
     where
         S: PlanSource + ?Sized,
@@ -471,57 +389,41 @@ impl<P: PlacementStrategy> Manager<P> {
         R::Output: Send,
         F: Fn(usize) -> R + Sync,
     {
-        let policy = self.policy;
-        let images = self.images;
-        let work: Vec<(usize, NodeConfig)> = self.nodes.iter().copied().enumerate().collect();
-        let workers = executor::map_sharded(
-            work,
-            || (WorkerScratch::new(), images.clone()),
-            |(scratch, images), (idx, node)| {
-                let session = Session::builder()
-                    .node(node)
-                    .plan(source.next_plan(idx))
-                    .policy_box(policy.build())
-                    .images(images.clone())
-                    .recorder(make(idx))
-                    .scratch(std::mem::take(scratch))
-                    .build();
-                let (result, recycled) = session.run_recycling();
-                *scratch = recycled;
-                result
-            },
-        );
+        let source = DynPlan(source);
+        let outcome = self
+            .into_builder()
+            .source(&source)
+            .recorder(make)
+            .build()
+            .run();
         ClusterRun {
-            workers,
+            workers: outcome.workers,
             placements: Vec::new(),
         }
     }
 
     /// Run the cluster headless off a streaming [`PlanSource`]: label-free
-    /// completions only, the 10k-worker trace-replay configuration
-    /// (`repro trace --file <trace> --workers 10240`).
-    ///
-    /// Stays within the ≤ 20 allocs/worker headless budget when the source
-    /// produces unlabeled plans (pinned by
-    /// `crates/cluster/tests/headless_allocs.rs` and the committed
-    /// `cluster/trace_source/*` bench rows).
+    /// completions only, the 10k-worker trace-replay configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
+    )]
     pub fn run_source<S: PlanSource + ?Sized>(self, source: &S) -> ClusterRun<CompletionStats> {
-        self.run_source_recorded(source, |_| CompletionsOnly::new())
+        let source = DynPlan(source);
+        let outcome = self.into_builder().source(&source).build().run();
+        ClusterRun {
+            workers: outcome.workers,
+            placements: Vec::new(),
+        }
     }
 
     /// Run the cluster **open-loop** with a custom per-worker [`Recorder`]
-    /// factory: every worker pulls its own [`JobStream`] off `source`
-    /// (`source.stream_for(worker)`, a pure function of the worker id) and
-    /// admits arrivals mid-run until `horizon` trips, then drains.
-    ///
-    /// The sharded executor drives the workers exactly as in the closed
-    /// modes — one recycled [`WorkerScratch`] per shard, one shared image
-    /// registry — and because each stream is deterministic per worker, the
-    /// run is bit-identical to a sequential loop over
-    /// `Session::run_stream` regardless of sharding or interleaving
-    /// (pinned by `crates/cluster/tests/open_loop.rs`).
-    ///
-    /// [`JobStream`]: flowcon_workload::stream::JobStream
+    /// factory: every worker pulls its own stream off `source` and admits
+    /// arrivals mid-run until `horizon` trips, then drains.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
+    )]
     pub fn run_open_loop_recorded<S, R, F>(
         self,
         source: &S,
@@ -534,100 +436,59 @@ impl<P: PlacementStrategy> Manager<P> {
         R::Output: Send,
         F: Fn(usize) -> R + Sync,
     {
-        let policy = self.policy;
-        let images = self.images;
-        let work: Vec<(usize, NodeConfig)> = self.nodes.iter().copied().enumerate().collect();
-        let workers = executor::map_sharded(
-            work,
-            || (WorkerScratch::new(), images.clone()),
-            |(scratch, images), (idx, node)| {
-                let session = Session::builder()
-                    .node(node)
-                    .policy_box(policy.build())
-                    .images(images.clone())
-                    .recorder(make(idx))
-                    .scratch(std::mem::take(scratch))
-                    .build();
-                let (result, recycled) =
-                    session.run_stream_recycling(source.stream_for(idx), horizon);
-                *scratch = recycled;
-                result
-            },
-        );
-        OpenLoopRun { workers }
+        let source = AsDynStream(source);
+        let outcome = self
+            .into_builder()
+            .stream(&source, horizon)
+            .recorder(make)
+            .build()
+            .run();
+        OpenLoopRun {
+            workers: rejoin_streams(outcome),
+        }
     }
 
     /// Run the cluster **open-loop and headless**: label-free completions
-    /// plus steady-state [`StreamStats`] per worker — the
-    /// `repro stream --workers 1024 --until 3600 --headless`
-    /// configuration.
-    ///
-    /// Stays within the ≤ 20 allocs/worker headless budget when the source
-    /// yields unlabeled jobs (pinned by
-    /// `crates/cluster/tests/headless_allocs.rs` and the committed
-    /// `stream/open_loop/*` bench rows).
+    /// plus steady-state [`StreamStats`] per worker.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
+    )]
     pub fn run_open_loop<S: StreamSource + ?Sized>(
         self,
         source: &S,
         horizon: Horizon,
     ) -> OpenLoopRun<CompletionStats> {
-        self.run_open_loop_recorded(source, horizon, |_| CompletionsOnly::new())
-    }
-
-    /// The legacy execution path: one OS thread per worker.
-    ///
-    /// Kept (a) as the reference the sharded executor is bit-compared
-    /// against in `tests/cluster_scale.rs`, and (b) for small clusters on
-    /// machines where oversubscribing threads is acceptable.  Panics the
-    /// spawning thread if any worker simulation panics — and actually
-    /// spawns `workers` OS threads, so don't call it with a 1000-node
-    /// cluster.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Manager::run / run_owned (sharded, bit-identical) instead"
-    )]
-    pub fn run_spawn_per_worker(mut self, plan: &WorkloadPlan) -> ClusterResult {
-        let mut assignments = Vec::with_capacity(plan.jobs.len());
-        let per_worker = self.place_jobs(plan.jobs.clone(), |job, target| {
-            assignments.push((job.label.clone(), target));
-        });
-        let policy = self.policy;
-        let nodes = self.nodes;
-        let images = self.images;
-        let workers: Vec<RunResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = per_worker
-                .into_iter()
-                .zip(&nodes)
-                .map(|(jobs, &node)| {
-                    let images = images.clone();
-                    scope.spawn(move || {
-                        let plan = WorkloadPlan::new(jobs);
-                        let result = Session::builder()
-                            .node(node)
-                            .plan(plan)
-                            .policy_box(policy.build())
-                            .images(images)
-                            .build()
-                            .run();
-                        RunResult::from(result)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker simulation panicked"))
-                .collect()
-        });
-
-        ClusterResult {
-            workers,
-            assignments,
+        let source = AsDynStream(source);
+        let outcome = self.into_builder().stream(&source, horizon).build().run();
+        OpenLoopRun {
+            workers: rejoin_streams(outcome),
         }
     }
 }
 
+/// Zip a stream outcome's parallel vectors back into the per-worker
+/// [`StreamResult`]s the legacy [`OpenLoopRun`] shape carries.
+fn rejoin_streams<T>(outcome: ClusterOutcome<T>) -> Vec<StreamResult<T>> {
+    outcome
+        .workers
+        .into_iter()
+        .zip(outcome.streams)
+        .map(|(w, stream)| StreamResult {
+            output: w.output,
+            events_processed: w.events_processed,
+            scheduler_overhead_cpu_secs: w.scheduler_overhead_cpu_secs,
+            stream,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
+    // The shims must keep behaving exactly like the builder they wrap, so
+    // these tests intentionally exercise the deprecated surface.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::placement::{RoundRobin, Spread};
     use flowcon_core::config::FlowConConfig;
@@ -636,52 +497,40 @@ mod tests {
         NodeConfig::default()
     }
 
+    fn manager(workers: usize) -> Manager<RoundRobin> {
+        Manager::new(workers, node(), PolicyKind::Baseline, RoundRobin::default())
+    }
+
     #[test]
-    fn all_jobs_complete_across_two_workers() {
+    fn run_shim_places_round_robin_and_completes_everything() {
         let plan = WorkloadPlan::random_n(10, 7);
-        let manager = Manager::new(2, node(), PolicyKind::Baseline, RoundRobin::default());
-        let result = manager.run(&plan);
+        let result = manager(2).run(&plan);
         assert_eq!(result.completed_jobs(), 10);
         assert_eq!(result.assignments.len(), 10);
-        // Round-robin: 5 jobs each.
         let w0 = result.assignments.iter().filter(|(_, w)| *w == 0).count();
         assert_eq!(w0, 5);
     }
 
     #[test]
-    fn two_workers_beat_one_on_makespan() {
-        let plan = WorkloadPlan::random_n(10, 7);
-        let one = Manager::new(1, node(), PolicyKind::Baseline, Spread).run(&plan);
-        let two = Manager::new(2, node(), PolicyKind::Baseline, Spread).run(&plan);
-        assert!(
-            two.makespan_secs() < one.makespan_secs(),
-            "2 workers {:.0}s vs 1 worker {:.0}s",
-            two.makespan_secs(),
-            one.makespan_secs()
-        );
-    }
-
-    #[test]
-    fn flowcon_policy_runs_on_every_worker() {
-        let plan = WorkloadPlan::random_n(8, 9);
-        let manager = Manager::new(
-            2,
-            node(),
-            PolicyKind::FlowCon(FlowConConfig::default()),
-            Spread,
-        );
-        let result = manager.run(&plan);
-        assert_eq!(result.completed_jobs(), 8);
-        for w in &result.workers {
-            assert_eq!(w.summary.policy, "FlowCon-5%-20");
+    fn run_shim_matches_the_builder_bit_for_bit() {
+        let plan = WorkloadPlan::random_n(12, 5);
+        let shim = manager(3).run_headless(plan.clone());
+        let direct = ClusterSession::builder()
+            .nodes(3, node())
+            .plan(plan)
+            .build()
+            .run();
+        assert_eq!(shim.placements, direct.placements);
+        assert_eq!(shim.events_processed(), direct.events_processed());
+        for (a, b) in shim.workers.iter().zip(&direct.workers) {
+            assert_eq!(a.output, b.output);
         }
     }
 
     #[test]
     fn completion_lookup_spans_workers() {
         let plan = WorkloadPlan::random_n(4, 3);
-        let result =
-            Manager::new(2, node(), PolicyKind::Baseline, RoundRobin::default()).run(&plan);
+        let result = manager(2).run(&plan);
         for job in &plan.jobs {
             assert!(
                 result.completion_of(&job.label).is_some(),
@@ -693,27 +542,18 @@ mod tests {
     }
 
     #[test]
-    fn headless_run_matches_full_run_under_na() {
-        // The NA baseline ignores measurements, so removing the sampling
-        // events cannot change the fluid dynamics: headless and full agree
-        // to the engine's 1 µs completion-check margin.  (Under FlowCon the
-        // two are only statistically equivalent — fewer integration steps
-        // draw a different eval-noise stream.)
-        let plan = WorkloadPlan::random_n(12, 5);
-        let build = || Manager::new(3, node(), PolicyKind::Baseline, RoundRobin::default());
-        let full = build().run(&plan);
-        let headless = build().run_headless(plan.clone());
-        assert_eq!(headless.completed_jobs(), 12);
-        assert_eq!(headless.placements.len(), 12);
-        // Placement is identical (labels dropped, indices kept).
-        let full_targets: Vec<usize> = full.assignments.iter().map(|&(_, w)| w).collect();
-        assert_eq!(headless.placements, full_targets);
-        let diff = (headless.makespan_secs() - full.makespan_secs()).abs();
-        assert!(diff < 1e-3, "makespan diverged by {diff}s");
-        // Headless schedules no sampling events at all.
-        let full_events: u64 = full.workers.iter().map(|w| w.events_processed).sum();
-        assert!(headless.events_processed() < full_events);
-        assert!(headless.mean_completion_secs().unwrap() > 0.0);
+    fn completions_sorted_agrees_with_the_linear_lookup() {
+        let plan = WorkloadPlan::random_n(8, 3);
+        let result = manager(3).run(&plan);
+        let sorted = result.completions_sorted();
+        assert_eq!(sorted.len(), 8);
+        assert!(sorted.windows(2).all(|w| w[0].0 <= w[1].0), "unsorted");
+        for job in &plan.jobs {
+            let i = sorted
+                .binary_search_by(|&(l, _)| l.cmp(job.label.as_str()))
+                .unwrap_or_else(|_| panic!("missing {}", job.label));
+            assert_eq!(Some(sorted[i].1), result.completion_of(&job.label));
+        }
     }
 
     #[test]
@@ -730,36 +570,18 @@ mod tests {
     }
 
     #[test]
-    fn recorded_run_passes_worker_indices_to_the_factory() {
-        use std::sync::atomic::{AtomicU64, Ordering};
-        let plan = WorkloadPlan::random_n(6, 2);
-        let seen = AtomicU64::new(0);
-        let run = Manager::new(3, node(), PolicyKind::Baseline, RoundRobin::default())
-            .run_recorded(plan, |idx| {
-                seen.fetch_or(1 << idx, Ordering::Relaxed);
-                CompletionsOnly::new()
-            });
-        assert_eq!(run.workers.len(), 3);
-        assert_eq!(seen.load(Ordering::Relaxed), 0b111, "every index seen");
-    }
-
-    #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = Manager::new(0, node(), PolicyKind::Baseline, Spread);
     }
 
     #[test]
-    fn source_run_matches_the_equivalent_placed_run() {
+    fn source_shim_matches_the_equivalent_placed_run() {
         use flowcon_workload::{BoundTrace, TraceSource};
-        // A trace source slicing round-robin is exactly RoundRobin
-        // placement of the same arrival-ordered plan, so the two paths
-        // must complete the same jobs at the same makespan.
         let plan = WorkloadPlan::random_n(12, 5);
         let source = TraceSource::new(BoundTrace::from_plan(plan.clone()), 3);
-        let build = || Manager::new(3, node(), PolicyKind::Baseline, RoundRobin::default());
-        let placed = build().run_headless(plan);
-        let streamed = build().run_source(&source);
+        let placed = manager(3).run_headless(plan);
+        let streamed = manager(3).run_source(&source);
         assert_eq!(streamed.completed_jobs(), 12);
         assert!(streamed.placements.is_empty(), "the source owns placement");
         for (a, b) in placed.workers.iter().zip(&streamed.workers) {
@@ -769,24 +591,7 @@ mod tests {
     }
 
     #[test]
-    fn open_loop_cluster_drives_every_worker_to_the_horizon() {
-        use flowcon_workload::{ArrivalProcess, SyntheticStreamSource};
-        let source = SyntheticStreamSource::new(ArrivalProcess::poisson(0.05), 7).unlabeled();
-        let horizon = Horizon::jobs(2);
-        let run = Manager::new(4, node(), PolicyKind::Baseline, RoundRobin::default())
-            .run_open_loop(&source, horizon);
-        assert_eq!(run.workers.len(), 4);
-        assert_eq!(run.submitted_jobs(), 8);
-        assert_eq!(run.completed_jobs(), 8, "every admitted job drains");
-        assert!(run.makespan_secs() > 0.0);
-        let totals = run.stream_totals();
-        assert_eq!(totals.submitted, 8);
-        assert!(totals.utilization() > 0.0 && totals.utilization() <= 1.0);
-        assert!(totals.mean_queue_depth() > 0.0);
-    }
-
-    #[test]
-    fn open_loop_cluster_accepts_cyclic_trace_sources() {
+    fn open_loop_shim_accepts_cyclic_trace_sources() {
         use flowcon_workload::TraceStreamSource;
         // A 6-job plan cycled across 3 workers: each worker replays its
         // 2-row slice repeatedly until the 5-job-per-worker horizon.
@@ -794,20 +599,20 @@ mod tests {
         let source =
             TraceStreamSource::new(flowcon_workload::BoundTrace::from_plan(plan).unlabeled(), 3)
                 .cyclic();
-        let run = Manager::new(3, node(), PolicyKind::Baseline, RoundRobin::default())
-            .run_open_loop(&source, Horizon::jobs(5));
+        let run = manager(3).run_open_loop(&source, Horizon::jobs(5));
         assert_eq!(run.submitted_jobs(), 15, "cyclic replay is unbounded");
         assert_eq!(run.completed_jobs(), 15);
+        assert!(run.makespan_secs() > 0.0);
+        assert!(run.stream_totals().utilization() > 0.0);
     }
 
     #[test]
     fn synthetic_source_drives_every_worker() {
         use flowcon_workload::{ArrivalProcess, SyntheticSource};
         let source = SyntheticSource::new(ArrivalProcess::poisson(0.05), 2, 7).unlabeled();
-        let run = Manager::new(4, node(), PolicyKind::Baseline, RoundRobin::default())
-            .run_source(&source);
+        let run = manager(4).run_source(&source);
         assert_eq!(run.workers.len(), 4);
-        assert_eq!(run.completed_jobs(), 8);
+        assert_eq!(run.completed_jobs(), 4 * 2);
         assert!(run.makespan_secs() > 0.0);
     }
 }

@@ -1,0 +1,468 @@
+//! The cluster-wide online scheduler: one global manager, a shared
+//! arrival stream, and node-local FlowCon sims advancing between
+//! time-synchronized barriers.
+//!
+//! # Event spine
+//!
+//! The engine owns a single clock that ticks in scheduler quanta.  At
+//! every barrier `t = k·quantum` it runs, in this exact order:
+//!
+//! 1. **Admit** — arrivals with `arrival ≤ t` enter the global FIFO
+//!    admission queue (a real scheduler observes submissions at its next
+//!    decision point).
+//! 2. **Decide** — the [`ClusterPolicy`] sees a read-only
+//!    [`ClusterView`] and emits [`SchedAction`]s, which the engine
+//!    applies in order and appends to the decision log.
+//! 3. **Advance** — every node integrates its own fluid state to
+//!    `t + quantum`, completing jobs at their *exact* mid-quantum times
+//!    and running node-local FlowCon reconfigurations at their own
+//!    cadence.
+//!
+//! Step 3 is embarrassingly parallel: each `NodeSim` advance is
+//! a pure function of that node's state, so the engine can run it
+//! sequentially or over the sharded executor and get bit-identical
+//! results — the same determinism contract the closed-loop cluster path
+//! has, pinned by `crates/cluster/tests/sched_determinism.rs`.
+//!
+//! # Quantum invariants
+//!
+//! * Decisions happen only at barriers; node physics (completions,
+//!   policy ticks) happen at exact event times inside the quantum.
+//! * A preempted job re-enters the queue with its attained service and
+//!   remaining work preserved (resume re-draws the ±3% work jitter,
+//!   modelling checkpoint-restore noise).
+//! * The decision log plus the completion list fully determine a run;
+//!   both are `PartialEq` for bit-compare tests.
+
+#![deny(missing_docs)]
+
+mod node;
+mod policy;
+
+pub use policy::{
+    ClusterPolicy, ClusterView, FifoPolicy, GandivaPolicy, QueuedJobView, RunningJobView,
+    SchedAction, SchedPolicyKind, TiresiasPolicy,
+};
+
+use std::collections::VecDeque;
+
+use flowcon_core::config::NodeConfig;
+use flowcon_dl::ModelId;
+use flowcon_metrics::stream::StreamStats;
+use flowcon_metrics::summary::{makespan_over, Completion};
+use flowcon_sim::time::{SimDuration, SimTime};
+
+use crate::executor::map_sharded;
+use crate::policy_kind::PolicyKind;
+use node::NodeSim;
+use policy::NodeSpan;
+
+/// Tuning knobs of the scheduling engine.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedConfig {
+    /// Barrier spacing: how often the cluster policy runs.
+    pub quantum: SimDuration,
+    /// Concurrent job slots per node (FlowCon shares the node's capacity
+    /// among the jobs in its slots).
+    pub slots_per_node: usize,
+    /// Advance nodes on the caller's thread instead of the sharded
+    /// executor.  Results are bit-identical either way; the sequential
+    /// mode exists for determinism tests and tiny clusters.
+    pub sequential: bool,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        Self {
+            quantum: SimDuration::from_secs(10),
+            slots_per_node: 2,
+            sequential: false,
+        }
+    }
+}
+
+/// One logged scheduling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Barrier at which the decision was made.
+    pub at: SimTime,
+    /// The action taken.
+    pub action: SchedAction,
+}
+
+/// Everything a scheduled cluster run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedOutcome {
+    /// Discipline name (from [`ClusterPolicy::name`]).
+    pub policy: &'static str,
+    /// Every job completion, in observation order (node-major per
+    /// quantum), with exact finish times.
+    pub completions: Vec<Completion>,
+    /// The full decision log — the run's scheduling fingerprint.
+    pub decisions: Vec<Decision>,
+    /// Cluster-wide stream accounting (utilization, queue depth, rates).
+    pub stream: StreamStats,
+    /// Total seconds jobs spent in the admission queue (every visit).
+    pub total_queue_wait_secs: f64,
+    /// Jobs submitted to the cluster.
+    pub submitted: usize,
+    /// Preemptions applied (suspend-to-queue).
+    pub preemptions: u64,
+    /// Cross-node migrations applied (same-node no-ops excluded).
+    pub migrations: u64,
+    /// Node-local FlowCon reconfiguration runs, summed over nodes.
+    pub algorithm_runs: u64,
+}
+
+impl SchedOutcome {
+    /// Time of the last completion (0 when nothing completed).
+    pub fn makespan_secs(&self) -> f64 {
+        makespan_over(self.completions.iter().map(|c| c.finished.as_secs_f64()))
+    }
+
+    /// Completed job count.
+    pub fn completed_jobs(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Mean seconds a job spent queued, over submitted jobs.
+    pub fn mean_queueing_delay_secs(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.total_queue_wait_secs / self.submitted as f64
+        }
+    }
+}
+
+/// One job the engine knows about: the scheduler-side record that
+/// survives preemption round-trips.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ArrivalSpec {
+    pub(crate) model: ModelId,
+    pub(crate) arrival: SimTime,
+    pub(crate) work_scale: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EngineJob {
+    id: u32,
+    model: ModelId,
+    arrival: SimTime,
+    work_scale: f64,
+    attained: f64,
+    queued_since: SimTime,
+}
+
+/// Run the scheduling engine to completion over a materialized arrival
+/// list (already sorted by arrival time).
+pub(crate) fn run_sched(
+    node_cfgs: &[NodeConfig],
+    worker_policy: PolicyKind,
+    mut policy: Box<dyn ClusterPolicy>,
+    config: SchedConfig,
+    arrivals: Vec<ArrivalSpec>,
+) -> SchedOutcome {
+    assert!(!node_cfgs.is_empty(), "a cluster needs at least one node");
+    assert!(
+        config.quantum > SimDuration::ZERO,
+        "the scheduler quantum must be positive"
+    );
+    let quantum = config.quantum;
+    let mut nodes: Vec<NodeSim> = node_cfgs
+        .iter()
+        .map(|cfg| NodeSim::new(*cfg, worker_policy.build_send(), config.slots_per_node))
+        .collect();
+
+    let mut queue: VecDeque<EngineJob> = VecDeque::new();
+    // gid → node currently running the job (None: queued or done).
+    let mut location: Vec<Option<usize>> = vec![None; arrivals.len()];
+    let mut next_arrival = 0usize;
+
+    let mut decisions: Vec<Decision> = Vec::new();
+    let mut completions: Vec<Completion> = Vec::new();
+    let mut total_queue_wait_secs = 0.0f64;
+    let mut queue_job_secs = 0.0f64;
+    let mut preemptions = 0u64;
+    let mut migrations = 0u64;
+
+    // Recycled view buffers.
+    let mut queue_views: Vec<QueuedJobView> = Vec::new();
+    let mut spans: Vec<NodeSpan> = Vec::new();
+    let mut running: Vec<RunningJobView> = Vec::new();
+    let mut actions: Vec<SchedAction> = Vec::new();
+
+    let mut t = SimTime::ZERO;
+    loop {
+        // 1. Admit arrivals up to the barrier.
+        while next_arrival < arrivals.len() && arrivals[next_arrival].arrival <= t {
+            let a = arrivals[next_arrival];
+            queue.push_back(EngineJob {
+                id: next_arrival as u32,
+                model: a.model,
+                arrival: a.arrival,
+                work_scale: a.work_scale,
+                attained: 0.0,
+                queued_since: a.arrival,
+            });
+            next_arrival += 1;
+        }
+        let all_idle = nodes.iter().all(NodeSim::is_idle);
+        if next_arrival == arrivals.len() && queue.is_empty() && all_idle {
+            break;
+        }
+        // Fast-forward across empty quanta to the first barrier at/after
+        // the next arrival, keeping the idle nodes' clocks in sync so a
+        // subsequent admit integrates from the barrier, not from stale
+        // node time.
+        if queue.is_empty() && all_idle {
+            let upcoming = arrivals[next_arrival].arrival;
+            while t < upcoming {
+                t += quantum;
+            }
+            for node in &mut nodes {
+                node.advance_to(t);
+            }
+            continue;
+        }
+
+        // 2. Decide.
+        queue_views.clear();
+        queue_views.extend(queue.iter().map(|j| QueuedJobView {
+            id: j.id,
+            arrival: j.arrival,
+            attained_cpu_secs: j.attained,
+            queued_since: j.queued_since,
+        }));
+        spans.clear();
+        running.clear();
+        for node in &nodes {
+            let start = running.len();
+            node.fill_views(&mut running);
+            spans.push(NodeSpan {
+                slots: node.slot_count(),
+                start,
+                len: running.len() - start,
+            });
+        }
+        let view = ClusterView::new(t, &queue_views, &spans, &running);
+        actions.clear();
+        policy.schedule(&view, &mut actions);
+
+        for &action in &actions {
+            decisions.push(Decision { at: t, action });
+            match action {
+                SchedAction::Place { job, node } => {
+                    let pos = queue
+                        .iter()
+                        .position(|j| j.id == job)
+                        .expect("Place must target a queued job");
+                    let j = queue.remove(pos).expect("position found above");
+                    total_queue_wait_secs += t.saturating_since(j.queued_since).as_secs_f64();
+                    location[j.id as usize] = Some(node);
+                    nodes[node].admit(j.id, j.model, j.work_scale, j.arrival, j.attained);
+                }
+                SchedAction::Preempt { job } => {
+                    let at = location[job as usize]
+                        .take()
+                        .expect("Preempt must target a running job");
+                    let p = nodes[at].preempt(job);
+                    preemptions += 1;
+                    queue.push_back(EngineJob {
+                        id: job,
+                        model: p.model,
+                        arrival: p.arrival,
+                        work_scale: p.remaining_scale,
+                        attained: p.attained_cpu_secs,
+                        queued_since: t,
+                    });
+                }
+                SchedAction::Migrate { job, node } => {
+                    let at = location[job as usize].expect("Migrate must target a running job");
+                    if at == node {
+                        continue; // logged no-op
+                    }
+                    let p = nodes[at].preempt(job);
+                    nodes[node].admit(
+                        job,
+                        p.model,
+                        p.remaining_scale,
+                        p.arrival,
+                        p.attained_cpu_secs,
+                    );
+                    location[job as usize] = Some(node);
+                    migrations += 1;
+                }
+            }
+        }
+        queue_job_secs += queue.len() as f64 * quantum.as_secs_f64();
+
+        // 3. Advance every node to the next barrier — sequentially or on
+        //    the sharded executor, bit-identically.
+        let barrier = t + quantum;
+        if config.sequential || nodes.len() == 1 {
+            for node in &mut nodes {
+                node.advance_to(barrier);
+            }
+        } else {
+            let owned = std::mem::take(&mut nodes);
+            nodes = map_sharded(
+                owned,
+                || (),
+                |(), mut node| {
+                    node.advance_to(barrier);
+                    node
+                },
+            );
+        }
+        for node in &mut nodes {
+            for c in node.completions.drain(..) {
+                location[c.gid as usize] = None;
+                completions.push(Completion {
+                    arrival: c.arrival,
+                    finished: c.finished,
+                    exit_code: 0,
+                });
+            }
+        }
+        t = barrier;
+    }
+
+    let duration_secs = makespan_over(completions.iter().map(|c| c.finished.as_secs_f64()));
+    let stream = StreamStats {
+        submitted: arrivals.len() as u64,
+        completed: completions.len() as u64,
+        duration_secs,
+        busy_cpu_secs: nodes.iter().map(|n| n.busy_cpu_secs).sum(),
+        queue_job_secs: queue_job_secs + nodes.iter().map(|n| n.live_job_secs).sum::<f64>(),
+        capacity_cpu_secs: duration_secs * node_cfgs.iter().map(|c| c.capacity).sum::<f64>(),
+    };
+    SchedOutcome {
+        policy: policy.name(),
+        completions,
+        decisions,
+        stream,
+        total_queue_wait_secs,
+        submitted: arrivals.len(),
+        preemptions,
+        migrations,
+        algorithm_runs: nodes.iter().map(|n| n.algorithm_runs).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcon_core::config::FlowConConfig;
+    use flowcon_dl::WorkloadPlan;
+
+    fn arrivals_of(plan: &WorkloadPlan) -> Vec<ArrivalSpec> {
+        plan.jobs
+            .iter()
+            .map(|j| ArrivalSpec {
+                model: j.model,
+                arrival: j.arrival,
+                work_scale: j.work_scale,
+            })
+            .collect()
+    }
+
+    fn run(kind: SchedPolicyKind, workers: usize, seed: u64, sequential: bool) -> SchedOutcome {
+        let plan = WorkloadPlan::random_n(12, seed);
+        let cfgs: Vec<NodeConfig> = (0..workers)
+            .map(|i| NodeConfig::default().with_seed(0xF10C + i as u64))
+            .collect();
+        run_sched(
+            &cfgs,
+            PolicyKind::FlowCon(FlowConConfig::default()),
+            kind.build(),
+            SchedConfig {
+                sequential,
+                ..SchedConfig::default()
+            },
+            arrivals_of(&plan),
+        )
+    }
+
+    #[test]
+    fn every_policy_drains_the_whole_workload() {
+        for kind in SchedPolicyKind::ALL {
+            let out = run(kind, 3, 42, true);
+            assert_eq!(out.completed_jobs(), 12, "{} lost jobs", out.policy);
+            assert_eq!(out.stream.submitted, 12);
+            assert!(out.makespan_secs() > 0.0);
+            assert!(out.stream.utilization() > 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_workload_terminates_immediately_with_no_decisions() {
+        let cfgs = [NodeConfig::default()];
+        let out = run_sched(
+            &cfgs,
+            PolicyKind::Baseline,
+            SchedPolicyKind::Fifo.build(),
+            SchedConfig::default(),
+            Vec::new(),
+        );
+        assert!(out.completions.is_empty());
+        assert!(out.decisions.is_empty());
+        assert_eq!(out.makespan_secs(), 0.0);
+        assert_eq!(out.mean_queueing_delay_secs(), 0.0);
+    }
+
+    #[test]
+    fn fifo_queueing_delay_reflects_slot_pressure() {
+        // One single-slot node, many jobs: later jobs must wait.
+        let plan = WorkloadPlan::random_n(6, 7);
+        let cfgs = [NodeConfig::default()];
+        let out = run_sched(
+            &cfgs,
+            PolicyKind::FlowCon(FlowConConfig::default()),
+            SchedPolicyKind::Fifo.build(),
+            SchedConfig {
+                slots_per_node: 1,
+                ..SchedConfig::default()
+            },
+            arrivals_of(&plan),
+        );
+        assert_eq!(out.completed_jobs(), 6);
+        assert!(out.mean_queueing_delay_secs() > 0.0);
+        assert_eq!(out.preemptions, 0, "FIFO never preempts");
+    }
+
+    #[test]
+    fn sequential_and_sharded_advance_are_bit_identical() {
+        for kind in SchedPolicyKind::ALL {
+            let seq = run(kind, 4, 11, true);
+            let shard = run(kind, 4, 11, false);
+            assert_eq!(seq, shard, "{} diverged across advance modes", kind.name());
+        }
+    }
+
+    #[test]
+    fn a_late_lone_arrival_is_fast_forwarded_to() {
+        let cfgs = [NodeConfig::default()];
+        let arrivals = vec![ArrivalSpec {
+            model: ModelId::MnistTorch,
+            arrival: SimTime::from_secs(86_400),
+            work_scale: 0.05,
+        }];
+        let out = run_sched(
+            &cfgs,
+            PolicyKind::Baseline,
+            SchedPolicyKind::Fifo.build(),
+            SchedConfig::default(),
+            arrivals,
+        );
+        assert_eq!(out.completed_jobs(), 1);
+        assert!(out.completions[0].finished >= SimTime::from_secs(86_400));
+        // The job was placed at the first barrier at/after its arrival.
+        assert!(out.decisions[0].at >= SimTime::from_secs(86_400));
+        assert!(
+            out.decisions[0].at <= SimTime::from_secs(86_410),
+            "placement barrier drifted: {:?}",
+            out.decisions[0].at
+        );
+    }
+}

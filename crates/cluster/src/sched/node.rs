@@ -1,0 +1,575 @@
+//! The pausable node-local FlowCon simulation driven by the scheduler's
+//! quantum barriers.
+//!
+//! Each [`NodeSim`] is the dense worker sim
+//! (`flowcon_core::dense`) reshaped for *online* control: instead of an
+//! event queue draining a fixed plan, the node holds a small slot arena
+//! of running jobs and exposes three verbs to the engine — `admit`,
+//! `preempt`, and `advance_to(barrier)`.  Between barriers the node
+//! integrates its fluid state exactly like the dense path (water-filling
+//! rates, contention efficiency, FlowCon policy ticks at their own
+//! cadence), so per-node physics are identical; only job arrival and
+//! departure are externally driven.
+//!
+//! `advance_to` is a pure function of the node's own state: no shared
+//! memory, no RNG outside the node's private stream.  That is what makes
+//! the engine's sequential and sharded advance modes bit-identical
+//! (pinned by `crates/cluster/tests/sched_determinism.rs`).
+
+use flowcon_container::{ContainerId, ResourceLimits, UpdateOptions, Workload};
+use flowcon_core::config::NodeConfig;
+use flowcon_core::metric::{progress_score, GrowthMeasurement};
+use flowcon_core::policy::ResourcePolicy;
+use flowcon_dl::{ModelId, ModelSpec, TrainingJob};
+use flowcon_sim::alloc::{waterfill_soft_into, AllocRequest, WaterfillScratch};
+use flowcon_sim::rng::SimRng;
+use flowcon_sim::time::{SimDuration, SimTime};
+use flowcon_sim::{ResourceKind, ResourceVec, RESOURCE_KINDS};
+
+use super::policy::RunningJobView;
+
+/// Must match `monitor::MIN_INTERVAL_SECS` (measurement reuse window).
+const MIN_INTERVAL_SECS: f64 = 0.1;
+
+/// Remaining work at or below this is "finished" — keeps the inner
+/// advance loop from chasing femtosecond tails.
+const EPS_REMAINING: f64 = 1e-9;
+
+/// A job completion observed by a node mid-quantum, at its exact time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeCompletion {
+    pub(crate) gid: u32,
+    pub(crate) arrival: SimTime,
+    pub(crate) finished: SimTime,
+}
+
+/// What `preempt` hands back to the engine: enough to requeue and later
+/// resume the job elsewhere.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PreemptedJob {
+    pub(crate) model: ModelId,
+    /// Remaining work as a fraction of the catalog total (becomes the
+    /// resumed job's `work_scale`).
+    pub(crate) remaining_scale: f64,
+    /// Total effective CPU-seconds attained across all placements.
+    pub(crate) attained_cpu_secs: f64,
+    /// Original submission time.
+    pub(crate) arrival: SimTime,
+}
+
+/// Dense mirror of the container monitor's per-container state.
+#[derive(Debug, Clone, Copy)]
+struct Mon {
+    tracked: bool,
+    last_tick: SimTime,
+    last_eval: Option<f64>,
+    last_cumulative: ResourceVec,
+    cached_progress: Option<f64>,
+    cached_avg_usage: ResourceVec,
+}
+
+impl Mon {
+    const UNTRACKED: Mon = Mon {
+        tracked: false,
+        last_tick: SimTime::ZERO,
+        last_eval: None,
+        last_cumulative: ResourceVec::ZERO,
+        cached_progress: None,
+        cached_avg_usage: ResourceVec::ZERO,
+    };
+}
+
+/// One occupied job slot.  The slot index is the container id the
+/// node-local `ResourcePolicy` sees.
+#[derive(Debug)]
+struct Slot {
+    gid: u32,
+    model: ModelId,
+    job: TrainingJob,
+    limits: ResourceLimits,
+    arrival: SimTime,
+    placed_at: SimTime,
+    rem_at_place: f64,
+    base_attained: f64,
+    cumulative: ResourceVec,
+    mon: Mon,
+}
+
+impl Slot {
+    fn remaining(&self) -> f64 {
+        self.job.remaining_cpu_seconds().unwrap_or(0.0)
+    }
+
+    fn attained(&self) -> f64 {
+        self.base_attained + (self.rem_at_place - self.remaining()).max(0.0)
+    }
+}
+
+/// One node of the scheduled cluster: slot arena + node-local FlowCon
+/// policy + private RNG, advanced barrier-to-barrier by the engine.
+pub(crate) struct NodeSim {
+    cfg: NodeConfig,
+    policy: Box<dyn ResourcePolicy + Send>,
+    rng: SimRng,
+    now: SimTime,
+    /// Next node-local policy reconfiguration, if one is scheduled.
+    next_tick: Option<SimTime>,
+    slots: Vec<Option<Slot>>,
+    live: usize,
+    /// ∫ allocated CPU rate dt (for utilization).
+    pub(crate) busy_cpu_secs: f64,
+    /// ∫ live jobs dt (for mean queue depth).
+    pub(crate) live_job_secs: f64,
+    pub(crate) algorithm_runs: u64,
+    pub(crate) update_calls: u64,
+    /// Completions since the engine last drained them, in time order.
+    pub(crate) completions: Vec<NodeCompletion>,
+    // Recycled hot-path buffers.
+    alloc: WaterfillScratch,
+    requests: Vec<AllocRequest>,
+    order: Vec<usize>,
+    rates: Vec<f64>,
+    effs: Vec<f64>,
+    measures: Vec<GrowthMeasurement>,
+    pool_ids: Vec<ContainerId>,
+    updates: Vec<(ContainerId, f64)>,
+}
+
+impl NodeSim {
+    pub(crate) fn new(
+        cfg: NodeConfig,
+        policy: Box<dyn ResourcePolicy + Send>,
+        slots: usize,
+    ) -> Self {
+        assert!(slots > 0, "a node needs at least one job slot");
+        Self {
+            cfg,
+            policy,
+            rng: SimRng::new(cfg.seed),
+            now: SimTime::ZERO,
+            next_tick: None,
+            slots: (0..slots).map(|_| None).collect(),
+            live: 0,
+            busy_cpu_secs: 0.0,
+            live_job_secs: 0.0,
+            algorithm_runs: 0,
+            update_calls: 0,
+            completions: Vec::new(),
+            alloc: WaterfillScratch::default(),
+            requests: Vec::new(),
+            order: Vec::new(),
+            rates: Vec::new(),
+            effs: Vec::new(),
+            measures: Vec::new(),
+            pool_ids: Vec::new(),
+            updates: Vec::new(),
+        }
+    }
+
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub(crate) fn is_idle(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Append one [`RunningJobView`] per occupied slot, in slot order.
+    pub(crate) fn fill_views(&self, out: &mut Vec<RunningJobView>) {
+        for slot in self.slots.iter().flatten() {
+            out.push(RunningJobView {
+                id: slot.gid,
+                attained_cpu_secs: slot.attained(),
+                placed_at: slot.placed_at,
+            });
+        }
+    }
+
+    /// Admit a job into the lowest free slot at the node's current time.
+    ///
+    /// `work_scale` is relative to the catalog spec (1.0 for a fresh
+    /// job, the remaining fraction for a resumed one); `base_attained`
+    /// carries service from earlier placements.  Panics if the node is
+    /// full — the engine validates placements before applying them.
+    pub(crate) fn admit(
+        &mut self,
+        gid: u32,
+        model: ModelId,
+        work_scale: f64,
+        arrival: SimTime,
+        base_attained: f64,
+    ) {
+        let now = self.now;
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| s.is_none())
+            .expect("scheduler placed a job on a full node");
+        let spec = ModelSpec::of(model).scaled_by(work_scale);
+        // Same RNG protocol as the worker sim's admission: the ±3% work
+        // jitter models checkpoint-restore noise on resume.
+        let job = TrainingJob::with_label(spec, String::new(), &mut self.rng);
+        let rem = job.remaining_cpu_seconds().unwrap_or(0.0);
+        self.slots[idx] = Some(Slot {
+            gid,
+            model,
+            job,
+            limits: ResourceLimits::unlimited(),
+            arrival,
+            placed_at: now,
+            rem_at_place: rem,
+            base_attained,
+            cumulative: ResourceVec::ZERO,
+            mon: Mon::UNTRACKED,
+        });
+        self.live += 1;
+
+        self.rebuild_pool_ids();
+        let pool_ids = std::mem::take(&mut self.pool_ids);
+        let interrupt = self.policy.on_pool_change(now, &pool_ids);
+        self.pool_ids = pool_ids;
+        if interrupt {
+            self.reconfigure(now);
+        } else if self.live == 1 {
+            self.next_tick = self
+                .policy
+                .initial_interval()
+                .filter(|d| *d > SimDuration::ZERO)
+                .map(|d| now + d);
+        }
+    }
+
+    /// Checkpoint a running job out of its slot.
+    pub(crate) fn preempt(&mut self, gid: u32) -> PreemptedJob {
+        let now = self.now;
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|s| s.gid == gid))
+            .expect("scheduler preempted a job this node does not run");
+        let slot = self.slots[idx]
+            .take()
+            .expect("slot occupancy checked above");
+        self.live -= 1;
+
+        let rem = slot.remaining();
+        let total = ModelSpec::of(slot.model).total_work;
+        let out = PreemptedJob {
+            model: slot.model,
+            remaining_scale: (rem / total).max(f64::MIN_POSITIVE),
+            attained_cpu_secs: slot.attained(),
+            arrival: slot.arrival,
+        };
+
+        self.rebuild_pool_ids();
+        let pool_ids = std::mem::take(&mut self.pool_ids);
+        let interrupt = self.policy.on_pool_change(now, &pool_ids);
+        self.pool_ids = pool_ids;
+        if self.live == 0 {
+            self.next_tick = None;
+        } else if interrupt {
+            self.reconfigure(now);
+        }
+        out
+    }
+
+    /// Integrate the node's fluid state forward to `barrier`, completing
+    /// jobs at their exact finish times and running policy ticks at
+    /// their own cadence.  Pure in the node's own state.
+    pub(crate) fn advance_to(&mut self, barrier: SimTime) {
+        debug_assert!(barrier >= self.now, "barrier in the past");
+        while self.now < barrier {
+            if self.live == 0 {
+                break;
+            }
+            self.recompute_rates();
+
+            // Next stop: the barrier, the policy tick, or the earliest
+            // projected completion (with the worker sim's 1 µs margin so
+            // integration strictly crosses the finish line).
+            let mut target = barrier;
+            if let Some(tick) = self.next_tick {
+                if tick < target {
+                    target = tick;
+                }
+            }
+            let window = barrier.saturating_since(self.now).as_secs_f64();
+            let mut eta_best: Option<f64> = None;
+            for (k, &idx) in self.order.iter().enumerate() {
+                let slot = self.slots[idx]
+                    .as_ref()
+                    .expect("order tracks occupied slots");
+                let speed = self.rates[k] * self.effs[k];
+                if speed > 1e-12 {
+                    let eta = slot.remaining() / speed;
+                    eta_best = Some(eta_best.map_or(eta, |b: f64| b.min(eta)));
+                }
+            }
+            if let Some(eta) = eta_best {
+                if eta <= window {
+                    let at =
+                        self.now + SimDuration::from_secs_f64(eta) + SimDuration::from_micros(1);
+                    if at < target {
+                        target = at;
+                    }
+                }
+            }
+
+            let dt = target.saturating_since(self.now).as_secs_f64();
+            if dt > 0.0 {
+                for (k, &idx) in self.order.iter().enumerate() {
+                    let rate = self.rates[k];
+                    let eff = self.effs[k];
+                    let slot = self.slots[idx]
+                        .as_mut()
+                        .expect("order tracks occupied slots");
+                    let mut usage = slot.job.footprint();
+                    usage.set(ResourceKind::Cpu, rate);
+                    slot.cumulative += usage.scale(dt);
+                    slot.job.advance(target, rate * eff * dt);
+                    self.busy_cpu_secs += rate * dt;
+                }
+                self.live_job_secs += self.live as f64 * dt;
+            }
+            self.now = target;
+
+            // Collect exact-time completions.
+            let mut exited = false;
+            for idx in 0..self.slots.len() {
+                let done = self.slots[idx]
+                    .as_ref()
+                    .is_some_and(|s| s.remaining() <= EPS_REMAINING);
+                if done {
+                    let slot = self.slots[idx].take().expect("occupancy checked above");
+                    self.live -= 1;
+                    exited = true;
+                    self.completions.push(NodeCompletion {
+                        gid: slot.gid,
+                        arrival: slot.arrival,
+                        finished: self.now,
+                    });
+                }
+            }
+            if exited {
+                self.rebuild_pool_ids();
+                let pool_ids = std::mem::take(&mut self.pool_ids);
+                let interrupt = self.policy.on_pool_change(self.now, &pool_ids);
+                self.pool_ids = pool_ids;
+                if self.live == 0 {
+                    self.next_tick = None;
+                } else if interrupt {
+                    self.reconfigure(self.now);
+                }
+            }
+            if self.next_tick.is_some_and(|tick| tick <= self.now) && self.live > 0 {
+                self.reconfigure(self.now);
+            }
+        }
+        self.now = barrier;
+    }
+
+    /// Water-fill the node capacity over the occupied slots (identical
+    /// math to the dense worker path: soft limits, then contention
+    /// efficiency per container).
+    fn recompute_rates(&mut self) {
+        self.order.clear();
+        self.requests.clear();
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if let Some(slot) = slot {
+                self.order.push(idx);
+                self.requests.push(AllocRequest {
+                    limit: slot.limits.cpu_limit(),
+                    demand: slot.job.demand(),
+                    weight: 1.0,
+                });
+            }
+        }
+        waterfill_soft_into(&mut self.alloc, self.cfg.capacity, &self.requests);
+        self.rates.clear();
+        self.rates.extend_from_slice(self.alloc.rates());
+        let n = self.order.len();
+        self.effs.clear();
+        self.effs.extend(self.requests.iter().map(|r| {
+            let shaped = r.limit < 0.999;
+            self.cfg.contention.container_efficiency(n, shaped)
+        }));
+    }
+
+    fn rebuild_pool_ids(&mut self) {
+        self.pool_ids.clear();
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if slot.is_some() {
+                self.pool_ids.push(ContainerId::from_raw(idx as u32));
+            }
+        }
+    }
+
+    /// Mirror of the dense monitor's `measure_into` over the slot arena.
+    fn measure_into(&mut self, now: SimTime) {
+        self.measures.clear();
+        for idx in 0..self.slots.len() {
+            let Some(slot) = self.slots[idx].as_mut() else {
+                continue;
+            };
+            let id = ContainerId::from_raw(idx as u32);
+            let eval_now = slot.job.eval(now);
+            let cumulative = slot.cumulative;
+            let limit = slot.limits.cpu_limit();
+            let m = &mut slot.mon;
+            let measurement = if !m.tracked {
+                *m = Mon {
+                    tracked: true,
+                    last_tick: now,
+                    last_eval: eval_now,
+                    last_cumulative: cumulative,
+                    cached_progress: None,
+                    cached_avg_usage: ResourceVec::ZERO,
+                };
+                GrowthMeasurement {
+                    id,
+                    progress: None,
+                    avg_usage: ResourceVec::ZERO,
+                    cpu_limit: limit,
+                }
+            } else {
+                let dt = now.saturating_since(m.last_tick).as_secs_f64();
+                if dt < MIN_INTERVAL_SECS {
+                    GrowthMeasurement {
+                        id,
+                        progress: m.cached_progress,
+                        avg_usage: m.cached_avg_usage,
+                        cpu_limit: limit,
+                    }
+                } else {
+                    let mut avg_usage = ResourceVec::ZERO;
+                    for kind in RESOURCE_KINDS {
+                        avg_usage.set(
+                            kind,
+                            (cumulative.get(kind) - m.last_cumulative.get(kind)) / dt,
+                        );
+                    }
+                    let progress = match (eval_now, m.last_eval) {
+                        (Some(e), Some(p)) => progress_score(e, p, dt),
+                        _ => None,
+                    };
+                    m.last_tick = now;
+                    m.last_eval = eval_now.or(m.last_eval);
+                    m.last_cumulative = cumulative;
+                    m.cached_progress = progress;
+                    m.cached_avg_usage = avg_usage;
+                    GrowthMeasurement {
+                        id,
+                        progress,
+                        avg_usage,
+                        cpu_limit: limit,
+                    }
+                }
+            };
+            self.measures.push(measurement);
+        }
+    }
+
+    /// Run one node-local policy reconfiguration and reschedule its tick.
+    fn reconfigure(&mut self, now: SimTime) {
+        self.measure_into(now);
+        self.updates.clear();
+        let measures = std::mem::take(&mut self.measures);
+        let mut updates = std::mem::take(&mut self.updates);
+        let next = self.policy.reconfigure_into(now, &measures, &mut updates);
+        self.algorithm_runs += 1;
+        for &(id, limit) in updates.iter() {
+            let idx = id.index();
+            if idx < self.slots.len() {
+                if let Some(slot) = self.slots[idx].as_mut() {
+                    let opts = UpdateOptions::new().cpus(limit);
+                    slot.limits = opts.apply_to(slot.limits);
+                    self.update_calls += 1;
+                }
+            }
+        }
+        self.measures = measures;
+        self.updates = updates;
+        self.next_tick = next.filter(|d| *d > SimDuration::ZERO).map(|d| now + d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy_kind::PolicyKind;
+    use flowcon_core::config::FlowConConfig;
+
+    fn node(slots: usize) -> NodeSim {
+        NodeSim::new(
+            NodeConfig::default().with_seed(0xF10C),
+            PolicyKind::FlowCon(FlowConConfig::default()).build_send(),
+            slots,
+        )
+    }
+
+    #[test]
+    fn an_admitted_job_runs_to_completion_mid_quantum() {
+        let mut sim = node(2);
+        sim.admit(0, ModelId::MnistTorch, 0.05, SimTime::ZERO, 0.0);
+        assert!(!sim.is_idle());
+        // A heavily scaled-down job finishes well inside a huge barrier.
+        sim.advance_to(SimTime::from_secs(100_000));
+        assert!(sim.is_idle());
+        assert_eq!(sim.completions.len(), 1);
+        let c = sim.completions[0];
+        assert_eq!(c.gid, 0);
+        assert!(c.finished > SimTime::ZERO);
+        assert!(c.finished < SimTime::from_secs(100_000));
+        assert!(sim.busy_cpu_secs > 0.0);
+    }
+
+    #[test]
+    fn preempt_returns_remaining_work_and_attained_service() {
+        let mut sim = node(1);
+        sim.admit(7, ModelId::MnistTorch, 1.0, SimTime::from_secs(3), 0.0);
+        sim.advance_to(SimTime::from_secs(50));
+        let p = sim.preempt(7);
+        assert!(sim.is_idle());
+        assert_eq!(p.arrival, SimTime::from_secs(3));
+        assert!(
+            p.attained_cpu_secs > 0.0,
+            "50 s of solo running attains service"
+        );
+        assert!(p.remaining_scale > 0.0 && p.remaining_scale < 1.1);
+        // Attained + remaining ≈ the jittered total (±3%).
+        let total = ModelSpec::of(ModelId::MnistTorch).total_work;
+        let recon = p.attained_cpu_secs + p.remaining_scale * total;
+        assert!(
+            (recon / total - 1.0).abs() < 0.05,
+            "recon={recon} total={total}"
+        );
+    }
+
+    #[test]
+    fn advance_is_deterministic_for_the_same_inputs() {
+        let run = || {
+            let mut sim = node(2);
+            sim.admit(0, ModelId::MnistTorch, 0.2, SimTime::ZERO, 0.0);
+            sim.admit(1, ModelId::Vae, 0.1, SimTime::ZERO, 0.0);
+            sim.advance_to(SimTime::from_secs(200_000));
+            (
+                sim.completions
+                    .iter()
+                    .map(|c| (c.gid, c.finished))
+                    .collect::<Vec<_>>(),
+                sim.busy_cpu_secs.to_bits(),
+                sim.algorithm_runs,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn idle_advance_is_a_no_op() {
+        let mut sim = node(2);
+        sim.advance_to(SimTime::from_secs(500));
+        assert!(sim.is_idle());
+        assert_eq!(sim.busy_cpu_secs, 0.0);
+        assert!(sim.completions.is_empty());
+    }
+}

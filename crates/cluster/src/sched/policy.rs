@@ -1,0 +1,646 @@
+//! Pluggable cluster scheduling disciplines.
+//!
+//! A [`ClusterPolicy`] is consulted once per scheduler quantum with a
+//! read-only [`ClusterView`] of the admission queue and every node's
+//! occupancy, and answers with a list of [`SchedAction`]s (place, preempt,
+//! migrate).  The engine applies the actions in order and logs each one,
+//! so a policy is a pure decision function of the view plus its own
+//! internal state — which is exactly what makes decision logs
+//! bit-comparable across runs and shard counts.
+//!
+//! Three disciplines ship with the crate:
+//!
+//! * [`FifoPolicy`] — arrival-order placement, no preemption.  The
+//!   baseline every trace-driven comparison needs.
+//! * [`GandivaPolicy`] — time-slicing with suspend/resume rotation plus
+//!   load-balancing migration, after Gandiva (OSDI '18).
+//! * [`TiresiasPolicy`] — least-attained-service: the jobs with the
+//!   least effective CPU-seconds of service win the slots, with no
+//!   duration knowledge at all, after Tiresias (NSDI '19).
+//!
+//! None of the views expose remaining work or job duration: disciplines
+//! that want duration awareness must estimate it from attained service,
+//! exactly like their real-world counterparts.
+
+use flowcon_sim::time::{SimDuration, SimTime};
+
+/// A job waiting in the global admission queue, as a policy sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedJobView {
+    /// Dense cluster-wide job id, assigned in admission order.
+    pub id: u32,
+    /// Original submission time (survives preemption round-trips).
+    pub arrival: SimTime,
+    /// Effective CPU-seconds of service attained so far.  Zero for jobs
+    /// that have never run; positive after a preemption.
+    pub attained_cpu_secs: f64,
+    /// When the job last entered the queue (arrival, or preemption time).
+    pub queued_since: SimTime,
+}
+
+/// A job currently running on a node, as a policy sees it.
+///
+/// Deliberately excludes remaining work: disciplines are duration-blind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningJobView {
+    /// Dense cluster-wide job id.
+    pub id: u32,
+    /// Effective CPU-seconds of service attained so far (across all
+    /// placements of this job).
+    pub attained_cpu_secs: f64,
+    /// When the current placement started.
+    pub placed_at: SimTime,
+}
+
+/// Per-node occupancy summary inside the flat running-job arena.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct NodeSpan {
+    pub(crate) slots: usize,
+    pub(crate) start: usize,
+    pub(crate) len: usize,
+}
+
+/// Read-only cluster snapshot handed to [`ClusterPolicy::schedule`] at
+/// each quantum barrier.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterView<'a> {
+    /// The barrier time at which this decision round runs.
+    pub now: SimTime,
+    /// The admission queue in FIFO order (head first).
+    pub queue: &'a [QueuedJobView],
+    nodes: &'a [NodeSpan],
+    running: &'a [RunningJobView],
+}
+
+impl<'a> ClusterView<'a> {
+    pub(crate) fn new(
+        now: SimTime,
+        queue: &'a [QueuedJobView],
+        nodes: &'a [NodeSpan],
+        running: &'a [RunningJobView],
+    ) -> Self {
+        Self {
+            now,
+            queue,
+            nodes,
+            running,
+        }
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Job slots on `node` (running jobs can never exceed this).
+    pub fn slots(&self, node: usize) -> usize {
+        self.nodes[node].slots
+    }
+
+    /// The jobs currently running on `node`, in slot order.
+    pub fn running_on(&self, node: usize) -> &'a [RunningJobView] {
+        let span = self.nodes[node];
+        &self.running[span.start..span.start + span.len]
+    }
+
+    /// Free job slots on `node`.
+    pub fn free_slots(&self, node: usize) -> usize {
+        let span = self.nodes[node];
+        span.slots - span.len
+    }
+
+    /// Total job slots across the cluster.
+    pub fn total_slots(&self) -> usize {
+        self.nodes.iter().map(|n| n.slots).sum()
+    }
+
+    /// Total running jobs across the cluster.
+    pub fn running_total(&self) -> usize {
+        self.running.len()
+    }
+}
+
+/// One scheduling decision, applied by the engine in emission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedAction {
+    /// Move a queued job onto a node.  The node must have a free slot at
+    /// the time the action is applied (earlier actions in the same round
+    /// may have freed it).
+    Place {
+        /// Id of a job currently in the admission queue.
+        job: u32,
+        /// Target node index.
+        node: usize,
+    },
+    /// Suspend a running job and return it to the back of the admission
+    /// queue.  Attained service is preserved; the next placement resumes
+    /// from a checkpoint of the remaining work.
+    Preempt {
+        /// Id of a job currently running on some node.
+        job: u32,
+    },
+    /// Atomically move a running job to another node (checkpoint +
+    /// resume, without passing through the queue).  Migrating a job to
+    /// the node it already occupies is a logged no-op.
+    Migrate {
+        /// Id of a job currently running on some node.
+        job: u32,
+        /// Target node index; must have a free slot unless it is the
+        /// job's current node.
+        node: usize,
+    },
+}
+
+/// A cluster-wide scheduling discipline.
+///
+/// # Contract
+///
+/// * `schedule` is called exactly once per quantum barrier, after
+///   arrivals up to the barrier have been admitted to the queue and
+///   before nodes advance to the next barrier.
+/// * Actions are applied strictly in emission order.  A `Place` may
+///   target a slot freed by an earlier `Preempt` in the same round.
+/// * Every decision is appended to the run's decision log, so policies
+///   must be deterministic functions of the view and their own state —
+///   no wall-clock, no ambient randomness.
+/// * Policies never see job durations or remaining work; only arrival
+///   times, attained service, and occupancy.
+pub trait ClusterPolicy {
+    /// Human-readable discipline name (used in tables and logs).
+    fn name(&self) -> &'static str;
+
+    /// Append this round's decisions to `actions`.
+    ///
+    /// The buffer is cleared by the engine before the call; policies
+    /// only append.
+    fn schedule(&mut self, view: &ClusterView<'_>, actions: &mut Vec<SchedAction>);
+}
+
+/// Selector for the built-in disciplines (CLI `--policy` flag, bench
+/// presets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicyKind {
+    /// Arrival-order placement, no preemption ([`FifoPolicy`]).
+    Fifo,
+    /// Time-slice + migrate ([`GandivaPolicy`]).
+    Gandiva,
+    /// Least-attained-service ([`TiresiasPolicy`]).
+    Tiresias,
+}
+
+impl SchedPolicyKind {
+    /// Every built-in discipline, in comparison-table order.
+    pub const ALL: [SchedPolicyKind; 3] = [
+        SchedPolicyKind::Fifo,
+        SchedPolicyKind::Gandiva,
+        SchedPolicyKind::Tiresias,
+    ];
+
+    /// Parse a CLI spelling (`fifo`, `gandiva`, `tiresias`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "fifo" => Some(SchedPolicyKind::Fifo),
+            "gandiva" => Some(SchedPolicyKind::Gandiva),
+            "tiresias" => Some(SchedPolicyKind::Tiresias),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name (round-trips through [`parse`](Self::parse)).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedPolicyKind::Fifo => "fifo",
+            SchedPolicyKind::Gandiva => "gandiva",
+            SchedPolicyKind::Tiresias => "tiresias",
+        }
+    }
+
+    /// Construct the discipline with its default parameters.
+    pub fn build(&self) -> Box<dyn ClusterPolicy> {
+        match self {
+            SchedPolicyKind::Fifo => Box::new(FifoPolicy::new()),
+            SchedPolicyKind::Gandiva => Box::new(GandivaPolicy::new()),
+            SchedPolicyKind::Tiresias => Box::new(TiresiasPolicy::new()),
+        }
+    }
+}
+
+/// Index of the node with the most free slots (ties break toward the
+/// lowest index, so decision logs are stable).
+fn most_free(free: &[usize]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (idx, &f) in free.iter().enumerate() {
+        if f == 0 {
+            continue;
+        }
+        match best {
+            Some(b) if free[b] >= f => {}
+            _ => best = Some(idx),
+        }
+    }
+    best
+}
+
+/// Arrival-order placement without preemption.
+///
+/// Jobs leave the queue strictly in FIFO order; each is placed on the
+/// node with the most free slots (lowest index on ties).  When no slot
+/// is free the head of the queue blocks everything behind it — exactly
+/// the head-of-line behaviour the preemptive disciplines exist to beat.
+#[derive(Debug, Default)]
+pub struct FifoPolicy {
+    free: Vec<usize>,
+}
+
+impl FifoPolicy {
+    /// New FIFO discipline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ClusterPolicy for FifoPolicy {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn schedule(&mut self, view: &ClusterView<'_>, actions: &mut Vec<SchedAction>) {
+        self.free.clear();
+        self.free
+            .extend((0..view.node_count()).map(|n| view.free_slots(n)));
+        for job in view.queue {
+            let Some(node) = most_free(&self.free) else {
+                break;
+            };
+            actions.push(SchedAction::Place { job: job.id, node });
+            self.free[node] -= 1;
+        }
+    }
+}
+
+/// Gandiva-style time-slicing with load-balancing migration.
+///
+/// New jobs fill free slots in arrival order.  When jobs are still
+/// waiting and every slot is taken, the scheduler rotates: the running
+/// job that has held its slot the longest (and for at least
+/// [`slice`](Self::with_slice)) is suspended and the waiting job takes
+/// its place, giving every job a share of the cluster in round-robin
+/// fashion.  When nothing waits, a migration pass moves the most
+/// recently placed job from the most loaded node to the least loaded
+/// one whenever their occupancy differs by two or more slots.
+#[derive(Debug)]
+pub struct GandivaPolicy {
+    slice: SimDuration,
+    free: Vec<usize>,
+    waiting: Vec<u32>,
+    victims: Vec<u32>,
+}
+
+impl GandivaPolicy {
+    /// Minimum occupancy gap (in jobs) before a migration fires.
+    const IMBALANCE: usize = 2;
+
+    /// New Gandiva discipline with the default 60 s time slice.
+    pub fn new() -> Self {
+        Self::with_slice(SimDuration::from_secs(60))
+    }
+
+    /// New Gandiva discipline with an explicit time slice: a running job
+    /// is only rotated out after holding its slot for at least `slice`.
+    pub fn with_slice(slice: SimDuration) -> Self {
+        Self {
+            slice,
+            free: Vec::new(),
+            waiting: Vec::new(),
+            victims: Vec::new(),
+        }
+    }
+}
+
+impl Default for GandivaPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterPolicy for GandivaPolicy {
+    fn name(&self) -> &'static str {
+        "gandiva"
+    }
+
+    fn schedule(&mut self, view: &ClusterView<'_>, actions: &mut Vec<SchedAction>) {
+        self.free.clear();
+        self.free
+            .extend((0..view.node_count()).map(|n| view.free_slots(n)));
+        self.waiting.clear();
+        self.victims.clear();
+
+        // 1. Fill free slots in arrival order.
+        for job in view.queue {
+            match most_free(&self.free) {
+                Some(node) => {
+                    actions.push(SchedAction::Place { job: job.id, node });
+                    self.free[node] -= 1;
+                }
+                None => self.waiting.push(job.id),
+            }
+        }
+
+        // 2. Rotate: each still-waiting job displaces the longest-held
+        //    running job whose slice has expired.
+        for &job in &self.waiting {
+            let mut victim: Option<(usize, RunningJobView)> = None;
+            for node in 0..view.node_count() {
+                for r in view.running_on(node) {
+                    if self.victims.contains(&r.id) {
+                        continue;
+                    }
+                    if view.now.saturating_since(r.placed_at) < self.slice {
+                        continue;
+                    }
+                    match victim {
+                        Some((_, v)) if (v.placed_at, v.id) <= (r.placed_at, r.id) => {}
+                        _ => victim = Some((node, *r)),
+                    }
+                }
+            }
+            let Some((node, v)) = victim else {
+                break;
+            };
+            self.victims.push(v.id);
+            actions.push(SchedAction::Preempt { job: v.id });
+            actions.push(SchedAction::Place { job, node });
+        }
+
+        // 3. Balance: with no queue pressure, close ≥2-slot occupancy
+        //    gaps by migrating the newest placement off the hot node.
+        if view.queue.is_empty() && view.node_count() > 1 {
+            let mut hot = 0usize;
+            let mut cold = 0usize;
+            for node in 1..view.node_count() {
+                if view.running_on(node).len() > view.running_on(hot).len() {
+                    hot = node;
+                }
+                if view.running_on(node).len() < view.running_on(cold).len() {
+                    cold = node;
+                }
+            }
+            let gap = view.running_on(hot).len() - view.running_on(cold).len();
+            if gap >= Self::IMBALANCE && view.free_slots(cold) > 0 {
+                if let Some(mover) = view
+                    .running_on(hot)
+                    .iter()
+                    .max_by_key(|r| (r.placed_at, r.id))
+                {
+                    actions.push(SchedAction::Migrate {
+                        job: mover.id,
+                        node: cold,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Where a job sits when the Tiresias ranking runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobLoc {
+    Queued,
+    Running(usize),
+}
+
+/// Tiresias-style least-attained-service scheduling.
+///
+/// Every quantum, all jobs (queued and running) are ranked by attained
+/// service, least first (ties break toward the older job id, i.e.
+/// FIFO).  The top `total_slots` jobs deserve the slots: running jobs
+/// outside that set are preempted, queued jobs inside it are placed.
+/// No duration knowledge is used anywhere — short jobs win slots simply
+/// because they have not yet accumulated service.
+#[derive(Debug, Default)]
+pub struct TiresiasPolicy {
+    order: Vec<(f64, u32, JobLoc)>,
+    should_run: Vec<u32>,
+    free: Vec<usize>,
+}
+
+impl TiresiasPolicy {
+    /// New Tiresias discipline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ClusterPolicy for TiresiasPolicy {
+    fn name(&self) -> &'static str {
+        "tiresias"
+    }
+
+    fn schedule(&mut self, view: &ClusterView<'_>, actions: &mut Vec<SchedAction>) {
+        self.order.clear();
+        for job in view.queue {
+            self.order
+                .push((job.attained_cpu_secs, job.id, JobLoc::Queued));
+        }
+        for node in 0..view.node_count() {
+            for r in view.running_on(node) {
+                self.order
+                    .push((r.attained_cpu_secs, r.id, JobLoc::Running(node)));
+            }
+        }
+        self.order
+            .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        let total = view.total_slots();
+        self.should_run.clear();
+        self.should_run
+            .extend(self.order.iter().take(total).map(|&(_, id, _)| id));
+        self.should_run.sort_unstable();
+
+        // Preempt running jobs that lost their slot.
+        self.free.clear();
+        self.free
+            .extend((0..view.node_count()).map(|n| view.free_slots(n)));
+        for &(_, id, loc) in &self.order {
+            if let JobLoc::Running(node) = loc {
+                if self.should_run.binary_search(&id).is_err() {
+                    actions.push(SchedAction::Preempt { job: id });
+                    self.free[node] += 1;
+                }
+            }
+        }
+
+        // Place queued winners, least-attained first.
+        for &(_, id, loc) in self.order.iter().take(total) {
+            if loc == JobLoc::Queued {
+                let node = most_free(&self.free)
+                    .expect("preemptions freed at least as many slots as queued winners");
+                actions.push(SchedAction::Place { job: id, node });
+                self.free[node] -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queued(id: u32, attained: f64) -> QueuedJobView {
+        QueuedJobView {
+            id,
+            arrival: SimTime::ZERO,
+            attained_cpu_secs: attained,
+            queued_since: SimTime::ZERO,
+        }
+    }
+
+    fn running(id: u32, attained: f64, placed_secs: u64) -> RunningJobView {
+        RunningJobView {
+            id,
+            attained_cpu_secs: attained,
+            placed_at: SimTime::from_secs(placed_secs),
+        }
+    }
+
+    #[test]
+    fn fifo_places_in_arrival_order_onto_the_freest_node() {
+        let queue = [queued(0, 0.0), queued(1, 0.0), queued(2, 0.0)];
+        let nodes = [
+            NodeSpan {
+                slots: 2,
+                start: 0,
+                len: 1,
+            },
+            NodeSpan {
+                slots: 2,
+                start: 1,
+                len: 0,
+            },
+        ];
+        let arena = [running(9, 5.0, 0)];
+        let view = ClusterView::new(SimTime::from_secs(100), &queue, &nodes, &arena);
+        let mut actions = Vec::new();
+        FifoPolicy::new().schedule(&view, &mut actions);
+        assert_eq!(
+            actions,
+            vec![
+                SchedAction::Place { job: 0, node: 1 },
+                SchedAction::Place { job: 1, node: 0 },
+                SchedAction::Place { job: 2, node: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn fifo_never_preempts_when_the_cluster_is_full() {
+        let queue = [queued(3, 0.0)];
+        let nodes = [NodeSpan {
+            slots: 1,
+            start: 0,
+            len: 1,
+        }];
+        let arena = [running(0, 50.0, 0)];
+        let view = ClusterView::new(SimTime::from_secs(500), &queue, &nodes, &arena);
+        let mut actions = Vec::new();
+        FifoPolicy::new().schedule(&view, &mut actions);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn tiresias_evicts_the_most_served_job_for_a_fresh_arrival() {
+        let queue = [queued(5, 0.0)];
+        let nodes = [NodeSpan {
+            slots: 2,
+            start: 0,
+            len: 2,
+        }];
+        let arena = [running(0, 400.0, 0), running(1, 10.0, 0)];
+        let view = ClusterView::new(SimTime::from_secs(100), &queue, &nodes, &arena);
+        let mut actions = Vec::new();
+        TiresiasPolicy::new().schedule(&view, &mut actions);
+        assert_eq!(
+            actions,
+            vec![
+                SchedAction::Preempt { job: 0 },
+                SchedAction::Place { job: 5, node: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn tiresias_breaks_attained_ties_toward_the_older_job() {
+        let queue = [queued(7, 0.0), queued(2, 0.0)];
+        let nodes = [NodeSpan {
+            slots: 1,
+            start: 0,
+            len: 0,
+        }];
+        let arena: [RunningJobView; 0] = [];
+        let view = ClusterView::new(SimTime::ZERO, &queue, &nodes, &arena);
+        let mut actions = Vec::new();
+        TiresiasPolicy::new().schedule(&view, &mut actions);
+        // Only one slot: the older id (2) wins the tie at 0 attained.
+        assert_eq!(actions, vec![SchedAction::Place { job: 2, node: 0 }]);
+    }
+
+    #[test]
+    fn gandiva_rotates_only_after_the_slice_expires() {
+        let queue = [queued(4, 0.0)];
+        let nodes = [NodeSpan {
+            slots: 1,
+            start: 0,
+            len: 1,
+        }];
+        let arena = [running(0, 30.0, 70)];
+        // Placed at t=70, now t=100: held 30 s < 60 s slice — no rotation.
+        let early = ClusterView::new(SimTime::from_secs(100), &queue, &nodes, &arena);
+        let mut actions = Vec::new();
+        let mut policy = GandivaPolicy::new();
+        policy.schedule(&early, &mut actions);
+        assert!(actions.is_empty());
+
+        // Now t=140: held 70 s ≥ slice — rotate.
+        let late = ClusterView::new(SimTime::from_secs(140), &queue, &nodes, &arena);
+        policy.schedule(&late, &mut actions);
+        assert_eq!(
+            actions,
+            vec![
+                SchedAction::Preempt { job: 0 },
+                SchedAction::Place { job: 4, node: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn gandiva_migrates_to_close_a_two_slot_gap() {
+        let queue: [QueuedJobView; 0] = [];
+        let nodes = [
+            NodeSpan {
+                slots: 2,
+                start: 0,
+                len: 2,
+            },
+            NodeSpan {
+                slots: 2,
+                start: 2,
+                len: 0,
+            },
+        ];
+        let arena = [running(0, 10.0, 0), running(1, 5.0, 50)];
+        let view = ClusterView::new(SimTime::from_secs(100), &queue, &nodes, &arena);
+        let mut actions = Vec::new();
+        GandivaPolicy::new().schedule(&view, &mut actions);
+        // The newest placement (job 1) moves to the empty node.
+        assert_eq!(actions, vec![SchedAction::Migrate { job: 1, node: 1 }]);
+    }
+
+    #[test]
+    fn policy_kind_parses_all_spellings() {
+        for kind in SchedPolicyKind::ALL {
+            assert_eq!(SchedPolicyKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(SchedPolicyKind::parse("FIFO"), Some(SchedPolicyKind::Fifo));
+        assert_eq!(SchedPolicyKind::parse("srtf"), None);
+    }
+}

@@ -1,0 +1,997 @@
+//! The cluster front door: one builder covering every run mode.
+//!
+//! [`ClusterSession`] replaces the `Manager::run_*` zoo with a single
+//! fluent surface.  Configure the cluster (`nodes` / `node_configs`,
+//! `policy`, `placement`, `images`), pick exactly one workload
+//! (`plan` / `source` / `stream`), optionally switch the mode
+//! (`recorder` for custom observability, `scheduler` for the online
+//! cluster scheduler), then `build().run()`.
+//!
+//! # Migration from `Manager`
+//!
+//! Every deprecated `Manager` entry point maps onto the builder; `mgr`
+//! below stands for the configuration calls
+//! `ClusterSession::builder().nodes(w, node).policy(kind).placement(strategy)`:
+//!
+//! | Removed | New |
+//! |---|---|
+//! | `Manager::run(&plan)` / `run_owned(plan)` | `mgr.plan(plan).recorder(\|_\| FullRecorder::new()).build().run()` (labels: zip the plan's labels with `placements`) |
+//! | `Manager::run_recorded(plan, make)` | `mgr.plan(plan).recorder(make).build().run()` |
+//! | `Manager::run_headless(plan)` | `mgr.plan(plan).build().run()` (headless is the default mode) |
+//! | `Manager::run_headless_with(plan, queue)` | `mgr.plan(plan).queue(queue).build().run()` |
+//! | `Manager::place_headless(plan)` | `mgr.plan(plan).build().place()` |
+//! | `Manager::run_source(&src)` | `mgr.source(&src).build().run()` |
+//! | `Manager::run_source_recorded(&src, make)` | `mgr.source(&src).recorder(make).build().run()` |
+//! | `Manager::run_open_loop(&src, h)` | `mgr.stream(&src, h).build().run()` |
+//! | `Manager::run_open_loop_recorded(&src, h, make)` | `mgr.stream(&src, h).recorder(make).build().run()` |
+//! | `Manager::run_spawn_per_worker(&plan)` | removed — test-only reference loop in `tests/cluster_scale.rs` |
+//!
+//! The online scheduler ([`crate::sched`]) has no `Manager` ancestor; it
+//! is reached the same way: `mgr.plan(plan).scheduler(SchedPolicyKind::Fifo).build().run()`.
+
+#![deny(missing_docs)]
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use flowcon_container::image::shared_dl_defaults;
+use flowcon_container::ImageRegistry;
+use flowcon_core::config::NodeConfig;
+use flowcon_core::dense::QueueKind;
+use flowcon_core::recorder::{CompletionsOnly, Recorder};
+use flowcon_core::session::{Session, SessionResult, StreamResult};
+use flowcon_core::worker::WorkerScratch;
+use flowcon_dl::workload::{JobRequest, WorkloadPlan};
+use flowcon_metrics::stream::StreamStats;
+use flowcon_metrics::summary::{makespan_over, CompletionStats};
+use flowcon_sim::time::SimDuration;
+use flowcon_workload::source::PlanSource;
+use flowcon_workload::stream::{Horizon, JobStream, StreamSource, StreamedJob};
+
+use crate::executor;
+use crate::manager::PlacedHeadless;
+use crate::placement::{record_assignment, PlacementStrategy, RoundRobin, WorkerLoad};
+use crate::policy_kind::PolicyKind;
+use crate::sched::{self, ClusterPolicy, SchedConfig, SchedOutcome, SchedPolicyKind};
+
+// ---------------------------------------------------------------------------
+// Dynamic stream sources
+// ---------------------------------------------------------------------------
+
+/// A type-erased [`JobStream`], produced by [`DynStreamSource`].
+///
+/// [`StreamSource::Stream`] is a generic associated type, so the trait is
+/// not object safe; this newtype is the boxed bridge that lets the builder
+/// hold *any* stream source behind one reference.
+pub struct BoxedStream<'a>(Box<dyn JobStream + 'a>);
+
+impl<'a> BoxedStream<'a> {
+    /// Box a concrete stream.
+    pub fn new(stream: impl JobStream + 'a) -> Self {
+        BoxedStream(Box::new(stream))
+    }
+}
+
+impl JobStream for BoxedStream<'_> {
+    fn next_job(&mut self) -> Option<StreamedJob> {
+        self.0.next_job()
+    }
+}
+
+/// Object-safe face of [`StreamSource`]: what
+/// [`ClusterSessionBuilder::stream`] actually stores.
+///
+/// Blanket-implemented for every [`StreamSource`], so passing `&source`
+/// of any concrete source type coerces directly; implement it manually
+/// only for sources that cannot implement the generic trait.
+pub trait DynStreamSource: Sync {
+    /// The boxed stream for worker `worker_id` — same purity contract as
+    /// [`StreamSource::stream_for`].
+    fn dyn_stream_for(&self, worker_id: usize) -> BoxedStream<'_>;
+}
+
+impl<S: StreamSource> DynStreamSource for S {
+    fn dyn_stream_for(&self, worker_id: usize) -> BoxedStream<'_> {
+        BoxedStream::new(self.stream_for(worker_id))
+    }
+}
+
+/// Adapter lending a possibly-unsized [`StreamSource`] as a
+/// [`DynStreamSource`] trait object (the deprecated `Manager` shims keep
+/// their `S: ?Sized` signatures through this).
+pub(crate) struct AsDynStream<'a, S: ?Sized>(pub(crate) &'a S);
+
+impl<S: StreamSource + ?Sized> DynStreamSource for AsDynStream<'_, S> {
+    fn dyn_stream_for(&self, worker_id: usize) -> BoxedStream<'_> {
+        BoxedStream::new(self.0.stream_for(worker_id))
+    }
+}
+
+/// Adapter lending a possibly-unsized [`PlanSource`] as a trait object
+/// (same role as [`AsDynStream`], for the plan-source shims).
+pub(crate) struct DynPlan<'a, S: ?Sized>(pub(crate) &'a S);
+
+impl<S: PlanSource + ?Sized> PlanSource for DynPlan<'_, S> {
+    fn next_plan(&self, worker_id: usize) -> WorkloadPlan {
+        self.0.next_plan(worker_id)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder state
+// ---------------------------------------------------------------------------
+
+/// The cluster's node set, materialized lazily at [`ClusterSessionBuilder::build`].
+#[derive(Debug)]
+enum NodeSet {
+    /// No `.nodes()` / `.node_configs()` call yet.
+    Unset,
+    /// `workers` copies of one template, each re-seeded so workloads
+    /// don't correlate (the same stride `Manager::new` used).
+    Uniform { workers: usize, node: NodeConfig },
+    /// Heterogeneous nodes, used verbatim.
+    Explicit(Vec<NodeConfig>),
+}
+
+impl NodeSet {
+    fn materialize(self) -> Vec<NodeConfig> {
+        let nodes = match self {
+            NodeSet::Unset => Vec::new(),
+            NodeSet::Uniform { workers, node } => (0..workers)
+                .map(|i| node.with_seed(node.seed.wrapping_add(i as u64 * 0x9E37_79B9)))
+                .collect(),
+            NodeSet::Explicit(nodes) => nodes,
+        };
+        assert!(!nodes.is_empty(), "a cluster needs at least one worker");
+        nodes
+    }
+}
+
+/// Which workload drives the run — exactly one of the three shapes.
+enum WorkloadSpec<'w> {
+    /// A materialized plan the session places job by job.
+    Plan(WorkloadPlan),
+    /// A streaming per-worker plan source (placement owned by the source).
+    Source(&'w dyn PlanSource),
+    /// An open-loop job stream admitted until the horizon trips.
+    Stream(&'w dyn DynStreamSource, Horizon),
+}
+
+/// Default mode: label-free completions only, O(completions) memory —
+/// the million-worker configuration.  Placed plans run on the dense path
+/// ([`flowcon_core::dense`]); pick the event queue with
+/// [`ClusterSessionBuilder::queue`].
+#[derive(Debug, Clone, Copy)]
+pub struct Headless {
+    queue: QueueKind,
+}
+
+/// Mode selected by [`ClusterSessionBuilder::recorder`]: every worker
+/// session records through `make(worker_index)`.
+pub struct Recorded<R, F> {
+    make: F,
+    _out: PhantomData<fn() -> R>,
+}
+
+/// Mode selected by [`ClusterSessionBuilder::scheduler`]: the online
+/// cluster scheduler ([`crate::sched`]) consumes the workload as one
+/// shared arrival stream and makes live queueing/placement/preemption
+/// decisions at every quantum barrier.
+pub struct Sched {
+    kind: SchedPolicyKind,
+    custom: Option<Box<dyn ClusterPolicy>>,
+    config: SchedConfig,
+}
+
+/// Fluent configuration for one cluster run; entry point
+/// [`ClusterSession::builder`].
+///
+/// The type parameter tracks the selected mode ([`Headless`] by default,
+/// [`Recorded`] after `.recorder(..)`, [`Sched`] after `.scheduler(..)`),
+/// so each mode's `run()` can return its natural result type.
+pub struct ClusterSessionBuilder<'w, M = Headless> {
+    nodes: NodeSet,
+    policy: PolicyKind,
+    strategy: Box<dyn PlacementStrategy>,
+    images: Arc<ImageRegistry>,
+    workload: WorkloadSpec<'w>,
+    mode: M,
+}
+
+impl<'w> Default for ClusterSessionBuilder<'w, Headless> {
+    fn default() -> Self {
+        ClusterSessionBuilder {
+            nodes: NodeSet::Unset,
+            policy: PolicyKind::Baseline,
+            strategy: Box::new(RoundRobin::default()),
+            images: shared_dl_defaults(),
+            workload: WorkloadSpec::Plan(WorkloadPlan::new(Vec::new())),
+            mode: Headless {
+                queue: QueueKind::default(),
+            },
+        }
+    }
+}
+
+impl<'w, M> ClusterSessionBuilder<'w, M> {
+    /// `workers` identical nodes, each re-seeded from the template so
+    /// per-worker randomness doesn't correlate.
+    pub fn nodes(mut self, workers: usize, node: NodeConfig) -> Self {
+        self.nodes = NodeSet::Uniform { workers, node };
+        self
+    }
+
+    /// Heterogeneous nodes, used verbatim (no re-seeding).
+    pub fn node_configs(mut self, nodes: Vec<NodeConfig>) -> Self {
+        self.nodes = NodeSet::Explicit(nodes);
+        self
+    }
+
+    /// The worker-side resource policy every node builds locally
+    /// (defaults to [`PolicyKind::Baseline`]).
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The placement strategy for materialized plans (defaults to
+    /// [`RoundRobin`]; ignored by `source`/`stream` workloads, where the
+    /// source owns the job→worker mapping, and by the scheduler mode,
+    /// where the [`crate::sched::ClusterPolicy`] decides placement live).
+    pub fn placement(mut self, strategy: impl PlacementStrategy + 'static) -> Self {
+        self.strategy = Box::new(strategy);
+        self
+    }
+
+    /// A custom image registry shared by every worker (defaults to the
+    /// process-wide DL catalog).
+    pub fn images(mut self, images: Arc<ImageRegistry>) -> Self {
+        self.images = images;
+        self
+    }
+
+    /// Drive the cluster from one materialized [`WorkloadPlan`], placed
+    /// job by job with the configured strategy.
+    pub fn plan(mut self, plan: WorkloadPlan) -> Self {
+        self.workload = WorkloadSpec::Plan(plan);
+        self
+    }
+
+    /// Drive the cluster from a streaming [`PlanSource`]: each executor
+    /// shard pulls `source.next_plan(worker)` for the worker it is about
+    /// to simulate, so no per-worker plans ever exist at once.
+    pub fn source(mut self, source: &'w dyn PlanSource) -> Self {
+        self.workload = WorkloadSpec::Source(source);
+        self
+    }
+
+    /// Drive the cluster **open-loop**: every worker pulls its own job
+    /// stream off `source` and admits arrivals mid-run until `horizon`
+    /// trips, then drains.
+    pub fn stream(mut self, source: &'w dyn DynStreamSource, horizon: Horizon) -> Self {
+        self.workload = WorkloadSpec::Stream(source, horizon);
+        self
+    }
+
+    /// Switch to the [`Recorded`] mode: worker `w` records through
+    /// `make(w)` and the run returns the recorders' outputs.
+    pub fn recorder<R, F>(self, make: F) -> ClusterSessionBuilder<'w, Recorded<R, F>>
+    where
+        R: Recorder,
+        F: Fn(usize) -> R + Sync,
+    {
+        ClusterSessionBuilder {
+            nodes: self.nodes,
+            policy: self.policy,
+            strategy: self.strategy,
+            images: self.images,
+            workload: self.workload,
+            mode: Recorded {
+                make,
+                _out: PhantomData,
+            },
+        }
+    }
+
+    /// Switch to the [`Sched`] mode: run the online cluster scheduler
+    /// with the given discipline over the workload's arrival stream.
+    pub fn scheduler(self, kind: SchedPolicyKind) -> ClusterSessionBuilder<'w, Sched> {
+        ClusterSessionBuilder {
+            nodes: self.nodes,
+            policy: self.policy,
+            strategy: self.strategy,
+            images: self.images,
+            workload: self.workload,
+            mode: Sched {
+                kind,
+                custom: None,
+                config: SchedConfig::default(),
+            },
+        }
+    }
+
+    /// Materialize the node set and freeze the configuration.
+    ///
+    /// Panics if no nodes were configured (`a cluster needs at least one
+    /// worker`), matching `Manager::new`.
+    pub fn build(self) -> ClusterSession<'w, M> {
+        ClusterSession {
+            nodes: self.nodes.materialize(),
+            policy: self.policy,
+            strategy: self.strategy,
+            images: self.images,
+            workload: self.workload,
+            mode: self.mode,
+        }
+    }
+}
+
+impl<'w> ClusterSessionBuilder<'w, Headless> {
+    /// The event-queue implementation for the dense headless path (both
+    /// dispatch in identical `(time, FIFO)` order, so results are
+    /// bit-identical; only applies to placed plans).
+    pub fn queue(mut self, queue: QueueKind) -> Self {
+        self.mode.queue = queue;
+        self
+    }
+}
+
+impl<'w> ClusterSessionBuilder<'w, Sched> {
+    /// Barrier spacing of the scheduling engine (default 10 s).
+    pub fn quantum(mut self, quantum: SimDuration) -> Self {
+        self.mode.config.quantum = quantum;
+        self
+    }
+
+    /// Concurrent job slots per node (default 2).
+    pub fn slots_per_node(mut self, slots: usize) -> Self {
+        self.mode.config.slots_per_node = slots;
+        self
+    }
+
+    /// Advance nodes on the caller's thread instead of the sharded
+    /// executor (bit-identical either way; for determinism tests).
+    pub fn sequential(mut self, sequential: bool) -> Self {
+        self.mode.config.sequential = sequential;
+        self
+    }
+
+    /// Replace the built-in discipline selected by
+    /// [`scheduler`](ClusterSessionBuilder::scheduler) with a custom
+    /// [`ClusterPolicy`] implementation.
+    pub fn discipline(mut self, policy: Box<dyn ClusterPolicy>) -> Self {
+        self.mode.custom = Some(policy);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The session and its outcomes
+// ---------------------------------------------------------------------------
+
+/// A fully configured cluster run, ready to execute; see
+/// [`ClusterSessionBuilder`] for the configuration surface and the module
+/// docs for the `Manager` migration table.
+pub struct ClusterSession<'w, M = Headless> {
+    nodes: Vec<NodeConfig>,
+    policy: PolicyKind,
+    strategy: Box<dyn PlacementStrategy>,
+    images: Arc<ImageRegistry>,
+    workload: WorkloadSpec<'w>,
+    mode: M,
+}
+
+impl<'w> ClusterSession<'w, Headless> {
+    /// Start configuring a cluster run.
+    pub fn builder() -> ClusterSessionBuilder<'w, Headless> {
+        ClusterSessionBuilder::default()
+    }
+}
+
+/// What a [`Headless`] or [`Recorded`] cluster run produces: per-worker
+/// recorder outputs, the placement log (plan workloads only), and
+/// per-worker steady-state stats (stream workloads only).
+#[derive(Debug)]
+pub struct ClusterOutcome<T> {
+    /// Per-worker session results, indexed by worker.
+    pub workers: Vec<SessionResult<T>>,
+    /// Worker index of each job in plan (arrival) order; empty for
+    /// `source`/`stream` workloads, where the source owns placement.
+    pub placements: Vec<usize>,
+    /// Per-worker [`StreamStats`], indexed by worker; empty for closed
+    /// (`plan`/`source`) workloads.
+    pub streams: Vec<StreamStats>,
+}
+
+impl<T> ClusterOutcome<T> {
+    /// Total simulated events across all workers.
+    pub fn events_processed(&self) -> u64 {
+        self.workers.iter().map(|w| w.events_processed).sum()
+    }
+
+    /// Cluster-wide steady-state totals (open-loop runs): per-worker
+    /// [`StreamStats`] merged.
+    pub fn stream_totals(&self) -> StreamStats {
+        let mut total = StreamStats::default();
+        for s in &self.streams {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// Jobs admitted across the cluster before the horizon (open-loop
+    /// runs; 0 for closed workloads, which have no admission control).
+    pub fn submitted_jobs(&self) -> usize {
+        self.streams.iter().map(|s| s.submitted as usize).sum()
+    }
+}
+
+impl ClusterOutcome<CompletionStats> {
+    /// Cluster makespan (canonical [`makespan_over`] fold).
+    pub fn makespan_secs(&self) -> f64 {
+        makespan_over(self.workers.iter().map(|w| w.output.makespan_secs()))
+    }
+
+    /// Total number of completed jobs.
+    pub fn completed_jobs(&self) -> usize {
+        self.workers.iter().map(|w| w.output.len()).sum()
+    }
+
+    /// Mean per-job completion time over the whole cluster.
+    pub fn mean_completion_secs(&self) -> Option<f64> {
+        let n = self.completed_jobs();
+        if n == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .workers
+            .iter()
+            .flat_map(|w| w.output.completions.iter())
+            .map(|c| c.completion_secs())
+            .sum();
+        Some(sum / n as f64)
+    }
+}
+
+impl<'w> ClusterSession<'w, Headless> {
+    /// Run headless: label-free completions and makespan only.
+    ///
+    /// Placed plans run on the dense path within the < 10-allocation
+    /// per-worker budget pinned by `crates/cluster/tests/headless_allocs.rs`;
+    /// `source`/`stream` workloads run object-path sessions with
+    /// [`CompletionsOnly`] recorders.
+    pub fn run(self) -> ClusterOutcome<CompletionStats> {
+        match self.workload {
+            WorkloadSpec::Plan(_) => {
+                let queue = self.mode.queue;
+                let run = self.place().run(queue);
+                ClusterOutcome {
+                    workers: run.workers,
+                    placements: run.placements,
+                    streams: Vec::new(),
+                }
+            }
+            WorkloadSpec::Source(source) => ClusterOutcome {
+                workers: drive_source(&self.nodes, self.policy, &self.images, source, &|_| {
+                    CompletionsOnly::new()
+                }),
+                placements: Vec::new(),
+                streams: Vec::new(),
+            },
+            WorkloadSpec::Stream(source, horizon) => split_stream(drive_stream(
+                &self.nodes,
+                self.policy,
+                &self.images,
+                source,
+                horizon,
+                &|_| CompletionsOnly::new(),
+            )),
+        }
+    }
+
+    /// Place the plan's jobs without simulating anything yet — the
+    /// headless run split at its stage boundary so `repro profile` can
+    /// clock placement and simulation separately.
+    ///
+    /// Panics unless the workload is a materialized plan.
+    pub fn place(mut self) -> PlacedHeadless {
+        let WorkloadSpec::Plan(plan) = self.workload else {
+            panic!("place() requires a materialized plan workload");
+        };
+        let mut placements = Vec::with_capacity(plan.jobs.len());
+        let (flat, offsets) = place_flat(
+            &mut *self.strategy,
+            self.nodes.len(),
+            plan.jobs,
+            |_, target| placements.push(target),
+        );
+        PlacedHeadless {
+            nodes: self.nodes,
+            policy: self.policy,
+            flat,
+            offsets,
+            placements,
+        }
+    }
+}
+
+impl<'w, R, F> ClusterSession<'w, Recorded<R, F>>
+where
+    R: Recorder,
+    R::Output: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    /// Run with the custom per-worker [`Recorder`] factory.
+    pub fn run(mut self) -> ClusterOutcome<R::Output> {
+        let make = &self.mode.make;
+        match self.workload {
+            WorkloadSpec::Plan(plan) => {
+                let mut placements = Vec::with_capacity(plan.jobs.len());
+                let per_worker = place_nested(
+                    &mut *self.strategy,
+                    self.nodes.len(),
+                    plan.jobs,
+                    |_, target| placements.push(target),
+                );
+                ClusterOutcome {
+                    workers: drive_plan(&self.nodes, self.policy, &self.images, per_worker, make),
+                    placements,
+                    streams: Vec::new(),
+                }
+            }
+            WorkloadSpec::Source(source) => ClusterOutcome {
+                workers: drive_source(&self.nodes, self.policy, &self.images, source, make),
+                placements: Vec::new(),
+                streams: Vec::new(),
+            },
+            WorkloadSpec::Stream(source, horizon) => split_stream(drive_stream(
+                &self.nodes,
+                self.policy,
+                &self.images,
+                source,
+                horizon,
+                make,
+            )),
+        }
+    }
+}
+
+impl<'w> ClusterSession<'w, Sched> {
+    /// Run the online scheduler: the workload becomes one cluster-wide
+    /// arrival stream, and the configured discipline makes live
+    /// queueing/placement/preemption decisions at every quantum barrier.
+    ///
+    /// A `plan` workload contributes its jobs directly; a `source`
+    /// contributes `next_plan(0)` (the scheduler owns placement, so only
+    /// one shared plan is meaningful); a `stream` contributes worker 0's
+    /// stream pulled up to the horizon, which must be bounded.
+    pub fn run(self) -> SchedOutcome {
+        let mut arrivals: Vec<sched::ArrivalSpec> = match self.workload {
+            WorkloadSpec::Plan(plan) => plan.jobs.iter().map(arrival_of).collect(),
+            WorkloadSpec::Source(source) => {
+                source.next_plan(0).jobs.iter().map(arrival_of).collect()
+            }
+            WorkloadSpec::Stream(source, horizon) => {
+                assert!(
+                    horizon.is_bounded(),
+                    "the scheduler materializes the stream, so the horizon must be bounded"
+                );
+                let mut stream = source.dyn_stream_for(0);
+                let mut specs = Vec::new();
+                while let Some(job) = stream.next_job() {
+                    if !horizon.admits(specs.len(), job.arrival) {
+                        break;
+                    }
+                    specs.push(sched::ArrivalSpec {
+                        model: job.model,
+                        arrival: job.arrival,
+                        work_scale: job.work_scale,
+                    });
+                }
+                specs
+            }
+        };
+        arrivals.sort_by_key(|a| a.arrival);
+        let discipline = match self.mode.custom {
+            Some(policy) => policy,
+            None => self.mode.kind.build(),
+        };
+        sched::run_sched(
+            &self.nodes,
+            self.policy,
+            discipline,
+            self.mode.config,
+            arrivals,
+        )
+    }
+}
+
+fn arrival_of(job: &JobRequest) -> sched::ArrivalSpec {
+    sched::ArrivalSpec {
+        model: job.model,
+        arrival: job.arrival,
+        work_scale: job.work_scale,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared placement / drive plumbing (moved here from `Manager`)
+// ---------------------------------------------------------------------------
+
+/// Place every job by moving it into its worker's plan (no per-job
+/// clone), reporting each `(job, worker)` decision through `on_assign`.
+fn place_nested(
+    strategy: &mut dyn PlacementStrategy,
+    workers: usize,
+    jobs: Vec<JobRequest>,
+    mut on_assign: impl FnMut(&JobRequest, usize),
+) -> Vec<Vec<JobRequest>> {
+    let mut loads = vec![WorkerLoad::default(); workers];
+    let mut per_worker: Vec<Vec<JobRequest>> = vec![Vec::new(); workers];
+    for job in jobs {
+        let target = strategy.place(&job, &loads);
+        assert!(
+            target < workers,
+            "strategy returned worker {target} of {workers}"
+        );
+        record_assignment(&mut loads[target], &job);
+        on_assign(&job, target);
+        per_worker[target].push(job);
+    }
+    per_worker
+}
+
+/// Flat (CSR-style) variant of [`place_nested`] for the dense headless
+/// path: instead of one `Vec` per worker — a million allocations at a
+/// million workers — jobs land in a single arena sorted by worker, with
+/// `offsets[w]..offsets[w + 1]` slicing worker `w`'s jobs.  The sort is
+/// stable, so each worker sees its jobs in exactly the order the nested
+/// layout would give it.
+fn place_flat(
+    strategy: &mut dyn PlacementStrategy,
+    workers: usize,
+    jobs: Vec<JobRequest>,
+    mut on_assign: impl FnMut(&JobRequest, usize),
+) -> (Vec<JobRequest>, Vec<usize>) {
+    let mut loads = vec![WorkerLoad::default(); workers];
+    let mut tagged: Vec<(usize, JobRequest)> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let target = strategy.place(&job, &loads);
+        assert!(
+            target < workers,
+            "strategy returned worker {target} of {workers}"
+        );
+        record_assignment(&mut loads[target], &job);
+        on_assign(&job, target);
+        tagged.push((target, job));
+    }
+    tagged.sort_by_key(|&(target, _)| target);
+    let mut offsets = vec![0usize; workers + 1];
+    for &(target, _) in &tagged {
+        offsets[target + 1] += 1;
+    }
+    for i in 0..workers {
+        offsets[i + 1] += offsets[i];
+    }
+    let flat = tagged.into_iter().map(|(_, job)| job).collect();
+    (flat, offsets)
+}
+
+/// Drive one session per worker on the sharded executor: at most
+/// `available_parallelism` OS threads, each recycling one
+/// [`WorkerScratch`] across the worker sessions it processes, all
+/// sharing the cluster's image registry.
+fn drive_plan<R, F>(
+    nodes: &[NodeConfig],
+    policy: PolicyKind,
+    images: &Arc<ImageRegistry>,
+    per_worker: Vec<Vec<JobRequest>>,
+    make: &F,
+) -> Vec<SessionResult<R::Output>>
+where
+    R: Recorder,
+    R::Output: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let work: Vec<(usize, NodeConfig, Vec<JobRequest>)> = nodes
+        .iter()
+        .copied()
+        .zip(per_worker)
+        .enumerate()
+        .map(|(idx, (node, jobs))| (idx, node, jobs))
+        .collect();
+    executor::map_sharded(
+        work,
+        || (WorkerScratch::new(), images.clone()),
+        |(scratch, images), (idx, node, jobs)| {
+            // The per-worker job lists are already in arrival order, so
+            // WorkloadPlan::new's sort is a no-op pass.
+            let session = Session::builder()
+                .node(node)
+                .plan(WorkloadPlan::new(jobs))
+                .policy_box(policy.build())
+                .images(images.clone())
+                .recorder(make(idx))
+                .scratch(std::mem::take(scratch))
+                .build();
+            let (result, recycled) = session.run_recycling();
+            *scratch = recycled;
+            result
+        },
+    )
+}
+
+/// [`drive_plan`] off a streaming [`PlanSource`]: each shard pulls the
+/// plan of the worker it is about to simulate, so at no point do all
+/// per-worker plans exist at once.
+fn drive_source<R, F>(
+    nodes: &[NodeConfig],
+    policy: PolicyKind,
+    images: &Arc<ImageRegistry>,
+    source: &dyn PlanSource,
+    make: &F,
+) -> Vec<SessionResult<R::Output>>
+where
+    R: Recorder,
+    R::Output: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let work: Vec<(usize, NodeConfig)> = nodes.iter().copied().enumerate().collect();
+    executor::map_sharded(
+        work,
+        || (WorkerScratch::new(), images.clone()),
+        |(scratch, images), (idx, node)| {
+            let session = Session::builder()
+                .node(node)
+                .plan(source.next_plan(idx))
+                .policy_box(policy.build())
+                .images(images.clone())
+                .recorder(make(idx))
+                .scratch(std::mem::take(scratch))
+                .build();
+            let (result, recycled) = session.run_recycling();
+            *scratch = recycled;
+            result
+        },
+    )
+}
+
+/// The open-loop drive: every worker pulls its own stream off `source`
+/// and admits arrivals until `horizon` trips, then drains.
+fn drive_stream<R, F>(
+    nodes: &[NodeConfig],
+    policy: PolicyKind,
+    images: &Arc<ImageRegistry>,
+    source: &dyn DynStreamSource,
+    horizon: Horizon,
+    make: &F,
+) -> Vec<StreamResult<R::Output>>
+where
+    R: Recorder,
+    R::Output: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let work: Vec<(usize, NodeConfig)> = nodes.iter().copied().enumerate().collect();
+    executor::map_sharded(
+        work,
+        || (WorkerScratch::new(), images.clone()),
+        |(scratch, images), (idx, node)| {
+            let session = Session::builder()
+                .node(node)
+                .policy_box(policy.build())
+                .images(images.clone())
+                .recorder(make(idx))
+                .scratch(std::mem::take(scratch))
+                .build();
+            let (result, recycled) =
+                session.run_stream_recycling(source.dyn_stream_for(idx), horizon);
+            *scratch = recycled;
+            result
+        },
+    )
+}
+
+/// Split per-worker [`StreamResult`]s into the [`ClusterOutcome`] shape
+/// (session results + parallel stats vector).
+fn split_stream<T>(results: Vec<StreamResult<T>>) -> ClusterOutcome<T> {
+    let mut workers = Vec::with_capacity(results.len());
+    let mut streams = Vec::with_capacity(results.len());
+    for r in results {
+        streams.push(r.stream);
+        workers.push(SessionResult {
+            output: r.output,
+            events_processed: r.events_processed,
+            scheduler_overhead_cpu_secs: r.scheduler_overhead_cpu_secs,
+        });
+    }
+    ClusterOutcome {
+        workers,
+        placements: Vec::new(),
+        streams,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::Spread;
+    use flowcon_core::config::FlowConConfig;
+    use flowcon_core::recorder::FullRecorder;
+    use flowcon_core::worker::RunResult;
+    use flowcon_workload::stream::Horizon;
+
+    fn node() -> NodeConfig {
+        NodeConfig::default()
+    }
+
+    fn base<'w>(workers: usize) -> ClusterSessionBuilder<'w, Headless> {
+        ClusterSession::builder().nodes(workers, node())
+    }
+
+    #[test]
+    fn all_jobs_complete_across_two_workers() {
+        let plan = WorkloadPlan::random_n(10, 7);
+        let out = base(2)
+            .plan(plan)
+            .recorder(|_| FullRecorder::new())
+            .build()
+            .run();
+        let completed: usize = out.workers.iter().map(|w| w.output.completions.len()).sum();
+        assert_eq!(completed, 10);
+        assert_eq!(out.placements.len(), 10);
+        // Round-robin: 5 jobs each.
+        let w0 = out.placements.iter().filter(|&&w| w == 0).count();
+        assert_eq!(w0, 5);
+    }
+
+    #[test]
+    fn two_workers_beat_one_on_makespan() {
+        let plan = WorkloadPlan::random_n(10, 7);
+        let run = |workers| {
+            base(workers)
+                .placement(Spread)
+                .plan(plan.clone())
+                .build()
+                .run()
+                .makespan_secs()
+        };
+        let (one, two) = (run(1), run(2));
+        assert!(two < one, "2 workers {two:.0}s vs 1 worker {one:.0}s");
+    }
+
+    #[test]
+    fn flowcon_policy_runs_on_every_worker() {
+        let plan = WorkloadPlan::random_n(8, 9);
+        let out = base(2)
+            .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+            .placement(Spread)
+            .plan(plan)
+            .recorder(|_| FullRecorder::new())
+            .build()
+            .run();
+        let workers: Vec<RunResult> = out.workers.into_iter().map(RunResult::from).collect();
+        assert_eq!(
+            workers
+                .iter()
+                .map(|w| w.summary.completions.len())
+                .sum::<usize>(),
+            8
+        );
+        for w in &workers {
+            assert_eq!(w.summary.policy, "FlowCon-5%-20");
+        }
+    }
+
+    #[test]
+    fn headless_run_matches_recorded_run_under_na() {
+        // The NA baseline ignores measurements, so removing the sampling
+        // events cannot change the fluid dynamics: headless and full agree
+        // to the engine's 1 µs completion-check margin.
+        let plan = WorkloadPlan::random_n(12, 5);
+        let full = base(3)
+            .plan(plan.clone())
+            .recorder(|_| FullRecorder::new())
+            .build()
+            .run();
+        let headless = base(3).plan(plan).build().run();
+        assert_eq!(headless.completed_jobs(), 12);
+        assert_eq!(headless.placements.len(), 12);
+        assert_eq!(headless.placements, full.placements);
+        let full_makespan = makespan_over(full.workers.iter().map(|w| w.output.makespan_secs()));
+        let diff = (headless.makespan_secs() - full_makespan).abs();
+        assert!(diff < 1e-3, "makespan diverged by {diff}s");
+        // Headless schedules no sampling events at all.
+        assert!(headless.events_processed() < full.events_processed());
+        assert!(headless.mean_completion_secs().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn recorded_run_passes_worker_indices_to_the_factory() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let plan = WorkloadPlan::random_n(6, 2);
+        let seen = AtomicU64::new(0);
+        let out = base(3)
+            .plan(plan)
+            .recorder(|idx| {
+                seen.fetch_or(1 << idx, Ordering::Relaxed);
+                CompletionsOnly::new()
+            })
+            .build()
+            .run();
+        assert_eq!(out.workers.len(), 3);
+        assert_eq!(seen.load(Ordering::Relaxed), 0b111, "every index seen");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = base(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn unconfigured_nodes_rejected() {
+        let _ = ClusterSession::builder().build();
+    }
+
+    #[test]
+    fn source_run_matches_the_equivalent_placed_run() {
+        use flowcon_workload::{BoundTrace, TraceSource};
+        // A trace source slicing round-robin is exactly RoundRobin
+        // placement of the same arrival-ordered plan, so the two paths
+        // must complete the same jobs at the same makespan.
+        let plan = WorkloadPlan::random_n(12, 5);
+        let source = TraceSource::new(BoundTrace::from_plan(plan.clone()), 3);
+        let placed = base(3).plan(plan).build().run();
+        let streamed = base(3).source(&source).build().run();
+        assert_eq!(streamed.completed_jobs(), 12);
+        assert!(streamed.placements.is_empty(), "the source owns placement");
+        for (a, b) in placed.workers.iter().zip(&streamed.workers) {
+            assert_eq!(a.output, b.output, "per-worker stats diverged");
+            assert_eq!(a.events_processed, b.events_processed);
+        }
+    }
+
+    #[test]
+    fn open_loop_cluster_drives_every_worker_to_the_horizon() {
+        use flowcon_workload::{ArrivalProcess, SyntheticStreamSource};
+        let source = SyntheticStreamSource::new(ArrivalProcess::poisson(0.05), 7).unlabeled();
+        let out = base(4).stream(&source, Horizon::jobs(2)).build().run();
+        assert_eq!(out.workers.len(), 4);
+        assert_eq!(out.streams.len(), 4);
+        assert_eq!(out.submitted_jobs(), 8);
+        assert_eq!(out.completed_jobs(), 8, "every admitted job drains");
+        assert!(out.makespan_secs() > 0.0);
+        let totals = out.stream_totals();
+        assert_eq!(totals.submitted, 8);
+        assert!(totals.utilization() > 0.0 && totals.utilization() <= 1.0);
+        assert!(totals.mean_queue_depth() > 0.0);
+    }
+
+    #[test]
+    fn scheduler_mode_runs_a_plan_to_completion() {
+        let plan = WorkloadPlan::random_n(8, 3);
+        let out = base(2)
+            .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+            .plan(plan)
+            .scheduler(SchedPolicyKind::Fifo)
+            .build()
+            .run();
+        assert_eq!(out.completed_jobs(), 8);
+        assert_eq!(out.policy, "fifo");
+        assert!(out.makespan_secs() > 0.0);
+    }
+
+    #[test]
+    fn scheduler_mode_consumes_a_bounded_stream() {
+        use flowcon_workload::{ArrivalProcess, SyntheticStreamSource};
+        let source = SyntheticStreamSource::new(ArrivalProcess::poisson(0.05), 7).unlabeled();
+        let out = base(2)
+            .stream(&source, Horizon::jobs(6))
+            .scheduler(SchedPolicyKind::Tiresias)
+            .build()
+            .run();
+        assert_eq!(out.submitted, 6);
+        assert_eq!(out.completed_jobs(), 6);
+    }
+}

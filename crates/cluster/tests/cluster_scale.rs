@@ -3,45 +3,114 @@
 //! The bounded pool must change *how* worker simulations are driven, never
 //! *what* they compute: job conservation and makespan monotonicity must
 //! hold at hundreds of workers, and the sharded path must be bit-identical
-//! to the legacy thread-per-worker path.
+//! to a naive thread-per-worker reference loop (kept here as a test-only
+//! helper since `Manager::run_spawn_per_worker` was removed).
 
-use flowcon_cluster::{Manager, PolicyKind, RoundRobin, Spread};
+use flowcon_cluster::{ClusterSession, PolicyKind, Spread};
+use flowcon_container::image::shared_dl_defaults;
 use flowcon_core::config::{FlowConConfig, NodeConfig};
-use flowcon_dl::workload::WorkloadPlan;
+use flowcon_core::recorder::FullRecorder;
+use flowcon_core::session::Session;
+use flowcon_core::worker::RunResult;
+use flowcon_dl::workload::{JobRequest, WorkloadPlan};
 
 fn node(seed: u64) -> NodeConfig {
     NodeConfig::default().with_seed(seed)
 }
 
+/// Run a full-observability cluster session and return per-worker results
+/// plus the placement log.
+fn run_full(
+    workers: usize,
+    seed: u64,
+    policy: PolicyKind,
+    plan: &WorkloadPlan,
+) -> (Vec<RunResult>, Vec<usize>) {
+    let out = ClusterSession::builder()
+        .nodes(workers, node(seed))
+        .policy(policy)
+        .plan(plan.clone())
+        .recorder(|_| FullRecorder::new())
+        .build()
+        .run();
+    (
+        out.workers.into_iter().map(RunResult::from).collect(),
+        out.placements,
+    )
+}
+
+/// The legacy execution path, reconstructed from public APIs: one OS
+/// thread per worker, round-robin placement, the same per-worker seed
+/// stride the builder applies.  This is the reference the sharded
+/// executor is bit-compared against — don't "optimize" it.
+fn spawn_per_worker(
+    workers: usize,
+    seed: u64,
+    policy: PolicyKind,
+    plan: &WorkloadPlan,
+) -> Vec<RunResult> {
+    let template = node(seed);
+    let nodes: Vec<NodeConfig> = (0..workers)
+        .map(|i| template.with_seed(template.seed.wrapping_add(i as u64 * 0x9E37_79B9)))
+        .collect();
+    // Round-robin placement of the arrival-ordered plan.
+    let mut per_worker: Vec<Vec<JobRequest>> = vec![Vec::new(); workers];
+    for (i, job) in plan.jobs.iter().cloned().enumerate() {
+        per_worker[i % workers].push(job);
+    }
+    let images = shared_dl_defaults();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = per_worker
+            .into_iter()
+            .zip(&nodes)
+            .map(|(jobs, &node)| {
+                let images = images.clone();
+                scope.spawn(move || {
+                    let result = Session::builder()
+                        .node(node)
+                        .plan(WorkloadPlan::new(jobs))
+                        .policy_box(policy.build())
+                        .images(images)
+                        .build()
+                        .run();
+                    RunResult::from(result)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker simulation panicked"))
+            .collect()
+    })
+}
+
 #[test]
 fn jobs_are_conserved_at_256_workers() {
     let plan = WorkloadPlan::random_n(512, 7);
-    let result = Manager::new(
-        256,
-        node(7),
-        PolicyKind::FlowCon(FlowConConfig::default()),
-        RoundRobin::default(),
-    )
-    .run_owned(plan.clone());
+    let (workers, placements) =
+        run_full(256, 7, PolicyKind::FlowCon(FlowConConfig::default()), &plan);
 
     // Every job placed exactly once and completed exactly once.
-    assert_eq!(result.assignments.len(), 512);
-    assert_eq!(result.completed_jobs(), 512);
+    assert_eq!(placements.len(), 512);
+    let completed: usize = workers.iter().map(|w| w.summary.completions.len()).sum();
+    assert_eq!(completed, 512);
     for job in &plan.jobs {
         assert!(
-            result.completion_of(&job.label).is_some(),
+            workers
+                .iter()
+                .find_map(|w| w.summary.completion_of(&job.label))
+                .is_some(),
             "job {} lost by the sharded executor",
             job.label
         );
     }
     // Round-robin over 256 workers: exactly 2 jobs per worker.
     for w in 0..256 {
-        let assigned = result.assignments.iter().filter(|&&(_, t)| t == w).count();
+        let assigned = placements.iter().filter(|&&t| t == w).count();
         assert_eq!(assigned, 2, "worker {w} got {assigned} jobs");
     }
     // All workers' completions are clean exits.
-    assert!(result
-        .workers
+    assert!(workers
         .iter()
         .flat_map(|w| &w.summary.completions)
         .all(|c| c.exit_code == 0));
@@ -51,8 +120,12 @@ fn jobs_are_conserved_at_256_workers() {
 fn makespan_is_monotone_in_worker_count() {
     let plan = WorkloadPlan::random_n(512, 7);
     let makespan = |workers: usize| {
-        Manager::new(workers, node(7), PolicyKind::Baseline, Spread)
-            .run_owned(plan.clone())
+        ClusterSession::builder()
+            .nodes(workers, node(7))
+            .placement(Spread)
+            .plan(plan.clone())
+            .build()
+            .run()
             .makespan_secs()
     };
     let m16 = makespan(16);
@@ -71,28 +144,17 @@ fn makespan_is_monotone_in_worker_count() {
 #[test]
 fn sharded_executor_is_bit_identical_to_spawn_per_worker() {
     let plan = WorkloadPlan::random_n(24, 0xF10C);
-    let build = || {
-        Manager::new(
-            8,
-            node(0xF10C),
-            PolicyKind::FlowCon(FlowConConfig::default()),
-            RoundRobin::default(),
-        )
-    };
-    #[allow(deprecated)] // the legacy path is exactly what we compare against
-    let spawned = build().run_spawn_per_worker(&plan);
-    let sharded = build().run(&plan);
+    let policy = PolicyKind::FlowCon(FlowConConfig::default());
+    let spawned = spawn_per_worker(8, 0xF10C, policy, &plan);
+    let (sharded, placements) = run_full(8, 0xF10C, policy, &plan);
 
-    assert_eq!(spawned.assignments, sharded.assignments);
-    assert_eq!(spawned.workers.len(), sharded.workers.len());
-    for (i, (a, b)) in spawned
-        .workers
-        .iter()
-        .zip(&sharded.workers)
-        .collect::<Vec<_>>()
-        .into_iter()
-        .enumerate()
-    {
+    // The reference loop places round-robin by construction; the builder's
+    // default strategy must agree.
+    for (i, &target) in placements.iter().enumerate() {
+        assert_eq!(target, i % 8, "placement diverged at job {i}");
+    }
+    assert_eq!(spawned.len(), sharded.len());
+    for (i, (a, b)) in spawned.iter().zip(&sharded).enumerate() {
         assert_eq!(
             a.summary.completions, b.summary.completions,
             "worker {i} completions diverge"
@@ -107,29 +169,20 @@ fn sharded_executor_is_bit_identical_to_spawn_per_worker() {
             "worker {i} makespan diverges at the bit level"
         );
     }
-    assert_eq!(
-        spawned.makespan_secs().to_bits(),
-        sharded.makespan_secs().to_bits()
-    );
 }
 
 #[test]
-fn run_owned_matches_borrowed_run() {
+fn repeated_runs_are_bit_identical() {
     let plan = WorkloadPlan::random_n(12, 3);
-    let build = || {
-        Manager::new(
-            4,
-            node(3),
-            PolicyKind::FlowCon(FlowConConfig::default()),
-            RoundRobin::default(),
-        )
-    };
-    let borrowed = build().run(&plan);
-    let owned = build().run_owned(plan);
-    assert_eq!(borrowed.assignments, owned.assignments);
-    assert_eq!(borrowed.completed_jobs(), owned.completed_jobs());
-    assert_eq!(
-        borrowed.makespan_secs().to_bits(),
-        owned.makespan_secs().to_bits()
-    );
+    let run = || run_full(4, 3, PolicyKind::FlowCon(FlowConConfig::default()), &plan);
+    let (a_workers, a_placements) = run();
+    let (b_workers, b_placements) = run();
+    assert_eq!(a_placements, b_placements);
+    for (a, b) in a_workers.iter().zip(&b_workers) {
+        assert_eq!(a.summary.completions, b.summary.completions);
+        assert_eq!(
+            a.summary.makespan_secs().to_bits(),
+            b.summary.makespan_secs().to_bits()
+        );
+    }
 }

@@ -9,7 +9,9 @@
 //! that drives 0 or 1 workers, shards that outnumber workers, and workers
 //! whose plans are empty.
 
-use flowcon_cluster::{Manager, PolicyKind, QueueKind, RoundRobin, TraceSource};
+use flowcon_cluster::{
+    ClusterOutcome, ClusterSession, ClusterSessionBuilder, PolicyKind, QueueKind, TraceSource,
+};
 use flowcon_core::config::{FlowConConfig, NodeConfig};
 use flowcon_core::recorder::CompletionsOnly;
 use flowcon_core::session::{Session, SessionResult};
@@ -20,18 +22,15 @@ fn node() -> NodeConfig {
     NodeConfig::default().with_seed(0xF10C)
 }
 
-fn manager(workers: usize) -> Manager<RoundRobin> {
-    Manager::new(
-        workers,
-        node(),
-        PolicyKind::FlowCon(FlowConConfig::default()),
-        RoundRobin::default(),
-    )
+fn base(workers: usize) -> ClusterSessionBuilder<'static> {
+    ClusterSession::builder()
+        .nodes(workers, node())
+        .policy(PolicyKind::FlowCon(FlowConConfig::default()))
 }
 
 /// The reference: given the placements a cluster run reports, rebuild each
 /// worker's plan and run it through a plain `Session` loop — one worker at
-/// a time, no executor, object path.  Seeds replicate `Manager::new`.
+/// a time, no executor, object path.  Seeds replicate the builder's stride.
 fn sequential_reference(
     workers: usize,
     plan: &WorkloadPlan,
@@ -59,7 +58,7 @@ fn sequential_reference(
 }
 
 fn assert_bit_identical(
-    run: &flowcon_cluster::ClusterRun<CompletionStats>,
+    run: &ClusterOutcome<CompletionStats>,
     reference: &[SessionResult<CompletionStats>],
 ) {
     assert_eq!(run.workers.len(), reference.len());
@@ -78,7 +77,7 @@ fn fewer_workers_than_shards_matches_the_sequential_path() {
     // item count, so some executor shapes collapse while others don't.
     for workers in [2usize, 3] {
         let plan = WorkloadPlan::random_n(workers * 4, 17);
-        let run = manager(workers).run_headless(plan.clone());
+        let run = base(workers).plan(plan.clone()).build().run();
         let reference = sequential_reference(workers, &plan, &run.placements);
         assert_bit_identical(&run, &reference);
     }
@@ -87,7 +86,7 @@ fn fewer_workers_than_shards_matches_the_sequential_path() {
 #[test]
 fn single_worker_cluster_matches_a_single_session() {
     let plan = WorkloadPlan::random_n(6, 23);
-    let run = manager(1).run_headless(plan.clone());
+    let run = base(1).plan(plan.clone()).build().run();
     assert!(run.placements.iter().all(|&w| w == 0));
     let reference = sequential_reference(1, &plan, &run.placements);
     assert_bit_identical(&run, &reference);
@@ -96,7 +95,7 @@ fn single_worker_cluster_matches_a_single_session() {
 
 #[test]
 fn empty_plan_runs_every_worker_to_an_instant_drain() {
-    let run = manager(5).run_headless(WorkloadPlan::new(Vec::new()));
+    let run = base(5).plan(WorkloadPlan::new(Vec::new())).build().run();
     assert_eq!(run.workers.len(), 5);
     assert_eq!(run.completed_jobs(), 0);
     assert!(run.placements.is_empty());
@@ -112,8 +111,8 @@ fn empty_plan_source_matches_the_empty_placed_run() {
         flowcon_workload::BoundTrace::from_plan(WorkloadPlan::new(Vec::new())),
         4,
     );
-    let placed = manager(4).run_headless(WorkloadPlan::new(Vec::new()));
-    let streamed = manager(4).run_source(&source);
+    let placed = base(4).plan(WorkloadPlan::new(Vec::new())).build().run();
+    let streamed = base(4).source(&source).build().run();
     assert_eq!(streamed.completed_jobs(), 0);
     for (a, b) in placed.workers.iter().zip(&streamed.workers) {
         assert_eq!(a.output, b.output);
@@ -127,8 +126,12 @@ fn calendar_queue_cluster_is_bit_identical_to_the_heap() {
     // whole-cluster version of the randomized queue comparison in
     // `flowcon-sim` and the per-worker one in `flowcon_core::dense`.
     let plan = WorkloadPlan::random_n(24, 31);
-    let heap = manager(4).run_headless_with(plan.clone(), QueueKind::Heap);
-    let calendar = manager(4).run_headless_with(plan, QueueKind::Calendar);
+    let heap = base(4)
+        .plan(plan.clone())
+        .queue(QueueKind::Heap)
+        .build()
+        .run();
+    let calendar = base(4).plan(plan).queue(QueueKind::Calendar).build().run();
     assert_eq!(heap.placements, calendar.placements);
     for (a, b) in heap.workers.iter().zip(&calendar.workers) {
         assert_eq!(a.output, b.output);

@@ -18,7 +18,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use flowcon_cluster::{Horizon, Manager, PolicyKind, RoundRobin};
+use flowcon_cluster::{
+    ClusterSession, ClusterSessionBuilder, Horizon, PolicyKind, SchedPolicyKind,
+};
 use flowcon_core::config::{FlowConConfig, NodeConfig};
 use flowcon_dl::workload::WorkloadPlan;
 use flowcon_sim::time::SimTime;
@@ -76,20 +78,17 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
-fn manager(workers: usize) -> Manager<RoundRobin> {
-    Manager::new(
-        workers,
-        NodeConfig::default().with_seed(0xF10C),
-        PolicyKind::FlowCon(FlowConConfig::default()),
-        RoundRobin::default(),
-    )
+fn base(workers: usize) -> ClusterSessionBuilder<'static> {
+    ClusterSession::builder()
+        .nodes(workers, NodeConfig::default().with_seed(0xF10C))
+        .policy(PolicyKind::FlowCon(FlowConConfig::default()))
 }
 
 /// Process-wide allocations of one headless run (plan pre-built outside
 /// the counting window).
 fn allocs_of_headless_run(workers: usize, plan: WorkloadPlan) -> u64 {
     let before = ALLOCATIONS.load(Ordering::Relaxed);
-    let run = manager(workers).run_headless(plan);
+    let run = base(workers).plan(plan).build().run();
     assert_eq!(run.completed_jobs(), workers * 2, "jobs conserved");
     ALLOCATIONS.load(Ordering::Relaxed) - before
 }
@@ -105,7 +104,7 @@ fn headless_cluster_run_stays_within_the_allocs_per_worker_budget() {
     // Warm up once: process-wide one-time costs (the shared image
     // registry's OnceLock, thread-local runtime state) must not bill the
     // measured runs.
-    manager(SMALL).run_headless(small_plan.clone());
+    base(SMALL).plan(small_plan.clone()).build().run();
 
     COUNTING.store(true, Ordering::Relaxed);
     let small = allocs_of_headless_run(SMALL, small_plan);
@@ -137,7 +136,7 @@ fn allocs_of_source_run(workers: usize, jobs_per_worker: usize) -> u64 {
     let source =
         SyntheticSource::new(ArrivalProcess::poisson(0.05), jobs_per_worker, 0xC1A5).unlabeled();
     let before = ALLOCATIONS.load(Ordering::Relaxed);
-    let run = manager(workers).run_source(&source);
+    let run = base(workers).source(&source).build().run();
     assert_eq!(
         run.completed_jobs(),
         workers * jobs_per_worker,
@@ -179,7 +178,7 @@ fn allocs_of_open_loop_run(workers: usize) -> u64 {
     // count (the marginal math needs equal per-worker work).
     let horizon = Horizon::until(SimTime::from_secs(3600)).and_jobs(2);
     let before = ALLOCATIONS.load(Ordering::Relaxed);
-    let run = manager(workers).run_open_loop(&source, horizon);
+    let run = base(workers).stream(&source, horizon).build().run();
     assert_eq!(run.completed_jobs(), run.submitted_jobs(), "drained");
     assert!(run.submitted_jobs() > workers, "arrivals actually flow");
     ALLOCATIONS.load(Ordering::Relaxed) - before
@@ -228,11 +227,14 @@ fn ten_k_worker_trace_replay_stays_within_budget() {
     let small_source = make_source(SMALL);
     let large_source = make_source(LARGE);
 
-    manager(SMALL).run_headless(WorkloadPlan::random_n(SMALL * 2, 0xC1A5)); // warm-up
+    base(SMALL)
+        .plan(WorkloadPlan::random_n(SMALL * 2, 0xC1A5))
+        .build()
+        .run(); // warm-up
 
     let measure = |workers: usize, source: &TraceSource| {
         let before = ALLOCATIONS.load(Ordering::Relaxed);
-        let run = manager(workers).run_source(source);
+        let run = base(workers).source(source).build().run();
         assert_eq!(run.completed_jobs(), workers * 2, "jobs conserved");
         ALLOCATIONS.load(Ordering::Relaxed) - before
     };
@@ -258,9 +260,52 @@ fn headless_memory_is_o_completions() {
     // churn.
     let workers = 512;
     let plan = WorkloadPlan::random_n(workers * 2, 9);
-    let run = manager(workers).run_headless(plan);
+    let run = base(workers).plan(plan).build().run();
     assert_eq!(run.workers.len(), workers);
     assert_eq!(run.placements.len(), workers * 2);
     let retained: usize = run.workers.iter().map(|w| w.output.completions.len()).sum();
     assert_eq!(retained, workers * 2);
+}
+
+/// Process-wide allocations of one sequential FIFO scheduler run: the
+/// engine's per-quantum decision loop recycles its view buffers and each
+/// node recycles its measurement/waterfill scratch, so the cost must
+/// scale with the *jobs* (admissions, decisions, completions — plus the
+/// labeled plan built inside the window), not with the number of quantum
+/// barriers crossed on the way.
+fn allocs_of_sched_run(jobs: usize) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = ClusterSession::builder()
+        .nodes(4, NodeConfig::default().with_seed(0xF10C))
+        .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+        .plan(WorkloadPlan::random_n(jobs, 0xC1A5))
+        .scheduler(SchedPolicyKind::Fifo)
+        .sequential(true)
+        .build()
+        .run();
+    assert_eq!(out.completed_jobs(), jobs, "jobs conserved");
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn sched_engine_marginal_cost_scales_with_jobs_not_barriers() {
+    let _window = COUNT_WINDOW.lock().unwrap();
+    const SMALL: usize = 32;
+    const LARGE: usize = 128;
+
+    allocs_of_sched_run(SMALL); // warm-up (OnceLock, thread-locals)
+
+    COUNTING.store(true, Ordering::Relaxed);
+    let small = allocs_of_sched_run(SMALL);
+    let large = allocs_of_sched_run(LARGE);
+    COUNTING.store(false, Ordering::Relaxed);
+
+    let marginal = (large.saturating_sub(small)) as f64 / (LARGE - SMALL) as f64;
+    eprintln!("sched marginal cost: {marginal:.2} allocs/job");
+    assert!(
+        marginal <= 30.0,
+        "scheduler marginal cost {marginal:.1} allocs/job is out of scale \
+         ({small} allocs at {SMALL} jobs, {large} at {LARGE}) — the warm \
+         per-quantum loop is allocating"
+    );
 }

@@ -1,9 +1,12 @@
 //! Open-loop cluster correctness: same seed ⇒ bit-identical completion
 //! sequences, whether workers run on the sharded executor
-//! (`Manager::run_open_loop`) or in a plain sequential loop over
-//! `Session::run_stream` — the `StreamSource` purity contract, end to end.
+//! (`ClusterSession` with a `stream` workload) or in a plain sequential
+//! loop over `Session::run_stream` — the `StreamSource` purity contract,
+//! end to end.
 
-use flowcon_cluster::{Horizon, Manager, PolicyKind, RoundRobin, StreamSource};
+use flowcon_cluster::{
+    ClusterOutcome, ClusterSession, ClusterSessionBuilder, Horizon, PolicyKind, StreamSource,
+};
 use flowcon_core::config::{FlowConConfig, NodeConfig};
 use flowcon_core::recorder::CompletionsOnly;
 use flowcon_core::session::{Session, StreamResult};
@@ -16,17 +19,14 @@ fn node() -> NodeConfig {
     NodeConfig::default().with_seed(0xF10C)
 }
 
-fn manager() -> Manager<RoundRobin> {
-    Manager::new(
-        WORKERS,
-        node(),
-        PolicyKind::FlowCon(FlowConConfig::default()),
-        RoundRobin::default(),
-    )
+fn base() -> ClusterSessionBuilder<'static> {
+    ClusterSession::builder()
+        .nodes(WORKERS, node())
+        .policy(PolicyKind::FlowCon(FlowConConfig::default()))
 }
 
 /// The reference: one `Session::run_stream` per worker, strictly in order
-/// on the calling thread (mirrors `Manager::new`'s per-worker seeding).
+/// on the calling thread (mirrors the builder's per-worker seeding).
 fn sequential<S: StreamSource>(source: &S, horizon: Horizon) -> Vec<StreamResult<CompletionStats>> {
     (0..WORKERS)
         .map(|w| {
@@ -42,14 +42,18 @@ fn sequential<S: StreamSource>(source: &S, horizon: Horizon) -> Vec<StreamResult
 }
 
 fn assert_bit_identical(
-    sharded: &[StreamResult<CompletionStats>],
+    sharded: &ClusterOutcome<CompletionStats>,
     reference: &[StreamResult<CompletionStats>],
 ) {
-    assert_eq!(sharded.len(), reference.len());
-    for (w, (a, b)) in sharded.iter().zip(reference).enumerate() {
+    assert_eq!(sharded.workers.len(), reference.len());
+    assert_eq!(sharded.streams.len(), reference.len());
+    for (w, (a, b)) in sharded.workers.iter().zip(reference).enumerate() {
         assert_eq!(a.output, b.output, "worker {w}: completion sequence");
         assert_eq!(a.events_processed, b.events_processed, "worker {w}");
-        assert_eq!(a.stream, b.stream, "worker {w}: steady-state stats");
+        assert_eq!(
+            sharded.streams[w], b.stream,
+            "worker {w}: steady-state stats"
+        );
     }
 }
 
@@ -57,12 +61,12 @@ fn assert_bit_identical(
 fn sharded_open_loop_is_bit_identical_to_a_sequential_loop() {
     let source = SyntheticStreamSource::new(ArrivalProcess::poisson(0.04), 0xC1A5).unlabeled();
     let horizon = Horizon::jobs(3);
-    let sharded = manager().run_open_loop(&source, horizon);
+    let sharded = base().stream(&source, horizon).build().run();
     let reference = sequential(&source, horizon);
-    assert_bit_identical(&sharded.workers, &reference);
+    assert_bit_identical(&sharded, &reference);
     // And the sharded path is self-reproducible.
-    let again = manager().run_open_loop(&source, horizon);
-    assert_bit_identical(&sharded.workers, &again.workers);
+    let again = base().stream(&source, horizon).build().run();
+    assert_bit_identical(&again, &reference);
 }
 
 #[test]
@@ -71,11 +75,11 @@ fn cyclic_trace_open_loop_is_deterministic_and_conserves_jobs() {
     let bound = BoundTrace::from_plan(WorkloadPlan::random_n(36, 5)).unlabeled();
     let source = TraceStreamSource::new(bound, WORKERS).cyclic();
     let horizon = Horizon::jobs(4);
-    let sharded = manager().run_open_loop(&source, horizon);
+    let sharded = base().stream(&source, horizon).build().run();
     assert_eq!(sharded.submitted_jobs(), WORKERS * 4);
     assert_eq!(sharded.completed_jobs(), WORKERS * 4);
     let reference = sequential(&source, horizon);
-    assert_bit_identical(&sharded.workers, &reference);
+    assert_bit_identical(&sharded, &reference);
 }
 
 #[test]
@@ -83,16 +87,18 @@ fn time_horizon_bounds_every_workers_admission_window() {
     use flowcon_sim::time::SimTime;
     let source = SyntheticStreamSource::new(ArrivalProcess::bursty(0.4, 0.0, 25.0, 75.0), 9);
     let until = SimTime::from_secs(200);
-    let run = manager().run_open_loop_recorded(&source, Horizon::until(until), |_| {
-        flowcon_core::recorder::FullRecorder::new()
-    });
+    let run = base()
+        .stream(&source, Horizon::until(until))
+        .recorder(|_| flowcon_core::recorder::FullRecorder::new())
+        .build()
+        .run();
     let mut admitted = 0usize;
-    for w in &run.workers {
+    for (w, stream) in run.workers.iter().zip(&run.streams) {
         for c in &w.output.completions {
             assert!(c.arrival <= until, "admission after the horizon");
             admitted += 1;
         }
-        assert_eq!(w.stream.completed, w.stream.submitted, "drained");
+        assert_eq!(stream.completed, stream.submitted, "drained");
     }
     assert_eq!(admitted, run.submitted_jobs());
     assert!(admitted > 0, "a 200 s bursty window admits something");

@@ -1,11 +1,11 @@
 //! Determinism contract of trace replay: same seed + same trace ⇒
 //! bit-identical `CompletionStats`, whether the workers run on the sharded
-//! executor (`Manager::run_source`) or in a plain sequential loop, and
-//! however the `PlanSource` slices are pulled.
+//! executor (`ClusterSession` with a `source` workload) or in a plain
+//! sequential loop, and however the `PlanSource` slices are pulled.
 
 use std::sync::Arc;
 
-use flowcon_cluster::{Manager, PolicyKind, RoundRobin};
+use flowcon_cluster::{ClusterSession, PolicyKind};
 use flowcon_container::image::shared_dl_defaults;
 use flowcon_core::config::{FlowConConfig, NodeConfig};
 use flowcon_core::recorder::CompletionsOnly;
@@ -18,7 +18,7 @@ use flowcon_workload::{
 const WORKERS: usize = 7;
 const NODE_SEED: u64 = 0xF10C;
 
-/// The same per-worker node seeds `Manager::new` derives.
+/// The same per-worker node seeds the builder derives from a uniform set.
 fn nodes() -> Vec<NodeConfig> {
     let base = NodeConfig::default().with_seed(NODE_SEED);
     (0..WORKERS)
@@ -26,18 +26,10 @@ fn nodes() -> Vec<NodeConfig> {
         .collect()
 }
 
-fn manager() -> Manager<RoundRobin> {
-    Manager::with_nodes(
-        nodes(),
-        PolicyKind::FlowCon(FlowConConfig::default()),
-        RoundRobin::default(),
-    )
-}
-
 /// The reference: drive every worker one after another on this thread,
 /// with a fresh session each (no scratch recycling, shared images) — the
 /// simplest possible execution of the same source.
-fn run_sequential<S: PlanSource + ?Sized>(source: &S) -> Vec<CompletionStats> {
+fn run_sequential<S: PlanSource>(source: &S) -> Vec<CompletionStats> {
     let images = shared_dl_defaults();
     nodes()
         .into_iter()
@@ -58,9 +50,17 @@ fn run_sequential<S: PlanSource + ?Sized>(source: &S) -> Vec<CompletionStats> {
         .collect()
 }
 
-fn assert_sharded_matches_sequential<S: PlanSource + ?Sized>(source: &S, jobs: usize) {
-    let sharded = manager().run_source(source);
-    let again = manager().run_source(source);
+fn assert_sharded_matches_sequential<S: PlanSource>(source: &S, jobs: usize) {
+    let run = || {
+        ClusterSession::builder()
+            .node_configs(nodes())
+            .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+            .source(source)
+            .build()
+            .run()
+    };
+    let sharded = run();
+    let again = run();
     let sequential = run_sequential(source);
 
     assert_eq!(sharded.completed_jobs(), jobs);

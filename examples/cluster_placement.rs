@@ -8,7 +8,7 @@
 //! cargo run --release --example cluster_placement
 //! ```
 
-use flowcon_cluster::{LeastLoaded, Manager, PolicyKind, RoundRobin, Spread};
+use flowcon_cluster::{ClusterSession, LeastLoaded, PolicyKind, Spread};
 use flowcon_core::config::{FlowConConfig, NodeConfig};
 use flowcon_dl::workload::WorkloadPlan;
 
@@ -23,7 +23,12 @@ fn main() {
 
     for workers in 1..=3usize {
         // Strategies are equivalent at 1 worker, so only round-robin prints.
-        let rr = Manager::new(workers, node, policy, RoundRobin::default()).run(&plan);
+        let rr = ClusterSession::builder()
+            .nodes(workers, node)
+            .policy(policy)
+            .plan(plan.clone())
+            .build()
+            .run();
         println!(
             "{workers:<8} {:<13} {:>10.1}  {:>9}",
             "round-robin",
@@ -31,14 +36,26 @@ fn main() {
             rr.completed_jobs()
         );
         if workers > 1 {
-            let spread = Manager::new(workers, node, policy, Spread).run(&plan);
+            let spread = ClusterSession::builder()
+                .nodes(workers, node)
+                .policy(policy)
+                .placement(Spread)
+                .plan(plan.clone())
+                .build()
+                .run();
             println!(
                 "{workers:<8} {:<13} {:>10.1}  {:>9}",
                 "spread",
                 spread.makespan_secs(),
                 spread.completed_jobs()
             );
-            let least = Manager::new(workers, node, policy, LeastLoaded).run(&plan);
+            let least = ClusterSession::builder()
+                .nodes(workers, node)
+                .policy(policy)
+                .placement(LeastLoaded)
+                .plan(plan.clone())
+                .build()
+                .run();
             println!(
                 "{workers:<8} {:<13} {:>10.1}  {:>9}",
                 "least-loaded",

@@ -7,7 +7,7 @@
 //! cargo run --release --example open_loop
 //! ```
 
-use flowcon_repro::cluster::{Horizon, Manager, PolicyKind, RoundRobin, StreamSource};
+use flowcon_repro::cluster::{ClusterSession, Horizon, PolicyKind, StreamSource};
 use flowcon_repro::core::config::{FlowConConfig, NodeConfig};
 use flowcon_repro::core::session::Session;
 use flowcon_repro::sim::time::SimTime;
@@ -23,13 +23,12 @@ fn main() {
     let workers = 64;
     let source = SyntheticStreamSource::new(ArrivalProcess::poisson(0.01), 0xC1A5).unlabeled();
     let horizon = Horizon::until(SimTime::from_secs(600));
-    let run = Manager::new(
-        workers,
-        node,
-        PolicyKind::FlowCon(FlowConConfig::default()),
-        RoundRobin::default(),
-    )
-    .run_open_loop(&source, horizon);
+    let run = ClusterSession::builder()
+        .nodes(workers, node)
+        .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+        .stream(&source, horizon)
+        .build()
+        .run();
 
     let totals = run.stream_totals();
     println!(

@@ -9,7 +9,7 @@
 
 use flowcon_bench::experiments::{default_node, scale, DEFAULT_SEED};
 use flowcon_bench::report::completion_table;
-use flowcon_cluster::{Manager, PolicyKind, RoundRobin};
+use flowcon_cluster::{ClusterSession, PolicyKind};
 use flowcon_core::config::FlowConConfig;
 use flowcon_dl::workload::WorkloadPlan;
 
@@ -43,13 +43,12 @@ fn main() {
     let workers = 2048;
     let plan = WorkloadPlan::random_n(workers * 2, DEFAULT_SEED);
     let start = std::time::Instant::now();
-    let run = Manager::new(
-        workers,
-        node,
-        PolicyKind::FlowCon(FlowConConfig::default()),
-        RoundRobin::default(),
-    )
-    .run_headless(plan);
+    let run = ClusterSession::builder()
+        .nodes(workers, node)
+        .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+        .plan(plan)
+        .build()
+        .run();
     println!(
         "\n## Headless cluster: {workers} workers, {} jobs\n",
         run.placements.len()

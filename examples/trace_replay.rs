@@ -6,7 +6,7 @@
 //! cargo run --release --example trace_replay
 //! ```
 
-use flowcon_repro::cluster::{Manager, PolicyKind, RoundRobin};
+use flowcon_repro::cluster::{ClusterSession, PolicyKind};
 use flowcon_repro::core::config::{FlowConConfig, NodeConfig};
 use flowcon_repro::core::session::Session;
 use flowcon_repro::workload::{ArrivalProcess, ArrivalTrace, SyntheticSource, TraceCatalog};
@@ -59,13 +59,12 @@ fn main() {
     let workers = 256;
     let source =
         SyntheticSource::new(ArrivalProcess::bursty(0.4, 0.0, 25.0, 75.0), 2, 0xB025).unlabeled();
-    let cluster = Manager::new(
-        workers,
-        node,
-        PolicyKind::FlowCon(FlowConConfig::default()),
-        RoundRobin::default(),
-    )
-    .run_source(&source);
+    let cluster = ClusterSession::builder()
+        .nodes(workers, node)
+        .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+        .source(&source)
+        .build()
+        .run();
     println!(
         "\nbursty cluster: {} workers, {} jobs completed, makespan {:.1}s, {} events",
         workers,

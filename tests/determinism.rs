@@ -2,7 +2,7 @@
 //! different seeds differ — across every layer.
 
 use flowcon_bench::experiments::{fixed, flowcon_run as run_flowcon, random, scale};
-use flowcon_cluster::{Manager, PolicyKind, Spread};
+use flowcon_cluster::{ClusterSession, PolicyKind, Spread};
 use flowcon_core::config::{FlowConConfig, NodeConfig};
 use flowcon_dl::workload::WorkloadPlan;
 
@@ -70,11 +70,16 @@ fn experiments_reproduce_end_to_end() {
 fn cluster_runs_reproduce() {
     let plan = WorkloadPlan::random_n(9, 4);
     let run = |seed| {
-        Manager::new(3, node(seed), PolicyKind::Baseline, Spread)
-            .run(&plan)
+        ClusterSession::builder()
+            .nodes(3, node(seed))
+            .policy(PolicyKind::Baseline)
+            .placement(Spread)
+            .plan(plan.clone())
+            .build()
+            .run()
             .workers
             .iter()
-            .flat_map(|w| w.summary.completions.clone())
+            .flat_map(|w| w.output.completions.clone())
             .collect::<Vec<_>>()
     };
     assert_eq!(run(5), run(5));

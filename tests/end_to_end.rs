@@ -1,7 +1,7 @@
 //! End-to-end integration: every layer of the stack working together —
 //! daemon + allocator + policies + cluster + metrics.
 
-use flowcon_cluster::{Manager, PolicyKind, RoundRobin, Spread};
+use flowcon_cluster::{ClusterSession, PolicyKind, Spread};
 use flowcon_core::config::{FlowConConfig, NodeConfig};
 use flowcon_core::policy::{FairSharePolicy, FlowConPolicy};
 use flowcon_core::session::{Session, SessionResult};
@@ -85,27 +85,26 @@ fn all_policies_complete_the_same_workload() {
 #[test]
 fn cluster_spread_balances_and_finishes() {
     let plan = WorkloadPlan::random_n(12, 5);
-    let result = Manager::new(
-        3,
-        NodeConfig::default(),
-        PolicyKind::FlowCon(FlowConConfig::default()),
-        Spread,
-    )
-    .run(&plan);
+    let result = ClusterSession::builder()
+        .nodes(3, NodeConfig::default())
+        .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+        .placement(Spread)
+        .plan(plan.clone())
+        .build()
+        .run();
     assert_eq!(result.completed_jobs(), 12);
     // Spread: 4 jobs per worker.
     for w in 0..3 {
-        let count = result.assignments.iter().filter(|(_, i)| *i == w).count();
+        let count = result.placements.iter().filter(|&&i| i == w).count();
         assert_eq!(count, 4, "worker {w} got {count} jobs");
     }
     // Cluster makespan beats the single-worker run of the same plan.
-    let single = Manager::new(
-        1,
-        NodeConfig::default(),
-        PolicyKind::FlowCon(FlowConConfig::default()),
-        RoundRobin::default(),
-    )
-    .run(&plan);
+    let single = ClusterSession::builder()
+        .nodes(1, NodeConfig::default())
+        .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+        .plan(plan)
+        .build()
+        .run();
     assert!(result.makespan_secs() < single.makespan_secs());
 }
 
