@@ -16,6 +16,9 @@
 //! repro sched [--policy {fifo,gandiva,tiresias}] [--compare]
 //!             [--workers N] [--jobs J] [--seed S] [--quantum SECS]
 //!             [--slots K] [--sequential]
+//! repro frontier [--policy {fifo,gandiva,tiresias}] [--compare]
+//!                [--workers N] [--jobs J] [--seed S] [--quantum SECS]
+//!                [--slots K] [--rates R1,R2,...] [--emit PATH]
 //!
 //! experiments:
 //!   table1 fig1 fig3 fig4 fig5 fig6 table2 fig7 fig8 fig9 fig10 fig11
@@ -72,9 +75,20 @@
 //! with per-node FlowCon sims underneath (`--slots` jobs per node).
 //! `--policy` picks the discipline; `--compare` runs all three on the
 //! same workload and prints the per-policy comparison table (makespan,
-//! mean queueing delay, preemptions, migrations, utilization).  Runs are
-//! deterministic: same `--seed` ⇒ bit-identical decision log, sharded or
-//! `--sequential`.
+//! mean queueing delay, preemptions, migrations, utilization, and
+//! p50/p95/p99 sojourn and queue-wait tails from the quantile sketches).
+//! Runs are deterministic: same `--seed` ⇒ bit-identical decision log,
+//! sharded or `--sequential`.
+//!
+//! `repro frontier` is the capacity-planning sweep: per policy, it feeds
+//! the online scheduler a cluster-wide Poisson arrival stream and climbs
+//! a geometric ladder of offered rates (`--rates` overrides it with an
+//! explicit strictly-increasing list), recording p50/p95/p99 sojourn and
+//! queue-wait at each rung and stopping early once the completion rate
+//! saturates or the time-weighted queue depth diverges — the M/G/1 view
+//! of the stability frontier.  The printed table is deterministic (CI
+//! diffs two runs); `--emit PATH` additionally writes the curves as
+//! JSONL for plotting.
 //! ```
 //!
 //! Output: paper-style tables and ASCII charts on stdout; CSV artifacts
@@ -157,6 +171,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("sched") {
         run_sched_cmd(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("frontier") {
+        run_frontier(&args[1..]);
         return;
     }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
@@ -904,6 +922,8 @@ fn run_sched_cmd(args: &[String]) {
                 out.algorithm_runs.to_string(),
                 format!("{:.1}%", 100.0 * out.stream.utilization()),
                 format!("{:.3}", out.stream.mean_queue_depth()),
+                tail_cell(&out.sojourn_percentiles()),
+                tail_cell(&out.queue_wait_percentiles()),
             ]
         })
         .collect();
@@ -919,11 +939,181 @@ fn run_sched_cmd(args: &[String]) {
                 "migrate",
                 "rounds",
                 "util",
-                "mean depth"
+                "mean depth",
+                "sojourn p50/p95/p99 (s)",
+                "q-wait p50/p95/p99 (s)"
             ],
             &rows
         )
     );
+}
+
+/// Render a p50/p95/p99 triple as one compact table cell.
+fn tail_cell(p: &flowcon_metrics::sojourn::Percentiles) -> String {
+    format!("{:.1}/{:.1}/{:.1}", p.p50, p.p95, p.p99)
+}
+
+/// `repro frontier [--policy P | --compare] [--rates R1,R2,..] ...`:
+/// sweep offered arrival rate per policy up to the stability frontier and
+/// print p50/p95/p99 sojourn vs. load (see the module docs for the
+/// flags).
+fn run_frontier(args: &[String]) {
+    use flowcon_bench::experiments::frontier;
+    use flowcon_cluster::SchedPolicyKind;
+    use flowcon_sim::time::SimDuration;
+
+    let parse_num = |name: &str, default: u64| {
+        flag_value(args, name).map_or(default, |v| {
+            v.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("{name} wants a number, got {v}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let workers = parse_num("--workers", 16) as usize;
+    let jobs = parse_num("--jobs", 16 * workers as u64) as usize;
+    let seed = parse_num("--seed", perf::CLUSTER_BENCH_PLAN_SEED);
+    let slots = parse_num("--slots", 2) as usize;
+    let quantum = flag_value(args, "--quantum").map_or(10.0, |v| {
+        v.parse::<f64>().unwrap_or_else(|_| {
+            eprintln!("--quantum wants seconds, got {v}");
+            std::process::exit(2);
+        })
+    });
+    if workers == 0 {
+        eprintln!("--workers must be at least 1: a cluster with no workers cannot run jobs");
+        std::process::exit(2);
+    }
+    if jobs == 0 {
+        eprintln!("--jobs must be at least 1: a zero-job rung measures nothing");
+        std::process::exit(2);
+    }
+    if quantum <= 0.0 {
+        eprintln!("--quantum must be positive");
+        std::process::exit(2);
+    }
+    if slots == 0 {
+        eprintln!("--slots must be at least 1: a node needs a job slot");
+        std::process::exit(2);
+    }
+    let config = frontier::FrontierConfig {
+        nodes: workers,
+        slots_per_node: slots,
+        jobs,
+        seed,
+        quantum: SimDuration::from_secs_f64(quantum),
+    };
+    // The rate ladder: explicit `--rates R1,R2,...` must be a non-empty,
+    // strictly increasing list of positive rates — anything else is a
+    // script bug that would silently sweep garbage (a descending ladder
+    // "finds" the frontier at its first rung).
+    let rates: Vec<f64> = match flag_value(args, "--rates") {
+        None => frontier::default_ladder(&config),
+        Some(list) => {
+            let rates: Vec<f64> = list
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| {
+                    s.trim().parse::<f64>().unwrap_or_else(|_| {
+                        eprintln!("--rates wants comma-separated jobs/s values, got {s:?}");
+                        std::process::exit(2);
+                    })
+                })
+                .collect();
+            if rates.is_empty() {
+                eprintln!("--rates must name at least one offered rate (jobs/s)");
+                std::process::exit(2);
+            }
+            if rates.iter().any(|&r| !r.is_finite() || r <= 0.0) {
+                eprintln!("--rates must be positive finite rates, got {list}");
+                std::process::exit(2);
+            }
+            if rates.windows(2).any(|w| w[1] <= w[0]) {
+                eprintln!(
+                    "--rates must be strictly increasing (the sweep climbs the ladder and \
+                     early-stops at saturation), got {list}"
+                );
+                std::process::exit(2);
+            }
+            rates
+        }
+    };
+    let compare = args.iter().any(|a| a == "--compare");
+    let kinds: Vec<SchedPolicyKind> = if compare {
+        SchedPolicyKind::ALL.to_vec()
+    } else {
+        let name = flag_value(args, "--policy").unwrap_or_else(|| "fifo".into());
+        match SchedPolicyKind::parse(&name) {
+            Some(kind) => vec![kind],
+            None => {
+                eprintln!("--policy wants fifo, gandiva or tiresias, got {name}");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    section(&format!(
+        "Capacity frontier: {workers} nodes x {slots} slots, {jobs} jobs/rung, {quantum:.0}s quantum, {} rung ladder",
+        rates.len()
+    ));
+    let mut curves = Vec::with_capacity(kinds.len());
+    for kind in kinds {
+        let curve = frontier::sweep(kind, &config, &rates);
+        let rows: Vec<Vec<String>> = curve
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.4}", p.rate),
+                    format!("{:.4}", p.completion_rate),
+                    format!("{:.1}%", 100.0 * p.utilization),
+                    format!("{:.2}", p.mean_queue_depth),
+                    tail_cell(&p.sojourn),
+                    tail_cell(&p.queue_wait),
+                    if p.saturated { "SATURATED" } else { "stable" }.to_string(),
+                ]
+            })
+            .collect();
+        println!("policy: {}", curve.policy);
+        print!(
+            "{}",
+            text_table(
+                &[
+                    "offered (jobs/s)",
+                    "completed (jobs/s)",
+                    "util",
+                    "mean depth",
+                    "sojourn p50/p95/p99 (s)",
+                    "q-wait p50/p95/p99 (s)",
+                    "verdict"
+                ],
+                &rows
+            )
+        );
+        match (curve.last_stable_rate(), curve.frontier_rate()) {
+            (Some(lo), Some(hi)) => {
+                println!("stability frontier: between {lo:.4} and {hi:.4} jobs/s")
+            }
+            (Some(lo), None) => {
+                println!("stability frontier: above {lo:.4} jobs/s (ladder exhausted while stable)")
+            }
+            (None, Some(hi)) => {
+                println!("stability frontier: below {hi:.4} jobs/s (first rung already saturated)")
+            }
+            (None, None) => println!("stability frontier: no rungs ran"),
+        }
+        curves.push(curve);
+    }
+    if let Some(path) = flag_value(args, "--emit") {
+        let doc = frontier::curves_jsonl(&curves);
+        match std::fs::write(&path, &doc) {
+            Ok(()) => println!("wrote {} curve points to {path}", doc.lines().count()),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 }
 
 /// `repro stream`: run an open-loop arrival stream end to end (see the

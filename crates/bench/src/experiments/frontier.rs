@@ -1,0 +1,289 @@
+//! Capacity-frontier sweeps: tail latency vs. offered load, per policy.
+//!
+//! The M/G/1 view of the online scheduler: feed the cluster a Poisson
+//! arrival stream at offered rate `λ` and watch the tails.  While
+//! `λ` is below the cluster's service capability `μ`, the completion rate
+//! tracks the offered rate and sojourn quantiles stay bounded; past the
+//! **stability frontier** (`λ > μ`) the completion rate saturates at `μ`
+//! and the time-weighted queue depth diverges — on a finite run, the
+//! admission queue ends up holding a constant fraction of every job ever
+//! submitted.  [`sweep`] climbs a geometric rate ladder, records
+//! p50/p95/p99 sojourn and queue-wait at each rung (from the
+//! [`SojournStats`](flowcon_metrics::sojourn::SojournStats) sketches the
+//! scheduler carries), and stops early at the first saturated rung, so
+//! the ladder can be generous without wasting time deep in overload.
+//!
+//! Every rung is a deterministic [`ClusterSession`] scheduler run (same
+//! seed ⇒ bit-identical [`SchedOutcome`]), so two sweeps of the same
+//! configuration print byte-identical tables — the property the CI
+//! frontier smoke step diffs on.
+
+use flowcon_cluster::{ClusterSession, Horizon, PolicyKind, SchedOutcome, SchedPolicyKind};
+use flowcon_core::config::{FlowConConfig, NodeConfig};
+use flowcon_metrics::export::JsonValue;
+use flowcon_metrics::sojourn::Percentiles;
+use flowcon_sim::time::SimDuration;
+use flowcon_workload::{ArrivalProcess, SyntheticStreamSource};
+
+/// A rung is **saturated** when its completion rate falls below this
+/// fraction of the offered rate: the cluster no longer keeps up, so the
+/// run's makespan is service-bound rather than arrival-bound.  The slack
+/// below 1.0 absorbs the tail drain (the last jobs finish after the
+/// admission window even on an idle cluster).
+pub const SATURATION_FRACTION: f64 = 0.8;
+
+/// A rung is **diverging** when the time-weighted mean queue depth
+/// exceeds this fraction of all jobs submitted — the finite-run signature
+/// of `λ > μ` (the queue grows linearly for the whole run, so its mean
+/// holds a constant fraction of the workload).
+pub const DIVERGENCE_DEPTH_FRACTION: f64 = 0.125;
+
+/// Fixed cluster shape shared by every rung of a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontierConfig {
+    /// Nodes in the cluster.
+    pub nodes: usize,
+    /// Concurrent job slots per node.
+    pub slots_per_node: usize,
+    /// Jobs admitted per rung (the Poisson stream is cut off after this
+    /// many arrivals; every admitted job runs to completion).
+    pub jobs: usize,
+    /// Seed for both the arrival stream and the node's eval noise.
+    pub seed: u64,
+    /// Scheduler quantum (barrier spacing).
+    pub quantum: SimDuration,
+}
+
+impl Default for FrontierConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 16,
+            slots_per_node: 2,
+            jobs: 256,
+            seed: crate::perf::CLUSTER_BENCH_PLAN_SEED,
+            quantum: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// A strictly increasing geometric rate ladder:
+/// `base, base·factor, …` (`rungs` entries).
+pub fn geometric_ladder(base: f64, factor: f64, rungs: usize) -> Vec<f64> {
+    let mut rates = Vec::with_capacity(rungs);
+    let mut r = base;
+    for _ in 0..rungs {
+        rates.push(r);
+        r *= factor;
+    }
+    rates
+}
+
+/// The default ladder for a cluster shape: ten doubling rungs starting
+/// well under the cluster's plausible capacity (`nodes × slots` jobs in
+/// flight against model service times of a few hundred simulated
+/// seconds), so the sweep brackets the frontier from below and the early
+/// stop finds it within the ladder.
+pub fn default_ladder(config: &FrontierConfig) -> Vec<f64> {
+    let base = (config.nodes * config.slots_per_node) as f64 / 16_000.0;
+    geometric_ladder(base, 2.0, 10)
+}
+
+/// One measured rung of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontierPoint {
+    /// Offered Poisson arrival rate (jobs/s).
+    pub rate: f64,
+    /// Achieved completion rate: jobs / makespan (jobs/s).
+    pub completion_rate: f64,
+    /// Cluster CPU utilization over the run.
+    pub utilization: f64,
+    /// Time-weighted mean admission-queue depth (jobs).
+    pub mean_queue_depth: f64,
+    /// p50/p95/p99 sojourn time (exit − arrival, seconds).
+    pub sojourn: Percentiles,
+    /// p50/p95/p99 per-visit queue wait (seconds).
+    pub queue_wait: Percentiles,
+    /// Whether this rung triggered the early stop (completion rate
+    /// saturated or queue depth diverged).
+    pub saturated: bool,
+}
+
+/// The sweep result for one discipline: rungs in ladder order, ending at
+/// the first saturated rung (if the ladder reached it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierCurve {
+    /// Discipline name.
+    pub policy: &'static str,
+    /// Measured rungs, in offered-rate order.
+    pub points: Vec<FrontierPoint>,
+}
+
+impl FrontierCurve {
+    /// The first saturated offered rate — the ladder's bracket on the
+    /// stability frontier from above — or `None` if every rung stayed
+    /// stable.
+    pub fn frontier_rate(&self) -> Option<f64> {
+        self.points.iter().find(|p| p.saturated).map(|p| p.rate)
+    }
+
+    /// The highest offered rate that stayed stable — the bracket from
+    /// below — or `None` if even the first rung saturated.
+    pub fn last_stable_rate(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .rev()
+            .find(|p| !p.saturated)
+            .map(|p| p.rate)
+    }
+
+    /// This curve as flat JSONL records (one per rung), for
+    /// [`flowcon_metrics::export::to_jsonl`].
+    pub fn jsonl_records(&self) -> Vec<Vec<(&'static str, JsonValue)>> {
+        self.points
+            .iter()
+            .map(|p| {
+                vec![
+                    ("policy", JsonValue::Str(self.policy.to_string())),
+                    ("rate", JsonValue::Num(p.rate)),
+                    ("completion_rate", JsonValue::Num(p.completion_rate)),
+                    ("utilization", JsonValue::Num(p.utilization)),
+                    ("mean_queue_depth", JsonValue::Num(p.mean_queue_depth)),
+                    ("sojourn_p50", JsonValue::Num(p.sojourn.p50)),
+                    ("sojourn_p95", JsonValue::Num(p.sojourn.p95)),
+                    ("sojourn_p99", JsonValue::Num(p.sojourn.p99)),
+                    ("queue_wait_p50", JsonValue::Num(p.queue_wait.p50)),
+                    ("queue_wait_p95", JsonValue::Num(p.queue_wait.p95)),
+                    ("queue_wait_p99", JsonValue::Num(p.queue_wait.p99)),
+                    ("saturated", JsonValue::Bool(p.saturated)),
+                ]
+            })
+            .collect()
+    }
+}
+
+/// All given curves as one JSONL document (policies concatenated in
+/// input order — the file `repro frontier --emit` writes).
+pub fn curves_jsonl(curves: &[FrontierCurve]) -> String {
+    let records: Vec<Vec<(&str, JsonValue)>> =
+        curves.iter().flat_map(|c| c.jsonl_records()).collect();
+    flowcon_metrics::export::to_jsonl(records.iter().map(Vec::as_slice))
+}
+
+/// Run one rung: a scheduler run fed `config.jobs` Poisson arrivals at
+/// `rate`, returning the outcome for [`point_of`] to summarize.
+pub fn rung(kind: SchedPolicyKind, config: &FrontierConfig, rate: f64) -> SchedOutcome {
+    let source = SyntheticStreamSource::new(ArrivalProcess::poisson(rate), config.seed).unlabeled();
+    let node = NodeConfig::default().with_seed(config.seed);
+    ClusterSession::builder()
+        .nodes(config.nodes, node)
+        .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+        .stream(&source, Horizon::jobs(config.jobs))
+        .scheduler(kind)
+        .quantum(config.quantum)
+        .slots_per_node(config.slots_per_node)
+        .build()
+        .run()
+}
+
+/// Summarize one rung's outcome into a [`FrontierPoint`].
+pub fn point_of(out: &SchedOutcome, rate: f64, jobs: usize) -> FrontierPoint {
+    let completion_rate = out.stream.completion_rate();
+    let mean_queue_depth = out.stream.mean_queue_depth();
+    let saturated = completion_rate < SATURATION_FRACTION * rate
+        || mean_queue_depth > DIVERGENCE_DEPTH_FRACTION * jobs as f64;
+    FrontierPoint {
+        rate,
+        completion_rate,
+        utilization: out.stream.utilization(),
+        mean_queue_depth,
+        sojourn: out.sojourn_percentiles(),
+        queue_wait: out.queue_wait_percentiles(),
+        saturated,
+    }
+}
+
+/// Sweep one discipline up the rate ladder, stopping after the first
+/// saturated rung (it is kept in the curve so the frontier is visible).
+pub fn sweep(kind: SchedPolicyKind, config: &FrontierConfig, rates: &[f64]) -> FrontierCurve {
+    let mut points = Vec::with_capacity(rates.len());
+    for &rate in rates {
+        let out = rung(kind, config, rate);
+        let point = point_of(&out, rate, config.jobs);
+        let stop = point.saturated;
+        points.push(point);
+        if stop {
+            break;
+        }
+    }
+    FrontierCurve {
+        policy: kind.name(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FrontierConfig {
+        FrontierConfig {
+            nodes: 4,
+            slots_per_node: 2,
+            jobs: 32,
+            ..FrontierConfig::default()
+        }
+    }
+
+    #[test]
+    fn geometric_ladder_is_strictly_increasing() {
+        let rates = geometric_ladder(0.05, 2.0, 6);
+        assert_eq!(rates.len(), 6);
+        assert!(rates.windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(rates[0], 0.05);
+        assert_eq!(rates[5], 1.6);
+    }
+
+    #[test]
+    fn sweep_finds_a_frontier_within_a_generous_ladder() {
+        let config = tiny();
+        let curve = sweep(
+            SchedPolicyKind::Fifo,
+            &config,
+            &geometric_ladder(0.001, 4.0, 8),
+        );
+        // Early stop: the saturated rung ends the curve.
+        let frontier = curve.frontier_rate().expect("ladder spans the frontier");
+        assert_eq!(curve.points.last().unwrap().rate, frontier);
+        assert!(curve
+            .points
+            .iter()
+            .all(|p| p.saturated == (p.rate >= frontier)));
+        let stable = curve.last_stable_rate().expect("first rung is idle-slow");
+        assert!(stable < frontier);
+        // Tails are populated and ordered on every rung.
+        for p in &curve.points {
+            assert!(p.sojourn.p50 > 0.0);
+            assert!(p.sojourn.p50 <= p.sojourn.p95 && p.sojourn.p95 <= p.sojourn.p99);
+            assert!(p.queue_wait.p50 <= p.queue_wait.p99);
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let config = tiny();
+        let rates = geometric_ladder(0.002, 4.0, 5);
+        let a = sweep(SchedPolicyKind::Tiresias, &config, &rates);
+        let b = sweep(SchedPolicyKind::Tiresias, &config, &rates);
+        assert_eq!(a, b);
+        assert_eq!(curves_jsonl(&[a]), curves_jsonl(&[b]));
+    }
+
+    #[test]
+    fn jsonl_has_one_record_per_rung() {
+        let config = tiny();
+        let curve = sweep(SchedPolicyKind::Fifo, &config, &[0.002, 0.004]);
+        let doc = curves_jsonl(std::slice::from_ref(&curve));
+        assert_eq!(doc.lines().count(), curve.points.len());
+        assert!(doc.lines().all(|l| l.starts_with("{\"policy\":\"fifo\"")));
+    }
+}

@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod fig1;
 pub mod fixed;
+pub mod frontier;
 pub mod random;
 pub mod scale;
 pub mod stream;

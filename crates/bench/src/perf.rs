@@ -743,6 +743,58 @@ pub fn run_micro_suite(counter: Option<AllocCounter<'_>>) -> Vec<PerfResult> {
         push(&format!("sched/compare/w{jobs}"), ns, None, None);
     }
 
+    // --- metrics: warm quantile-sketch insert (the SLO hot path) ---
+    // One op is one `QuantileSketch::insert` into a sketch whose bucket
+    // range already covers the workload — the shape every worker sees on
+    // the open-loop exit path after the first few jobs.  allocs_per_op is
+    // zero-gated (`metrics/sketch/` is in `ZERO_ALLOC_PREFIXES`): a warm
+    // insert is a log-key computation plus a counter bump, nothing else.
+    {
+        let mut rng = SimRng::new(CLUSTER_BENCH_PLAN_SEED);
+        let values: Vec<f64> = (0..4096).map(|_| rng.range_f64(0.5, 5000.0)).collect();
+        let mut sketch = flowcon_metrics::sketch::QuantileSketch::new();
+        for &v in &values {
+            sketch.insert(v); // warm the full bucket range
+        }
+        let mut i = 0usize;
+        let mut op = move || {
+            sketch.insert(values[i & 4095]);
+            i = i.wrapping_add(1);
+            std::hint::black_box(sketch.count());
+        };
+        let ns = time_ns(&mut op, budget);
+        let allocs = allocs_per_op_iters(counter, 100_000, &mut op);
+        push("metrics/sketch/insert", ns, allocs, None);
+    }
+
+    // --- frontier: capacity sweep, FIFO on a 256-node cluster ---
+    // A bench-scale `repro frontier --policy fifo --workers 256`: four
+    // geometric rungs bracketing the stability frontier, each a
+    // deterministic 512-job scheduler run with tails recorded in the
+    // sojourn/queue-wait sketches.  Sharded rounds inside each rung make
+    // wall time core-count-dependent, so `frontier/` is excluded from the
+    // relative events/s gate; the row is held by presence.
+    {
+        use crate::experiments::frontier;
+        let config = frontier::FrontierConfig {
+            nodes: 256,
+            jobs: 512,
+            ..frontier::FrontierConfig::default()
+        };
+        let rates = frontier::geometric_ladder(0.032, 4.0, 4);
+        let mut rungs = 0usize;
+        let ns = time_ns(
+            || {
+                let curve = frontier::sweep(SchedPolicyKind::Fifo, &config, &rates);
+                rungs = curve.points.len();
+                std::hint::black_box(curve.frontier_rate());
+            },
+            Duration::from_millis(1500),
+        );
+        assert!(rungs >= 2, "frontier bench ladder must measure ≥ 2 rungs");
+        push("frontier/sweep/fifo_w256", ns, None, None);
+    }
+
     // --- rt: real threads under the token-bucket governor ---
     // A tiny wall-clock run (two ~40 ms jobs, FlowCon reconfiguring every
     // 100 ms) so real-thread mode is regression-gated beside the sim rows.
@@ -868,10 +920,11 @@ pub fn to_json(results: &[PerfResult], date: &str, mode: &str) -> String {
 /// Benchmark-name prefixes whose warm path is contractually allocation-free
 /// (see BENCHMARKS.md): any `allocs_per_op > 0` on these rows fails the
 /// gate outright.
-pub const ZERO_ALLOC_PREFIXES: [&str; 3] = [
+pub const ZERO_ALLOC_PREFIXES: [&str; 4] = [
     "waterfill/warm",
     "waterfill/early_exit",
     "waterfill/soft_warm",
+    "metrics/sketch/",
 ];
 
 /// Maximum tolerated events/s regression vs the baseline (25%): throughput
@@ -880,7 +933,8 @@ pub const EVENTS_REGRESSION_TOLERANCE: f64 = 0.25;
 
 /// Benchmark-name prefixes excluded from the **relative** events/s check:
 /// cluster throughput (closed `cluster/` rows, the scheduler `sched/` row,
-/// and the open-loop `stream/open_loop/` row) scales with the runner's
+/// the open-loop `stream/open_loop/` row, and the `frontier/` capacity
+/// sweep, whose rungs are scheduler runs) scales with the runner's
 /// *core count* (the sharded executor uses `available_parallelism`
 /// threads), so a baseline committed from an 8-core box would permanently
 /// fail a 4-vCPU CI runner on unchanged code, and `rt/` rows run real
@@ -888,8 +942,13 @@ pub const EVENTS_REGRESSION_TOLERANCE: f64 = 0.25;
 /// wall second) tracks the machine, not the code.  These rows stay gated
 /// by presence and — where measured — by their machine-independent
 /// allocs/worker figure (see [`ALLOCS_REGRESSION_TOLERANCE`]).
-pub const THROUGHPUT_GATE_EXCLUDE_PREFIXES: [&str; 4] =
-    ["cluster/", "rt/", "sched/", "stream/open_loop/"];
+pub const THROUGHPUT_GATE_EXCLUDE_PREFIXES: [&str; 5] = [
+    "cluster/",
+    "rt/",
+    "sched/",
+    "stream/open_loop/",
+    "frontier/",
+];
 
 /// Maximum tolerated relative growth of `allocs_per_op` vs the baseline
 /// (25%), applied to every row measuring allocations in both runs (with a

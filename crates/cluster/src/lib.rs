@@ -15,8 +15,9 @@
 //! * [`executor`] — the sharded executor: a bounded shared-cursor pool
 //!   with per-shard reusable state, so 1000-worker clusters run on
 //!   `available_parallelism` OS threads.
-//! * [`manager`] — the legacy manager façade: every `run_*` entry point
-//!   is now a deprecated shim over [`session::ClusterSession`].
+//! * [`manager`] — result carriers of the dense headless path
+//!   ([`PlacedHeadless`], [`ClusterRun`]); the legacy `Manager` façade
+//!   itself has been removed (see the migration table in [`session`]).
 //! * [`session`] — the front door: one builder covering closed plans,
 //!   streamed plan sources, open-loop job streams, pluggable recorders,
 //!   and the online scheduler.
@@ -35,7 +36,7 @@ pub mod policy_kind;
 pub mod sched;
 pub mod session;
 
-pub use manager::{ClusterResult, ClusterRun, Manager, OpenLoopRun, PlacedHeadless};
+pub use manager::{ClusterRun, PlacedHeadless};
 pub use sched::{
     ClusterPolicy, ClusterView, Decision, FifoPolicy, GandivaPolicy, QueuedJobView, RunningJobView,
     SchedAction, SchedConfig, SchedOutcome, SchedPolicyKind, TiresiasPolicy,

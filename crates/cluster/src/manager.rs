@@ -1,99 +1,31 @@
-//! The legacy cluster manager façade.
+//! Result carriers of the dense headless cluster path.
 //!
-//! Every `run_*` entry point on [`Manager`] is now a thin `#[deprecated]`
-//! shim over [`ClusterSession`] — one
-//! builder covering placed plans, streaming plan sources, open-loop job
-//! streams, pluggable recorders, and the online scheduler.  See the
-//! migration table in [`crate::session`]; the result types here
-//! ([`ClusterResult`], [`ClusterRun`], [`OpenLoopRun`], [`PlacedHeadless`])
-//! are *not* deprecated — the shims and the builder share them.
+//! The `Manager` façade that used to live here is gone: its ten `run_*`
+//! entry points shipped one release as `#[deprecated]` shims over
+//! [`ClusterSession`](crate::session::ClusterSession) (bit-compared
+//! against the builder while they lived) and have been **removed** along
+//! with the façade itself.  The migration table in [`crate::session`]
+//! maps every removed entry point onto the builder.
 //!
-//! [`JobStream`]: flowcon_workload::stream::JobStream
+//! What remains are the two result types the builder's headless path
+//! still produces: [`PlacedHeadless`] (a placed-but-unsimulated cluster,
+//! the stage boundary `repro profile` clocks) and [`ClusterRun`] (the
+//! per-worker results of driving it).
 
-use std::sync::Arc;
-
-use flowcon_container::image::shared_dl_defaults;
-use flowcon_container::ImageRegistry;
 use flowcon_core::config::NodeConfig;
 use flowcon_core::dense::{run_headless_dense, DenseScratch, QueueKind};
-use flowcon_core::recorder::{FullRecorder, Recorder};
-use flowcon_core::session::{SessionResult, StreamResult};
-use flowcon_core::worker::RunResult;
-use flowcon_dl::workload::{JobRequest, WorkloadPlan};
-use flowcon_metrics::stream::StreamStats;
+use flowcon_core::session::SessionResult;
+use flowcon_dl::workload::JobRequest;
 use flowcon_metrics::summary::{makespan_over, CompletionStats};
-use flowcon_workload::source::PlanSource;
-use flowcon_workload::stream::{Horizon, StreamSource};
 
 use crate::executor;
-use crate::placement::PlacementStrategy;
 use crate::policy_kind::PolicyKind;
-use crate::session::{
-    AsDynStream, ClusterOutcome, ClusterSession, ClusterSessionBuilder, DynPlan, Headless,
-};
-
-/// Result of a full-observability cluster run.
-#[derive(Debug)]
-pub struct ClusterResult {
-    /// Per-worker results, indexed by worker.
-    pub workers: Vec<RunResult>,
-    /// Which worker each job went to: `(job label, worker index)`.
-    pub assignments: Vec<(String, usize)>,
-}
-
-impl ClusterResult {
-    /// Cluster makespan: the latest completion over all workers.
-    ///
-    /// Delegates to [`RunSummary::makespan_secs`](flowcon_metrics::summary::RunSummary::makespan_secs) per worker and to the
-    /// canonical [`makespan_over`] fold across workers — one makespan
-    /// implementation for the whole workspace.
-    pub fn makespan_secs(&self) -> f64 {
-        makespan_over(self.workers.iter().map(|w| w.summary.makespan_secs()))
-    }
-
-    /// Total number of completed jobs.
-    pub fn completed_jobs(&self) -> usize {
-        self.workers
-            .iter()
-            .map(|w| w.summary.completions.len())
-            .sum()
-    }
-
-    /// Completion time of a job by label, searching all workers; delegates
-    /// to [`RunSummary::completion_of`](flowcon_metrics::summary::RunSummary::completion_of).
-    ///
-    /// This is a **linear scan** — O(total completions) per call, which
-    /// is fine for a handful of lookups.  Callers probing many labels
-    /// should build [`ClusterResult::completions_sorted`] once and
-    /// binary-search it per label instead.
-    pub fn completion_of(&self, label: &str) -> Option<f64> {
-        self.workers
-            .iter()
-            .find_map(|w| w.summary.completion_of(label))
-    }
-
-    /// Every labeled completion as `(label, completion_secs)`, sorted by
-    /// label — the amortized counterpart of
-    /// [`ClusterResult::completion_of`].  Build it once, then each lookup
-    /// is `O(log n)`:
-    /// `sorted.binary_search_by(|(l, _)| l.cmp(&label)).map(|i| sorted[i].1)`.
-    pub fn completions_sorted(&self) -> Vec<(&str, f64)> {
-        let mut sorted: Vec<(&str, f64)> = self
-            .workers
-            .iter()
-            .flat_map(|w| w.summary.completions.iter())
-            .map(|c| (c.label.as_str(), c.completion_secs()))
-            .collect();
-        sorted.sort_by(|a, b| a.0.cmp(b.0));
-        sorted
-    }
-}
 
 /// Result of a recorder-generic cluster run.
 ///
-/// Unlike [`ClusterResult`], the assignment log stores worker indices only
-/// (`placements[job]` in plan order) — no label clones, so a headless run
-/// holds O(completions) memory in total.
+/// The assignment log stores worker indices only (`placements[job]` in
+/// plan order) — no label clones, so a headless run holds O(completions)
+/// memory in total.
 #[derive(Debug)]
 pub struct ClusterRun<T> {
     /// Per-worker session results, indexed by worker.
@@ -136,60 +68,6 @@ impl ClusterRun<CompletionStats> {
     }
 }
 
-/// Result of an open-loop cluster run.
-///
-/// Like [`ClusterRun`] there is no placement log — the job→worker mapping
-/// is owned by the [`StreamSource`] (deterministic per `worker_id`) — and
-/// each per-worker result additionally carries its steady-state
-/// [`StreamStats`].
-#[derive(Debug)]
-pub struct OpenLoopRun<T> {
-    /// Per-worker open-loop session results, indexed by worker.
-    pub workers: Vec<StreamResult<T>>,
-}
-
-impl<T> OpenLoopRun<T> {
-    /// Total simulated events across all workers.
-    pub fn events_processed(&self) -> u64 {
-        self.workers.iter().map(|w| w.events_processed).sum()
-    }
-
-    /// Cluster-wide steady-state totals: per-worker [`StreamStats`] merged
-    /// (counts and integrals summed, the observation window extended to
-    /// the latest worker).
-    pub fn stream_totals(&self) -> StreamStats {
-        let mut total = StreamStats::default();
-        for w in &self.workers {
-            total.merge(&w.stream);
-        }
-        total
-    }
-
-    /// Jobs admitted across the cluster before the horizon.
-    pub fn submitted_jobs(&self) -> usize {
-        self.workers
-            .iter()
-            .map(|w| w.stream.submitted as usize)
-            .sum()
-    }
-
-    /// Jobs completed across the cluster.
-    pub fn completed_jobs(&self) -> usize {
-        self.workers
-            .iter()
-            .map(|w| w.stream.completed as usize)
-            .sum()
-    }
-}
-
-impl OpenLoopRun<CompletionStats> {
-    /// Cluster makespan (canonical [`makespan_over`] fold) — the drain
-    /// point of the slowest worker.
-    pub fn makespan_secs(&self) -> f64 {
-        makespan_over(self.workers.iter().map(|w| w.output.makespan_secs()))
-    }
-}
-
 /// A headless cluster with every job already placed, ready to simulate.
 ///
 /// Produced by [`ClusterSession::place`](crate::session::ClusterSession::place);
@@ -223,396 +101,5 @@ impl PlacedHeadless {
             workers,
             placements: self.placements,
         }
-    }
-}
-
-/// The manager: placement + per-worker node configs + per-worker policy.
-///
-/// Construction still works (the config triple is a convenient bundle),
-/// but every run method is a deprecated shim over
-/// [`ClusterSession`].
-pub struct Manager<P: PlacementStrategy> {
-    nodes: Vec<NodeConfig>,
-    policy: PolicyKind,
-    strategy: P,
-    images: Arc<ImageRegistry>,
-}
-
-impl<P: PlacementStrategy> Manager<P> {
-    /// A manager over `workers` identical nodes.
-    pub fn new(workers: usize, node: NodeConfig, policy: PolicyKind, strategy: P) -> Self {
-        assert!(workers > 0, "a cluster needs at least one worker");
-        // Give each worker its own seed stream so workloads don't correlate.
-        let nodes = (0..workers)
-            .map(|i| node.with_seed(node.seed.wrapping_add(i as u64 * 0x9E37_79B9)))
-            .collect();
-        Self::with_nodes(nodes, policy, strategy)
-    }
-
-    /// A manager over heterogeneous nodes.
-    pub fn with_nodes(nodes: Vec<NodeConfig>, policy: PolicyKind, strategy: P) -> Self {
-        assert!(!nodes.is_empty(), "a cluster needs at least one worker");
-        Manager {
-            nodes,
-            policy,
-            strategy,
-            images: shared_dl_defaults(),
-        }
-    }
-
-    /// Use a custom image registry, shared by every worker in the cluster
-    /// (defaults to the process-wide DL catalog).
-    pub fn with_images(mut self, images: Arc<ImageRegistry>) -> Self {
-        self.images = images;
-        self
-    }
-}
-
-impl<P: PlacementStrategy + 'static> Manager<P> {
-    /// The builder carrying this manager's exact configuration — what
-    /// every shim below delegates to.
-    fn into_builder(self) -> ClusterSessionBuilder<'static, Headless> {
-        ClusterSession::builder()
-            .node_configs(self.nodes)
-            .policy(self.policy)
-            .placement(self.strategy)
-            .images(self.images)
-    }
-
-    fn run_owned_impl(self, plan: WorkloadPlan) -> ClusterResult {
-        let labels: Vec<String> = plan.jobs.iter().map(|j| j.label.clone()).collect();
-        let outcome = self
-            .into_builder()
-            .plan(plan)
-            .recorder(|_| FullRecorder::new())
-            .build()
-            .run();
-        let workers = outcome.workers.into_iter().map(RunResult::from).collect();
-        ClusterResult {
-            workers,
-            assignments: labels.into_iter().zip(outcome.placements).collect(),
-        }
-    }
-
-    /// Place every job, run every worker, and gather the results.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
-    )]
-    pub fn run(self, plan: &WorkloadPlan) -> ClusterResult {
-        self.run_owned_impl(plan.clone())
-    }
-
-    /// Place every job (moving it into its worker's plan), then run one
-    /// full-observability session per worker.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
-    )]
-    pub fn run_owned(self, plan: WorkloadPlan) -> ClusterResult {
-        self.run_owned_impl(plan)
-    }
-
-    /// Run the cluster with a custom per-worker [`Recorder`] (the factory
-    /// receives the worker index).
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
-    )]
-    pub fn run_recorded<R, F>(self, plan: WorkloadPlan, make: F) -> ClusterRun<R::Output>
-    where
-        R: Recorder,
-        R::Output: Send,
-        F: Fn(usize) -> R + Sync,
-    {
-        let outcome = self.into_builder().plan(plan).recorder(make).build().run();
-        ClusterRun {
-            workers: outcome.workers,
-            placements: outcome.placements,
-        }
-    }
-
-    fn run_headless_impl(
-        self,
-        plan: WorkloadPlan,
-        queue: QueueKind,
-    ) -> ClusterRun<CompletionStats> {
-        let outcome = self.into_builder().plan(plan).queue(queue).build().run();
-        ClusterRun {
-            workers: outcome.workers,
-            placements: outcome.placements,
-        }
-    }
-
-    /// Run the cluster headless: label-free completions and makespan only
-    /// (the million-worker configuration; dense path, default queue).
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
-    )]
-    pub fn run_headless(self, plan: WorkloadPlan) -> ClusterRun<CompletionStats> {
-        self.run_headless_impl(plan, QueueKind::default())
-    }
-
-    /// [`Manager::run_headless`] with an explicit event-queue choice.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
-    )]
-    pub fn run_headless_with(
-        self,
-        plan: WorkloadPlan,
-        queue: QueueKind,
-    ) -> ClusterRun<CompletionStats> {
-        self.run_headless_impl(plan, queue)
-    }
-
-    /// Place every job for a headless run without simulating anything yet.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
-    )]
-    pub fn place_headless(self, plan: WorkloadPlan) -> PlacedHeadless {
-        self.into_builder().plan(plan).build().place()
-    }
-
-    /// Run the cluster off a streaming [`PlanSource`] with a custom
-    /// per-worker [`Recorder`] factory.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
-    )]
-    pub fn run_source_recorded<S, R, F>(self, source: &S, make: F) -> ClusterRun<R::Output>
-    where
-        S: PlanSource + ?Sized,
-        R: Recorder,
-        R::Output: Send,
-        F: Fn(usize) -> R + Sync,
-    {
-        let source = DynPlan(source);
-        let outcome = self
-            .into_builder()
-            .source(&source)
-            .recorder(make)
-            .build()
-            .run();
-        ClusterRun {
-            workers: outcome.workers,
-            placements: Vec::new(),
-        }
-    }
-
-    /// Run the cluster headless off a streaming [`PlanSource`]: label-free
-    /// completions only, the 10k-worker trace-replay configuration.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
-    )]
-    pub fn run_source<S: PlanSource + ?Sized>(self, source: &S) -> ClusterRun<CompletionStats> {
-        let source = DynPlan(source);
-        let outcome = self.into_builder().source(&source).build().run();
-        ClusterRun {
-            workers: outcome.workers,
-            placements: Vec::new(),
-        }
-    }
-
-    /// Run the cluster **open-loop** with a custom per-worker [`Recorder`]
-    /// factory: every worker pulls its own stream off `source` and admits
-    /// arrivals mid-run until `horizon` trips, then drains.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
-    )]
-    pub fn run_open_loop_recorded<S, R, F>(
-        self,
-        source: &S,
-        horizon: Horizon,
-        make: F,
-    ) -> OpenLoopRun<R::Output>
-    where
-        S: StreamSource + ?Sized,
-        R: Recorder,
-        R::Output: Send,
-        F: Fn(usize) -> R + Sync,
-    {
-        let source = AsDynStream(source);
-        let outcome = self
-            .into_builder()
-            .stream(&source, horizon)
-            .recorder(make)
-            .build()
-            .run();
-        OpenLoopRun {
-            workers: rejoin_streams(outcome),
-        }
-    }
-
-    /// Run the cluster **open-loop and headless**: label-free completions
-    /// plus steady-state [`StreamStats`] per worker.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the same run through ClusterSession::builder(); see the migration table in flowcon_cluster::session"
-    )]
-    pub fn run_open_loop<S: StreamSource + ?Sized>(
-        self,
-        source: &S,
-        horizon: Horizon,
-    ) -> OpenLoopRun<CompletionStats> {
-        let source = AsDynStream(source);
-        let outcome = self.into_builder().stream(&source, horizon).build().run();
-        OpenLoopRun {
-            workers: rejoin_streams(outcome),
-        }
-    }
-}
-
-/// Zip a stream outcome's parallel vectors back into the per-worker
-/// [`StreamResult`]s the legacy [`OpenLoopRun`] shape carries.
-fn rejoin_streams<T>(outcome: ClusterOutcome<T>) -> Vec<StreamResult<T>> {
-    outcome
-        .workers
-        .into_iter()
-        .zip(outcome.streams)
-        .map(|(w, stream)| StreamResult {
-            output: w.output,
-            events_processed: w.events_processed,
-            scheduler_overhead_cpu_secs: w.scheduler_overhead_cpu_secs,
-            stream,
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    // The shims must keep behaving exactly like the builder they wrap, so
-    // these tests intentionally exercise the deprecated surface.
-    #![allow(deprecated)]
-
-    use super::*;
-    use crate::placement::{RoundRobin, Spread};
-    use flowcon_core::config::FlowConConfig;
-
-    fn node() -> NodeConfig {
-        NodeConfig::default()
-    }
-
-    fn manager(workers: usize) -> Manager<RoundRobin> {
-        Manager::new(workers, node(), PolicyKind::Baseline, RoundRobin::default())
-    }
-
-    #[test]
-    fn run_shim_places_round_robin_and_completes_everything() {
-        let plan = WorkloadPlan::random_n(10, 7);
-        let result = manager(2).run(&plan);
-        assert_eq!(result.completed_jobs(), 10);
-        assert_eq!(result.assignments.len(), 10);
-        let w0 = result.assignments.iter().filter(|(_, w)| *w == 0).count();
-        assert_eq!(w0, 5);
-    }
-
-    #[test]
-    fn run_shim_matches_the_builder_bit_for_bit() {
-        let plan = WorkloadPlan::random_n(12, 5);
-        let shim = manager(3).run_headless(plan.clone());
-        let direct = ClusterSession::builder()
-            .nodes(3, node())
-            .plan(plan)
-            .build()
-            .run();
-        assert_eq!(shim.placements, direct.placements);
-        assert_eq!(shim.events_processed(), direct.events_processed());
-        for (a, b) in shim.workers.iter().zip(&direct.workers) {
-            assert_eq!(a.output, b.output);
-        }
-    }
-
-    #[test]
-    fn completion_lookup_spans_workers() {
-        let plan = WorkloadPlan::random_n(4, 3);
-        let result = manager(2).run(&plan);
-        for job in &plan.jobs {
-            assert!(
-                result.completion_of(&job.label).is_some(),
-                "missing {}",
-                job.label
-            );
-        }
-        assert!(result.completion_of("nonexistent").is_none());
-    }
-
-    #[test]
-    fn completions_sorted_agrees_with_the_linear_lookup() {
-        let plan = WorkloadPlan::random_n(8, 3);
-        let result = manager(3).run(&plan);
-        let sorted = result.completions_sorted();
-        assert_eq!(sorted.len(), 8);
-        assert!(sorted.windows(2).all(|w| w[0].0 <= w[1].0), "unsorted");
-        for job in &plan.jobs {
-            let i = sorted
-                .binary_search_by(|&(l, _)| l.cmp(job.label.as_str()))
-                .unwrap_or_else(|_| panic!("missing {}", job.label));
-            assert_eq!(Some(sorted[i].1), result.completion_of(&job.label));
-        }
-    }
-
-    #[test]
-    fn headless_flowcon_conserves_jobs_at_plausible_makespan() {
-        let plan = WorkloadPlan::random_n(12, 5);
-        let build = |kind: PolicyKind| Manager::new(3, node(), kind, RoundRobin::default());
-        let fc = PolicyKind::FlowCon(FlowConConfig::default());
-        let full = build(fc).run(&plan);
-        let headless = build(fc).run_headless(plan);
-        assert_eq!(headless.completed_jobs(), 12);
-        // Different eval-noise stream, same physics scale: within a few %.
-        let rel = (headless.makespan_secs() - full.makespan_secs()).abs() / full.makespan_secs();
-        assert!(rel < 0.05, "headless makespan off by {:.1}%", rel * 100.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_workers_rejected() {
-        let _ = Manager::new(0, node(), PolicyKind::Baseline, Spread);
-    }
-
-    #[test]
-    fn source_shim_matches_the_equivalent_placed_run() {
-        use flowcon_workload::{BoundTrace, TraceSource};
-        let plan = WorkloadPlan::random_n(12, 5);
-        let source = TraceSource::new(BoundTrace::from_plan(plan.clone()), 3);
-        let placed = manager(3).run_headless(plan);
-        let streamed = manager(3).run_source(&source);
-        assert_eq!(streamed.completed_jobs(), 12);
-        assert!(streamed.placements.is_empty(), "the source owns placement");
-        for (a, b) in placed.workers.iter().zip(&streamed.workers) {
-            assert_eq!(a.output, b.output, "per-worker stats diverged");
-            assert_eq!(a.events_processed, b.events_processed);
-        }
-    }
-
-    #[test]
-    fn open_loop_shim_accepts_cyclic_trace_sources() {
-        use flowcon_workload::TraceStreamSource;
-        // A 6-job plan cycled across 3 workers: each worker replays its
-        // 2-row slice repeatedly until the 5-job-per-worker horizon.
-        let plan = WorkloadPlan::random_n(6, 11);
-        let source =
-            TraceStreamSource::new(flowcon_workload::BoundTrace::from_plan(plan).unlabeled(), 3)
-                .cyclic();
-        let run = manager(3).run_open_loop(&source, Horizon::jobs(5));
-        assert_eq!(run.submitted_jobs(), 15, "cyclic replay is unbounded");
-        assert_eq!(run.completed_jobs(), 15);
-        assert!(run.makespan_secs() > 0.0);
-        assert!(run.stream_totals().utilization() > 0.0);
-    }
-
-    #[test]
-    fn synthetic_source_drives_every_worker() {
-        use flowcon_workload::{ArrivalProcess, SyntheticSource};
-        let source = SyntheticSource::new(ArrivalProcess::poisson(0.05), 2, 7).unlabeled();
-        let run = manager(4).run_source(&source);
-        assert_eq!(run.workers.len(), 4);
-        assert_eq!(run.completed_jobs(), 4 * 2);
-        assert!(run.makespan_secs() > 0.0);
     }
 }

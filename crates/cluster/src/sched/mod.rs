@@ -48,6 +48,7 @@ use std::collections::VecDeque;
 
 use flowcon_core::config::NodeConfig;
 use flowcon_dl::ModelId;
+use flowcon_metrics::sojourn::{Percentiles, SojournStats};
 use flowcon_metrics::stream::StreamStats;
 use flowcon_metrics::summary::{makespan_over, Completion};
 use flowcon_sim::time::{SimDuration, SimTime};
@@ -104,6 +105,11 @@ pub struct SchedOutcome {
     pub stream: StreamStats,
     /// Total seconds jobs spent in the admission queue (every visit).
     pub total_queue_wait_secs: f64,
+    /// SLO tails: per-job sojourn time (exit − arrival, sampled at each
+    /// completion) and queue-wait (barrier − queued-since, sampled at
+    /// each [`SchedAction::Place`], so one job contributes once per
+    /// queue visit).  Deterministic — part of the bit-compare surface.
+    pub tails: SojournStats,
     /// Jobs submitted to the cluster.
     pub submitted: usize,
     /// Preemptions applied (suspend-to-queue).
@@ -132,6 +138,17 @@ impl SchedOutcome {
         } else {
             self.total_queue_wait_secs / self.submitted as f64
         }
+    }
+
+    /// p50/p95/p99 of per-visit queue wait in seconds (zeros when nothing
+    /// was placed).
+    pub fn queue_wait_percentiles(&self) -> Percentiles {
+        self.tails.queue_wait_percentiles()
+    }
+
+    /// p50/p95/p99 of job sojourn time (exit − arrival) in seconds.
+    pub fn sojourn_percentiles(&self) -> Percentiles {
+        self.tails.sojourn_percentiles()
     }
 }
 
@@ -183,6 +200,7 @@ pub(crate) fn run_sched(
     let mut completions: Vec<Completion> = Vec::new();
     let mut total_queue_wait_secs = 0.0f64;
     let mut queue_job_secs = 0.0f64;
+    let mut tails = SojournStats::new();
     let mut preemptions = 0u64;
     let mut migrations = 0u64;
 
@@ -258,7 +276,9 @@ pub(crate) fn run_sched(
                         .position(|j| j.id == job)
                         .expect("Place must target a queued job");
                     let j = queue.remove(pos).expect("position found above");
-                    total_queue_wait_secs += t.saturating_since(j.queued_since).as_secs_f64();
+                    let wait = t.saturating_since(j.queued_since).as_secs_f64();
+                    total_queue_wait_secs += wait;
+                    tails.queue_wait.insert(wait);
                     location[j.id as usize] = Some(node);
                     nodes[node].admit(j.id, j.model, j.work_scale, j.arrival, j.attained);
                 }
@@ -318,6 +338,9 @@ pub(crate) fn run_sched(
         for node in &mut nodes {
             for c in node.completions.drain(..) {
                 location[c.gid as usize] = None;
+                tails
+                    .sojourn
+                    .insert(c.finished.saturating_since(c.arrival).as_secs_f64());
                 completions.push(Completion {
                     arrival: c.arrival,
                     finished: c.finished,
@@ -343,6 +366,7 @@ pub(crate) fn run_sched(
         decisions,
         stream,
         total_queue_wait_secs,
+        tails,
         submitted: arrivals.len(),
         preemptions,
         migrations,

@@ -7,10 +7,13 @@
 //! (`recorder` for custom observability, `scheduler` for the online
 //! cluster scheduler), then `build().run()`.
 //!
-//! # Migration from `Manager`
+//! # Migration from the removed `Manager`
 //!
-//! Every deprecated `Manager` entry point maps onto the builder; `mgr`
-//! below stands for the configuration calls
+//! The `Manager` façade shipped one release with its entry points as
+//! `#[deprecated]` shims over this builder (bit-compared against it
+//! while they lived) and has been **removed**.  Every removed entry
+//! point maps onto the builder; `mgr` below stands for the
+//! configuration calls
 //! `ClusterSession::builder().nodes(w, node).policy(kind).placement(strategy)`:
 //!
 //! | Removed | New |
@@ -42,6 +45,7 @@ use flowcon_core::recorder::{CompletionsOnly, Recorder};
 use flowcon_core::session::{Session, SessionResult, StreamResult};
 use flowcon_core::worker::WorkerScratch;
 use flowcon_dl::workload::{JobRequest, WorkloadPlan};
+use flowcon_metrics::sojourn::SojournStats;
 use flowcon_metrics::stream::StreamStats;
 use flowcon_metrics::summary::{makespan_over, CompletionStats};
 use flowcon_sim::time::SimDuration;
@@ -93,27 +97,6 @@ pub trait DynStreamSource: Sync {
 impl<S: StreamSource> DynStreamSource for S {
     fn dyn_stream_for(&self, worker_id: usize) -> BoxedStream<'_> {
         BoxedStream::new(self.stream_for(worker_id))
-    }
-}
-
-/// Adapter lending a possibly-unsized [`StreamSource`] as a
-/// [`DynStreamSource`] trait object (the deprecated `Manager` shims keep
-/// their `S: ?Sized` signatures through this).
-pub(crate) struct AsDynStream<'a, S: ?Sized>(pub(crate) &'a S);
-
-impl<S: StreamSource + ?Sized> DynStreamSource for AsDynStream<'_, S> {
-    fn dyn_stream_for(&self, worker_id: usize) -> BoxedStream<'_> {
-        BoxedStream::new(self.0.stream_for(worker_id))
-    }
-}
-
-/// Adapter lending a possibly-unsized [`PlanSource`] as a trait object
-/// (same role as [`AsDynStream`], for the plan-source shims).
-pub(crate) struct DynPlan<'a, S: ?Sized>(pub(crate) &'a S);
-
-impl<S: PlanSource + ?Sized> PlanSource for DynPlan<'_, S> {
-    fn next_plan(&self, worker_id: usize) -> WorkloadPlan {
-        self.0.next_plan(worker_id)
     }
 }
 
@@ -401,6 +384,10 @@ pub struct ClusterOutcome<T> {
     /// Per-worker [`StreamStats`], indexed by worker; empty for closed
     /// (`plan`/`source`) workloads.
     pub streams: Vec<StreamStats>,
+    /// Per-worker SLO tails (sojourn/queue-wait quantile sketches),
+    /// indexed by worker, parallel to `streams`; empty for closed
+    /// workloads.
+    pub tails: Vec<SojournStats>,
 }
 
 impl<T> ClusterOutcome<T> {
@@ -423,6 +410,21 @@ impl<T> ClusterOutcome<T> {
     /// runs; 0 for closed workloads, which have no admission control).
     pub fn submitted_jobs(&self) -> usize {
         self.streams.iter().map(|s| s.submitted as usize).sum()
+    }
+
+    /// Cluster-wide SLO tails (open-loop runs): per-worker
+    /// [`SojournStats`] folded in worker-index order.
+    ///
+    /// [`executor::map_sharded`] returns results in input order, so this
+    /// fold is bit-identical to recording every exit into one aggregate
+    /// sequentially, however the run was sharded (pinned in
+    /// `crates/cluster/tests/`).
+    pub fn tail_totals(&self) -> SojournStats {
+        let mut total = SojournStats::new();
+        for t in &self.tails {
+            total.merge(t);
+        }
+        total
     }
 }
 
@@ -469,6 +471,7 @@ impl<'w> ClusterSession<'w, Headless> {
                     workers: run.workers,
                     placements: run.placements,
                     streams: Vec::new(),
+                    tails: Vec::new(),
                 }
             }
             WorkloadSpec::Source(source) => ClusterOutcome {
@@ -477,6 +480,7 @@ impl<'w> ClusterSession<'w, Headless> {
                 }),
                 placements: Vec::new(),
                 streams: Vec::new(),
+                tails: Vec::new(),
             },
             WorkloadSpec::Stream(source, horizon) => split_stream(drive_stream(
                 &self.nodes,
@@ -537,12 +541,14 @@ where
                     workers: drive_plan(&self.nodes, self.policy, &self.images, per_worker, make),
                     placements,
                     streams: Vec::new(),
+                    tails: Vec::new(),
                 }
             }
             WorkloadSpec::Source(source) => ClusterOutcome {
                 workers: drive_source(&self.nodes, self.policy, &self.images, source, make),
                 placements: Vec::new(),
                 streams: Vec::new(),
+                tails: Vec::new(),
             },
             WorkloadSpec::Stream(source, horizon) => split_stream(drive_stream(
                 &self.nodes,
@@ -796,8 +802,10 @@ where
 fn split_stream<T>(results: Vec<StreamResult<T>>) -> ClusterOutcome<T> {
     let mut workers = Vec::with_capacity(results.len());
     let mut streams = Vec::with_capacity(results.len());
+    let mut tails = Vec::with_capacity(results.len());
     for r in results {
         streams.push(r.stream);
+        tails.push(r.tails);
         workers.push(SessionResult {
             output: r.output,
             events_processed: r.events_processed,
@@ -808,6 +816,7 @@ fn split_stream<T>(results: Vec<StreamResult<T>>) -> ClusterOutcome<T> {
         workers,
         placements: Vec::new(),
         streams,
+        tails,
     }
 }
 
@@ -980,6 +989,90 @@ mod tests {
         assert_eq!(out.completed_jobs(), 8);
         assert_eq!(out.policy, "fifo");
         assert!(out.makespan_secs() > 0.0);
+    }
+
+    #[test]
+    fn completion_lookup_spans_workers_via_placements() {
+        // The Manager::run migration note: labels come from zipping the
+        // plan's labels with `placements`, lookups from each worker's
+        // RunSummary.
+        let plan = WorkloadPlan::random_n(4, 3);
+        let labels: Vec<String> = plan.jobs.iter().map(|j| j.label.clone()).collect();
+        let out = base(2)
+            .plan(plan)
+            .recorder(|_| FullRecorder::new())
+            .build()
+            .run();
+        assert_eq!(out.placements.len(), labels.len());
+        for (label, &worker) in labels.iter().zip(&out.placements) {
+            let secs = out.workers[worker].output.completion_of(label);
+            assert!(secs.is_some(), "missing {label} on worker {worker}");
+            // The placement log is authoritative: no other worker ran it.
+            let elsewhere = out
+                .workers
+                .iter()
+                .enumerate()
+                .filter(|&(w, _)| w != worker)
+                .find_map(|(_, r)| r.output.completion_of(label));
+            assert!(elsewhere.is_none(), "{label} completed on two workers");
+        }
+    }
+
+    #[test]
+    fn headless_flowcon_conserves_jobs_at_plausible_makespan() {
+        let plan = WorkloadPlan::random_n(12, 5);
+        let fc = || base(3).policy(PolicyKind::FlowCon(FlowConConfig::default()));
+        let full = fc()
+            .plan(plan.clone())
+            .recorder(|_| FullRecorder::new())
+            .build()
+            .run();
+        let full_makespan = makespan_over(full.workers.iter().map(|w| w.output.makespan_secs()));
+        let headless = fc().plan(plan).build().run();
+        assert_eq!(headless.completed_jobs(), 12);
+        // Different eval-noise stream, same physics scale: within a few %.
+        let rel = (headless.makespan_secs() - full_makespan).abs() / full_makespan;
+        assert!(rel < 0.05, "headless makespan off by {:.1}%", rel * 100.0);
+    }
+
+    #[test]
+    fn open_loop_builder_accepts_cyclic_trace_sources() {
+        use flowcon_workload::TraceStreamSource;
+        // A 6-job plan cycled across 3 workers: each worker replays its
+        // 2-row slice repeatedly until the 5-job-per-worker horizon.
+        let plan = WorkloadPlan::random_n(6, 11);
+        let source =
+            TraceStreamSource::new(flowcon_workload::BoundTrace::from_plan(plan).unlabeled(), 3)
+                .cyclic();
+        let out = base(3).stream(&source, Horizon::jobs(5)).build().run();
+        assert_eq!(out.submitted_jobs(), 15, "cyclic replay is unbounded");
+        assert_eq!(out.completed_jobs(), 15);
+        assert!(out.makespan_secs() > 0.0);
+        assert!(out.stream_totals().utilization() > 0.0);
+    }
+
+    #[test]
+    fn synthetic_source_drives_every_worker() {
+        use flowcon_workload::{ArrivalProcess, SyntheticSource};
+        let source = SyntheticSource::new(ArrivalProcess::poisson(0.05), 2, 7).unlabeled();
+        let out = base(4).source(&source).build().run();
+        assert_eq!(out.workers.len(), 4);
+        assert_eq!(out.completed_jobs(), 4 * 2);
+        assert!(out.makespan_secs() > 0.0);
+    }
+
+    #[test]
+    fn open_loop_tails_ride_beside_the_stream_stats() {
+        use flowcon_workload::{ArrivalProcess, SyntheticStreamSource};
+        let source = SyntheticStreamSource::new(ArrivalProcess::poisson(0.05), 7).unlabeled();
+        let out = base(3).stream(&source, Horizon::jobs(4)).build().run();
+        assert_eq!(out.tails.len(), 3, "one tail aggregate per worker");
+        let totals = out.tail_totals();
+        assert_eq!(totals.exits(), 12, "every exit sampled exactly once");
+        let p = totals.sojourn_percentiles();
+        assert!(p.p50 > 0.0 && p.p50 <= p.p95 && p.p95 <= p.p99);
+        // Single-node fluid workers allocate at admission: zero queue-wait.
+        assert_eq!(totals.queue_wait_percentiles().p99, 0.0);
     }
 
     #[test]

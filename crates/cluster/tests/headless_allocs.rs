@@ -288,6 +288,32 @@ fn allocs_of_sched_run(jobs: usize) -> u64 {
 }
 
 #[test]
+fn warm_sketch_inserts_are_allocation_free() {
+    let _window = COUNT_WINDOW.lock().unwrap();
+    // The ISSUE-8 acceptance invariant: once a sketch has seen the value
+    // range of its workload, `insert` is a key computation plus a counter
+    // bump — zero heap traffic.  This is what lets every worker feed its
+    // `SojournStats` on the open-loop hot path without denting the
+    // allocs/worker budgets above.
+    let mut sketch = flowcon_metrics::sketch::QuantileSketch::new();
+    for i in 1..=4096u32 {
+        sketch.insert(f64::from(i) * 0.25); // warm the bucket range
+    }
+    COUNTING.store(true, Ordering::Relaxed);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 1..=4096u32 {
+        sketch.insert(f64::from(i) * 0.25);
+    }
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    COUNTING.store(false, Ordering::Relaxed);
+    assert_eq!(sketch.count(), 8192);
+    assert_eq!(
+        allocs, 0,
+        "warm sketch inserts allocated {allocs} times over 4096 samples"
+    );
+}
+
+#[test]
 fn sched_engine_marginal_cost_scales_with_jobs_not_barriers() {
     let _window = COUNT_WINDOW.lock().unwrap();
     const SMALL: usize = 32;

@@ -47,6 +47,7 @@ fn assert_bit_identical(
 ) {
     assert_eq!(sharded.workers.len(), reference.len());
     assert_eq!(sharded.streams.len(), reference.len());
+    assert_eq!(sharded.tails.len(), reference.len());
     for (w, (a, b)) in sharded.workers.iter().zip(reference).enumerate() {
         assert_eq!(a.output, b.output, "worker {w}: completion sequence");
         assert_eq!(a.events_processed, b.events_processed, "worker {w}");
@@ -54,7 +55,19 @@ fn assert_bit_identical(
             sharded.streams[w], b.stream,
             "worker {w}: steady-state stats"
         );
+        assert_eq!(
+            sharded.tails[w], b.tails,
+            "worker {w}: sojourn/queue-wait sketches"
+        );
     }
+    // The merged tail view is bit-identical to folding the sequential
+    // per-worker sketches in worker-index order — the ISSUE-8 sharded ≡
+    // sequential acceptance pin for the SLO metrics layer.
+    let mut folded = flowcon_metrics::sojourn::SojournStats::new();
+    for b in reference {
+        folded.merge(&b.tails);
+    }
+    assert_eq!(sharded.tail_totals(), folded, "merged tail sketches");
 }
 
 #[test]

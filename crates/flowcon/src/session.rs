@@ -93,6 +93,7 @@ use std::sync::Arc;
 use flowcon_container::image::shared_dl_defaults;
 use flowcon_container::ImageRegistry;
 use flowcon_dl::workload::WorkloadPlan;
+use flowcon_metrics::sojourn::SojournStats;
 use flowcon_metrics::stream::StreamStats;
 use flowcon_sim::time::SimTime;
 use flowcon_workload::stream::{Horizon, JobStream};
@@ -133,6 +134,11 @@ pub struct StreamResult<T> {
     /// Steady-state accounting: arrival/completion rates, time-weighted
     /// mean queue depth, utilization.
     pub stream: StreamStats,
+    /// SLO tails: per-job sojourn time (and queue-wait) quantile sketches,
+    /// recorded at exit.  Mergeable across workers in deterministic order
+    /// — the sketch-backed tail view beside the mean-based
+    /// [`StreamStats`].
+    pub tails: SojournStats,
 }
 
 /// Fluent configuration for one worker session.

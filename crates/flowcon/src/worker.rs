@@ -29,6 +29,7 @@ use flowcon_container::{
 use flowcon_dl::models::ModelSpec;
 use flowcon_dl::workload::WorkloadPlan;
 use flowcon_dl::TrainingJob;
+use flowcon_metrics::sojourn::SojournStats;
 use flowcon_metrics::stream::StreamStats;
 use flowcon_metrics::summary::RunSummary;
 use flowcon_sim::alloc::{waterfill_soft_into, AllocRequest, WaterfillScratch};
@@ -85,8 +86,9 @@ pub struct FailureInjection {
 /// performance counters.
 ///
 /// Sessions return a [`SessionResult`] from
-/// [`Session::run`](crate::session::Session::run); this shape is kept for
-/// the cluster layer's summary-carrying `ClusterResult`.
+/// [`Session::run`](crate::session::Session::run); this repackaging
+/// (`RunResult::from`) is kept for callers that want the summary under
+/// its historical field name.
 #[derive(Debug, Clone)]
 pub struct RunResult {
     /// Everything the paper reports: completions, makespan, traces.
@@ -225,6 +227,21 @@ pub(crate) struct WorkerSim<R: Recorder = FullRecorder> {
     /// Open-loop mode: a streamed arrival is still pending, so the run is
     /// not done even while the pool is empty.
     stream_active: bool,
+    /// SLO tails, recorded once per exit (open-loop runs only — the flag
+    /// keeps the plan-driven headless path bit- and allocation-neutral).
+    ///
+    /// The sim timestamps admission ([`Daemon::run`] stamps
+    /// `created_at`), first allocation and exit.  On a single fluid node,
+    /// first allocation *coincides* with admission — `admit_job` runs
+    /// `recompute_rates` in the same event, so every pool member holds a
+    /// rate immediately — hence the per-job queue-wait is exactly zero
+    /// here; queue-wait becomes informative at the cluster sched layer,
+    /// where jobs wait for slots.  Same recycling shape as the
+    /// [`TimeWeighted`] integrals: plain per-session state, moved out with
+    /// the result (no end-of-run clone).
+    slo: SojournStats,
+    /// Whether exits feed the [`SojournStats`] sketches (open-loop only).
+    slo_enabled: bool,
 }
 
 impl<R: Recorder> WorkerSim<R> {
@@ -270,6 +287,8 @@ impl<R: Recorder> WorkerSim<R> {
             queue: TimeWeighted::new(),
             exits_total: 0,
             stream_active: false,
+            slo: SojournStats::new(),
+            slo_enabled: false,
         }
     }
 
@@ -332,6 +351,7 @@ impl<R: Recorder> WorkerSim<R> {
             self.plan.is_empty(),
             "open-loop sessions take jobs from the stream, not a plan"
         );
+        self.slo_enabled = true;
         let mut engine: SimEngine<OpenLoopShell<R, J>> =
             SimEngine::from_queue(std::mem::take(&mut self.scratch.queue));
         if R::RECORDS_SAMPLES {
@@ -377,6 +397,7 @@ impl<R: Recorder> WorkerSim<R> {
             scheduler_overhead_cpu_secs: worker.algorithm_runs as f64
                 * worker.node.algo_cost_cpu_secs,
             stream: stream_stats,
+            tails: worker.slo,
         };
         let mut scratch = worker.scratch;
         scratch.queue = engine.into_queue();
@@ -497,6 +518,14 @@ impl<R: Recorder> WorkerSim<R> {
                     flowcon_container::ContainerState::Exited(code) => code,
                     _ => 0,
                 };
+                if self.slo_enabled {
+                    // Sojourn = exit − admission.  Queue-wait is zero by
+                    // construction on a single fluid node (first allocation
+                    // happens in the admission event); see the `slo` field
+                    // docs.
+                    let sojourn = now.saturating_since(c.created_at()).as_secs_f64();
+                    self.slo.record_exit(sojourn, 0.0);
+                }
                 self.recorder
                     .record_completion(c.workload().label(), c.created_at(), now, code);
             }

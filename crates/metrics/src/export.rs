@@ -1,8 +1,10 @@
-//! CSV export of experiment results.
+//! CSV and JSONL export of experiment results.
 //!
 //! Hand-rolled on purpose: the data is purely numeric with simple string
-//! labels, so a dependency would buy nothing.  Fields containing commas,
-//! quotes or newlines are quoted per RFC 4180.
+//! labels, so a dependency would buy nothing.  CSV fields containing
+//! commas, quotes or newlines are quoted per RFC 4180; JSONL records are
+//! one flat object per line with fields emitted in caller order, so the
+//! output is deterministic and diffable.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -65,6 +67,78 @@ pub fn completions_csv(summaries: &[&RunSummary]) -> String {
         ],
         &rows,
     )
+}
+
+/// One JSON scalar for a [`to_jsonl`] record field.
+///
+/// Floats are rendered with Rust's shortest round-trip formatting (so the
+/// emitted document is bit-deterministic for deterministic inputs);
+/// non-finite floats become `null` because JSON has no NaN/Infinity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A string, escaped per RFC 8259.
+    Str(String),
+    /// A finite float (non-finite renders as `null`).
+    Num(f64),
+    /// An unsigned integer.
+    Int(u64),
+    /// A boolean.
+    Bool(bool),
+}
+
+/// Escape one JSON string body (without the surrounding quotes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render records as JSON Lines: one flat object per record, fields in
+/// the given order.
+///
+/// The format is the machine-readable twin of [`text_table`] — e.g.
+/// `repro frontier` emits its p50/p95/p99-sojourn-vs-load curves this way
+/// so they can be plotted without re-running the sweep.
+pub fn to_jsonl<'a>(records: impl IntoIterator<Item = &'a [(&'a str, JsonValue)]>) -> String {
+    let mut out = String::new();
+    for record in records {
+        out.push('{');
+        for (i, (key, value)) in record.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", json_escape(key));
+            match value {
+                JsonValue::Str(s) => {
+                    let _ = write!(out, "\"{}\"", json_escape(s));
+                }
+                JsonValue::Num(n) if n.is_finite() => {
+                    let _ = write!(out, "{n}");
+                }
+                JsonValue::Num(_) => out.push_str("null"),
+                JsonValue::Int(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                JsonValue::Bool(b) => {
+                    let _ = write!(out, "{b}");
+                }
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
 }
 
 /// Long-format CSV of a multi-series (one row per point).
@@ -169,6 +243,40 @@ mod tests {
         assert!(lines[0].starts_with("job"));
         assert!(lines[2].starts_with("Job-1 "));
         assert!(lines[3].starts_with("Job-10"));
+    }
+
+    #[test]
+    fn jsonl_renders_one_object_per_record_in_field_order() {
+        let records: Vec<Vec<(&str, JsonValue)>> = vec![
+            vec![
+                ("policy", JsonValue::Str("fifo".into())),
+                ("rate", JsonValue::Num(0.25)),
+                ("saturated", JsonValue::Bool(false)),
+            ],
+            vec![
+                ("policy", JsonValue::Str("fifo".into())),
+                ("completed", JsonValue::Int(1024)),
+            ],
+        ];
+        let doc = to_jsonl(records.iter().map(Vec::as_slice));
+        assert_eq!(
+            doc,
+            "{\"policy\":\"fifo\",\"rate\":0.25,\"saturated\":false}\n\
+             {\"policy\":\"fifo\",\"completed\":1024}\n"
+        );
+    }
+
+    #[test]
+    fn jsonl_escapes_strings_and_nulls_non_finite_floats() {
+        let record: Vec<(&str, JsonValue)> = vec![
+            ("label", JsonValue::Str("say \"hi\"\nback\\".into())),
+            ("p99", JsonValue::Num(f64::NAN)),
+        ];
+        let doc = to_jsonl([record.as_slice()]);
+        assert_eq!(
+            doc,
+            "{\"label\":\"say \\\"hi\\\"\\nback\\\\\",\"p99\":null}\n"
+        );
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! * [`stats`] — descriptive statistics helpers.
 //! * [`stream`] — steady-state statistics of **open-loop** runs (arrival
 //!   vs. completion rate, time-weighted queue depth, utilization).
+//! * [`sketch`] — constant-memory, mergeable streaming quantile sketch
+//!   (DDSketch-style relative-error buckets, deterministic merge).
+//! * [`sojourn`] — per-job SLO tails: sojourn-time and queue-wait
+//!   p50/p95/p99 recorded at exit, mergeable across workers/shards.
 //! * [`chart`] — ASCII line/bar charts so `repro` output is readable in a
 //!   terminal.
 //! * [`export`] — CSV writing (hand-rolled; the format is trivial).
@@ -23,11 +27,15 @@
 
 pub mod chart;
 pub mod export;
+pub mod sketch;
+pub mod sojourn;
 pub mod stats;
 pub mod stream;
 pub mod summary;
 pub mod timeseries;
 
+pub use sketch::QuantileSketch;
+pub use sojourn::{Percentiles, SojournStats};
 pub use stream::StreamStats;
 pub use summary::{Completion, CompletionRecord, CompletionStats, RunSummary};
 pub use timeseries::{MultiSeries, TimeSeries};

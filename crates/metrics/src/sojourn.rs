@@ -1,0 +1,161 @@
+//! Per-job SLO aggregates: sojourn time and queue-wait tails.
+//!
+//! [`StreamStats`](crate::stream::StreamStats) reports *means* — arrival
+//! rate, utilization, time-weighted queue depth.  Production SLOs live in
+//! the tails: p95/p99 job completion time and queueing delay are how the
+//! Tiresias/Gandiva line of work scores schedulers.  [`SojournStats`]
+//! carries two [`QuantileSketch`]es — one over **sojourn time** (exit −
+//! admission) and one over **queue wait** (first allocation − admission) —
+//! recorded once per job at exit, merged across workers and shards in
+//! deterministic order.
+//!
+//! The aggregate is deliberately *not* part of `StreamStats` (which is
+//! `Copy` and must stay so for the sharded executor's result plumbing);
+//! it rides alongside as the sketch-backed tail view.
+
+#![deny(missing_docs)]
+
+use crate::sketch::QuantileSketch;
+
+/// The standard three-point tail summary: p50 / p95 / p99.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Read p50/p95/p99 out of a sketch (zeros when the sketch is empty).
+    pub fn of(sketch: &QuantileSketch) -> Percentiles {
+        Percentiles {
+            p50: sketch.quantile(0.50).unwrap_or(0.0),
+            p95: sketch.quantile(0.95).unwrap_or(0.0),
+            p99: sketch.quantile(0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+/// Tail-latency aggregate for one run (or one worker's shard of a run):
+/// sojourn-time and queue-wait quantile sketches plus the exit count.
+///
+/// Recorded once per job **at exit** — a job contributes nothing until it
+/// leaves, so partial runs under overload under-report by construction
+/// (the frontier sweep accounts for this via the completion-rate
+/// saturation check, not by guessing at in-flight jobs).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SojournStats {
+    /// Sojourn time (exit − admission) in seconds, one sample per exit.
+    pub sojourn: QuantileSketch,
+    /// Queue wait (first allocation − admission) in seconds, one sample
+    /// per exit.
+    pub queue_wait: QuantileSketch,
+}
+
+impl SojournStats {
+    /// An empty aggregate at the default sketch accuracy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one job's exit: its sojourn and queue-wait in seconds.
+    pub fn record_exit(&mut self, sojourn_secs: f64, queue_wait_secs: f64) {
+        self.sojourn.insert(sojourn_secs);
+        self.queue_wait.insert(queue_wait_secs);
+    }
+
+    /// Number of exits recorded.
+    pub fn exits(&self) -> u64 {
+        self.sojourn.count()
+    }
+
+    /// Whether any exits were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sojourn.is_empty()
+    }
+
+    /// Merge another aggregate into this one (bucket-wise, deterministic:
+    /// folding per-worker aggregates in worker-index order is bit-identical
+    /// to recording every exit sequentially).
+    pub fn merge(&mut self, other: &SojournStats) {
+        self.sojourn.merge(&other.sojourn);
+        self.queue_wait.merge(&other.queue_wait);
+    }
+
+    /// p50/p95/p99 of sojourn time in seconds (zeros when empty).
+    pub fn sojourn_percentiles(&self) -> Percentiles {
+        Percentiles::of(&self.sojourn)
+    }
+
+    /// p50/p95/p99 of queue wait in seconds (zeros when empty).
+    pub fn queue_wait_percentiles(&self) -> Percentiles {
+        Percentiles::of(&self.queue_wait)
+    }
+
+    /// Clear both sketches, keeping their bucket allocations for reuse.
+    pub fn reset(&mut self) {
+        self.sojourn.reset();
+        self.queue_wait.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_report_zero_percentiles() {
+        let s = SojournStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.exits(), 0);
+        assert_eq!(s.sojourn_percentiles(), Percentiles::default());
+        assert_eq!(s.queue_wait_percentiles(), Percentiles::default());
+    }
+
+    #[test]
+    fn record_exit_feeds_both_sketches() {
+        let mut s = SojournStats::new();
+        s.record_exit(120.0, 5.0);
+        s.record_exit(240.0, 0.0);
+        assert_eq!(s.exits(), 2);
+        assert_eq!(s.sojourn.count(), 2);
+        assert_eq!(s.queue_wait.count(), 2);
+        let max = s.sojourn.quantile(1.0).unwrap();
+        assert!((max - 240.0).abs() / 240.0 < 0.01, "got {max}");
+        let p50 = s.sojourn_percentiles().p50;
+        assert!((p50 - 120.0).abs() / 120.0 < 0.01, "got {p50}");
+        assert_eq!(s.queue_wait_percentiles().p50, 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        let exits: Vec<(f64, f64)> = (0..200)
+            .map(|i| (((i * 13) % 47) as f64 + 1.0, ((i * 7) % 11) as f64))
+            .collect();
+        let mut sequential = SojournStats::new();
+        for &(s, w) in &exits {
+            sequential.record_exit(s, w);
+        }
+        let mut merged = SojournStats::new();
+        for chunk in exits.chunks(23) {
+            let mut shard = SojournStats::new();
+            for &(s, w) in chunk {
+                shard.record_exit(s, w);
+            }
+            merged.merge(&shard);
+        }
+        assert_eq!(sequential, merged);
+    }
+
+    #[test]
+    fn reset_recycles() {
+        let mut s = SojournStats::new();
+        s.record_exit(10.0, 1.0);
+        s.reset();
+        assert!(s.is_empty());
+        assert_eq!(s.sojourn_percentiles(), Percentiles::default());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the quantile sketch: the determinism and accuracy
+//! contracts in `flowcon_metrics::sketch` must hold for arbitrary finite
+//! sample sets, not just the hand-picked ones in the unit tests.
+
+use flowcon_metrics::sketch::QuantileSketch;
+use proptest::prelude::*;
+
+/// Build a sketch from a slice of samples.
+fn sketch_of(values: &[f64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new();
+    for &v in values {
+        s.insert(v);
+    }
+    s
+}
+
+/// The exact order statistic the sketch approximates: the value at rank
+/// `⌊q·(n−1)⌋` of the sorted samples (same rank rule as
+/// `QuantileSketch::quantile`).
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * (sorted.len() - 1) as f64) as usize;
+    sorted[rank]
+}
+
+proptest! {
+    /// Merge is commutative: a ∪ b and b ∪ a are bit-identical sketches.
+    #[test]
+    fn merge_is_commutative(
+        xs in prop::collection::vec(0.0f64..1e6, 0..120),
+        ys in prop::collection::vec(0.0f64..1e6, 0..120),
+    ) {
+        let (a, b) = (sketch_of(&xs), sketch_of(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merge is associative: (a ∪ b) ∪ c equals a ∪ (b ∪ c) bit-for-bit.
+    #[test]
+    fn merge_is_associative(
+        xs in prop::collection::vec(0.0f64..1e6, 0..80),
+        ys in prop::collection::vec(0.0f64..1e6, 0..80),
+        zs in prop::collection::vec(0.0f64..1e6, 0..80),
+    ) {
+        let (a, b, c) = (sketch_of(&xs), sketch_of(&ys), sketch_of(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Sharding at arbitrary chunk boundaries and folding the shards is
+    /// bit-identical to inserting every sample sequentially — the property
+    /// the sharded executor's per-worker tail merge relies on.
+    #[test]
+    fn sharded_merge_equals_sequential_insert(
+        values in prop::collection::vec(0.0f64..1e6, 1..300),
+        chunk in 1usize..64,
+    ) {
+        let sequential = sketch_of(&values);
+        let mut merged = QuantileSketch::new();
+        for shard in values.chunks(chunk) {
+            merged.merge(&sketch_of(shard));
+        }
+        prop_assert_eq!(&sequential, &merged);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(
+                sequential.quantile(q).unwrap().to_bits(),
+                merged.quantile(q).unwrap().to_bits()
+            );
+        }
+    }
+
+    /// Every reported quantile is within the configured relative accuracy
+    /// of the exact order statistic at the same rank (for values far above
+    /// the zero-bucket threshold).
+    #[test]
+    fn rank_error_is_bounded_by_alpha(
+        values in prop::collection::vec(1e-3f64..1e6, 1..250),
+        q in 0.0f64..=1.0,
+    ) {
+        let s = sketch_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = exact_quantile(&sorted, q);
+        let got = s.quantile(q).unwrap();
+        let alpha = s.relative_accuracy();
+        let rel = (got - exact).abs() / exact;
+        // Tiny additive slack for ln/exp rounding in the bucket midpoint.
+        prop_assert!(
+            rel <= alpha * 1.000001 + 1e-9,
+            "q={}: got {}, exact {}, rel {} > alpha {}", q, got, exact, rel, alpha
+        );
+    }
+
+    /// Quantiles are monotone in q and clamped to the observed [min, max].
+    #[test]
+    fn quantiles_are_monotone_and_clamped(
+        values in prop::collection::vec(0.0f64..1e6, 1..200),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        let s = sketch_of(&values);
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let a = s.quantile(lo).unwrap();
+        let b = s.quantile(hi).unwrap();
+        prop_assert!(a <= b);
+        prop_assert!(a >= s.min().unwrap());
+        prop_assert!(b <= s.max().unwrap());
+    }
+
+    /// Merging an empty sketch is the identity, in both directions.
+    #[test]
+    fn merging_empty_is_identity(values in prop::collection::vec(0.0f64..1e6, 0..150)) {
+        let s = sketch_of(&values);
+        let empty = QuantileSketch::new();
+        let mut a = s.clone();
+        a.merge(&empty);
+        prop_assert_eq!(&a, &s);
+        let mut b = empty.clone();
+        b.merge(&s);
+        prop_assert_eq!(&b, &s);
+    }
+
+    /// A single-sample sketch reports that sample exactly at every
+    /// quantile, and counts exactly one.
+    #[test]
+    fn single_sample_round_trips(v in 0.0f64..1e9, q in 0.0f64..=1.0) {
+        let mut s = QuantileSketch::new();
+        s.insert(v);
+        prop_assert_eq!(s.count(), 1);
+        prop_assert_eq!(s.min(), Some(v));
+        prop_assert_eq!(s.max(), Some(v));
+        prop_assert_eq!(s.quantile(q), Some(v));
+    }
+}
