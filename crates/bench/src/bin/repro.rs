@@ -12,13 +12,16 @@
 //!             [--policy {flowcon,na}] [--thin P] [--compress X] [--emit PATH]
 //! repro stream --synthetic {poisson,bursty,diurnal} | --file PATH [--cycle]
 //!              [--until SECS] [--jobs N] [--rate R] [--seed S] [--workers N]
-//!              [--policy {flowcon,na}] [--headless] [--hints]
+//!              [--policy {flowcon,na}] [--headless] [--hints] [--trace-out PATH]
 //! repro sched [--policy {fifo,gandiva,tiresias}] [--compare]
 //!             [--workers N] [--jobs J] [--seed S] [--quantum SECS]
-//!             [--slots K] [--sequential]
+//!             [--slots K] [--sequential] [--trace-out PATH]
 //! repro frontier [--policy {fifo,gandiva,tiresias}] [--compare]
 //!                [--workers N] [--jobs J] [--seed S] [--quantum SECS]
 //!                [--slots K] [--rates R1,R2,...] [--emit PATH]
+//! repro timeline [--policy {fifo,gandiva,tiresias}] [--workers N] [--jobs J]
+//!                [--seed S] [--quantum SECS] [--slots K] [--sequential]
+//!                [--capacity N] [--out PATH] [--summary]
 //!
 //! experiments:
 //!   table1 fig1 fig3 fig4 fig5 fig6 table2 fig7 fig8 fig9 fig10 fig11
@@ -88,7 +91,20 @@
 //! saturates or the time-weighted queue depth diverges — the M/G/1 view
 //! of the stability frontier.  The printed table is deterministic (CI
 //! diffs two runs); `--emit PATH` additionally writes the curves as
-//! JSONL for plotting.
+//! JSONL for plotting.  The ladder brackets the frontier by bisection to
+//! within 7% before reporting it.
+//!
+//! `repro timeline` runs one scheduler workload with a structured tracer
+//! attached (the [`flowcon_sim::trace`] flight recorder, `--capacity`
+//! events) and exports the merged timeline as Chrome trace-event JSON —
+//! load it in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//! The JSON goes to stdout unless `--out PATH`; `--summary` adds a
+//! per-kind event-count table (on stderr when the JSON owns stdout, so
+//! the document stays pipeable).  Exports are deterministic: the same
+//! seed produces byte-identical JSON, sharded or `--sequential`.
+//! `repro sched --trace-out PATH` (single policy only) and `repro stream
+//! --trace-out PATH` (single-worker full-observability runs) write the
+//! same format alongside their normal tables.
 //! ```
 //!
 //! Output: paper-style tables and ASCII charts on stdout; CSV artifacts
@@ -175,6 +191,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("frontier") {
         run_frontier(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("timeline") {
+        run_timeline(&args[1..]);
         return;
     }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
@@ -324,9 +344,12 @@ fn run_bench(args: &[String]) {
     }
 
     let json = perf::to_json(&results, &perf::today_utc(), mode);
-    match std::fs::write(&out_path, &json) {
+    match flowcon_metrics::export::write_artifact(&out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),
-        Err(e) => eprintln!("failed to write {out_path}: {e}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
     }
 
     if let Some(baseline_path) = check_path {
@@ -744,10 +767,10 @@ fn run_trace(args: &[String]) {
             Load::File(bound) => bound.clone(),
             Load::Synthetic(template) => BoundTrace::from_plan(template.plan()),
         };
-        match std::fs::write(&path, bound.to_jsonl()) {
+        match flowcon_metrics::export::write_artifact(&path, &bound.to_jsonl()) {
             Ok(()) => println!("wrote {} arrivals to {path}", bound.len()),
             Err(e) => {
-                eprintln!("cannot write {path}: {e}");
+                eprintln!("{e}");
                 std::process::exit(2);
             }
         }
@@ -856,6 +879,7 @@ fn run_sched_cmd(args: &[String]) {
     });
     let sequential = args.iter().any(|a| a == "--sequential");
     let compare = args.iter().any(|a| a == "--compare");
+    let trace_out = flag_value(args, "--trace-out");
     if workers == 0 {
         eprintln!("--workers must be at least 1: a cluster with no workers cannot run jobs");
         std::process::exit(2);
@@ -870,6 +894,10 @@ fn run_sched_cmd(args: &[String]) {
     }
     if slots == 0 {
         eprintln!("--slots must be at least 1: a node needs a job slot");
+        std::process::exit(2);
+    }
+    if trace_out.is_some() && compare {
+        eprintln!("--trace-out records one run's timeline; drop --compare or pick one --policy");
         std::process::exit(2);
     }
     let kinds: Vec<SchedPolicyKind> = if compare {
@@ -893,16 +921,37 @@ fn run_sched_cmd(args: &[String]) {
     let rows: Vec<Vec<String>> = kinds
         .iter()
         .map(|&kind| {
-            let out = ClusterSession::builder()
+            let builder = ClusterSession::builder()
                 .nodes(workers, node)
                 .policy(PolicyKind::FlowCon(FlowConConfig::default()))
                 .plan(plan.clone())
                 .scheduler(kind)
                 .quantum(SimDuration::from_secs_f64(quantum))
                 .slots_per_node(slots)
-                .sequential(sequential)
-                .build()
-                .run();
+                .sequential(sequential);
+            let out = match &trace_out {
+                None => builder.build().run(),
+                Some(path) => {
+                    use flowcon_metrics::tracelog;
+                    use flowcon_sim::trace::{FlightRecorder, DEFAULT_CAPACITY};
+                    let (out, recorder) = builder
+                        .tracer(FlightRecorder::with_capacity(DEFAULT_CAPACITY))
+                        .build()
+                        .run_traced();
+                    let events = recorder.events();
+                    let doc = tracelog::chrome_trace_json(&events, recorder.dropped());
+                    if let Err(e) = flowcon_metrics::export::write_artifact(path, &doc) {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                    println!(
+                        "wrote {} trace events ({} dropped) to {path}",
+                        events.len(),
+                        recorder.dropped()
+                    );
+                    out
+                }
+            };
             assert_eq!(
                 out.completed_jobs(),
                 out.submitted,
@@ -1092,7 +1141,10 @@ fn run_frontier(args: &[String]) {
         );
         match (curve.last_stable_rate(), curve.frontier_rate()) {
             (Some(lo), Some(hi)) => {
-                println!("stability frontier: between {lo:.4} and {hi:.4} jobs/s")
+                println!(
+                    "stability frontier: between {lo:.4} and {hi:.4} jobs/s ({:.2}x bracket)",
+                    hi / lo
+                )
             }
             (Some(lo), None) => {
                 println!("stability frontier: above {lo:.4} jobs/s (ladder exhausted while stable)")
@@ -1106,12 +1158,148 @@ fn run_frontier(args: &[String]) {
     }
     if let Some(path) = flag_value(args, "--emit") {
         let doc = frontier::curves_jsonl(&curves);
-        match std::fs::write(&path, &doc) {
+        match flowcon_metrics::export::write_artifact(&path, &doc) {
             Ok(()) => println!("wrote {} curve points to {path}", doc.lines().count()),
             Err(e) => {
-                eprintln!("cannot write {path}: {e}");
+                eprintln!("{e}");
                 std::process::exit(2);
             }
+        }
+    }
+}
+
+/// `repro timeline`: run one scheduler workload with the flight recorder
+/// attached and export the merged timeline as Chrome trace-event JSON
+/// (Perfetto-loadable; see the module docs for the flags).
+fn run_timeline(args: &[String]) {
+    use flowcon_cluster::{ClusterSession, PolicyKind, SchedPolicyKind};
+    use flowcon_core::config::{FlowConConfig, NodeConfig};
+    use flowcon_dl::workload::WorkloadPlan;
+    use flowcon_metrics::tracelog;
+    use flowcon_sim::time::SimDuration;
+    use flowcon_sim::trace::{FlightRecorder, DEFAULT_CAPACITY};
+
+    let parse_num = |name: &str, default: u64| {
+        flag_value(args, name).map_or(default, |v| {
+            v.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("{name} wants a number, got {v}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let workers = parse_num("--workers", 16) as usize;
+    let jobs = parse_num("--jobs", 4 * workers as u64) as usize;
+    let seed = parse_num("--seed", perf::CLUSTER_BENCH_PLAN_SEED);
+    let slots = parse_num("--slots", 2) as usize;
+    let capacity = parse_num("--capacity", DEFAULT_CAPACITY as u64) as usize;
+    let quantum = flag_value(args, "--quantum").map_or(10.0, |v| {
+        v.parse::<f64>().unwrap_or_else(|_| {
+            eprintln!("--quantum wants seconds, got {v}");
+            std::process::exit(2);
+        })
+    });
+    let sequential = args.iter().any(|a| a == "--sequential");
+    let summary = args.iter().any(|a| a == "--summary");
+    let out = flag_value(args, "--out");
+    if workers == 0 {
+        eprintln!("--workers must be at least 1: a cluster with no workers cannot run jobs");
+        std::process::exit(2);
+    }
+    if jobs == 0 {
+        eprintln!("--jobs must be at least 1: an empty workload traces nothing");
+        std::process::exit(2);
+    }
+    if quantum <= 0.0 {
+        eprintln!("--quantum must be positive");
+        std::process::exit(2);
+    }
+    if slots == 0 {
+        eprintln!("--slots must be at least 1: a node needs a job slot");
+        std::process::exit(2);
+    }
+    if capacity == 0 {
+        eprintln!("--capacity must be at least 1: a zero-capacity ring records nothing");
+        std::process::exit(2);
+    }
+    let kind = {
+        let name = flag_value(args, "--policy").unwrap_or_else(|| "fifo".into());
+        match SchedPolicyKind::parse(&name) {
+            Some(kind) => kind,
+            None => {
+                eprintln!("--policy wants fifo, gandiva or tiresias, got {name}");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    // Without --out the JSON document owns stdout (pipeable straight into
+    // a file or a viewer), so the banner and any summary go to stderr.
+    if out.is_some() {
+        section(&format!(
+            "Timeline: {} on {workers} nodes x {slots} slots, {jobs} jobs, {quantum:.0}s quantum",
+            kind.name()
+        ));
+    }
+    let plan = WorkloadPlan::random_n(jobs, seed);
+    let node = NodeConfig::default().with_seed(perf::CLUSTER_BENCH_NODE_SEED);
+    let (outcome, recorder) = ClusterSession::builder()
+        .nodes(workers, node)
+        .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+        .plan(plan)
+        .scheduler(kind)
+        .quantum(SimDuration::from_secs_f64(quantum))
+        .slots_per_node(slots)
+        .sequential(sequential)
+        .tracer(FlightRecorder::with_capacity(capacity))
+        .build()
+        .run_traced();
+    assert_eq!(
+        outcome.completed_jobs(),
+        outcome.submitted,
+        "{} lost jobs",
+        outcome.policy
+    );
+    let events = recorder.events();
+    let doc = tracelog::chrome_trace_json(&events, recorder.dropped());
+    match &out {
+        Some(path) => {
+            if let Err(e) = flowcon_metrics::export::write_artifact(path, &doc) {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+            println!(
+                "wrote {} trace events ({} dropped) to {path}",
+                events.len(),
+                recorder.dropped()
+            );
+        }
+        None => print!("{doc}"),
+    }
+    if summary {
+        let rows: Vec<Vec<String>> = tracelog::kind_counts(&events)
+            .into_iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(kind, n)| {
+                vec![
+                    kind.name().to_string(),
+                    kind.layer().to_string(),
+                    n.to_string(),
+                ]
+            })
+            .collect();
+        let mut table = text_table(&["event", "layer", "count"], &rows);
+        if let Some((first, last)) = tracelog::time_span(&events) {
+            table.push_str(&format!(
+                "timeline: {} events over {:.1}s of simulated time, {} dropped\n",
+                events.len(),
+                last.saturating_since(first).as_secs_f64(),
+                recorder.dropped()
+            ));
+        }
+        if out.is_some() {
+            print!("{table}");
+        } else {
+            eprint!("{table}");
         }
     }
 }
@@ -1201,6 +1389,16 @@ fn run_stream(args: &[String]) {
     // Cluster streams run headless (accepting the flag explicitly too);
     // a single worker records the full paper traces.
     let headless = workers > 1 || args.iter().any(|a| a == "--headless");
+    // The structured tracer rides the full-observability session; the
+    // headless cluster path has no per-job identity to trace against.
+    let trace_out = flag_value(args, "--trace-out");
+    if trace_out.is_some() && headless {
+        eprintln!(
+            "--trace-out only applies to the single-worker full-observability run \
+             (use --workers 1 and drop --headless)"
+        );
+        std::process::exit(2);
+    }
 
     // Resolve the stream source.
     enum Source {
@@ -1270,9 +1468,45 @@ fn run_stream(args: &[String]) {
 
     let start = std::time::Instant::now();
     let (totals, events, full) = if workers == 1 && !headless {
-        let result = match source {
-            Source::Synthetic(src) => exp::stream_session(src.stream_for(0), horizon, node, policy),
-            Source::Trace(src) => exp::stream_session(src.stream_for(0), horizon, node, policy),
+        let result = if let Some(path) = &trace_out {
+            use flowcon_metrics::tracelog;
+            use flowcon_sim::trace::{FlightRecorder, DEFAULT_CAPACITY};
+            let mut recorder = FlightRecorder::with_capacity(DEFAULT_CAPACITY);
+            let result = match source {
+                Source::Synthetic(src) => exp::stream_session_traced(
+                    src.stream_for(0),
+                    horizon,
+                    node,
+                    policy,
+                    &mut recorder,
+                ),
+                Source::Trace(src) => exp::stream_session_traced(
+                    src.stream_for(0),
+                    horizon,
+                    node,
+                    policy,
+                    &mut recorder,
+                ),
+            };
+            let trace_events = recorder.events();
+            let doc = tracelog::chrome_trace_json(&trace_events, recorder.dropped());
+            if let Err(e) = flowcon_metrics::export::write_artifact(path, &doc) {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+            println!(
+                "wrote {} trace events ({} dropped) to {path}",
+                trace_events.len(),
+                recorder.dropped()
+            );
+            result
+        } else {
+            match source {
+                Source::Synthetic(src) => {
+                    exp::stream_session(src.stream_for(0), horizon, node, policy)
+                }
+                Source::Trace(src) => exp::stream_session(src.stream_for(0), horizon, node, policy),
+            }
         };
         (result.stream, result.events_processed, Some(result.output))
     } else {

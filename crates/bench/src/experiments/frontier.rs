@@ -12,6 +12,10 @@
 //! [`SojournStats`](flowcon_metrics::sojourn::SojournStats) sketches the
 //! scheduler carries), and stops early at the first saturated rung, so
 //! the ladder can be generous without wasting time deep in overload.
+//! Once the ladder brackets the frontier, up to [`MAX_BISECTIONS`]
+//! geometric bisection rungs tighten the bracket to within
+//! [`BRACKET_TARGET_RATIO`] — a doubling ladder's 2× bracket comes back
+//! as a ≤ 1.07× one for four extra runs.
 //!
 //! Every rung is a deterministic [`ClusterSession`] scheduler run (same
 //! seed ⇒ bit-identical [`SchedOutcome`]), so two sweeps of the same
@@ -202,23 +206,76 @@ pub fn point_of(out: &SchedOutcome, rate: f64, jobs: usize) -> FrontierPoint {
     }
 }
 
+/// Maximum bisection rungs run after the ladder brackets the frontier.
+pub const MAX_BISECTIONS: usize = 4;
+
+/// Bisection stops once the bracket (first saturated rate over last
+/// stable rate) is at most this ratio.  Four geometric bisections take a
+/// doubling ladder's 2× bracket to `2^(1/16) ≈ 1.044`, comfortably
+/// inside; wider ladders stop at the [`MAX_BISECTIONS`] cap instead.
+pub const BRACKET_TARGET_RATIO: f64 = 1.07;
+
 /// Sweep one discipline up the rate ladder, stopping after the first
-/// saturated rung (it is kept in the curve so the frontier is visible).
+/// saturated rung, then bisecting the bracket (see [`sweep_points`]).
 pub fn sweep(kind: SchedPolicyKind, config: &FrontierConfig, rates: &[f64]) -> FrontierCurve {
-    let mut points = Vec::with_capacity(rates.len());
-    for &rate in rates {
-        let out = rung(kind, config, rate);
-        let point = point_of(&out, rate, config.jobs);
-        let stop = point.saturated;
-        points.push(point);
-        if stop {
-            break;
-        }
-    }
+    let points = sweep_points(rates, |rate| {
+        point_of(&rung(kind, config, rate), rate, config.jobs)
+    });
     FrontierCurve {
         policy: kind.name(),
         points,
     }
+}
+
+/// The sweep's decision core, generic over the rung evaluator so it can
+/// be unit-tested against synthetic saturation curves.
+///
+/// Climbs `rates` until the first saturated rung (kept, so the frontier
+/// is visible), then — when a stable rung preceded it — runs up to
+/// [`MAX_BISECTIONS`] extra rungs at the geometric midpoint
+/// `sqrt(lo · hi)` of the bracket, stopping early once
+/// `hi / lo ≤` [`BRACKET_TARGET_RATIO`].  Returned points are sorted by
+/// offered rate, so [`FrontierCurve::last_stable_rate`] /
+/// [`FrontierCurve::frontier_rate`] read the tightened bracket directly.
+pub fn sweep_points(
+    rates: &[f64],
+    mut eval: impl FnMut(f64) -> FrontierPoint,
+) -> Vec<FrontierPoint> {
+    let mut points: Vec<FrontierPoint> = Vec::with_capacity(rates.len() + MAX_BISECTIONS);
+    let mut bracket = None;
+    for &rate in rates {
+        let point = eval(rate);
+        let saturated = point.saturated;
+        points.push(point);
+        if saturated {
+            bracket = points
+                .iter()
+                .rev()
+                .find(|p| !p.saturated)
+                .map(|p| (p.rate, rate));
+            break;
+        }
+    }
+    if let Some((mut lo, mut hi)) = bracket {
+        for _ in 0..MAX_BISECTIONS {
+            if hi / lo <= BRACKET_TARGET_RATIO {
+                break;
+            }
+            let mid = (lo * hi).sqrt();
+            if !(mid > lo && mid < hi) {
+                break; // numerically collapsed bracket
+            }
+            let point = eval(mid);
+            if point.saturated {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            points.push(point);
+        }
+        points.sort_by(|a, b| a.rate.total_cmp(&b.rate));
+    }
+    points
 }
 
 #[cfg(test)]
@@ -246,26 +303,104 @@ mod tests {
     #[test]
     fn sweep_finds_a_frontier_within_a_generous_ladder() {
         let config = tiny();
-        let curve = sweep(
-            SchedPolicyKind::Fifo,
-            &config,
-            &geometric_ladder(0.001, 4.0, 8),
-        );
-        // Early stop: the saturated rung ends the curve.
+        let ladder = geometric_ladder(0.001, 4.0, 8);
+        let curve = sweep(SchedPolicyKind::Fifo, &config, &ladder);
+        // Early stop plus bisection: the highest rate measured is the
+        // ladder's first saturated rung, and at most MAX_BISECTIONS
+        // midpoints were added inside the bracket.
         let frontier = curve.frontier_rate().expect("ladder spans the frontier");
-        assert_eq!(curve.points.last().unwrap().rate, frontier);
+        let ladder_rungs = curve
+            .points
+            .iter()
+            .filter(|p| ladder.contains(&p.rate))
+            .count();
+        assert!(curve.points.last().unwrap().saturated);
+        assert!(curve.points.len() <= ladder_rungs + MAX_BISECTIONS);
+        let stable = curve.last_stable_rate().expect("first rung is idle-slow");
+        assert!(stable < frontier);
+        // Points are sorted and consistently classified around the
+        // reported frontier.
+        assert!(curve.points.windows(2).all(|w| w[0].rate < w[1].rate));
         assert!(curve
             .points
             .iter()
             .all(|p| p.saturated == (p.rate >= frontier)));
-        let stable = curve.last_stable_rate().expect("first rung is idle-slow");
-        assert!(stable < frontier);
         // Tails are populated and ordered on every rung.
         for p in &curve.points {
             assert!(p.sojourn.p50 > 0.0);
             assert!(p.sojourn.p50 <= p.sojourn.p95 && p.sojourn.p95 <= p.sojourn.p99);
             assert!(p.queue_wait.p50 <= p.queue_wait.p99);
         }
+    }
+
+    /// Synthetic saturation curve: stable iff `rate ≤ capacity`, with no
+    /// simulation underneath — pins the bisection policy exactly.
+    fn synthetic_eval(
+        capacity: f64,
+        evals: &mut Vec<f64>,
+    ) -> impl FnMut(f64) -> FrontierPoint + '_ {
+        move |rate| {
+            evals.push(rate);
+            FrontierPoint {
+                rate,
+                completion_rate: rate.min(capacity),
+                utilization: (rate / capacity).min(1.0),
+                mean_queue_depth: 0.0,
+                sojourn: Percentiles::default(),
+                queue_wait: Percentiles::default(),
+                saturated: rate > capacity,
+            }
+        }
+    }
+
+    #[test]
+    fn bisection_tightens_a_doubling_bracket_to_the_target_ratio() {
+        let mut evals = Vec::new();
+        let ladder = geometric_ladder(0.01, 2.0, 10);
+        let points = sweep_points(&ladder, synthetic_eval(0.1, &mut evals));
+        // The ladder stops at its first saturated rung (0.16 after 0.08),
+        // then spends at most MAX_BISECTIONS runs inside the bracket.
+        let ladder_evals = evals.iter().filter(|r| ladder.contains(r)).count();
+        assert_eq!(ladder_evals, 5, "0.01..0.16 climbed, rest skipped");
+        assert!(evals.len() - ladder_evals <= MAX_BISECTIONS);
+        // The reported bracket is ≤ the target ratio and still contains
+        // the true capacity.
+        let lo = points.iter().rev().find(|p| !p.saturated).unwrap().rate;
+        let hi = points.iter().find(|p| p.saturated).unwrap().rate;
+        assert!(lo <= 0.1 && 0.1 <= hi, "bracket must contain the capacity");
+        assert!(
+            hi / lo <= BRACKET_TARGET_RATIO,
+            "bracket ratio {:.4} exceeds the {BRACKET_TARGET_RATIO} target",
+            hi / lo
+        );
+        // Sorted output, consistent classification.
+        assert!(points.windows(2).all(|w| w[0].rate < w[1].rate));
+        assert!(points.iter().all(|p| p.saturated == (p.rate > 0.1)));
+    }
+
+    #[test]
+    fn bisection_skips_unbracketed_sweeps() {
+        // Every rung stable: ladder exhausted, nothing to bisect.
+        let mut evals = Vec::new();
+        let points = sweep_points(&[0.01, 0.02, 0.04], synthetic_eval(1.0, &mut evals));
+        assert_eq!(points.len(), 3);
+        assert_eq!(evals.len(), 3);
+        assert!(points.iter().all(|p| !p.saturated));
+        // First rung already saturated: no stable side to bisect from.
+        let mut evals = Vec::new();
+        let points = sweep_points(&[0.5, 1.0], synthetic_eval(0.1, &mut evals));
+        assert_eq!(points.len(), 1);
+        assert_eq!(evals.len(), 1);
+        assert!(points[0].saturated);
+    }
+
+    #[test]
+    fn bisection_stops_early_once_the_bracket_is_tight() {
+        // A 1.05x bracket is already inside the 1.07 target: zero extra runs.
+        let mut evals = Vec::new();
+        let points = sweep_points(&[0.100, 0.105], synthetic_eval(0.102, &mut evals));
+        assert_eq!(evals.len(), 2);
+        assert_eq!(points.len(), 2);
     }
 
     #[test]

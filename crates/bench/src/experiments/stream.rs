@@ -10,6 +10,7 @@ use flowcon_cluster::{ClusterOutcome, ClusterSession, DynStreamSource, Horizon, 
 use flowcon_core::config::NodeConfig;
 use flowcon_core::session::{Session, StreamResult};
 use flowcon_metrics::summary::{CompletionStats, RunSummary};
+use flowcon_sim::trace::Tracer;
 use flowcon_workload::stream::JobStream;
 use flowcon_workload::SyntheticStreamSource;
 
@@ -47,6 +48,22 @@ pub fn stream_session<J: JobStream>(
         .policy_box(policy.build())
         .build()
         .run_stream(stream, horizon)
+}
+
+/// [`stream_session`] recording a structured timeline through `tracer`
+/// (`repro stream --trace-out`).
+pub fn stream_session_traced<J: JobStream, T: Tracer>(
+    stream: J,
+    horizon: Horizon,
+    node: NodeConfig,
+    policy: PolicyKind,
+    tracer: &mut T,
+) -> StreamResult<RunSummary> {
+    Session::builder()
+        .node(node)
+        .policy_box(policy.build())
+        .build()
+        .run_stream_traced(stream, horizon, tracer)
 }
 
 /// Run a headless open-loop cluster of `workers` nodes off `source`.

@@ -28,6 +28,7 @@ use flowcon_sim::alloc::{
 use flowcon_sim::engine::{Scheduler, SimEngine, Simulation};
 use flowcon_sim::rng::SimRng;
 use flowcon_sim::time::{SimDuration, SimTime};
+use flowcon_sim::trace::{FlightRecorder, Tracer};
 use flowcon_workload::{ArrivalProcess, StreamSource, SyntheticStreamSource};
 
 /// One micro-benchmark's aggregated result.
@@ -182,7 +183,7 @@ struct Ticker {
 
 impl Simulation for Ticker {
     type Event = ();
-    fn handle(&mut self, _ev: (), sched: &mut Scheduler<'_, ()>) {
+    fn handle<T: Tracer>(&mut self, _ev: (), sched: &mut Scheduler<'_, (), T>) {
         if self.remaining > 0 {
             self.remaining -= 1;
             sched.after(SimDuration::from_secs(1), ());
@@ -743,6 +744,57 @@ pub fn run_micro_suite(counter: Option<AllocCounter<'_>>) -> Vec<PerfResult> {
         push(&format!("sched/compare/w{jobs}"), ns, None, None);
     }
 
+    // --- trace: flight-recorder cost on a 256-node scheduler run ---
+    // Two rows over the *same* FIFO sched run: `trace/noop/` is the
+    // default `.run()` path (the `NoopTracer` monomorphization — i.e.
+    // tracing compiled away, identical to a build without the tracer
+    // layer), `trace/flight/` re-runs it through a preallocated
+    // `FlightRecorder`.  Comparing the pair in the json is the standing
+    // evidence that the abstraction is free and that recording costs only
+    // its ring writes.  Sharded rounds make both rows core-count
+    // dependent, so `trace/` is excluded from the relative events/s gate.
+    {
+        let nodes = 256usize;
+        let jobs = 1024usize;
+        let plan = WorkloadPlan::random_n(jobs, CLUSTER_BENCH_PLAN_SEED);
+        let node = NodeConfig::default().with_seed(CLUSTER_BENCH_NODE_SEED);
+        let session = |p: WorkloadPlan| {
+            ClusterSession::builder()
+                .nodes(nodes, node)
+                .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+                .plan(p)
+                .scheduler(SchedPolicyKind::Fifo)
+        };
+        let mut completed = 0usize;
+        let ns = time_ns(
+            || {
+                let out = session(plan.clone()).build().run();
+                completed = out.completed_jobs();
+                std::hint::black_box(out.decisions.len());
+            },
+            Duration::from_millis(1200),
+        );
+        assert_eq!(completed, jobs, "noop-traced sched bench must drain");
+        push("trace/noop/sched_w256", ns, None, None);
+
+        let mut recorded = 0usize;
+        let ns = time_ns(
+            || {
+                let (out, recorder) = session(plan.clone())
+                    .tracer(FlightRecorder::with_capacity(1 << 16))
+                    .build()
+                    .run_traced();
+                completed = out.completed_jobs();
+                recorded = recorder.len();
+                std::hint::black_box(out.decisions.len());
+            },
+            Duration::from_millis(1200),
+        );
+        assert_eq!(completed, jobs, "flight-traced sched bench must drain");
+        assert!(recorded > 0, "flight recorder must capture the sched run");
+        push("trace/flight/sched_w256", ns, None, None);
+    }
+
     // --- metrics: warm quantile-sketch insert (the SLO hot path) ---
     // One op is one `QuantileSketch::insert` into a sketch whose bucket
     // range already covers the workload — the shape every worker sees on
@@ -939,15 +991,18 @@ pub const EVENTS_REGRESSION_TOLERANCE: f64 = 0.25;
 /// threads), so a baseline committed from an 8-core box would permanently
 /// fail a 4-vCPU CI runner on unchanged code, and `rt/` rows run real
 /// threads against the wall clock, so their "events/s" (completions per
-/// wall second) tracks the machine, not the code.  These rows stay gated
-/// by presence and — where measured — by their machine-independent
-/// allocs/worker figure (see [`ALLOCS_REGRESSION_TOLERANCE`]).
-pub const THROUGHPUT_GATE_EXCLUDE_PREFIXES: [&str; 5] = [
+/// wall second) tracks the machine, not the code.  `trace/` joins the
+/// list because its headline rows (`trace/noop/`, `trace/flight/`) are
+/// sharded scheduler runs.  These rows stay gated by presence and —
+/// where measured — by their machine-independent allocs/worker figure
+/// (see [`ALLOCS_REGRESSION_TOLERANCE`]).
+pub const THROUGHPUT_GATE_EXCLUDE_PREFIXES: [&str; 6] = [
     "cluster/",
     "rt/",
     "sched/",
     "stream/open_loop/",
     "frontier/",
+    "trace/",
 ];
 
 /// Maximum tolerated relative growth of `allocs_per_op` vs the baseline

@@ -52,6 +52,7 @@ use flowcon_metrics::sojourn::{Percentiles, SojournStats};
 use flowcon_metrics::stream::StreamStats;
 use flowcon_metrics::summary::{makespan_over, Completion};
 use flowcon_sim::time::{SimDuration, SimTime};
+use flowcon_sim::trace::{TraceKind, Tracer};
 
 use crate::executor::map_sharded;
 use crate::policy_kind::PolicyKind;
@@ -173,12 +174,21 @@ struct EngineJob {
 
 /// Run the scheduling engine to completion over a materialized arrival
 /// list (already sorted by arrival time).
-pub(crate) fn run_sched(
+///
+/// `tracer` records the structured event stream: a
+/// [`TraceKind::SchedBarrier`] span per decision barrier, one instant
+/// per applied [`SchedAction`], cluster-level job run/complete spans,
+/// and queue-depth counters.  Node-local events (policy reconfigures,
+/// water-filling counters) land in per-node forked recorders that are
+/// drained back in node-index order at every barrier, so sharded and
+/// sequential traced runs produce identical merged sequences.
+pub(crate) fn run_sched<T: Tracer + Send>(
     node_cfgs: &[NodeConfig],
     worker_policy: PolicyKind,
     mut policy: Box<dyn ClusterPolicy>,
     config: SchedConfig,
     arrivals: Vec<ArrivalSpec>,
+    tracer: &mut T,
 ) -> SchedOutcome {
     assert!(!node_cfgs.is_empty(), "a cluster needs at least one node");
     assert!(
@@ -186,9 +196,18 @@ pub(crate) fn run_sched(
         "the scheduler quantum must be positive"
     );
     let quantum = config.quantum;
-    let mut nodes: Vec<NodeSim> = node_cfgs
+    let mut nodes: Vec<NodeSim<T>> = node_cfgs
         .iter()
-        .map(|cfg| NodeSim::new(*cfg, worker_policy.build_send(), config.slots_per_node))
+        .enumerate()
+        .map(|(i, cfg)| {
+            NodeSim::new(
+                *cfg,
+                worker_policy.build_send(),
+                config.slots_per_node,
+                tracer.fork(),
+                i as u32,
+            )
+        })
         .collect();
 
     let mut queue: VecDeque<EngineJob> = VecDeque::new();
@@ -266,6 +285,14 @@ pub(crate) fn run_sched(
         let view = ClusterView::new(t, &queue_views, &spans, &running);
         actions.clear();
         policy.schedule(&view, &mut actions);
+        if T::ENABLED {
+            tracer.span_begin(
+                t,
+                TraceKind::SchedBarrier,
+                queue.len() as u32,
+                running.len() as u32,
+            );
+        }
 
         for &action in &actions {
             decisions.push(Decision { at: t, action });
@@ -281,6 +308,10 @@ pub(crate) fn run_sched(
                     tails.queue_wait.insert(wait);
                     location[j.id as usize] = Some(node);
                     nodes[node].admit(j.id, j.model, j.work_scale, j.arrival, j.attained);
+                    if T::ENABLED {
+                        tracer.instant(t, TraceKind::SchedPlace, job, node as u32);
+                        tracer.span_begin(t, TraceKind::JobRun, job, node as u32);
+                    }
                 }
                 SchedAction::Preempt { job } => {
                     let at = location[job as usize]
@@ -296,6 +327,10 @@ pub(crate) fn run_sched(
                         attained: p.attained_cpu_secs,
                         queued_since: t,
                     });
+                    if T::ENABLED {
+                        tracer.instant(t, TraceKind::SchedPreempt, job, at as u32);
+                        tracer.span_end(t, TraceKind::JobRun, job, at as u32);
+                    }
                 }
                 SchedAction::Migrate { job, node } => {
                     let at = location[job as usize].expect("Migrate must target a running job");
@@ -312,10 +347,18 @@ pub(crate) fn run_sched(
                     );
                     location[job as usize] = Some(node);
                     migrations += 1;
+                    if T::ENABLED {
+                        tracer.instant(t, TraceKind::SchedMigrate, job, node as u32);
+                        tracer.span_end(t, TraceKind::JobRun, job, at as u32);
+                        tracer.span_begin(t, TraceKind::JobRun, job, node as u32);
+                    }
                 }
             }
         }
         queue_job_secs += queue.len() as f64 * quantum.as_secs_f64();
+        if T::ENABLED {
+            tracer.counter(t, TraceKind::QueueDepth, 0, queue.len() as f64);
+        }
 
         // 3. Advance every node to the next barrier — sequentially or on
         //    the sharded executor, bit-identically.
@@ -335,7 +378,13 @@ pub(crate) fn run_sched(
                 },
             );
         }
-        for node in &mut nodes {
+        for (ni, node) in nodes.iter_mut().enumerate() {
+            if T::ENABLED {
+                // Merge this node's per-shard recorder in node-index
+                // order — the stable sort that makes sharded ≡
+                // sequential.
+                tracer.absorb(&mut node.tracer);
+            }
             for c in node.completions.drain(..) {
                 location[c.gid as usize] = None;
                 tails
@@ -346,7 +395,14 @@ pub(crate) fn run_sched(
                     finished: c.finished,
                     exit_code: 0,
                 });
+                if T::ENABLED {
+                    tracer.span_end(c.finished, TraceKind::JobRun, c.gid, ni as u32);
+                    tracer.instant(c.finished, TraceKind::JobComplete, c.gid, ni as u32);
+                }
             }
+        }
+        if T::ENABLED {
+            tracer.span_end(barrier, TraceKind::SchedBarrier, queue.len() as u32, 0);
         }
         t = barrier;
     }
@@ -405,6 +461,7 @@ mod tests {
                 ..SchedConfig::default()
             },
             arrivals_of(&plan),
+            &mut flowcon_sim::trace::NoopTracer,
         )
     }
 
@@ -428,6 +485,7 @@ mod tests {
             SchedPolicyKind::Fifo.build(),
             SchedConfig::default(),
             Vec::new(),
+            &mut flowcon_sim::trace::NoopTracer,
         );
         assert!(out.completions.is_empty());
         assert!(out.decisions.is_empty());
@@ -449,6 +507,7 @@ mod tests {
                 ..SchedConfig::default()
             },
             arrivals_of(&plan),
+            &mut flowcon_sim::trace::NoopTracer,
         );
         assert_eq!(out.completed_jobs(), 6);
         assert!(out.mean_queueing_delay_secs() > 0.0);
@@ -478,6 +537,7 @@ mod tests {
             SchedPolicyKind::Fifo.build(),
             SchedConfig::default(),
             arrivals,
+            &mut flowcon_sim::trace::NoopTracer,
         );
         assert_eq!(out.completed_jobs(), 1);
         assert!(out.completions[0].finished >= SimTime::from_secs(86_400));

@@ -24,6 +24,7 @@ use flowcon_dl::{ModelId, ModelSpec, TrainingJob};
 use flowcon_sim::alloc::{waterfill_soft_into, AllocRequest, WaterfillScratch};
 use flowcon_sim::rng::SimRng;
 use flowcon_sim::time::{SimDuration, SimTime};
+use flowcon_sim::trace::{NoopTracer, TraceKind, Tracer};
 use flowcon_sim::{ResourceKind, ResourceVec, RESOURCE_KINDS};
 
 use super::policy::RunningJobView;
@@ -107,7 +108,14 @@ impl Slot {
 
 /// One node of the scheduled cluster: slot arena + node-local FlowCon
 /// policy + private RNG, advanced barrier-to-barrier by the engine.
-pub(crate) struct NodeSim {
+///
+/// Each node owns a **per-shard flight recorder** (`tracer`, forked from
+/// the run's tracer): node-local events recorded during a parallel
+/// `advance_to` are a pure function of the node's own state, and the
+/// engine drains them back in node-index order at every barrier — which
+/// is why sharded and sequential traced runs merge to identical
+/// sequences.
+pub(crate) struct NodeSim<T: Tracer = NoopTracer> {
     cfg: NodeConfig,
     policy: Box<dyn ResourcePolicy + Send>,
     rng: SimRng,
@@ -124,6 +132,12 @@ pub(crate) struct NodeSim {
     pub(crate) update_calls: u64,
     /// Completions since the engine last drained them, in time order.
     pub(crate) completions: Vec<NodeCompletion>,
+    /// Per-node flight recorder, drained by the engine at each barrier.
+    pub(crate) tracer: T,
+    /// This node's index, stamped into its trace events.
+    trace_id: u32,
+    /// Cumulative water-filling invocations (trace counter payload).
+    waterfill_runs: u64,
     // Recycled hot-path buffers.
     alloc: WaterfillScratch,
     requests: Vec<AllocRequest>,
@@ -135,11 +149,13 @@ pub(crate) struct NodeSim {
     updates: Vec<(ContainerId, f64)>,
 }
 
-impl NodeSim {
+impl<T: Tracer> NodeSim<T> {
     pub(crate) fn new(
         cfg: NodeConfig,
         policy: Box<dyn ResourcePolicy + Send>,
         slots: usize,
+        tracer: T,
+        trace_id: u32,
     ) -> Self {
         assert!(slots > 0, "a node needs at least one job slot");
         Self {
@@ -155,6 +171,9 @@ impl NodeSim {
             algorithm_runs: 0,
             update_calls: 0,
             completions: Vec::new(),
+            tracer,
+            trace_id,
+            waterfill_runs: 0,
             alloc: WaterfillScratch::default(),
             requests: Vec::new(),
             order: Vec::new(),
@@ -372,6 +391,15 @@ impl NodeSim {
     /// math to the dense worker path: soft limits, then contention
     /// efficiency per container).
     fn recompute_rates(&mut self) {
+        self.waterfill_runs += 1;
+        if T::ENABLED {
+            self.tracer.counter(
+                self.now,
+                TraceKind::Waterfill,
+                self.trace_id,
+                self.waterfill_runs as f64,
+            );
+        }
         self.order.clear();
         self.requests.clear();
         for (idx, slot) in self.slots.iter().enumerate() {
@@ -471,6 +499,10 @@ impl NodeSim {
 
     /// Run one node-local policy reconfiguration and reschedule its tick.
     fn reconfigure(&mut self, now: SimTime) {
+        if T::ENABLED {
+            self.tracer
+                .span_begin(now, TraceKind::Reconfigure, self.live as u32, self.trace_id);
+        }
         self.measure_into(now);
         self.updates.clear();
         let measures = std::mem::take(&mut self.measures);
@@ -490,6 +522,10 @@ impl NodeSim {
         self.measures = measures;
         self.updates = updates;
         self.next_tick = next.filter(|d| *d > SimDuration::ZERO).map(|d| now + d);
+        if T::ENABLED {
+            self.tracer
+                .span_end(now, TraceKind::Reconfigure, self.live as u32, self.trace_id);
+        }
     }
 }
 
@@ -504,6 +540,8 @@ mod tests {
             NodeConfig::default().with_seed(0xF10C),
             PolicyKind::FlowCon(FlowConConfig::default()).build_send(),
             slots,
+            NoopTracer,
+            0,
         )
     }
 

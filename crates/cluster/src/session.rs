@@ -49,6 +49,7 @@ use flowcon_metrics::sojourn::SojournStats;
 use flowcon_metrics::stream::StreamStats;
 use flowcon_metrics::summary::{makespan_over, CompletionStats};
 use flowcon_sim::time::SimDuration;
+use flowcon_sim::trace::{NoopTracer, Tracer};
 use flowcon_workload::source::PlanSource;
 use flowcon_workload::stream::{Horizon, JobStream, StreamSource, StreamedJob};
 
@@ -160,10 +161,15 @@ pub struct Recorded<R, F> {
 /// cluster scheduler ([`crate::sched`]) consumes the workload as one
 /// shared arrival stream and makes live queueing/placement/preemption
 /// decisions at every quantum barrier.
-pub struct Sched {
+///
+/// The tracer defaults to [`NoopTracer`] (compiled away); switch it with
+/// [`ClusterSessionBuilder::tracer`] to capture a structured timeline of
+/// the run.
+pub struct Sched<T: Tracer = NoopTracer> {
     kind: SchedPolicyKind,
     custom: Option<Box<dyn ClusterPolicy>>,
     config: SchedConfig,
+    tracer: T,
 }
 
 /// Fluent configuration for one cluster run; entry point
@@ -289,6 +295,7 @@ impl<'w, M> ClusterSessionBuilder<'w, M> {
                 kind,
                 custom: None,
                 config: SchedConfig::default(),
+                tracer: NoopTracer,
             },
         }
     }
@@ -319,7 +326,7 @@ impl<'w> ClusterSessionBuilder<'w, Headless> {
     }
 }
 
-impl<'w> ClusterSessionBuilder<'w, Sched> {
+impl<'w, T: Tracer> ClusterSessionBuilder<'w, Sched<T>> {
     /// Barrier spacing of the scheduling engine (default 10 s).
     pub fn quantum(mut self, quantum: SimDuration) -> Self {
         self.mode.config.quantum = quantum;
@@ -345,6 +352,29 @@ impl<'w> ClusterSessionBuilder<'w, Sched> {
     pub fn discipline(mut self, policy: Box<dyn ClusterPolicy>) -> Self {
         self.mode.custom = Some(policy);
         self
+    }
+
+    /// Trace the run through `tracer` — e.g. a
+    /// [`FlightRecorder`](flowcon_sim::trace::FlightRecorder) — instead of
+    /// the default no-op.  Per-node shards are forked off this tracer and
+    /// drained back in node order at every barrier, so the merged timeline
+    /// is identical whether nodes advance sharded or
+    /// [`sequential`](ClusterSessionBuilder::sequential).  Retrieve the
+    /// tracer with [`ClusterSession::run_traced`].
+    pub fn tracer<T2: Tracer>(self, tracer: T2) -> ClusterSessionBuilder<'w, Sched<T2>> {
+        ClusterSessionBuilder {
+            nodes: self.nodes,
+            policy: self.policy,
+            strategy: self.strategy,
+            images: self.images,
+            workload: self.workload,
+            mode: Sched {
+                kind: self.mode.kind,
+                custom: self.mode.custom,
+                config: self.mode.config,
+                tracer,
+            },
+        }
     }
 }
 
@@ -562,7 +592,7 @@ where
     }
 }
 
-impl<'w> ClusterSession<'w, Sched> {
+impl<'w, T: Tracer + Send> ClusterSession<'w, Sched<T>> {
     /// Run the online scheduler: the workload becomes one cluster-wide
     /// arrival stream, and the configured discipline makes live
     /// queueing/placement/preemption decisions at every quantum barrier.
@@ -572,7 +602,21 @@ impl<'w> ClusterSession<'w, Sched> {
     /// one shared plan is meaningful); a `stream` contributes worker 0's
     /// stream pulled up to the horizon, which must be bounded.
     pub fn run(self) -> SchedOutcome {
-        let mut arrivals: Vec<sched::ArrivalSpec> = match self.workload {
+        self.run_traced().0
+    }
+
+    /// Like [`run`](ClusterSession::run), but also hand back the tracer
+    /// configured with [`ClusterSessionBuilder::tracer`], now holding the
+    /// merged timeline of the whole run.
+    pub fn run_traced(self) -> (SchedOutcome, T) {
+        let ClusterSession {
+            nodes,
+            policy,
+            workload,
+            mode,
+            ..
+        } = self;
+        let mut arrivals: Vec<sched::ArrivalSpec> = match workload {
             WorkloadSpec::Plan(plan) => plan.jobs.iter().map(arrival_of).collect(),
             WorkloadSpec::Source(source) => {
                 source.next_plan(0).jobs.iter().map(arrival_of).collect()
@@ -598,17 +642,20 @@ impl<'w> ClusterSession<'w, Sched> {
             }
         };
         arrivals.sort_by_key(|a| a.arrival);
-        let discipline = match self.mode.custom {
+        let discipline = match mode.custom {
             Some(policy) => policy,
-            None => self.mode.kind.build(),
+            None => mode.kind.build(),
         };
-        sched::run_sched(
-            &self.nodes,
-            self.policy,
+        let mut tracer = mode.tracer;
+        let outcome = sched::run_sched(
+            &nodes,
+            policy,
             discipline,
-            self.mode.config,
+            mode.config,
             arrivals,
-        )
+            &mut tracer,
+        );
+        (outcome, tracer)
     }
 }
 

@@ -313,6 +313,76 @@ fn warm_sketch_inserts_are_allocation_free() {
     );
 }
 
+/// Like [`allocs_of_sched_run`], but with an explicit tracer `T` threaded
+/// through `run_traced` (the counter stops before the recorder is read).
+fn allocs_of_traced_sched_run<T: flowcon_sim::trace::Tracer + Send>(
+    jobs: usize,
+    tracer: T,
+) -> (u64, T) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let (out, tracer) = ClusterSession::builder()
+        .nodes(4, NodeConfig::default().with_seed(0xF10C))
+        .policy(PolicyKind::FlowCon(FlowConConfig::default()))
+        .plan(WorkloadPlan::random_n(jobs, 0xC1A5))
+        .scheduler(SchedPolicyKind::Fifo)
+        .sequential(true)
+        .tracer(tracer)
+        .build()
+        .run_traced();
+    assert_eq!(out.completed_jobs(), jobs, "jobs conserved");
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, tracer)
+}
+
+#[test]
+fn noop_tracer_is_allocation_neutral_on_the_sched_path() {
+    let _window = COUNT_WINDOW.lock().unwrap();
+    // `NoopTracer` is the *default* tracer type, so `.tracer(NoopTracer)`
+    // selects the very same monomorphization as the plain `.run()` the
+    // budget tests above gate — the two must allocate identically, which
+    // is what "the tracing layer compiles away" means in numbers.  The
+    // dense headless budget (`DENSE_ALLOCS_PER_WORKER_BUDGET`) holds for
+    // the same reason: its worker path threads the same `NoopTracer`.
+    const JOBS: usize = 64;
+    allocs_of_sched_run(JOBS); // warm-up (OnceLock, thread-locals)
+
+    COUNTING.store(true, Ordering::Relaxed);
+    let plain = allocs_of_sched_run(JOBS);
+    let (noop, _) = allocs_of_traced_sched_run(JOBS, flowcon_sim::trace::NoopTracer);
+    COUNTING.store(false, Ordering::Relaxed);
+
+    assert_eq!(
+        plain, noop,
+        "an explicit NoopTracer must cost exactly what the untraced run costs"
+    );
+}
+
+#[test]
+fn flight_recorder_costs_only_its_preallocation() {
+    let _window = COUNT_WINDOW.lock().unwrap();
+    // Recording into the ring is plain stores into preallocated storage:
+    // the whole traced run may add only the recorder's own ring, the
+    // per-node forked rings (4 nodes here), and nothing per event.
+    const JOBS: usize = 64;
+    allocs_of_sched_run(JOBS); // warm-up (OnceLock, thread-locals)
+
+    COUNTING.store(true, Ordering::Relaxed);
+    let plain = allocs_of_sched_run(JOBS);
+    let (traced, recorder) = allocs_of_traced_sched_run(
+        JOBS,
+        flowcon_sim::trace::FlightRecorder::with_capacity(1 << 16),
+    );
+    COUNTING.store(false, Ordering::Relaxed);
+
+    assert!(!recorder.is_empty(), "the run must actually be recorded");
+    assert_eq!(recorder.dropped(), 0, "capacity covers the whole run");
+    let extra = traced.saturating_sub(plain);
+    assert!(
+        extra <= 16,
+        "flight recording added {extra} allocations — recording must cost \
+         only the preallocated rings, never per-event heap traffic"
+    );
+}
+
 #[test]
 fn sched_engine_marginal_cost_scales_with_jobs_not_barriers() {
     let _window = COUNT_WINDOW.lock().unwrap();

@@ -13,6 +13,7 @@ use flowcon_cluster::{
 use flowcon_core::config::{FlowConConfig, NodeConfig};
 use flowcon_dl::workload::WorkloadPlan;
 use flowcon_sim::time::SimTime;
+use flowcon_sim::trace::FlightRecorder;
 
 fn base(workers: usize) -> ClusterSessionBuilder<'static, Sched> {
     ClusterSession::builder()
@@ -48,6 +49,46 @@ fn repeated_runs_are_bit_identical() {
         let a = run(kind, false);
         let b = run(kind, false);
         assert_eq!(a, b, "{} is not reproducible", kind.name());
+    }
+}
+
+fn run_traced(kind: SchedPolicyKind, sequential: bool) -> (SchedOutcome, FlightRecorder) {
+    base(4)
+        .plan(WorkloadPlan::random_n(24, 0xC1A5))
+        .scheduler(kind)
+        .sequential(sequential)
+        .tracer(FlightRecorder::with_capacity(1 << 14))
+        .build()
+        .run_traced()
+}
+
+#[test]
+fn traced_timelines_are_bit_identical_across_advance_modes() {
+    // The flight-recorder merge (per-node forks absorbed in node-index
+    // order at each barrier) must make the sharded run's timeline — down
+    // to the exported Chrome JSON byte stream — identical to the
+    // sequential run's, for every built-in discipline.
+    for kind in SchedPolicyKind::ALL {
+        let (seq_out, seq_rec) = run_traced(kind, true);
+        let (shard_out, shard_rec) = run_traced(kind, false);
+        assert_eq!(seq_out, shard_out, "{} outcome diverged", kind.name());
+        assert_eq!(seq_rec.dropped(), 0, "{} dropped events", kind.name());
+        assert_eq!(shard_rec.dropped(), 0, "{} dropped events", kind.name());
+        let seq_events = seq_rec.events();
+        let shard_events = shard_rec.events();
+        assert!(!seq_events.is_empty(), "{} recorded nothing", kind.name());
+        assert_eq!(
+            seq_events,
+            shard_events,
+            "{} timeline diverged across advance modes",
+            kind.name()
+        );
+        assert_eq!(
+            flowcon_metrics::tracelog::chrome_trace_json(&seq_events, seq_rec.dropped()),
+            flowcon_metrics::tracelog::chrome_trace_json(&shard_events, shard_rec.dropped()),
+            "{} exported JSON diverged",
+            kind.name()
+        );
     }
 }
 

@@ -96,6 +96,7 @@ use flowcon_dl::workload::WorkloadPlan;
 use flowcon_metrics::sojourn::SojournStats;
 use flowcon_metrics::stream::StreamStats;
 use flowcon_sim::time::SimTime;
+use flowcon_sim::trace::{NoopTracer, Tracer};
 use flowcon_workload::stream::{Horizon, JobStream};
 
 use crate::config::NodeConfig;
@@ -279,7 +280,19 @@ impl<R: Recorder> Session<R> {
     /// caller can thread it into the next session's
     /// [`SessionBuilder::scratch`].
     pub fn run_recycling(self) -> (SessionResult<R::Output>, WorkerScratch) {
-        self.sim.run_session()
+        self.sim.run_session(&mut NoopTracer)
+    }
+
+    /// Run the plan to completion, recording engine, job, and policy
+    /// events into `tracer`.
+    ///
+    /// The tracer sees the full structured event stream: engine
+    /// advance/dispatch, job admit/run/complete, policy reconfigure
+    /// spans, and cumulative water-filling counters, all stamped with
+    /// sim-time (never wall clocks), so a trace is a deterministic
+    /// function of the session configuration and seed.
+    pub fn run_traced<T: Tracer>(self, tracer: &mut T) -> SessionResult<R::Output> {
+        self.sim.run_session(tracer).0
     }
 
     /// Run **open-loop**: admit jobs pulled from `stream` while `horizon`
@@ -308,7 +321,19 @@ impl<R: Recorder> Session<R> {
         stream: J,
         horizon: Horizon,
     ) -> (StreamResult<R::Output>, WorkerScratch) {
-        self.sim.run_session_stream(stream, horizon)
+        self.sim
+            .run_session_stream(stream, horizon, &mut NoopTracer)
+    }
+
+    /// [`Session::run_stream`] with structured tracing (see
+    /// [`Session::run_traced`]).
+    pub fn run_stream_traced<J: JobStream, T: Tracer>(
+        self,
+        stream: J,
+        horizon: Horizon,
+        tracer: &mut T,
+    ) -> StreamResult<R::Output> {
+        self.sim.run_session_stream(stream, horizon, tracer).0
     }
 }
 

@@ -38,6 +38,7 @@ use flowcon_sim::event::EventQueue;
 use flowcon_sim::rng::SimRng;
 use flowcon_sim::stats::TimeWeighted;
 use flowcon_sim::time::{SimDuration, SimTime};
+use flowcon_sim::trace::{TraceKind, Tracer};
 use flowcon_workload::stream::{Horizon, JobStream, StreamedJob};
 
 use crate::config::NodeConfig;
@@ -212,6 +213,9 @@ pub(crate) struct WorkerSim<R: Recorder = FullRecorder> {
     recorder: R,
     update_calls: u64,
     algorithm_runs: u64,
+    /// Water-filling invocations so far (the cumulative count behind the
+    /// [`TraceKind::Waterfill`] counter events).
+    waterfill_runs: u64,
     failures: Vec<FailureInjection>,
 
     // --- steady-state accounting (open-loop metrics; two FMAs per fluid
@@ -281,6 +285,7 @@ impl<R: Recorder> WorkerSim<R> {
             recorder,
             update_calls: 0,
             algorithm_runs: 0,
+            waterfill_runs: 0,
             failures,
             rate_sum: 0.0,
             busy: TimeWeighted::new(),
@@ -294,7 +299,14 @@ impl<R: Recorder> WorkerSim<R> {
 
     /// Run the plan to completion, handing the hot-path scratch back for
     /// the next session.
-    pub(crate) fn run_session(mut self) -> (SessionResult<R::Output>, WorkerScratch) {
+    ///
+    /// Monomorphized over the [`Tracer`]: with the default
+    /// [`NoopTracer`](flowcon_sim::trace::NoopTracer) every
+    /// instrumentation site compiles away.
+    pub(crate) fn run_session<T: Tracer>(
+        mut self,
+        tracer: &mut T,
+    ) -> (SessionResult<R::Output>, WorkerScratch) {
         let mut engine: SimEngine<WorkerShell<R>> =
             SimEngine::from_queue(std::mem::take(&mut self.scratch.queue));
         for (idx, job) in self.plan.jobs.iter().enumerate() {
@@ -310,7 +322,7 @@ impl<R: Recorder> WorkerSim<R> {
             engine.prime(f.at, WorkerEvent::InjectFailure(idx));
         }
         let mut shell = WorkerShell(self);
-        engine.run_to_completion(&mut shell);
+        engine.run_to_completion_traced(&mut shell, tracer);
         let worker = shell.0;
         let output = worker.recorder.finish(RunMeta {
             policy: worker.policy.as_ref(),
@@ -337,10 +349,11 @@ impl<R: Recorder> WorkerSim<R> {
     /// No plan is ever materialized.  Jobs admitted before the horizon run
     /// to completion; the run ends when the stream is exhausted (or the
     /// horizon trips) and the pool drains.
-    pub(crate) fn run_session_stream<J: JobStream>(
+    pub(crate) fn run_session_stream<J: JobStream, T: Tracer>(
         mut self,
         stream: J,
         horizon: Horizon,
+        tracer: &mut T,
     ) -> (StreamResult<R::Output>, WorkerScratch) {
         assert!(
             horizon.is_bounded(),
@@ -373,7 +386,7 @@ impl<R: Recorder> WorkerSim<R> {
         if let Some(at) = shell.pull_next() {
             engine.prime(at, WorkerEvent::StreamArrival);
         }
-        engine.run_to_completion(&mut shell);
+        engine.run_to_completion_traced(&mut shell, tracer);
         let OpenLoopShell {
             worker, submitted, ..
         } = shell;
@@ -441,7 +454,16 @@ impl<R: Recorder> WorkerSim<R> {
     /// would otherwise idle (every cap satisfied, capacity left) is
     /// redistributed up to demand — "even if the container cannot maximize
     /// its own resource, the unused option will be utilized by others".
-    fn recompute_rates(&mut self) {
+    fn recompute_rates<T: Tracer>(&mut self, tracer: &mut T) {
+        self.waterfill_runs += 1;
+        if T::ENABLED {
+            tracer.counter(
+                self.last_advance,
+                TraceKind::Waterfill,
+                0,
+                self.waterfill_runs as f64,
+            );
+        }
         let scratch = &mut self.scratch;
         self.daemon.alloc_inputs_into(&mut scratch.alloc_inputs);
         scratch.requests.clear();
@@ -505,7 +527,12 @@ impl<R: Recorder> WorkerSim<R> {
     }
 
     /// Handle exits: record completions and notify the policy.
-    fn process_exits(&mut self, now: SimTime, exited: &[ContainerId]) -> bool {
+    fn process_exits<T: Tracer>(
+        &mut self,
+        now: SimTime,
+        exited: &[ContainerId],
+        tracer: &mut T,
+    ) -> bool {
         if exited.is_empty() {
             return false;
         }
@@ -518,6 +545,10 @@ impl<R: Recorder> WorkerSim<R> {
                     flowcon_container::ContainerState::Exited(code) => code,
                     _ => 0,
                 };
+                if T::ENABLED {
+                    tracer.span_end(now, TraceKind::JobRun, id.as_raw(), 0);
+                    tracer.instant(now, TraceKind::JobComplete, id.as_raw(), code as u32);
+                }
                 if self.slo_enabled {
                     // Sojourn = exit − admission.  Queue-wait is zero by
                     // construction on a single fluid node (first allocation
@@ -540,7 +571,15 @@ impl<R: Recorder> WorkerSim<R> {
     /// Measurements and the decision's updates both land in reusable
     /// scratch buffers — a steady-state reconfiguration is allocation-free
     /// end to end.
-    fn run_reconfigure(&mut self, now: SimTime) -> Option<SimDuration> {
+    fn run_reconfigure<T: Tracer>(&mut self, now: SimTime, tracer: &mut T) -> Option<SimDuration> {
+        if T::ENABLED {
+            tracer.span_begin(
+                now,
+                TraceKind::Reconfigure,
+                self.daemon.pool().len() as u32,
+                0,
+            );
+        }
         self.policy_monitor
             .measure_into(now, &self.daemon, &mut self.scratch.measures);
         // Policies must clear the recycled buffer themselves; this belt-and-
@@ -560,13 +599,21 @@ impl<R: Recorder> WorkerSim<R> {
                 self.update_calls += 1;
             }
         }
+        if T::ENABLED {
+            tracer.span_end(
+                now,
+                TraceKind::Reconfigure,
+                self.daemon.pool().len() as u32,
+                0,
+            );
+        }
         next_interval
     }
 
     /// Reschedule the policy tick after a reconfiguration.
-    fn schedule_tick(
+    fn schedule_tick<T: Tracer>(
         &mut self,
-        sched: &mut Scheduler<'_, WorkerEvent>,
+        sched: &mut Scheduler<'_, WorkerEvent, T>,
         interval: Option<SimDuration>,
     ) {
         if self.is_done() {
@@ -579,7 +626,7 @@ impl<R: Recorder> WorkerSim<R> {
     }
 
     /// Schedule the next projected completion check.
-    fn schedule_completion(&mut self, sched: &mut Scheduler<'_, WorkerEvent>) {
+    fn schedule_completion<T: Tracer>(&mut self, sched: &mut Scheduler<'_, WorkerEvent, T>) {
         if let Some(at) = self.next_completion() {
             sched.at(at, WorkerEvent::CompletionCheck(self.completion_gen));
         }
@@ -619,24 +666,30 @@ impl<R: Recorder> WorkerSim<R> {
     /// job out of the owned plan) and open-loop streamed arrivals
     /// ([`WorkerEvent::StreamArrival`], admitted mid-run by the
     /// [`OpenLoopShell`]).
-    fn admit_job(
+    fn admit_job<T: Tracer>(
         &mut self,
         now: SimTime,
         spec: ModelSpec,
         label: String,
         interrupted_by_exit: bool,
-        sched: &mut Scheduler<'_, WorkerEvent>,
+        sched: &mut Scheduler<'_, WorkerEvent, T>,
     ) {
         let image = spec.framework.image();
         let job = TrainingJob::with_label(spec, label, &mut self.rng);
-        self.daemon
+        let id = self
+            .daemon
             .run(image, job, ResourceLimits::unlimited(), now)
             .expect("default registry contains framework images");
+        if T::ENABLED {
+            let tracer = sched.tracer();
+            tracer.instant(now, TraceKind::JobAdmit, id.as_raw(), 0);
+            tracer.span_begin(now, TraceKind::JobRun, id.as_raw(), 0);
+        }
 
         self.daemon.pool().ids_into(&mut self.scratch.pool_ids);
         let interrupt = self.policy.on_pool_change(now, &self.scratch.pool_ids);
         if interrupt || interrupted_by_exit {
-            let next = self.run_reconfigure(now);
+            let next = self.run_reconfigure(now, sched.tracer());
             self.schedule_tick(sched, next);
         } else if self.daemon.pool().len() == 1 {
             // First job under a tick-less policy still needs the
@@ -644,16 +697,16 @@ impl<R: Recorder> WorkerSim<R> {
             let initial = self.policy.initial_interval();
             self.schedule_tick(sched, initial);
         }
-        self.recompute_rates();
+        self.recompute_rates(sched.tracer());
         self.schedule_completion(sched);
     }
 
-    fn handle(&mut self, event: WorkerEvent, sched: &mut Scheduler<'_, WorkerEvent>) {
+    fn handle<T: Tracer>(&mut self, event: WorkerEvent, sched: &mut Scheduler<'_, WorkerEvent, T>) {
         let now = sched.now();
         match event {
             WorkerEvent::Arrival(idx) => {
                 let exited = self.advance_to(now);
-                let interrupted_by_exit = self.process_exits(now, &exited);
+                let interrupted_by_exit = self.process_exits(now, &exited, sched.tracer());
 
                 // The plan is owned by the simulation and each job arrives
                 // exactly once: move the label out instead of cloning it.
@@ -671,12 +724,12 @@ impl<R: Recorder> WorkerSim<R> {
                     return; // stale projection
                 }
                 let exited = self.advance_to(now);
-                let interrupt = self.process_exits(now, &exited);
+                let interrupt = self.process_exits(now, &exited, sched.tracer());
                 if interrupt {
-                    let next = self.run_reconfigure(now);
+                    let next = self.run_reconfigure(now, sched.tracer());
                     self.schedule_tick(sched, next);
                 }
-                self.recompute_rates();
+                self.recompute_rates(sched.tracer());
                 self.schedule_completion(sched);
             }
             WorkerEvent::PolicyTick(gen) => {
@@ -684,20 +737,20 @@ impl<R: Recorder> WorkerSim<R> {
                     return; // pre-empted by an interrupt
                 }
                 let exited = self.advance_to(now);
-                let interrupt = self.process_exits(now, &exited);
+                let interrupt = self.process_exits(now, &exited, sched.tracer());
                 let _ = interrupt; // tick already reconfigures below
-                let next = self.run_reconfigure(now);
+                let next = self.run_reconfigure(now, sched.tracer());
                 self.schedule_tick(sched, next);
-                self.recompute_rates();
+                self.recompute_rates(sched.tracer());
                 self.schedule_completion(sched);
             }
             WorkerEvent::SampleTick => {
                 let exited = self.advance_to(now);
-                let interrupt = self.process_exits(now, &exited);
+                let interrupt = self.process_exits(now, &exited, sched.tracer());
                 if interrupt {
-                    let next = self.run_reconfigure(now);
+                    let next = self.run_reconfigure(now, sched.tracer());
                     self.schedule_tick(sched, next);
-                    self.recompute_rates();
+                    self.recompute_rates(sched.tracer());
                     self.schedule_completion(sched);
                 }
                 if self.recorder.sample_tick(now) {
@@ -709,11 +762,11 @@ impl<R: Recorder> WorkerSim<R> {
             }
             WorkerEvent::TraceTick => {
                 let exited = self.advance_to(now);
-                let interrupt = self.process_exits(now, &exited);
+                let interrupt = self.process_exits(now, &exited, sched.tracer());
                 if interrupt {
-                    let next = self.run_reconfigure(now);
+                    let next = self.run_reconfigure(now, sched.tracer());
                     self.schedule_tick(sched, next);
-                    self.recompute_rates();
+                    self.recompute_rates(sched.tracer());
                     self.schedule_completion(sched);
                 }
                 if self.recorder.growth_tick(now) {
@@ -725,7 +778,7 @@ impl<R: Recorder> WorkerSim<R> {
             }
             WorkerEvent::InjectFailure(idx) => {
                 let exited = self.advance_to(now);
-                let mut interrupt = self.process_exits(now, &exited);
+                let mut interrupt = self.process_exits(now, &exited, sched.tracer());
                 let injection = self.failures[idx].clone();
                 let target = self
                     .daemon
@@ -738,13 +791,13 @@ impl<R: Recorder> WorkerSim<R> {
                         .exec(id, |job| job.inject_failure(injection.exit_code))
                         .expect("target is running");
                     let crashed = self.daemon.reap(now);
-                    interrupt |= self.process_exits(now, &crashed);
+                    interrupt |= self.process_exits(now, &crashed, sched.tracer());
                 }
                 if interrupt {
-                    let next = self.run_reconfigure(now);
+                    let next = self.run_reconfigure(now, sched.tracer());
                     self.schedule_tick(sched, next);
                 }
-                self.recompute_rates();
+                self.recompute_rates(sched.tracer());
                 self.schedule_completion(sched);
             }
         }
@@ -756,7 +809,7 @@ struct WorkerShell<R: Recorder>(WorkerSim<R>);
 
 impl<R: Recorder> Simulation for WorkerShell<R> {
     type Event = WorkerEvent;
-    fn handle(&mut self, event: WorkerEvent, sched: &mut Scheduler<'_, WorkerEvent>) {
+    fn handle<T: Tracer>(&mut self, event: WorkerEvent, sched: &mut Scheduler<'_, WorkerEvent, T>) {
         self.0.handle(event, sched);
     }
 }
@@ -806,7 +859,7 @@ impl<R: Recorder, J: JobStream> OpenLoopShell<R, J> {
 impl<R: Recorder, J: JobStream> Simulation for OpenLoopShell<R, J> {
     type Event = WorkerEvent;
 
-    fn handle(&mut self, event: WorkerEvent, sched: &mut Scheduler<'_, WorkerEvent>) {
+    fn handle<T: Tracer>(&mut self, event: WorkerEvent, sched: &mut Scheduler<'_, WorkerEvent, T>) {
         let WorkerEvent::StreamArrival = event else {
             self.worker.handle(event, sched);
             return;
@@ -815,7 +868,7 @@ impl<R: Recorder, J: JobStream> Simulation for OpenLoopShell<R, J> {
         let job = self.pending.take().expect("a streamed arrival is pending");
         debug_assert!(job.arrival == now, "stream arrival fired off schedule");
         let exited = self.worker.advance_to(now);
-        let interrupted_by_exit = self.worker.process_exits(now, &exited);
+        let interrupted_by_exit = self.worker.process_exits(now, &exited, sched.tracer());
         self.submitted += 1;
         // Schedule the lookahead *before* admitting: admission consults
         // `is_done` (via tick scheduling), which must already know whether

@@ -84,10 +84,13 @@ pub enum JsonValue {
     Int(u64),
     /// A boolean.
     Bool(bool),
+    /// A nested object, fields in the given order (for structured
+    /// documents such as Chrome trace-event `args`).
+    Obj(Vec<(String, JsonValue)>),
 }
 
 /// Escape one JSON string body (without the surrounding quotes).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -120,25 +123,41 @@ pub fn to_jsonl<'a>(records: impl IntoIterator<Item = &'a [(&'a str, JsonValue)]
                 out.push(',');
             }
             let _ = write!(out, "\"{}\":", json_escape(key));
-            match value {
-                JsonValue::Str(s) => {
-                    let _ = write!(out, "\"{}\"", json_escape(s));
-                }
-                JsonValue::Num(n) if n.is_finite() => {
-                    let _ = write!(out, "{n}");
-                }
-                JsonValue::Num(_) => out.push_str("null"),
-                JsonValue::Int(n) => {
-                    let _ = write!(out, "{n}");
-                }
-                JsonValue::Bool(b) => {
-                    let _ = write!(out, "{b}");
-                }
-            }
+            write_value(&mut out, value);
         }
         out.push_str("}\n");
     }
     out
+}
+
+/// Append one [`JsonValue`] (recursing into [`JsonValue::Obj`]) to `out`.
+pub(crate) fn write_value(out: &mut String, value: &JsonValue) {
+    match value {
+        JsonValue::Str(s) => {
+            let _ = write!(out, "\"{}\"", json_escape(s));
+        }
+        JsonValue::Num(n) if n.is_finite() => {
+            let _ = write!(out, "{n}");
+        }
+        JsonValue::Num(_) => out.push_str("null"),
+        JsonValue::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        JsonValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        JsonValue::Obj(fields) => {
+            out.push('{');
+            for (i, (key, value)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":", json_escape(key));
+                write_value(out, value);
+            }
+            out.push('}');
+        }
+    }
 }
 
 /// Long-format CSV of a multi-series (one row per point).
@@ -163,6 +182,15 @@ pub fn write_file(path: &Path, content: &str) -> io::Result<()> {
         fs::create_dir_all(parent)?;
     }
     fs::write(path, content)
+}
+
+/// Write a user-requested artifact (`--emit` / `--out` / `--trace-out`)
+/// without touching the filesystem beyond the named file: a missing
+/// parent directory or an unwritable path comes back as an actionable
+/// message naming the path, for the CLI to print and exit with, instead
+/// of a panic or a silently created directory tree.
+pub fn write_artifact(path: &str, content: &str) -> Result<(), String> {
+    fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 /// Render a compact, aligned text table (for the repro binary's stdout).
@@ -277,6 +305,42 @@ mod tests {
             doc,
             "{\"label\":\"say \\\"hi\\\"\\nback\\\\\",\"p99\":null}\n"
         );
+    }
+
+    #[test]
+    fn jsonl_renders_nested_objects_recursively() {
+        let record: Vec<(&str, JsonValue)> = vec![(
+            "args",
+            JsonValue::Obj(vec![
+                ("a".to_string(), JsonValue::Int(7)),
+                (
+                    "inner".to_string(),
+                    JsonValue::Obj(vec![("ok".to_string(), JsonValue::Bool(true))]),
+                ),
+            ]),
+        )];
+        let doc = to_jsonl([record.as_slice()]);
+        assert_eq!(doc, "{\"args\":{\"a\":7,\"inner\":{\"ok\":true}}}\n");
+    }
+
+    #[test]
+    fn write_artifact_reports_the_failing_path() {
+        let dir = std::env::temp_dir().join("flowcon_artifact_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Parent directory does not exist: actionable error, no panic,
+        // and nothing is created behind the caller's back.
+        let missing = dir.join("nested/out.json");
+        let missing = missing.to_str().unwrap();
+        let err = write_artifact(missing, "{}").unwrap_err();
+        assert!(err.contains("cannot write"), "{err}");
+        assert!(err.contains(missing), "{err}");
+        assert!(!dir.exists(), "write_artifact must not create directories");
+        // A writable path succeeds.
+        std::fs::create_dir_all(&dir).unwrap();
+        let ok = dir.join("out.json");
+        write_artifact(ok.to_str().unwrap(), "{}").unwrap();
+        assert_eq!(std::fs::read_to_string(&ok).unwrap(), "{}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`chart`] — ASCII line/bar charts so `repro` output is readable in a
 //!   terminal.
 //! * [`export`] — CSV writing (hand-rolled; the format is trivial).
+//! * [`tracelog`] — Chrome trace-event / Perfetto export of the
+//!   deterministic structured timelines recorded by
+//!   [`flowcon_sim::trace`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,6 +36,7 @@ pub mod stats;
 pub mod stream;
 pub mod summary;
 pub mod timeseries;
+pub mod tracelog;
 
 pub use sketch::QuantileSketch;
 pub use sojourn::{Percentiles, SojournStats};

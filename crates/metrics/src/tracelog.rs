@@ -1,0 +1,245 @@
+//! Chrome trace-event export of [`FlightRecorder`] timelines.
+//!
+//! The tracing layer itself lives in [`flowcon_sim::trace`] (re-exported
+//! here for convenience): deterministic, sim-time-stamped POD events in a
+//! preallocated ring.  This module renders a merged event sequence as a
+//! [Chrome trace-event JSON] document that loads directly into Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! Lane (thread-id) layout keeps begin/end spans properly nested without
+//! a real thread model:
+//!
+//! * tid `1` — the simulation engine (`engine.advance` / `engine.event`);
+//! * tid `2` — cluster-scheduler barriers, placement/preemption/migration
+//!   instants, and the queue-depth counter;
+//! * tid `1000 + node` — per-node policy activity (reconfigure spans and
+//!   the water-filling counter);
+//! * tid `10000 + job` — one lane per job, holding its `job.run` span and
+//!   admission/completion instants.
+//!
+//! The document is built from deterministic inputs only (sim-time
+//! timestamps, stable event order), so a given run exports byte-identical
+//! JSON every time — the property `repro timeline` smoke-tests in CI.
+//!
+//! [Chrome trace-event JSON]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::fmt::Write as _;
+
+use flowcon_sim::time::SimTime;
+pub use flowcon_sim::trace::{
+    FlightRecorder, NoopTracer, TraceEvent, TraceKind, TracePhase, Tracer,
+};
+
+use crate::export::{json_escape, write_value, JsonValue};
+
+/// The `otherData.format` tag stamped into every exported document.
+pub const CHROME_TRACE_FORMAT: &str = "flowcon-trace/v1";
+
+/// The Chrome trace-event lane (`tid`) an event renders into.
+fn lane_of(e: &TraceEvent) -> u64 {
+    match e.kind {
+        TraceKind::EngineAdvance | TraceKind::EngineEvent => 1,
+        TraceKind::SchedBarrier
+        | TraceKind::SchedPlace
+        | TraceKind::SchedPreempt
+        | TraceKind::SchedMigrate
+        | TraceKind::QueueDepth => 2,
+        TraceKind::Reconfigure | TraceKind::Waterfill => 1_000 + e.b as u64,
+        TraceKind::JobAdmit | TraceKind::JobRun | TraceKind::JobComplete => 10_000 + e.a as u64,
+    }
+}
+
+/// The trace-event `ph` string of a phase.
+fn ph_of(phase: TracePhase) -> &'static str {
+    match phase {
+        TracePhase::Begin => "B",
+        TracePhase::End => "E",
+        TracePhase::Instant => "i",
+        TracePhase::Counter => "C",
+    }
+}
+
+/// Render a merged event sequence as one Chrome trace-event JSON document.
+///
+/// Events are stably sorted by timestamp (merging per-node recorders at
+/// barriers leaves short backward jumps; viewers expect monotone `ts`,
+/// and the stable sort keeps same-timestamp order — e.g. a span's begin
+/// before its end — exactly as recorded).  `dropped` is the ring's
+/// overwrite count, surfaced in `otherData` so a truncated timeline is
+/// visible in the viewer's metadata rather than silently partial.
+pub fn chrome_trace_json(events: &[TraceEvent], dropped: u64) -> String {
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| e.at.as_micros());
+    let mut out = String::with_capacity(128 + 160 * ordered.len());
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in ordered.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_event(&mut out, e);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":");
+    let meta = JsonValue::Obj(vec![
+        (
+            "format".to_string(),
+            JsonValue::Str(CHROME_TRACE_FORMAT.to_string()),
+        ),
+        ("events".to_string(), JsonValue::Int(events.len() as u64)),
+        ("dropped".to_string(), JsonValue::Int(dropped)),
+    ]);
+    write_value(&mut out, &meta);
+    out.push_str("}\n");
+    out
+}
+
+/// Append one trace event as a Chrome trace-event object.
+fn write_event(out: &mut String, e: &TraceEvent) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+        json_escape(e.kind.name()),
+        json_escape(e.kind.layer()),
+        ph_of(e.phase),
+        e.at.as_micros(),
+        lane_of(e),
+    );
+    if e.phase == TracePhase::Instant {
+        // Thread-scoped instants render as markers in the event's lane.
+        out.push_str(",\"s\":\"t\"");
+    }
+    out.push_str(",\"args\":");
+    let args = match e.phase {
+        // Counter tracks draw their named series from `args` values.
+        TracePhase::Counter => JsonValue::Obj(vec![(
+            "value".to_string(),
+            JsonValue::Num(if e.value.is_finite() { e.value } else { 0.0 }),
+        )]),
+        _ => JsonValue::Obj(vec![
+            ("a".to_string(), JsonValue::Int(e.a as u64)),
+            ("b".to_string(), JsonValue::Int(e.b as u64)),
+            (
+                "value".to_string(),
+                JsonValue::Num(if e.value.is_finite() { e.value } else { 0.0 }),
+            ),
+        ]),
+    };
+    write_value(out, &args);
+    out.push('}');
+}
+
+/// Per-kind event counts in [`TraceKind::ALL`] order (zero counts
+/// included), for `repro timeline --summary` tables.
+pub fn kind_counts(events: &[TraceEvent]) -> Vec<(TraceKind, u64)> {
+    let mut counts = vec![0u64; TraceKind::ALL.len()];
+    for e in events {
+        if let Some(i) = TraceKind::ALL.iter().position(|k| *k == e.kind) {
+            counts[i] += 1;
+        }
+    }
+    TraceKind::ALL.iter().copied().zip(counts).collect()
+}
+
+/// Timestamp span `(first, last)` of a timeline, if non-empty.
+pub fn time_span(events: &[TraceEvent]) -> Option<(SimTime, SimTime)> {
+    let min = events.iter().map(|e| e.at).min()?;
+    let max = events.iter().map(|e| e.at).max()?;
+    Some((min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(us: u64, phase: TracePhase, kind: TraceKind, a: u32, b: u32) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_micros(us),
+            phase,
+            kind,
+            a,
+            b,
+            value: a as f64,
+        }
+    }
+
+    #[test]
+    fn export_is_valid_trace_json_with_expected_lanes() {
+        let events = vec![
+            event(0, TracePhase::Begin, TraceKind::EngineAdvance, 0, 0),
+            event(5, TracePhase::End, TraceKind::EngineAdvance, 0, 0),
+            event(5, TracePhase::Instant, TraceKind::JobAdmit, 3, 0),
+            event(5, TracePhase::Counter, TraceKind::QueueDepth, 0, 0),
+            event(7, TracePhase::Counter, TraceKind::Waterfill, 2, 4),
+        ];
+        let doc = chrome_trace_json(&events, 9);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"name\":\"engine.advance\""));
+        assert!(doc.contains("\"ph\":\"B\""));
+        assert!(doc.contains("\"ph\":\"E\""));
+        // Instants are thread-scoped; jobs get their own lane.
+        assert!(doc.contains("\"ph\":\"i\",\"ts\":5,\"pid\":1,\"tid\":10003,\"s\":\"t\""));
+        // Counters live in the sched (2) and per-node (1000+b) lanes.
+        assert!(doc.contains("\"ph\":\"C\",\"ts\":5,\"pid\":1,\"tid\":2"));
+        assert!(doc.contains("\"ph\":\"C\",\"ts\":7,\"pid\":1,\"tid\":1004"));
+        assert!(doc.contains("\"format\":\"flowcon-trace/v1\""));
+        assert!(doc.contains("\"events\":5"));
+        assert!(doc.contains("\"dropped\":9"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn export_sorts_by_timestamp_but_keeps_ties_in_recorded_order() {
+        // Barrier-merged input: a node event at t=3 arrives after the
+        // sched event at t=10, plus a same-timestamp begin/end pair.
+        let events = vec![
+            event(10, TracePhase::Begin, TraceKind::SchedBarrier, 0, 0),
+            event(3, TracePhase::Counter, TraceKind::Waterfill, 1, 0),
+            event(10, TracePhase::End, TraceKind::SchedBarrier, 0, 0),
+        ];
+        let doc = chrome_trace_json(&events, 0);
+        let waterfill = doc.find("policy.waterfill").unwrap();
+        let begin = doc.find("\"ph\":\"B\"").unwrap();
+        let end = doc.find("\"ph\":\"E\"").unwrap();
+        assert!(waterfill < begin, "t=3 sorts before t=10");
+        assert!(
+            begin < end,
+            "stable sort keeps begin before end at equal ts"
+        );
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let events: Vec<TraceEvent> = (0..100)
+            .map(|i| {
+                event(
+                    i % 7,
+                    TracePhase::Instant,
+                    TraceKind::EngineEvent,
+                    i as u32,
+                    0,
+                )
+            })
+            .collect();
+        assert_eq!(chrome_trace_json(&events, 1), chrome_trace_json(&events, 1));
+    }
+
+    #[test]
+    fn kind_counts_cover_every_kind_in_stable_order() {
+        let events = vec![
+            event(0, TracePhase::Instant, TraceKind::JobAdmit, 1, 0),
+            event(1, TracePhase::Instant, TraceKind::JobAdmit, 2, 0),
+            event(2, TracePhase::Counter, TraceKind::QueueDepth, 0, 0),
+        ];
+        let counts = kind_counts(&events);
+        assert_eq!(counts.len(), TraceKind::ALL.len());
+        let of = |kind: TraceKind| counts.iter().find(|(k, _)| *k == kind).unwrap().1;
+        assert_eq!(of(TraceKind::JobAdmit), 2);
+        assert_eq!(of(TraceKind::QueueDepth), 1);
+        assert_eq!(of(TraceKind::EngineAdvance), 0);
+        assert_eq!(
+            time_span(&events),
+            Some((SimTime::ZERO, SimTime::from_micros(2)))
+        );
+        assert_eq!(time_span(&[]), None);
+    }
+}

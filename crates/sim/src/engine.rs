@@ -8,6 +8,7 @@
 
 use crate::event::EventQueue;
 use crate::time::SimTime;
+use crate::trace::{NoopTracer, TraceKind, Tracer};
 
 /// Why an engine run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,16 +24,27 @@ pub enum RunOutcome {
 }
 
 /// Handle through which event handlers schedule new events.
-pub struct Scheduler<'a, E> {
+///
+/// Also carries the run's [`Tracer`], so handlers can record structured
+/// trace events without the simulation type itself being generic over
+/// the tracer.  The default is [`NoopTracer`], which compiles every
+/// instrumentation site away.
+pub struct Scheduler<'a, E, T: Tracer = NoopTracer> {
     now: SimTime,
     queue: &'a mut EventQueue<E>,
     stop: &'a mut bool,
+    tracer: &'a mut T,
 }
 
-impl<'a, E> Scheduler<'a, E> {
+impl<'a, E, T: Tracer> Scheduler<'a, E, T> {
     /// The current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The run's tracer, for handler-side instrumentation.
+    pub fn tracer(&mut self) -> &mut T {
+        self.tracer
     }
 
     /// Schedule an event at an absolute time.
@@ -65,7 +77,11 @@ pub trait Simulation {
     type Event;
 
     /// Handle one event at its firing time.
-    fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
+    ///
+    /// Generic over the run's [`Tracer`] (monomorphized per tracer, so
+    /// the untraced instantiation is byte-for-byte the pre-tracing
+    /// loop).
+    fn handle<T: Tracer>(&mut self, event: Self::Event, sched: &mut Scheduler<'_, Self::Event, T>);
 }
 
 /// The engine: clock + queue + dispatch loop.
@@ -136,6 +152,23 @@ impl<S: Simulation> SimEngine<S> {
 
     /// Run until the queue drains, the horizon passes, or budget runs out.
     pub fn run_until(&mut self, sim: &mut S, horizon: SimTime) -> RunOutcome {
+        self.run_until_traced(sim, horizon, &mut NoopTracer)
+    }
+
+    /// [`run_until`](SimEngine::run_until) with an explicit [`Tracer`].
+    ///
+    /// When the tracer is enabled, each dispatch records an
+    /// [`EngineAdvance`](TraceKind::EngineAdvance) span over every
+    /// non-zero clock jump plus an
+    /// [`EngineEvent`](TraceKind::EngineEvent) instant; handlers see the
+    /// same tracer through [`Scheduler::tracer`].  With [`NoopTracer`]
+    /// this is exactly the untraced loop.
+    pub fn run_until_traced<T: Tracer>(
+        &mut self,
+        sim: &mut S,
+        horizon: SimTime,
+        tracer: &mut T,
+    ) -> RunOutcome {
         let mut stop = false;
         loop {
             if self.events_processed >= self.max_events {
@@ -156,12 +189,25 @@ impl<S: Simulation> SimEngine<S> {
                 };
             };
             debug_assert!(when >= self.now, "event queue yielded a past event");
+            if T::ENABLED {
+                if when > self.now {
+                    tracer.span_begin(self.now, TraceKind::EngineAdvance, 0, 0);
+                    tracer.span_end(when, TraceKind::EngineAdvance, 0, 0);
+                }
+                tracer.instant(
+                    when,
+                    TraceKind::EngineEvent,
+                    self.events_processed as u32,
+                    0,
+                );
+            }
             self.now = when;
             self.events_processed += 1;
             let mut sched = Scheduler {
                 now: self.now,
                 queue: &mut self.queue,
                 stop: &mut stop,
+                tracer,
             };
             sim.handle(event, &mut sched);
             if stop {
@@ -173,6 +219,16 @@ impl<S: Simulation> SimEngine<S> {
     /// Run until no events remain (or budget runs out).
     pub fn run_to_completion(&mut self, sim: &mut S) -> RunOutcome {
         self.run_until(sim, SimTime::MAX)
+    }
+
+    /// [`run_to_completion`](SimEngine::run_to_completion) with an
+    /// explicit [`Tracer`].
+    pub fn run_to_completion_traced<T: Tracer>(
+        &mut self,
+        sim: &mut S,
+        tracer: &mut T,
+    ) -> RunOutcome {
+        self.run_until_traced(sim, SimTime::MAX, tracer)
     }
 }
 
@@ -193,7 +249,7 @@ mod tests {
 
     impl Simulation for Ticker {
         type Event = TickEvent;
-        fn handle(&mut self, _ev: TickEvent, sched: &mut Scheduler<'_, TickEvent>) {
+        fn handle<T: Tracer>(&mut self, _ev: TickEvent, sched: &mut Scheduler<'_, TickEvent, T>) {
             self.fired_at.push(sched.now());
             if self.remaining > 0 {
                 self.remaining -= 1;
@@ -277,7 +333,7 @@ mod tests {
     struct Stopper;
     impl Simulation for Stopper {
         type Event = u8;
-        fn handle(&mut self, _ev: u8, sched: &mut Scheduler<'_, u8>) {
+        fn handle<T: Tracer>(&mut self, _ev: u8, sched: &mut Scheduler<'_, u8, T>) {
             sched.stop();
         }
     }
@@ -290,5 +346,48 @@ mod tests {
         engine.prime(SimTime::from_secs(1), 1);
         assert_eq!(engine.run_to_completion(&mut sim), RunOutcome::Stopped);
         assert_eq!(engine.events_processed(), 1);
+    }
+
+    #[test]
+    fn traced_run_records_advances_and_dispatches() {
+        use crate::trace::{FlightRecorder, TraceEvent, TracePhase};
+        let mut sim = Ticker {
+            remaining: 2,
+            fired_at: vec![],
+        };
+        let mut engine = SimEngine::new();
+        engine.prime(SimTime::ZERO, TickEvent::Tick);
+        let mut rec = FlightRecorder::with_capacity(64);
+        let outcome = engine.run_to_completion_traced(&mut sim, &mut rec);
+        assert_eq!(outcome, RunOutcome::Drained);
+        let evs = rec.events();
+        // 3 dispatches (t=0,10,20): one EngineEvent each, and an
+        // EngineAdvance Begin/End pair for each non-zero clock jump.
+        let dispatches: Vec<&TraceEvent> = evs
+            .iter()
+            .filter(|e| e.kind == TraceKind::EngineEvent)
+            .collect();
+        assert_eq!(dispatches.len(), 3);
+        assert_eq!(dispatches[0].at, SimTime::ZERO);
+        assert_eq!(dispatches[2].at, SimTime::from_secs(20));
+        let advances: Vec<&TraceEvent> = evs
+            .iter()
+            .filter(|e| e.kind == TraceKind::EngineAdvance)
+            .collect();
+        assert_eq!(advances.len(), 4); // two jumps × (Begin, End)
+        assert_eq!(advances[0].phase, TracePhase::Begin);
+        assert_eq!(advances[1].phase, TracePhase::End);
+        assert_eq!(advances[1].at, SimTime::from_secs(10));
+        assert_eq!(rec.dropped(), 0);
+
+        // The traced run with a noop tracer is the plain run.
+        let mut sim2 = Ticker {
+            remaining: 2,
+            fired_at: vec![],
+        };
+        let mut engine2 = SimEngine::new();
+        engine2.prime(SimTime::ZERO, TickEvent::Tick);
+        engine2.run_until_traced(&mut sim2, SimTime::MAX, &mut NoopTracer);
+        assert_eq!(sim.fired_at, sim2.fired_at);
     }
 }

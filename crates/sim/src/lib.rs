@@ -26,6 +26,9 @@
 //!   imperfect (the mechanism behind the paper's 1–5% makespan win).
 //! * [`stats`] — time-weighted accumulation for piecewise-constant signals
 //!   (the open-loop steady-state metrics: mean queue depth, utilization).
+//! * [`trace`] — the deterministic structured-tracing layer: a
+//!   monomorphized [`Tracer`] trait with a zero-cost [`NoopTracer`]
+//!   default and a preallocated [`FlightRecorder`] ring buffer.
 //!
 //! Everything in this crate is pure and deterministic: no wall-clock, no
 //! I/O, no global state.
@@ -42,6 +45,7 @@ pub mod resources;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use alloc::{waterfill, AllocRequest, Allocation};
 pub use calendar::CalendarQueue;
@@ -52,3 +56,4 @@ pub use resources::{ResourceKind, ResourceVec, RESOURCE_KINDS};
 pub use rng::SimRng;
 pub use stats::TimeWeighted;
 pub use time::{SimDuration, SimTime};
+pub use trace::{FlightRecorder, NoopTracer, TraceEvent, TraceKind, TracePhase, Tracer};

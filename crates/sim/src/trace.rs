@@ -1,0 +1,536 @@
+//! Deterministic structured tracing: the [`Tracer`] layer.
+//!
+//! Mirrors the recorder pattern used for metrics: a monomorphized trait
+//! with a zero-cost default ([`NoopTracer`], `ENABLED = false`, every
+//! call compiles away) and one real implementation ([`FlightRecorder`],
+//! a preallocated fixed-capacity ring buffer of POD [`TraceEvent`]s).
+//!
+//! Determinism rule: trace timestamps are **sim-time only** — never wall
+//! clocks — so a trace is a pure function of the run's configuration and
+//! seed.  Per-shard recorders (see [`Tracer::fork`]) are merged back in a
+//! stable worker order, which makes sharded and sequential executions of
+//! the same run produce bit-identical event sequences.
+//!
+//! When a [`FlightRecorder`] wraps, the *oldest* events are overwritten
+//! and every overwrite is counted ([`FlightRecorder::dropped`]) so
+//! exporters can report truncation instead of hiding it.
+
+use crate::time::SimTime;
+
+/// The Chrome-trace-style phase of a [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TracePhase {
+    /// A span opens (`ph: "B"`).
+    Begin,
+    /// A span closes (`ph: "E"`).
+    End,
+    /// A point-in-time marker (`ph: "i"`).
+    Instant,
+    /// A sampled counter value (`ph: "C"`); the sample is in
+    /// [`TraceEvent::value`].
+    Counter,
+}
+
+/// What a [`TraceEvent`] describes.  The integer payload fields `a`/`b`
+/// of the event are interpreted per kind (job ids, node ids, queue
+/// depths); see each variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TraceKind {
+    /// Engine layer: virtual time advanced from the span's `Begin`
+    /// timestamp to its `End` timestamp while moving to the next event.
+    EngineAdvance,
+    /// Engine layer: one event was popped and dispatched (`a` = low 32
+    /// bits of the running event count).
+    EngineEvent,
+    /// A job was admitted to a worker or node (`a` = job/container id,
+    /// `b` = node id in cluster traces).
+    JobAdmit,
+    /// A job is occupying a slot: span from placement to exit or
+    /// preemption (`a` = job/container id, `b` = node id in cluster
+    /// traces).
+    JobRun,
+    /// A job finished (`a` = job/container id, `b` = exit code on a
+    /// worker, node id in cluster traces).
+    JobComplete,
+    /// Policy layer: a reconfiguration pass ran (`a` = live containers,
+    /// `b` = node trace id in cluster traces).
+    Reconfigure,
+    /// Policy layer: cumulative water-filling invocations (`a` = node
+    /// trace id in cluster traces; the count is in
+    /// [`TraceEvent::value`]).
+    Waterfill,
+    /// Scheduler layer: one barrier quantum: span from the decision
+    /// point to the barrier (`a` = admission-queue depth at decision
+    /// time, `b` = running jobs).
+    SchedBarrier,
+    /// Scheduler layer: a placement decision (`a` = job gid, `b` =
+    /// node).
+    SchedPlace,
+    /// Scheduler layer: a preemption decision (`a` = job gid, `b` =
+    /// node it was evicted from).
+    SchedPreempt,
+    /// Scheduler layer: a migration decision (`a` = job gid, `b` =
+    /// destination node).
+    SchedMigrate,
+    /// Scheduler layer: admission-queue depth after a barrier's actions
+    /// (the depth is in [`TraceEvent::value`]).
+    QueueDepth,
+}
+
+impl TraceKind {
+    /// Every kind, in declaration order (stable: export summaries
+    /// iterate this).
+    pub const ALL: [TraceKind; 12] = [
+        TraceKind::EngineAdvance,
+        TraceKind::EngineEvent,
+        TraceKind::JobAdmit,
+        TraceKind::JobRun,
+        TraceKind::JobComplete,
+        TraceKind::Reconfigure,
+        TraceKind::Waterfill,
+        TraceKind::SchedBarrier,
+        TraceKind::SchedPlace,
+        TraceKind::SchedPreempt,
+        TraceKind::SchedMigrate,
+        TraceKind::QueueDepth,
+    ];
+
+    /// Stable display name (the Chrome trace `name` field).
+    pub const fn name(self) -> &'static str {
+        match self {
+            TraceKind::EngineAdvance => "engine.advance",
+            TraceKind::EngineEvent => "engine.event",
+            TraceKind::JobAdmit => "job.admit",
+            TraceKind::JobRun => "job.run",
+            TraceKind::JobComplete => "job.complete",
+            TraceKind::Reconfigure => "policy.reconfigure",
+            TraceKind::Waterfill => "policy.waterfill",
+            TraceKind::SchedBarrier => "sched.barrier",
+            TraceKind::SchedPlace => "sched.place",
+            TraceKind::SchedPreempt => "sched.preempt",
+            TraceKind::SchedMigrate => "sched.migrate",
+            TraceKind::QueueDepth => "sched.queue_depth",
+        }
+    }
+
+    /// Stable category name (the Chrome trace `cat` field): which layer
+    /// emitted events of this kind.
+    pub const fn layer(self) -> &'static str {
+        match self {
+            TraceKind::EngineAdvance | TraceKind::EngineEvent => "engine",
+            TraceKind::JobAdmit | TraceKind::JobRun | TraceKind::JobComplete => "job",
+            TraceKind::Reconfigure | TraceKind::Waterfill => "policy",
+            TraceKind::SchedBarrier
+            | TraceKind::SchedPlace
+            | TraceKind::SchedPreempt
+            | TraceKind::SchedMigrate
+            | TraceKind::QueueDepth => "sched",
+        }
+    }
+}
+
+/// One plain-old-data trace record.
+///
+/// Fixed-size and `Copy` so a [`FlightRecorder`] ring is a single flat
+/// preallocation and recording an event is a store, never an allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Sim-time timestamp (never wall-clock).
+    pub at: SimTime,
+    /// Span/instant/counter discriminator.
+    pub phase: TracePhase,
+    /// What happened.
+    pub kind: TraceKind,
+    /// First integer payload (typically a job/container id).
+    pub a: u32,
+    /// Second integer payload (typically a node id or exit code).
+    pub b: u32,
+    /// Counter payload (0.0 for non-counter events).
+    pub value: f64,
+}
+
+/// A sink for [`TraceEvent`]s, monomorphized into every instrumented
+/// loop.
+///
+/// The `ENABLED` associated const lets instrumentation sites guard event
+/// construction with `if T::ENABLED { … }`: with [`NoopTracer`] the
+/// branch is constant-false and the whole site compiles away, which is
+/// what keeps the zero-allocation warm paths at their pinned budgets.
+pub trait Tracer: Sized {
+    /// Whether this tracer records anything at all.
+    const ENABLED: bool;
+
+    /// Record one event.  Must not allocate on the hot path.
+    fn record(&mut self, event: TraceEvent);
+
+    /// An empty tracer of the same configuration, for a per-shard
+    /// recorder that will later be [`absorb`](Tracer::absorb)ed back.
+    fn fork(&self) -> Self;
+
+    /// Drain `other`'s events into `self` in their recorded order and
+    /// take over its drop count, leaving `other` empty.  Callers absorb
+    /// shards in a stable (worker-index) order, which is what makes
+    /// sharded and sequential runs produce identical merged sequences.
+    fn absorb(&mut self, other: &mut Self);
+
+    /// Open a span of `kind` at `at`.
+    #[inline]
+    fn span_begin(&mut self, at: SimTime, kind: TraceKind, a: u32, b: u32) {
+        if Self::ENABLED {
+            self.record(TraceEvent {
+                at,
+                phase: TracePhase::Begin,
+                kind,
+                a,
+                b,
+                value: 0.0,
+            });
+        }
+    }
+
+    /// Close a span of `kind` at `at`.
+    #[inline]
+    fn span_end(&mut self, at: SimTime, kind: TraceKind, a: u32, b: u32) {
+        if Self::ENABLED {
+            self.record(TraceEvent {
+                at,
+                phase: TracePhase::End,
+                kind,
+                a,
+                b,
+                value: 0.0,
+            });
+        }
+    }
+
+    /// Record a point-in-time marker.
+    #[inline]
+    fn instant(&mut self, at: SimTime, kind: TraceKind, a: u32, b: u32) {
+        if Self::ENABLED {
+            self.record(TraceEvent {
+                at,
+                phase: TracePhase::Instant,
+                kind,
+                a,
+                b,
+                value: 0.0,
+            });
+        }
+    }
+
+    /// Record a counter sample.
+    #[inline]
+    fn counter(&mut self, at: SimTime, kind: TraceKind, a: u32, value: f64) {
+        if Self::ENABLED {
+            self.record(TraceEvent {
+                at,
+                phase: TracePhase::Counter,
+                kind,
+                a,
+                b: 0,
+                value,
+            });
+        }
+    }
+}
+
+/// The default tracer: records nothing, costs nothing.
+///
+/// A zero-sized type with `ENABLED = false`, so every instrumentation
+/// site guarded by `if T::ENABLED` is dead code after monomorphization —
+/// the property the counting-allocator pins in `headless_allocs.rs`
+/// assert.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {
+    const ENABLED: bool = false;
+
+    #[inline]
+    fn record(&mut self, _event: TraceEvent) {}
+
+    #[inline]
+    fn fork(&self) -> Self {
+        NoopTracer
+    }
+
+    #[inline]
+    fn absorb(&mut self, _other: &mut Self) {}
+}
+
+/// Per-shard fork capacity cap: a forked [`FlightRecorder`] only buffers
+/// one shard's events between merges, so it gets a small ring regardless
+/// of how large the parent is (but never larger than the parent).
+pub const FORK_CAPACITY: usize = 1024;
+
+/// Default ring capacity for a [`FlightRecorder`] built with
+/// [`Default::default`] (also the `repro timeline --capacity` default).
+pub const DEFAULT_CAPACITY: usize = 1 << 18;
+
+/// A fixed-capacity flight recorder: a preallocated ring buffer of
+/// [`TraceEvent`]s.
+///
+/// All storage is allocated up front in
+/// [`with_capacity`](FlightRecorder::with_capacity); recording never
+/// allocates.  When
+/// the ring is full the **oldest** event is overwritten and the
+/// [`dropped`](FlightRecorder::dropped) count is incremented — exporters
+/// surface that count so truncation is never silent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecorder {
+    /// Flat storage; `len() < capacity` while the ring is filling.
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    /// Configured capacity (fixed for the recorder's lifetime).
+    capacity: usize,
+    /// Exact number of events overwritten (lost) to wrap-around.
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder with room for exactly `capacity` events, allocated up
+    /// front.  A zero capacity records nothing and counts every event as
+    /// dropped.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Number of events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The fixed ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Exact number of events lost to wrap-around (or to a zero
+    /// capacity).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The held events as two slices, oldest first: `first` then
+    /// `second` is recorded order.
+    pub fn as_slices(&self) -> (&[TraceEvent], &[TraceEvent]) {
+        let (second, first) = self.buf.split_at(self.head);
+        (first, second)
+    }
+
+    /// Iterate the held events oldest → newest without allocating.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        let (first, second) = self.as_slices();
+        first.iter().chain(second.iter())
+    }
+
+    /// The held events, oldest first, as an owned vector.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.iter().copied().collect()
+    }
+
+    /// Forget all held events (capacity and drop count are kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl Tracer for FlightRecorder {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+        } else if self.buf.len() < self.capacity {
+            // Still filling the preallocation: a push into reserved
+            // space, no reallocation.
+            self.buf.push(event);
+        } else {
+            // Full: overwrite the oldest and advance the ring head.
+            self.buf[self.head] = event;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+
+    fn fork(&self) -> Self {
+        FlightRecorder::with_capacity(self.capacity.min(FORK_CAPACITY))
+    }
+
+    fn absorb(&mut self, other: &mut Self) {
+        let (first, second) = other.as_slices();
+        // `self` and `other` are distinct recorders, so re-recording
+        // preserves order and lets `self`'s own wrap accounting apply.
+        let mut moved = Vec::new();
+        if self.capacity >= other.buf.len() + self.buf.len() && self.head == 0 {
+            // Fast path: everything fits without wrapping.
+            self.buf.extend_from_slice(first);
+            self.buf.extend_from_slice(second);
+        } else {
+            moved.extend_from_slice(first);
+            moved.extend_from_slice(second);
+            for e in moved {
+                self.record(e);
+            }
+        }
+        self.dropped += other.dropped;
+        other.dropped = 0;
+        other.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u32) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_micros(i as u64),
+            phase: TracePhase::Instant,
+            kind: TraceKind::EngineEvent,
+            a: i,
+            b: 0,
+            value: 0.0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops_exactly() {
+        let mut r = FlightRecorder::with_capacity(3);
+        for i in 0..7 {
+            r.record(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 4);
+        let held: Vec<u32> = r.iter().map(|e| e.a).collect();
+        assert_eq!(held, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut r = FlightRecorder::with_capacity(0);
+        for i in 0..5 {
+            r.record(ev(i));
+        }
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.dropped(), 5);
+    }
+
+    #[test]
+    fn recording_never_allocates_after_construction() {
+        let mut r = FlightRecorder::with_capacity(4);
+        let base = r.buf.as_ptr();
+        for i in 0..100 {
+            r.record(ev(i));
+        }
+        // The ring never reallocated its storage.
+        assert_eq!(r.buf.as_ptr(), base);
+        assert_eq!(r.buf.capacity(), 4);
+    }
+
+    #[test]
+    fn fork_is_empty_and_capped() {
+        let parent = FlightRecorder::with_capacity(1 << 20);
+        let child = parent.fork();
+        assert!(child.is_empty());
+        assert_eq!(child.capacity(), FORK_CAPACITY);
+        let small = FlightRecorder::with_capacity(8);
+        assert_eq!(small.fork().capacity(), 8);
+    }
+
+    #[test]
+    fn absorb_appends_in_order_and_moves_drop_counts() {
+        let mut a = FlightRecorder::with_capacity(16);
+        a.record(ev(0));
+        let mut b = FlightRecorder::with_capacity(2);
+        for i in 10..15 {
+            b.record(ev(i));
+        }
+        assert_eq!(b.dropped(), 3);
+        a.absorb(&mut b);
+        let held: Vec<u32> = a.iter().map(|e| e.a).collect();
+        assert_eq!(held, vec![0, 13, 14]);
+        assert_eq!(a.dropped(), 3);
+        assert!(b.is_empty());
+        assert_eq!(b.dropped(), 0);
+    }
+
+    #[test]
+    fn absorb_into_wrapped_parent_preserves_order() {
+        let mut a = FlightRecorder::with_capacity(3);
+        for i in 0..4 {
+            a.record(ev(i)); // wrapped: holds 1,2,3, head != 0
+        }
+        let mut b = FlightRecorder::with_capacity(4);
+        b.record(ev(9));
+        a.absorb(&mut b);
+        let held: Vec<u32> = a.iter().map(|e| e.a).collect();
+        assert_eq!(held, vec![2, 3, 9]);
+        assert_eq!(a.dropped(), 2);
+    }
+
+    #[test]
+    fn noop_tracer_is_zero_sized_and_inert() {
+        assert_eq!(std::mem::size_of::<NoopTracer>(), 0);
+        let mut t = NoopTracer;
+        t.span_begin(SimTime::ZERO, TraceKind::JobRun, 1, 2);
+        t.counter(SimTime::ZERO, TraceKind::Waterfill, 0, 1.0);
+        let mut other = t.fork();
+        t.absorb(&mut other);
+    }
+
+    #[test]
+    fn helper_methods_fill_fields() {
+        let mut r = FlightRecorder::with_capacity(8);
+        let t = SimTime::from_micros(42);
+        r.span_begin(t, TraceKind::JobRun, 7, 3);
+        r.span_end(t, TraceKind::JobRun, 7, 3);
+        r.instant(t, TraceKind::JobComplete, 7, 0);
+        r.counter(t, TraceKind::QueueDepth, 0, 5.0);
+        let evs = r.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0].phase, TracePhase::Begin);
+        assert_eq!(evs[1].phase, TracePhase::End);
+        assert_eq!(evs[2].phase, TracePhase::Instant);
+        assert_eq!(evs[3].phase, TracePhase::Counter);
+        assert_eq!(evs[3].value, 5.0);
+        assert!(evs.iter().all(|e| e.at == t));
+    }
+
+    #[test]
+    fn kind_names_and_layers_are_stable() {
+        for kind in TraceKind::ALL {
+            assert!(!kind.name().is_empty());
+            assert!(matches!(
+                kind.layer(),
+                "engine" | "job" | "policy" | "sched"
+            ));
+        }
+        assert_eq!(TraceKind::SchedPlace.name(), "sched.place");
+        assert_eq!(TraceKind::SchedPlace.layer(), "sched");
+    }
+}

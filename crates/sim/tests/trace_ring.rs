@@ -1,0 +1,96 @@
+//! Property-based tests for the [`FlightRecorder`] ring buffer: at any
+//! capacity, event order is preserved, the newest events win, and the
+//! drop count is exact.
+
+use flowcon_sim::time::SimTime;
+use flowcon_sim::trace::{FlightRecorder, TraceEvent, TraceKind, TracePhase, Tracer};
+use proptest::prelude::*;
+
+fn ev(i: u32) -> TraceEvent {
+    TraceEvent {
+        at: SimTime::from_micros(i as u64),
+        phase: TracePhase::Instant,
+        kind: TraceKind::EngineEvent,
+        a: i,
+        b: 0,
+        value: i as f64,
+    }
+}
+
+proptest! {
+    /// Wrap-around keeps exactly the newest `capacity` events in recorded
+    /// order, and the drop count is exactly the overflow.
+    #[test]
+    fn wraparound_keeps_newest_in_order_with_exact_drop_count(
+        capacity in 0usize..40,
+        n in 0u32..200,
+    ) {
+        let mut r = FlightRecorder::with_capacity(capacity);
+        for i in 0..n {
+            r.record(ev(i));
+        }
+        let held: Vec<u32> = r.iter().map(|e| e.a).collect();
+        let kept = (n as usize).min(capacity);
+        let expect: Vec<u32> = (n - kept as u32..n).collect();
+        prop_assert_eq!(held, expect);
+        prop_assert_eq!(r.dropped(), n as u64 - kept as u64);
+        prop_assert_eq!(r.len(), kept);
+        prop_assert_eq!(r.capacity(), capacity);
+    }
+
+    /// Absorbing shards one after another reproduces the sequential
+    /// recording of the same event stream, drops included.
+    #[test]
+    fn absorbing_shards_in_order_equals_sequential_recording(
+        splits in prop::collection::vec(1u32..30, 1..6),
+        parent_capacity in 1usize..64,
+        shard_capacity in 1usize..16,
+    ) {
+        // One logical stream of events, cut into per-shard chunks.
+        let mut sequential = FlightRecorder::with_capacity(parent_capacity);
+        let mut merged = FlightRecorder::with_capacity(parent_capacity);
+        let mut shard_drops = 0u64;
+        let mut next = 0u32;
+        for &count in &splits {
+            let mut shard = FlightRecorder::with_capacity(shard_capacity);
+            for _ in 0..count {
+                shard.record(ev(next));
+                next += 1;
+            }
+            shard_drops += shard.dropped();
+            // Sequentially record exactly what the shard retained.
+            for e in shard.events() {
+                sequential.record(e);
+            }
+            merged.absorb(&mut shard);
+            prop_assert!(shard.is_empty());
+            prop_assert_eq!(shard.dropped(), 0);
+        }
+        prop_assert_eq!(merged.events(), sequential.events());
+        prop_assert_eq!(merged.dropped(), sequential.dropped() + shard_drops);
+    }
+
+    /// `clear` keeps capacity and the drop count but forgets events, and
+    /// the ring refills correctly afterwards.
+    #[test]
+    fn clear_then_refill_behaves_like_fresh(
+        capacity in 1usize..24,
+        first in 0u32..60,
+        second in 0u32..60,
+    ) {
+        let mut r = FlightRecorder::with_capacity(capacity);
+        for i in 0..first {
+            r.record(ev(i));
+        }
+        let dropped_before = r.dropped();
+        r.clear();
+        prop_assert!(r.is_empty());
+        let mut fresh = FlightRecorder::with_capacity(capacity);
+        for i in 0..second {
+            r.record(ev(i));
+            fresh.record(ev(i));
+        }
+        prop_assert_eq!(r.events(), fresh.events());
+        prop_assert_eq!(r.dropped(), dropped_before + fresh.dropped());
+    }
+}

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use flowcon_sim::alloc::{waterfill_into, waterfill_soft_into, AllocRequest, WaterfillScratch};
 use flowcon_sim::engine::{Scheduler, SimEngine, Simulation};
 use flowcon_sim::time::{SimDuration, SimTime};
+use flowcon_sim::trace::{NoopTracer, Tracer};
 
 struct CountingAllocator;
 
@@ -85,7 +86,7 @@ struct Ticker {
 
 impl Simulation for Ticker {
     type Event = ();
-    fn handle(&mut self, _ev: (), sched: &mut Scheduler<'_, ()>) {
+    fn handle<T: Tracer>(&mut self, _ev: (), sched: &mut Scheduler<'_, (), T>) {
         if self.remaining > 0 {
             self.remaining -= 1;
             sched.after(SimDuration::from_secs(1), ());
@@ -169,5 +170,18 @@ fn hot_path_is_allocation_free_in_steady_state() {
     assert_eq!(
         engine_allocs, 0,
         "steady-state engine loop allocated {engine_allocs} times"
+    );
+
+    // --- explicitly-noop-traced loop is the same zero-alloc loop ---
+    let mut engine: SimEngine<Ticker> = SimEngine::new();
+    let mut sim = Ticker { remaining: 10_000 };
+    engine.prime(SimTime::ZERO, ());
+    engine.run_until_traced(&mut sim, SimTime::from_secs(100), &mut NoopTracer);
+    let traced_allocs = allocations_during(|| {
+        engine.run_to_completion_traced(&mut sim, &mut NoopTracer);
+    });
+    assert_eq!(
+        traced_allocs, 0,
+        "NoopTracer-instrumented engine loop allocated {traced_allocs} times"
     );
 }
