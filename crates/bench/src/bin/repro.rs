@@ -22,6 +22,8 @@
 //! repro timeline [--policy {fifo,gandiva,tiresias}] [--workers N] [--jobs J]
 //!                [--seed S] [--quantum SECS] [--slots K] [--sequential]
 //!                [--capacity N] [--out PATH] [--summary]
+//! repro fidelity [--workers N] [--jobs J] [--seed S] [--dilation D]
+//!                [--chaos {straggler,churn}] [--emit PATH]
 //!
 //! experiments:
 //!   table1 fig1 fig3 fig4 fig5 fig6 table2 fig7 fig8 fig9 fig10 fig11
@@ -105,6 +107,22 @@
 //! `repro sched --trace-out PATH` (single policy only) and `repro stream
 //! --trace-out PATH` (single-worker full-observability runs) write the
 //! same format alongside their normal tables.
+//!
+//! `repro fidelity` is the **differential sim↔rt harness**: the identical
+//! seeded workload runs through the fluid simulation (reference) and the
+//! `flowcon-rt` wall-clock backend (candidate, real OS threads behind the
+//! same `Session` builder surface), per-job records are aligned by label,
+//! and the divergence is reported — completion-set equality, completion-
+//! order edit distance, the per-job sojourn-ratio distribution
+//! (p50/p95/p99/min/max through a quantile sketch), and the makespan
+//! ratio.  `--workers N` is the node capacity in cores, `--dilation D`
+//! compresses D sim-seconds into each wall second on the rt side.
+//! `--chaos` makes a scenario *physically real* on the rt side only
+//! (straggler = one governor throttled to 25%, churn = a container thread
+//! killed and relaunched): the run must still complete every job (exit 0)
+//! while the report shows nonzero divergence.  `--emit PATH` writes the
+//! report as JSONL.  Exits 2 when divergence breaches tolerance (or the
+//! chaos-surviving completion-set invariant fails).
 //! ```
 //!
 //! Output: paper-style tables and ASCII charts on stdout; CSV artifacts
@@ -195,6 +213,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("timeline") {
         run_timeline(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("fidelity") {
+        run_fidelity(&args[1..]);
         return;
     }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
@@ -1902,4 +1924,193 @@ fn ablation_policies() {
             &table_rows
         )
     );
+}
+
+/// `repro fidelity [--workers N] [--jobs J] [--seed S] [--dilation D]
+/// [--chaos {straggler,churn}] [--emit PATH]`: run the identical seeded
+/// workload through the fluid simulation and the wall-clock rt backend,
+/// align per-job records, report the divergence, and exit 2 on tolerance
+/// breach (see the module docs).
+fn run_fidelity(args: &[String]) {
+    use flowcon_bench::experiments::fidelity::{self, ChaosKind, FidelityConfig};
+    use flowcon_metrics::export::JsonValue;
+    use flowcon_metrics::fidelity::FidelityTolerance;
+
+    let parse_num = |name: &str, default: u64| {
+        flag_value(args, name).map_or(default, |v| {
+            v.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("{name} wants a number, got {v}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let workers = parse_num("--workers", 2) as u32;
+    let jobs = parse_num("--jobs", 8) as usize;
+    let seed = parse_num("--seed", DEFAULT_SEED);
+    let dilation = flag_value(args, "--dilation").map_or(400.0, |v| {
+        v.parse::<f64>().unwrap_or_else(|_| {
+            eprintln!("--dilation wants sim-seconds per wall second, got {v}");
+            std::process::exit(2);
+        })
+    });
+    let chaos = match flag_value(args, "--chaos").as_deref() {
+        None => None,
+        Some("straggler") => Some(ChaosKind::Straggler),
+        Some("churn") => Some(ChaosKind::Churn),
+        Some(other) => {
+            eprintln!("unknown chaos scenario {other}; expected straggler or churn");
+            std::process::exit(2);
+        }
+    };
+    if workers == 0 || jobs == 0 {
+        eprintln!("--workers and --jobs must both be at least 1");
+        std::process::exit(2);
+    }
+    if !(dilation.is_finite() && dilation > 0.0) {
+        eprintln!("--dilation must be a positive finite number");
+        std::process::exit(2);
+    }
+
+    let config = FidelityConfig {
+        workers,
+        jobs,
+        seed,
+        dilation,
+        chaos,
+    };
+    let chaos_name = chaos.map_or("none", ChaosKind::name);
+    println!("Differential fidelity: sim (reference) vs rt (candidate)");
+    println!(
+        "workload: {jobs} jobs, seed {seed:#x}, {workers}-core node, dilation {dilation:.0}x, chaos {chaos_name}"
+    );
+
+    let outcome = fidelity::run(&config);
+    let report = &outcome.report;
+    println!("policy: {}", outcome.policy);
+    if report.completion_set_equal {
+        println!(
+            "completion set: equal ({}/{} jobs)",
+            report.matched, report.reference_jobs
+        );
+    } else {
+        println!(
+            "completion set: DIVERGED ({} sim jobs, {} rt jobs; missing {:?}, extra {:?})",
+            report.reference_jobs,
+            report.candidate_jobs,
+            report.missing_labels,
+            report.extra_labels
+        );
+    }
+    println!(
+        "completion-order edit distance: {}",
+        report.order_edit_distance
+    );
+    let (p50, p95, p99, rmin, rmax) = match report.sojourn_ratio_percentiles() {
+        Some(p) => (
+            p.p50,
+            p.p95,
+            p.p99,
+            report.sojourn_ratios.quantile(0.0).unwrap_or(f64::NAN),
+            report.sojourn_ratios.quantile(1.0).unwrap_or(f64::NAN),
+        ),
+        None => (f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN),
+    };
+    println!(
+        "sojourn ratio (rt/sim): p50 {p50:.3}  p95 {p95:.3}  p99 {p99:.3}  min {rmin:.3}  max {rmax:.3}"
+    );
+    println!(
+        "makespan ratio (rt/sim): {:.3} (sim {:.1}s, rt {:.1}s)",
+        report.makespan_ratio(),
+        report.makespan_reference,
+        report.makespan_candidate
+    );
+    if report.divergent() {
+        println!(
+            "divergence: nonzero (order distance {}, sojourn p50 {p50:.3}, makespan ratio {:.3})",
+            report.order_edit_distance,
+            report.makespan_ratio()
+        );
+    } else {
+        println!("divergence: none");
+    }
+
+    // A node of C cores can only run in real time if the host actually has
+    // C cores free: on an oversubscribed host the wall run is legitimately
+    // ~C/nproc slower than the fluid model, with no divergence of the
+    // *control* behaviour.  Widen the upper ratio bands by that physical
+    // floor so the gate measures fidelity, not host size.
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get()) as f64;
+    let oversub = (f64::from(workers) / host_cores).max(1.0);
+    let base = FidelityTolerance::default();
+    let tolerance = FidelityTolerance {
+        sojourn_p50: (base.sojourn_p50.0, base.sojourn_p50.1 * oversub),
+        makespan: (base.makespan.0, base.makespan.1 * oversub),
+        ..base
+    };
+    println!(
+        "tolerance: sojourn p50 <= {:.1}, makespan ratio <= {:.1} ({}-core node on a {:.0}-core host)",
+        tolerance.sojourn_p50.1, tolerance.makespan.1, workers, host_cores
+    );
+    let violations = report.violations(&tolerance);
+    for v in &violations {
+        eprintln!("tolerance breach: {v}");
+    }
+
+    if let Some(path) = flag_value(args, "--emit") {
+        let record: Vec<(&str, JsonValue)> = vec![
+            ("experiment", JsonValue::Str("fidelity".into())),
+            ("policy", JsonValue::Str(outcome.policy.clone())),
+            ("workers", JsonValue::Int(workers as u64)),
+            ("jobs", JsonValue::Int(jobs as u64)),
+            ("seed", JsonValue::Int(seed)),
+            ("dilation", JsonValue::Num(dilation)),
+            ("chaos", JsonValue::Str(chaos_name.into())),
+            (
+                "completion_set_equal",
+                JsonValue::Bool(report.completion_set_equal),
+            ),
+            (
+                "reference_jobs",
+                JsonValue::Int(report.reference_jobs as u64),
+            ),
+            (
+                "candidate_jobs",
+                JsonValue::Int(report.candidate_jobs as u64),
+            ),
+            ("matched", JsonValue::Int(report.matched as u64)),
+            (
+                "order_edit_distance",
+                JsonValue::Int(report.order_edit_distance as u64),
+            ),
+            ("sojourn_ratio_p50", JsonValue::Num(p50)),
+            ("sojourn_ratio_p95", JsonValue::Num(p95)),
+            ("sojourn_ratio_p99", JsonValue::Num(p99)),
+            ("sojourn_ratio_min", JsonValue::Num(rmin)),
+            ("sojourn_ratio_max", JsonValue::Num(rmax)),
+            (
+                "makespan_sim_secs",
+                JsonValue::Num(report.makespan_reference),
+            ),
+            (
+                "makespan_rt_secs",
+                JsonValue::Num(report.makespan_candidate),
+            ),
+            ("makespan_ratio", JsonValue::Num(report.makespan_ratio())),
+            ("divergent", JsonValue::Bool(report.divergent())),
+            ("violations", JsonValue::Int(violations.len() as u64)),
+        ];
+        let doc = flowcon_metrics::export::to_jsonl([record.as_slice()]);
+        match flowcon_metrics::export::write_artifact(&path, &doc) {
+            Ok(()) => println!("wrote fidelity report to {path}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let code = report.exit_code(&tolerance, chaos.is_some());
+    if code != 0 {
+        std::process::exit(code);
+    }
 }

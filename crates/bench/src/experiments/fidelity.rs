@@ -1,0 +1,187 @@
+//! Differential fidelity: the identical seeded workload through the fluid
+//! simulation (reference) and the `flowcon-rt` wall-clock backend
+//! (candidate), divergence measured by `flowcon_metrics::fidelity`.
+//!
+//! Both backends are configured through the *same* `Session` builder
+//! chain; the rt side takes the backend-generic spec
+//! (`SessionBuilder::into_spec`) so workload identity — per-job jittered
+//! total work included — is bit-exact across backends (one RNG split per
+//! job in plan order, see `flowcon_rt::session`).  Completions come back
+//! in virtual (dilated) sim-seconds, directly comparable per label.
+//!
+//! Chaos scenarios are **physically real on the rt side only**: the sim
+//! stays clean and the report quantifies how much a throttled governor
+//! (straggler) or a killed/relaunched container thread (churn) bends the
+//! wall-clock run away from the model's prediction.
+
+use std::time::Duration;
+
+use flowcon_core::config::{FlowConConfig, NodeConfig};
+use flowcon_core::policy::FlowConPolicy;
+use flowcon_core::session::Session;
+use flowcon_dl::workload::WorkloadPlan;
+use flowcon_metrics::fidelity::{compare, FidelityReport};
+use flowcon_metrics::summary::RunSummary;
+use flowcon_rt::{RtChaos, RtConfig, RtSessionBuilder};
+
+/// Which chaos scenario to make real on the rt side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosKind {
+    /// First-launched container's governor rate throttled to 25%.
+    Straggler,
+    /// Oldest live container thread killed at 30 sim-s, relaunched 30
+    /// sim-s later with its job state intact.
+    Churn,
+}
+
+impl ChaosKind {
+    /// CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosKind::Straggler => "straggler",
+            ChaosKind::Churn => "churn",
+        }
+    }
+}
+
+/// One fidelity run's parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FidelityConfig {
+    /// Node CPU capacity in cores (the `--workers` knob: how many
+    /// containers can make full-rate progress concurrently).
+    pub workers: u32,
+    /// Number of seeded jobs in the plan.
+    pub jobs: usize,
+    /// Workload + node seed (shared by both backends).
+    pub seed: u64,
+    /// Simulated seconds per wall second on the rt side.
+    pub dilation: f64,
+    /// Chaos scenario, rt side only.
+    pub chaos: Option<ChaosKind>,
+}
+
+impl Default for FidelityConfig {
+    fn default() -> Self {
+        FidelityConfig {
+            workers: 2,
+            jobs: 8,
+            seed: super::DEFAULT_SEED,
+            dilation: 400.0,
+            chaos: None,
+        }
+    }
+}
+
+/// Everything one fidelity run produces.
+pub struct FidelityOutcome {
+    /// The divergence report.
+    pub report: FidelityReport,
+    /// Reference (simulation) run.
+    pub sim: RunSummary,
+    /// Candidate (wall-clock) run.
+    pub rt: RunSummary,
+    /// Display name of the policy both backends ran.
+    pub policy: String,
+}
+
+/// The node both backends share.
+fn node(config: &FidelityConfig) -> NodeConfig {
+    NodeConfig {
+        capacity: config.workers.max(1) as f64,
+        ..NodeConfig::default()
+    }
+    .with_seed(config.seed)
+}
+
+/// Run the identical workload through both backends and compare.
+pub fn run(config: &FidelityConfig) -> FidelityOutcome {
+    let plan = WorkloadPlan::random_n(config.jobs, config.seed);
+    let flowcon = FlowConConfig::default();
+    let policy_name = flowcon.display_name();
+
+    let sim = Session::builder()
+        .node(node(config))
+        .plan(plan.clone())
+        .policy(FlowConPolicy::new(flowcon))
+        .build()
+        .run()
+        .output;
+
+    let spec = Session::builder()
+        .node(node(config))
+        .plan(plan)
+        .policy(FlowConPolicy::new(flowcon))
+        .into_spec();
+    let mut builder = RtSessionBuilder::from_spec(spec).config(RtConfig {
+        dilation: config.dilation,
+        ..RtConfig::default()
+    });
+    if let Some(chaos) = config.chaos {
+        builder = builder.chaos(rt_chaos(chaos, config.dilation));
+    }
+    let rt = builder.build().run();
+
+    FidelityOutcome {
+        report: compare(&sim.completions, &rt.completions),
+        sim,
+        rt,
+        policy: policy_name,
+    }
+}
+
+/// Translate a chaos kind into physical rt parameters (sim offsets
+/// converted to wall clock through the dilation).
+fn rt_chaos(kind: ChaosKind, dilation: f64) -> RtChaos {
+    let dilation = dilation.max(1e-9);
+    match kind {
+        ChaosKind::Straggler => RtChaos::Straggler { factor: 0.25 },
+        ChaosKind::Churn => RtChaos::Churn {
+            at: Duration::from_secs_f64(30.0 / dilation),
+            down: Duration::from_secs_f64(30.0 / dilation),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The whole harness end to end, CI-tiny: both backends complete the
+    /// same job set, and the report sees it.
+    #[test]
+    fn tiny_fidelity_run_has_equal_completion_sets() {
+        let outcome = run(&FidelityConfig {
+            workers: 2,
+            jobs: 3,
+            seed: 7,
+            dilation: 2000.0,
+            chaos: None,
+        });
+        assert_eq!(outcome.sim.completions.len(), 3);
+        assert_eq!(outcome.rt.completions.len(), 3);
+        assert!(
+            outcome.report.completion_set_equal,
+            "missing {:?} extra {:?}",
+            outcome.report.missing_labels, outcome.report.extra_labels
+        );
+        assert_eq!(outcome.report.matched, 3);
+    }
+
+    /// A physically-throttled straggler still completes every job but
+    /// must show up as divergence.
+    #[test]
+    fn straggler_chaos_diverges_with_intact_set() {
+        let outcome = run(&FidelityConfig {
+            workers: 2,
+            jobs: 3,
+            seed: 7,
+            dilation: 2000.0,
+            chaos: Some(ChaosKind::Straggler),
+        });
+        assert!(outcome.report.completion_set_equal);
+        assert!(
+            outcome.report.divergent(),
+            "a 4x-throttled container must bend the run visibly"
+        );
+    }
+}

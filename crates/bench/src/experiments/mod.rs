@@ -1,6 +1,7 @@
 //! Experiment definitions, one module per figure group.
 
 pub mod ablation;
+pub mod fidelity;
 pub mod fig1;
 pub mod fixed;
 pub mod frontier;

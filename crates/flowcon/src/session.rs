@@ -142,6 +142,27 @@ pub struct StreamResult<T> {
     pub tails: SojournStats,
 }
 
+/// The backend-generic core of a configured session: everything that
+/// defines the *workload and policy*, none of what is specific to the
+/// fluid simulation (recorder, scratch, image registry).
+///
+/// [`SessionBuilder::into_spec`] extracts one from the ordinary builder,
+/// so a second backend — the real-thread runtime in `flowcon-rt` — can be
+/// configured through the exact same fluent surface and then execute the
+/// identical `(node, plan, policy, failures)` quadruple on OS threads.
+/// The differential fidelity harness builds one spec per backend from the
+/// same inputs and diffs the completion records.
+pub struct SessionSpec {
+    /// Node parameters (capacity, contention, seed) both backends honour.
+    pub node: NodeConfig,
+    /// The workload plan (arrival-ordered, label-stable).
+    pub plan: WorkloadPlan,
+    /// The resource policy, already boxed.
+    pub policy: Box<dyn ResourcePolicy>,
+    /// Scheduled fault injections.
+    pub failures: Vec<FailureInjection>,
+}
+
 /// Fluent configuration for one worker session.
 ///
 /// Defaults: [`NodeConfig::default`], an empty plan, the NA baseline
@@ -239,6 +260,19 @@ impl<R: Recorder> SessionBuilder<R> {
             exit_code,
         });
         self
+    }
+
+    /// Extract the backend-generic [`SessionSpec`] instead of building the
+    /// fluid-simulation session — the handoff point to other backends
+    /// (e.g. the `flowcon-rt` wall-clock runtime).  Recorder, scratch and
+    /// image registry are simulation-only and are dropped.
+    pub fn into_spec(self) -> SessionSpec {
+        SessionSpec {
+            node: self.node,
+            plan: self.plan,
+            policy: self.policy,
+            failures: self.failures,
+        }
     }
 
     /// Assemble the session.

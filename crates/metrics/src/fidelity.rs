@@ -1,0 +1,305 @@
+//! Differential fidelity: does the fluid simulation predict what real
+//! threads do?
+//!
+//! [`compare`] aligns the per-job [`CompletionRecord`]s of a *reference*
+//! run (the simulation) and a *candidate* run (the `flowcon-rt` wall-clock
+//! backend executing the identical seeded workload) and distills the
+//! divergence into a [`FidelityReport`]:
+//!
+//! * **completion-set equality** — every planned job finishes exactly once
+//!   in both backends (missing/extra labels otherwise);
+//! * **completion-order edit distance** — Levenshtein distance between the
+//!   two exit-order label sequences (0 = identical finishing order);
+//! * **per-job sojourn ratio distribution** — `candidate/reference`
+//!   sojourn per matched label, streamed into a [`QuantileSketch`] so the
+//!   report carries p50/p95/p99 and the extremes, not just a mean;
+//! * **makespan ratio** — candidate wall of the whole run over reference.
+//!
+//! The comparator is *pure logic over records*: no threads, no clocks —
+//! which is what makes its tolerance behaviour unit-testable with
+//! synthetic fixtures (see `tests/fidelity_fixtures.rs`).  The CLI's
+//! exit-code decision ([`FidelityReport::exit_code`]) lives here for the
+//! same reason.
+
+use crate::sketch::QuantileSketch;
+use crate::sojourn::Percentiles;
+use crate::summary::CompletionRecord;
+
+/// Tolerance bands for [`FidelityReport::violations`].
+///
+/// Ratios compare candidate to reference; a band is `(lo, hi)` and a value
+/// outside it is a violation.  Completion-set inequality is *always* a
+/// violation — the backends disagreeing on *which* jobs finished is never
+/// within tolerance.
+#[derive(Debug, Clone, Copy)]
+pub struct FidelityTolerance {
+    /// Maximum allowed completion-order edit distance.
+    pub max_order_edit_distance: usize,
+    /// Allowed band for the median per-job sojourn ratio.
+    pub sojourn_p50: (f64, f64),
+    /// Allowed band for the makespan ratio.
+    pub makespan: (f64, f64),
+}
+
+impl Default for FidelityTolerance {
+    /// Generous CI defaults: order may differ freely (real schedulers
+    /// reorder close finishes), but the median sojourn and the makespan
+    /// must stay within 4× either way — catching structural divergence
+    /// (wrong allocator inputs, broken governor) without flaking on
+    /// machine noise.
+    fn default() -> Self {
+        FidelityTolerance {
+            max_order_edit_distance: usize::MAX,
+            sojourn_p50: (0.25, 4.0),
+            makespan: (0.25, 4.0),
+        }
+    }
+}
+
+/// The divergence between a reference and a candidate run.
+#[derive(Debug, Clone)]
+pub struct FidelityReport {
+    /// Jobs completed in the reference run.
+    pub reference_jobs: usize,
+    /// Jobs completed in the candidate run.
+    pub candidate_jobs: usize,
+    /// Labels the reference completed but the candidate did not.
+    pub missing_labels: Vec<String>,
+    /// Labels the candidate completed but the reference did not.
+    pub extra_labels: Vec<String>,
+    /// Whether both runs completed exactly the same set of jobs.
+    pub completion_set_equal: bool,
+    /// Levenshtein distance between the exit-order label sequences.
+    pub order_edit_distance: usize,
+    /// Labels present in both runs (the sojourn-ratio population).
+    pub matched: usize,
+    /// Per-job `candidate/reference` sojourn ratios.
+    pub sojourn_ratios: QuantileSketch,
+    /// Reference run makespan in seconds.
+    pub makespan_reference: f64,
+    /// Candidate run makespan in seconds.
+    pub makespan_candidate: f64,
+}
+
+impl FidelityReport {
+    /// `candidate/reference` makespan ratio (1.0 when the reference
+    /// makespan is zero — two empty runs are identical, not divergent).
+    pub fn makespan_ratio(&self) -> f64 {
+        if self.makespan_reference <= 0.0 {
+            if self.makespan_candidate <= 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.makespan_candidate / self.makespan_reference
+        }
+    }
+
+    /// p50/p95/p99 of the per-job sojourn ratios (`None` when no labels
+    /// matched).
+    pub fn sojourn_ratio_percentiles(&self) -> Option<Percentiles> {
+        if self.sojourn_ratios.is_empty() {
+            None
+        } else {
+            Some(Percentiles::of(&self.sojourn_ratios))
+        }
+    }
+
+    /// Whether *any* divergence is visible at all: set inequality, order
+    /// permutation, a per-job sojourn ratio outside `[0.8, 1.25]`, or a
+    /// makespan ratio off unity by more than 5%.  Chaos smoke tests assert
+    /// this is `true` — a physically throttled governor must be *seen*.
+    pub fn divergent(&self) -> bool {
+        if !self.completion_set_equal || self.order_edit_distance > 0 {
+            return true;
+        }
+        let spread = self
+            .sojourn_ratios
+            .quantile(1.0)
+            .zip(self.sojourn_ratios.quantile(0.0));
+        if let Some((max, min)) = spread {
+            if max > 1.25 || min < 0.8 {
+                return true;
+            }
+        }
+        (self.makespan_ratio() - 1.0).abs() > 0.05
+    }
+
+    /// Tolerance violations, each as a human-readable line (empty = pass).
+    pub fn violations(&self, tol: &FidelityTolerance) -> Vec<String> {
+        let mut v = Vec::new();
+        if !self.completion_set_equal {
+            v.push(format!(
+                "completion sets differ: {} missing, {} extra",
+                self.missing_labels.len(),
+                self.extra_labels.len()
+            ));
+        }
+        if self.order_edit_distance > tol.max_order_edit_distance {
+            v.push(format!(
+                "completion-order edit distance {} exceeds {}",
+                self.order_edit_distance, tol.max_order_edit_distance
+            ));
+        }
+        if let Some(p) = self.sojourn_ratio_percentiles() {
+            let (lo, hi) = tol.sojourn_p50;
+            if p.p50 < lo || p.p50 > hi {
+                v.push(format!(
+                    "sojourn ratio p50 {:.3} outside [{lo}, {hi}]",
+                    p.p50
+                ));
+            }
+        }
+        let (lo, hi) = tol.makespan;
+        let ratio = self.makespan_ratio();
+        if ratio < lo || ratio > hi {
+            v.push(format!("makespan ratio {ratio:.3} outside [{lo}, {hi}]"));
+        }
+        v
+    }
+
+    /// The harness exit code: `0` within tolerance, `2` on breach.
+    ///
+    /// Under `chaos` the run is *supposed* to diverge, so only the
+    /// invariant that must survive chaos is enforced: completion-set
+    /// equality (a straggling or churned container still finishes its
+    /// job).  Timing tolerances apply to non-chaos runs only.
+    pub fn exit_code(&self, tol: &FidelityTolerance, chaos: bool) -> i32 {
+        let breach = if chaos {
+            !self.completion_set_equal
+        } else {
+            !self.violations(tol).is_empty()
+        };
+        if breach {
+            2
+        } else {
+            0
+        }
+    }
+}
+
+/// Align two completion-record streams and measure their divergence.
+///
+/// Records arrive in exit order (as [`RunSummary`](crate::summary::RunSummary)
+/// stores them); per-label alignment uses the *first* occurrence of each
+/// label in either stream.  Sojourn ratios are taken over labels present
+/// in both runs with a strictly positive reference sojourn.
+pub fn compare(reference: &[CompletionRecord], candidate: &[CompletionRecord]) -> FidelityReport {
+    let ref_order: Vec<&str> = reference.iter().map(|c| c.label.as_str()).collect();
+    let cand_order: Vec<&str> = candidate.iter().map(|c| c.label.as_str()).collect();
+
+    let mut missing_labels: Vec<String> = reference
+        .iter()
+        .filter(|r| !candidate.iter().any(|c| c.label == r.label))
+        .map(|r| r.label.clone())
+        .collect();
+    missing_labels.sort();
+    let mut extra_labels: Vec<String> = candidate
+        .iter()
+        .filter(|c| !reference.iter().any(|r| r.label == c.label))
+        .map(|c| c.label.clone())
+        .collect();
+    extra_labels.sort();
+    let completion_set_equal =
+        missing_labels.is_empty() && extra_labels.is_empty() && reference.len() == candidate.len();
+
+    let mut sojourn_ratios = QuantileSketch::new();
+    let mut matched = 0usize;
+    for r in reference {
+        if let Some(c) = candidate.iter().find(|c| c.label == r.label) {
+            matched += 1;
+            let ref_sojourn = r.completion_secs();
+            let cand_sojourn = c.completion_secs();
+            if ref_sojourn > 0.0 && cand_sojourn >= 0.0 {
+                sojourn_ratios.insert(cand_sojourn / ref_sojourn);
+            }
+        }
+    }
+
+    FidelityReport {
+        reference_jobs: reference.len(),
+        candidate_jobs: candidate.len(),
+        missing_labels,
+        extra_labels,
+        completion_set_equal,
+        order_edit_distance: levenshtein(&ref_order, &cand_order),
+        matched,
+        sojourn_ratios,
+        makespan_reference: makespan(reference),
+        makespan_candidate: makespan(candidate),
+    }
+}
+
+fn makespan(records: &[CompletionRecord]) -> f64 {
+    records
+        .iter()
+        .map(|c| c.finished.as_secs_f64())
+        .fold(0.0, f64::max)
+}
+
+/// Levenshtein distance between two label sequences (single-row DP:
+/// O(min·len) time, O(len) space — fidelity runs are tens of jobs, not
+/// millions).
+fn levenshtein(a: &[&str], b: &[&str]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ai) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &bj) in b.iter().enumerate() {
+            let cost = if ai == bj { 0 } else { 1 };
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcon_sim::time::SimTime;
+
+    fn rec(label: &str, arrival: f64, finished: f64) -> CompletionRecord {
+        CompletionRecord {
+            label: label.into(),
+            arrival: SimTime::from_secs_f64(arrival),
+            finished: SimTime::from_secs_f64(finished),
+            exit_code: 0,
+        }
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein(&[], &[]), 0);
+        assert_eq!(levenshtein(&["a", "b"], &[]), 2);
+        assert_eq!(levenshtein(&["a", "b", "c"], &["a", "b", "c"]), 0);
+        assert_eq!(levenshtein(&["a", "b", "c"], &["a", "c", "b"]), 2);
+        assert_eq!(levenshtein(&["a", "b"], &["a", "b", "c"]), 1);
+        assert_eq!(levenshtein(&["x", "b", "c"], &["a", "b", "c"]), 1);
+    }
+
+    #[test]
+    fn empty_runs_are_identical() {
+        let report = compare(&[], &[]);
+        assert!(report.completion_set_equal);
+        assert_eq!(report.order_edit_distance, 0);
+        assert_eq!(report.makespan_ratio(), 1.0);
+        assert!(!report.divergent());
+        assert_eq!(report.exit_code(&FidelityTolerance::default(), false), 0);
+    }
+
+    #[test]
+    fn one_sided_makespan_is_infinite_ratio() {
+        let report = compare(&[], &[rec("a", 0.0, 5.0)]);
+        assert!(!report.completion_set_equal);
+        assert!(report.makespan_ratio().is_infinite());
+    }
+}

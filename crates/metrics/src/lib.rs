@@ -18,6 +18,9 @@
 //!   (DDSketch-style relative-error buckets, deterministic merge).
 //! * [`sojourn`] — per-job SLO tails: sojourn-time and queue-wait
 //!   p50/p95/p99 recorded at exit, mergeable across workers/shards.
+//! * [`fidelity`] — sim↔rt differential divergence reports: completion-set
+//!   equality, order edit distance, per-job sojourn-ratio sketches,
+//!   makespan ratio, and the tolerance/exit-code decision.
 //! * [`chart`] — ASCII line/bar charts so `repro` output is readable in a
 //!   terminal.
 //! * [`export`] — CSV writing (hand-rolled; the format is trivial).
@@ -30,6 +33,7 @@
 
 pub mod chart;
 pub mod export;
+pub mod fidelity;
 pub mod sketch;
 pub mod sojourn;
 pub mod stats;
@@ -38,6 +42,7 @@ pub mod summary;
 pub mod timeseries;
 pub mod tracelog;
 
+pub use fidelity::{compare, FidelityReport, FidelityTolerance};
 pub use sketch::QuantileSketch;
 pub use sojourn::{Percentiles, SojournStats};
 pub use stream::StreamStats;

@@ -1,0 +1,174 @@
+//! Pure-logic fixtures for the sim↔rt fidelity comparator.
+//!
+//! No threads, no clocks: each fixture is a synthetic pair of completion
+//! record streams exercising one divergence mode, pinning the exact
+//! report fields and the CLI exit-code decision.  (Quantile values go
+//! through the 1%-relative-error sketch, so those assertions use a 2%
+//! band; everything else is exact.)
+
+use flowcon_metrics::fidelity::{compare, FidelityTolerance};
+use flowcon_metrics::summary::CompletionRecord;
+use flowcon_sim::time::SimTime;
+
+fn rec(label: &str, arrival: f64, finished: f64) -> CompletionRecord {
+    CompletionRecord {
+        label: label.into(),
+        arrival: SimTime::from_secs_f64(arrival),
+        finished: SimTime::from_secs_f64(finished),
+        exit_code: 0,
+    }
+}
+
+fn close(actual: f64, expected: f64) -> bool {
+    (actual / expected - 1.0).abs() < 0.02
+}
+
+/// Three jobs, byte-identical streams: zero divergence everywhere.
+#[test]
+fn identical_runs_report_zero_divergence() {
+    let run = vec![
+        rec("Job-1", 0.0, 50.0),
+        rec("Job-2", 10.0, 80.0),
+        rec("Job-3", 20.0, 120.0),
+    ];
+    let report = compare(&run, &run);
+
+    assert_eq!(report.reference_jobs, 3);
+    assert_eq!(report.candidate_jobs, 3);
+    assert!(report.completion_set_equal);
+    assert!(report.missing_labels.is_empty());
+    assert!(report.extra_labels.is_empty());
+    assert_eq!(report.order_edit_distance, 0);
+    assert_eq!(report.matched, 3);
+    assert_eq!(report.makespan_ratio(), 1.0);
+    let p = report.sojourn_ratio_percentiles().expect("3 matched jobs");
+    assert!(close(p.p50, 1.0), "p50 {}", p.p50);
+    assert!(close(p.p99, 1.0), "p99 {}", p.p99);
+    assert!(!report.divergent());
+    assert!(report.violations(&FidelityTolerance::default()).is_empty());
+    assert_eq!(report.exit_code(&FidelityTolerance::default(), false), 0);
+}
+
+/// Same set, permuted exit order: edit distance counts it, set equality
+/// holds, and the default tolerance (order-agnostic) still passes.
+#[test]
+fn permuted_completion_order_is_visible_but_tolerated() {
+    let reference = vec![
+        rec("Job-1", 0.0, 50.0),
+        rec("Job-2", 10.0, 80.0),
+        rec("Job-3", 20.0, 120.0),
+    ];
+    let candidate = vec![
+        rec("Job-2", 10.0, 80.0),
+        rec("Job-1", 0.0, 50.0),
+        rec("Job-3", 20.0, 120.0),
+    ];
+    let report = compare(&reference, &candidate);
+
+    assert!(report.completion_set_equal);
+    assert_eq!(report.order_edit_distance, 2, "one adjacent transposition");
+    assert!(report.divergent(), "order permutation is divergence");
+    let tol = FidelityTolerance::default();
+    assert!(report.violations(&tol).is_empty(), "order-agnostic default");
+    assert_eq!(report.exit_code(&tol, false), 0);
+
+    let strict = FidelityTolerance {
+        max_order_edit_distance: 1,
+        ..FidelityTolerance::default()
+    };
+    let v = report.violations(&strict);
+    assert_eq!(v.len(), 1);
+    assert!(v[0].contains("edit distance 2"), "{v:?}");
+    assert_eq!(report.exit_code(&strict, false), 2);
+}
+
+/// Candidate drops a job: set inequality, always a breach — even under
+/// chaos, where timing tolerances are waived but the set must hold.
+#[test]
+fn dropped_job_breaches_even_under_chaos() {
+    let reference = vec![rec("Job-1", 0.0, 50.0), rec("Job-2", 10.0, 80.0)];
+    let candidate = vec![rec("Job-1", 0.0, 52.0)];
+    let report = compare(&reference, &candidate);
+
+    assert!(!report.completion_set_equal);
+    assert_eq!(report.missing_labels, vec!["Job-2".to_string()]);
+    assert!(report.extra_labels.is_empty());
+    assert_eq!(report.matched, 1);
+    assert_eq!(report.order_edit_distance, 1, "one deletion");
+    assert!(report.divergent());
+    let tol = FidelityTolerance::default();
+    let v = report.violations(&tol);
+    assert!(
+        v.iter().any(|m| m.contains("completion sets differ")),
+        "{v:?}"
+    );
+    assert_eq!(report.exit_code(&tol, false), 2);
+    assert_eq!(
+        report.exit_code(&tol, true),
+        2,
+        "chaos never excuses a lost job"
+    );
+}
+
+/// Candidate completes a job the reference never saw (a phantom record):
+/// the asymmetric twin of the dropped-job fixture.
+#[test]
+fn extra_job_breaks_set_equality() {
+    let reference = vec![rec("Job-1", 0.0, 50.0)];
+    let candidate = vec![rec("Job-1", 0.0, 50.0), rec("Job-9", 0.0, 60.0)];
+    let report = compare(&reference, &candidate);
+
+    assert!(!report.completion_set_equal);
+    assert!(report.missing_labels.is_empty());
+    assert_eq!(report.extra_labels, vec!["Job-9".to_string()]);
+    assert_eq!(report.exit_code(&FidelityTolerance::default(), false), 2);
+}
+
+/// Candidate sojourns uniformly inflated 5×: set and order agree, but the
+/// ratio distribution and makespan blow the default bands.
+#[test]
+fn inflated_sojourns_breach_the_ratio_bands() {
+    let reference = vec![
+        rec("Job-1", 0.0, 40.0),
+        rec("Job-2", 10.0, 60.0),
+        rec("Job-3", 20.0, 100.0),
+    ];
+    let candidate: Vec<CompletionRecord> = reference
+        .iter()
+        .map(|r| {
+            let sojourn = r.finished.as_secs_f64() - r.arrival.as_secs_f64();
+            rec(
+                &r.label,
+                r.arrival.as_secs_f64(),
+                r.arrival.as_secs_f64() + 5.0 * sojourn,
+            )
+        })
+        .collect();
+    let report = compare(&reference, &candidate);
+
+    assert!(report.completion_set_equal);
+    assert_eq!(report.order_edit_distance, 0);
+    let p = report.sojourn_ratio_percentiles().unwrap();
+    assert!(close(p.p50, 5.0), "p50 {}", p.p50);
+    assert!(report.divergent());
+    let tol = FidelityTolerance::default();
+    let v = report.violations(&tol);
+    assert!(v.iter().any(|m| m.contains("sojourn ratio p50")), "{v:?}");
+    assert!(v.iter().any(|m| m.contains("makespan ratio")), "{v:?}");
+    assert_eq!(report.exit_code(&tol, false), 2);
+    // Chaos waives timing bands: a straggler run with an intact set passes.
+    assert_eq!(report.exit_code(&tol, true), 0);
+}
+
+/// A mild straggler: within tolerance but nonzero divergence — the shape
+/// the `--chaos straggler` CI smoke asserts (exit 0, divergent report).
+#[test]
+fn mild_divergence_is_reported_but_tolerated() {
+    let reference = vec![rec("Job-1", 0.0, 40.0), rec("Job-2", 0.0, 60.0)];
+    let candidate = vec![rec("Job-1", 0.0, 56.0), rec("Job-2", 0.0, 60.0)];
+    let report = compare(&reference, &candidate);
+
+    assert!(report.completion_set_equal);
+    assert!(report.divergent(), "a 1.4x sojourn ratio must be visible");
+    assert_eq!(report.exit_code(&FidelityTolerance::default(), true), 0);
+}

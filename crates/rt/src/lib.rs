@@ -15,6 +15,14 @@
 //!
 //! Scale note: experiments here use *small* jobs (fractions of a CPU-second)
 //! so the test suite stays fast; the machinery is identical at any scale.
+//! With [`RtConfig::dilation`] > 1 the runtime also compresses sim-scale
+//! workloads into CI-sized wall time while keeping records in sim units —
+//! see [`runtime`] for the virtual-time contract and [`session`] for the
+//! `Session`-parity builder that makes this a drop-in second backend.
+//!
+//! Coordination is **push-based everywhere** (condvar/channel, no
+//! sleep-loop polling); the invariant is documented in [`governor`] and
+//! grep-enforced by a unit test in `tests/rt_backend.rs`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,7 +30,11 @@
 pub mod governor;
 pub mod kernel;
 pub mod runtime;
+pub mod session;
 
-pub use governor::TokenBucket;
+pub use governor::{AtomicF64, RefillMath, ShutdownSignal, TokenBucket};
 pub use kernel::spin_for;
-pub use runtime::{RtConfig, RtJob, RtRuntime};
+pub use runtime::{
+    CompletionError, CompletionLedger, RtChaos, RtConfig, RtFailure, RtJob, RtOutcome, RtRuntime,
+};
+pub use session::{RtSession, RtSessionBuilder};

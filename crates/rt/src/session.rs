@@ -1,0 +1,203 @@
+//! `Session`-parity surface for the real-thread backend.
+//!
+//! The fluid simulation is configured through
+//! `flowcon_core::session::Session::builder()`; this module makes the
+//! wall-clock runtime a *second backend behind the same surface*: build
+//! the very same fluent chain, call
+//! [`SessionBuilder::into_spec`](flowcon_core::session::SessionBuilder::into_spec)
+//! instead of `build()`, and hand the spec to [`RtSessionBuilder`]:
+//!
+//! ```
+//! use flowcon_core::session::Session;
+//! use flowcon_dl::workload::WorkloadPlan;
+//! use flowcon_rt::{RtConfig, RtSessionBuilder};
+//!
+//! let spec = Session::builder()
+//!     .plan(WorkloadPlan::random_n(2, 7))
+//!     .into_spec();
+//! let summary = RtSessionBuilder::from_spec(spec)
+//!     .config(RtConfig {
+//!         dilation: 400.0,
+//!         ..RtConfig::default()
+//!     })
+//!     .build()
+//!     .run();
+//! assert_eq!(summary.completions.len(), 2);
+//! ```
+//!
+//! # Workload identity across backends
+//!
+//! The simulated worker consumes its node RNG in exactly one place: one
+//! `rng.split()` per job at admission, in plan order.  The builder here
+//! replays that — `SimRng::new(node.seed)`, jobs constructed with
+//! [`TrainingJob::with_label`] in plan order — so each job's jittered
+//! total work and noise stream are **bit-identical** between sim and rt.
+//! That identity is what makes the differential fidelity harness's
+//! per-job sojourn ratios meaningful.
+
+use std::time::Duration;
+
+use flowcon_core::session::SessionSpec;
+use flowcon_dl::TrainingJob;
+use flowcon_metrics::summary::RunSummary;
+use flowcon_sim::rng::SimRng;
+
+use crate::runtime::{RtChaos, RtConfig, RtFailure, RtJob, RtOutcome, RtRuntime};
+
+/// Builds an [`RtSession`] from a backend-generic [`SessionSpec`].
+pub struct RtSessionBuilder {
+    spec: SessionSpec,
+    config: RtConfig,
+    chaos: Option<RtChaos>,
+}
+
+impl RtSessionBuilder {
+    /// Start from a spec extracted via `SessionBuilder::into_spec`.
+    ///
+    /// The node's capacity and contention model are stamped into the
+    /// runtime config at [`build`](RtSessionBuilder::build) time, so both
+    /// backends share one notion of the machine.
+    pub fn from_spec(spec: SessionSpec) -> Self {
+        RtSessionBuilder {
+            spec,
+            config: RtConfig::default(),
+            chaos: None,
+        }
+    }
+
+    /// Runtime knobs (dilation, refill period, quantum, ...).  The
+    /// spec's node capacity and contention model override the config's
+    /// at build time — they are workload facts, not runtime knobs.
+    pub fn config(mut self, config: RtConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attach a chaos scenario (wall-clock offsets; divide sim offsets by
+    /// the dilation).
+    pub fn chaos(mut self, chaos: RtChaos) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Assemble the session: construct the jobs with the node-seeded RNG
+    /// in plan order (see the module docs) and convert sim-time arrivals
+    /// and failure times to wall clock through the dilation.
+    pub fn build(self) -> RtSession {
+        let mut config = self.config;
+        config.capacity_cores = self.spec.node.capacity;
+        config.contention = self.spec.node.contention;
+        let dilation = config.dilation.max(1e-9);
+
+        let mut rng = SimRng::new(self.spec.node.seed);
+        let jobs: Vec<RtJob> = self
+            .spec
+            .plan
+            .jobs
+            .iter()
+            .map(|request| RtJob {
+                job: TrainingJob::with_label(
+                    request.scaled_spec(),
+                    request.label.clone(),
+                    &mut rng,
+                ),
+                arrival: Duration::from_secs_f64(request.arrival.as_secs_f64() / dilation),
+            })
+            .collect();
+
+        let failures: Vec<RtFailure> = self
+            .spec
+            .failures
+            .iter()
+            .map(|f| RtFailure {
+                label: f.label.clone(),
+                at: Duration::from_secs_f64(f.at.as_secs_f64() / dilation),
+                exit_code: f.exit_code,
+            })
+            .collect();
+
+        let mut runtime = RtRuntime::new(config, self.spec.policy).with_failures(failures);
+        if let Some(chaos) = self.chaos {
+            runtime = runtime.with_chaos(chaos);
+        }
+        RtSession { runtime, jobs }
+    }
+}
+
+/// A fully-configured wall-clock session, ready to run.
+pub struct RtSession {
+    runtime: RtRuntime,
+    jobs: Vec<RtJob>,
+}
+
+impl RtSession {
+    /// Run to completion; completion records are stamped in virtual
+    /// (dilated) seconds, directly comparable to the simulation's.
+    pub fn run(self) -> RunSummary {
+        self.runtime.run(self.jobs)
+    }
+
+    /// Run to completion with thread/ledger accounting (see
+    /// [`RtOutcome`]).
+    pub fn run_outcome(self) -> RtOutcome {
+        self.runtime.run_outcome(self.jobs)
+    }
+}
+
+#[cfg(test)]
+impl RtSession {
+    /// Test-only peek at the stamped capacity.
+    fn runtime_capacity(&self) -> f64 {
+        self.runtime.capacity_cores()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcon_core::config::NodeConfig;
+    use flowcon_core::session::Session;
+    use flowcon_dl::workload::WorkloadPlan;
+
+    #[test]
+    fn spec_round_trips_the_plan_through_real_threads() {
+        let plan = WorkloadPlan::random_n(3, 11);
+        let mut expected: Vec<String> = plan.jobs.iter().map(|j| j.label.clone()).collect();
+        let spec = Session::builder()
+            .node(NodeConfig::default().with_seed(11))
+            .plan(plan)
+            .into_spec();
+        let summary = RtSessionBuilder::from_spec(spec)
+            .config(RtConfig {
+                dilation: 2000.0,
+                ..RtConfig::default()
+            })
+            .build()
+            .run();
+        let mut got: Vec<String> = summary
+            .completions
+            .iter()
+            .map(|c| c.label.clone())
+            .collect();
+        expected.sort();
+        got.sort();
+        assert_eq!(got, expected, "every planned job completes exactly once");
+    }
+
+    #[test]
+    fn node_capacity_overrides_the_config() {
+        let spec = Session::builder()
+            .node(NodeConfig {
+                capacity: 3.5,
+                ..NodeConfig::default()
+            })
+            .into_spec();
+        let session = RtSessionBuilder::from_spec(spec)
+            .config(RtConfig {
+                capacity_cores: 99.0,
+                ..RtConfig::default()
+            })
+            .build();
+        assert_eq!(session.runtime_capacity(), 3.5);
+    }
+}
